@@ -1,0 +1,120 @@
+// inca-bench regenerates the paper's tables and figures on the simulated
+// stack (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	inca-bench -e all -scale full
+//	inca-bench -e E1,E3 -scale quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"inca/internal/bench"
+)
+
+func main() {
+	var (
+		exps     = flag.String("e", "all", "experiments to run: all or comma list of E1..E7")
+		scaleStr = flag.String("scale", "quick", "quick (reduced inputs, seconds) or full (paper-scale 480x640)")
+		outPath  = flag.String("o", "", "also write results to this file")
+		formatMD = flag.Bool("md", false, "render tables as markdown")
+	)
+	flag.Parse()
+
+	scale := bench.Quick
+	switch *scaleStr {
+	case "quick":
+	case "full":
+		scale = bench.Full
+	default:
+		fatalf("unknown -scale %q (quick|full)", *scaleStr)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("create %s: %v", *outPath, err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	runners := map[string]func(bench.Scale) (*bench.Table, error){
+		"E2":  bench.E2NetworkSweep,
+		"E3":  bench.E3BackupVsConv,
+		"E4":  bench.E4TheoryCheck,
+		"E5":  bench.E5Resources,
+		"E7":  bench.E7Headline,
+		"E8":  bench.E8SaveGranularity,
+		"E9":  bench.E9MultiCore,
+		"E10": bench.E10Sensitivity,
+		"E11": bench.E11Schedulability,
+		"E12": bench.E12Energy,
+		"E13": bench.E13Migration,
+	}
+
+	if *exps == "all" {
+		tables, err := bench.All(scale)
+		for _, t := range tables {
+			printTable(out, t, *formatMD)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, id := range []string{"E8", "E9", "E10", "E11", "E12", "E13"} {
+			t, err := runners[id](scale)
+			if err != nil {
+				fatalf("%s: %v", id, err)
+			}
+			printTable(out, t, *formatMD)
+		}
+		return
+	}
+
+	for _, id := range strings.Split(*exps, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		switch id {
+		case "E1":
+			r, err := bench.E1InterruptPositions(scale)
+			if err != nil {
+				fatalf("E1: %v", err)
+			}
+			printTable(out, r.Table, *formatMD)
+		case "E6":
+			r, err := bench.E6DSLAMScheduling(scale)
+			if err != nil {
+				fatalf("E6: %v", err)
+			}
+			printTable(out, r.Table, *formatMD)
+		default:
+			f, ok := runners[id]
+			if !ok {
+				fatalf("unknown experiment %q", id)
+			}
+			t, err := f(scale)
+			if err != nil {
+				fatalf("%s: %v", id, err)
+			}
+			printTable(out, t, *formatMD)
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "inca-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func printTable(w io.Writer, t *bench.Table, md bool) {
+	if md {
+		fmt.Fprintln(w, t.Markdown())
+		return
+	}
+	fmt.Fprintln(w, t)
+}

@@ -1,0 +1,111 @@
+// inca-compile lowers a CNN to the accelerator's instruction set and writes
+// an instruction.bin image, optionally with the virtual-instruction pass
+// (the INCA compilation step of Fig. 1).
+//
+// Usage:
+//
+//	inca-compile -net resnet101 -c 3 -h 480 -w 640 -accel big -vi -o instruction.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+)
+
+func main() {
+	var (
+		netName  = flag.String("net", "tinycnn", "network: tinycnn|vgg16|resnet18|resnet34|resnet50|resnet101|mobilenetv1|superpoint|gem|medium")
+		proto    = flag.String("proto", "", "compile a Caffe-style .prototxt file instead of -net")
+		dump     = flag.Bool("dump", false, "print the disassembled instruction stream")
+		profile  = flag.Bool("profile", false, "print per-layer MACs/params/arithmetic-intensity")
+		inC      = flag.Int("c", 3, "input channels")
+		inH      = flag.Int("h", 120, "input height")
+		inW      = flag.Int("w", 160, "input width")
+		accelStr = flag.String("accel", "big", "accelerator config: big (16,16,8) or small (8,8,4)")
+		vi       = flag.Bool("vi", true, "run the virtual-instruction pass (interruptible stream)")
+		bps      = flag.Int("blobs-per-save", 2, "CalcBlobs per SAVE window (0 = one SAVE per tile)")
+		weights  = flag.Bool("weights", false, "embed the synthetic weight image (functional execution)")
+		seed     = flag.Uint64("seed", 1, "synthetic parameter seed")
+		out      = flag.String("o", "instruction.bin", "output file")
+		summary  = flag.Bool("summary", true, "print network and stream summaries")
+	)
+	flag.Parse()
+
+	cfg := accel.Big()
+	if *accelStr == "small" {
+		cfg = accel.Small()
+	} else if *accelStr != "big" {
+		fatalf("unknown -accel %q (want big or small)", *accelStr)
+	}
+
+	var g *model.Network
+	var err error
+	if *proto != "" {
+		src, rerr := os.ReadFile(*proto)
+		if rerr != nil {
+			fatalf("reading %s: %v", *proto, rerr)
+		}
+		g, err = model.ParsePrototxt(string(src))
+	} else {
+		g, err = model.ByName(*netName, *inC, *inH, *inW)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	q, err := quant.Synthesize(g, *seed)
+	if err != nil {
+		fatalf("quantize: %v", err)
+	}
+	opt := cfg.CompilerOptions()
+	opt.InsertVirtual = *vi
+	opt.BlobsPerSave = *bps
+	opt.EmitWeights = *weights
+	p, err := compiler.Compile(q, opt)
+	if err != nil {
+		fatalf("compile: %v", err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("create %s: %v", *out, err)
+	}
+	if err := isa.Encode(f, p); err != nil {
+		fatalf("encode: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("close: %v", err)
+	}
+
+	if *summary {
+		fmt.Print(g.Summary())
+		fmt.Print(compiler.Analyze(p))
+		macs, _ := g.TotalMACs()
+		fmt.Printf("  %.2f GMAC per inference\n", float64(macs)/1e9)
+	}
+	if *profile {
+		prof, err := g.Profile()
+		if err != nil {
+			fatalf("profile: %v", err)
+		}
+		fmt.Print(prof)
+	}
+	if *dump {
+		if err := p.Disassemble(os.Stdout); err != nil {
+			fatalf("disassemble: %v", err)
+		}
+	}
+	st, _ := os.Stat(*out)
+	fmt.Printf("wrote %s (%d bytes, %d instructions, %s)\n", *out, st.Size(), len(p.Instrs), cfg.Name)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "inca-compile: "+format+"\n", args...)
+	os.Exit(1)
+}

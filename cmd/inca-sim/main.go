@@ -1,0 +1,239 @@
+// inca-sim runs a multi-task workload on the simulated interruptible
+// accelerator and reports scheduling results: completions, deadline misses,
+// response latencies, preemptions, and the interrupt-support overhead.
+//
+// Tasks are described as flag values, one per -task:
+//
+//	-task name=FE,slot=0,net=superpoint,h=360,w=480,c=1,period=50ms,deadline=50ms
+//	-task name=PR,slot=1,net=gem,h=480,w=640,continuous=true
+//
+// A compiled instruction.bin can be supplied instead of a network:
+//
+//	-task name=PR,slot=1,prog=pr.bin,continuous=true
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/iau"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+	"inca/internal/sched"
+)
+
+type taskFlags []string
+
+func (t *taskFlags) String() string     { return strings.Join(*t, "; ") }
+func (t *taskFlags) Set(s string) error { *t = append(*t, s); return nil }
+
+func main() {
+	var tasks taskFlags
+	var (
+		accelStr = flag.String("accel", "big", "accelerator config: big or small")
+		policy   = flag.String("policy", "vi", "interrupt policy: none|vi|layer|cpu")
+		duration = flag.Duration("duration", 5*time.Second, "simulated horizon")
+		verbose  = flag.Bool("v", false, "print every preemption record")
+		timeline = flag.Bool("timeline", false, "print the execution timeline (start/preempt/resume/complete)")
+		gantt    = flag.Bool("gantt", false, "render the timeline as a per-slot Gantt chart")
+	)
+	flag.Var(&tasks, "task", "task spec (repeatable); see doc comment")
+	flag.Parse()
+
+	if len(tasks) == 0 {
+		// Default: the paper's DSLAM mix.
+		tasks = taskFlags{
+			"name=FE,slot=0,net=superpoint,c=1,h=360,w=480,period=50ms,deadline=50ms,drop=true",
+			"name=PR,slot=1,net=gem,c=3,h=480,w=640,continuous=true",
+		}
+		fmt.Println("no -task flags; running the default DSLAM mix (FE@20fps + continuous PR)")
+	}
+
+	cfg := accel.Big()
+	if *accelStr == "small" {
+		cfg = accel.Small()
+	} else if *accelStr != "big" {
+		fatalf("unknown -accel %q", *accelStr)
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var specs []sched.TaskSpec
+	for _, ts := range tasks {
+		spec, err := parseTask(ts, cfg, pol)
+		if err != nil {
+			fatalf("parsing -task %q: %v", ts, err)
+		}
+		specs = append(specs, spec)
+	}
+
+	res, err := sched.RunTraced(cfg, pol, specs, *duration, *timeline || *gantt)
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+
+	fmt.Printf("policy=%v accel=%s horizon=%v utilization=%.1f%% degradation=%.3f%%\n",
+		pol, cfg.Name, *duration, 100*res.Utilization(), 100*res.Degradation())
+	calc, xfer, hidden := res.CycleStats()
+	if tot := calc + xfer; tot > 0 {
+		fmt.Printf("accelerator time: %.0f%% compute, %.0f%% exposed transfers (%.1f ms of DMA hidden under compute)\n\n",
+			100*float64(calc)/float64(tot), 100*float64(xfer)/float64(tot), cfg.CyclesToMicros(hidden)/1000)
+	} else {
+		fmt.Println()
+	}
+	fmt.Printf("%-10s %5s %5s %5s %6s %12s %12s %9s\n",
+		"task", "done", "drop", "miss", "preempt", "mean(ms)", "max(ms)", "busy(ms)")
+	for _, spec := range specs {
+		st := res.Tasks[spec.Name]
+		fmt.Printf("%-10s %5d %5d %5d %6d %12.2f %12.2f %9.1f\n",
+			st.Name, st.Completed, st.Dropped, st.DeadlineMisses, st.Preempted,
+			cfg.CyclesToMicros(uint64(st.MeanLatency()))/1000,
+			cfg.CyclesToMicros(st.MaxLatency())/1000,
+			cfg.CyclesToMicros(st.ExecCycles)/1000)
+	}
+	fmt.Printf("\n%d preemptions", len(res.Preemptions))
+	if len(res.Preemptions) > 0 {
+		var lat, cost uint64
+		for _, p := range res.Preemptions {
+			lat += p.Latency()
+			cost += p.Cost()
+		}
+		n := uint64(len(res.Preemptions))
+		fmt.Printf(": mean response latency %.1f us, mean extra cost %.1f us",
+			cfg.CyclesToMicros(lat/n), cfg.CyclesToMicros(cost/n))
+	}
+	fmt.Println()
+	if *verbose {
+		for i, p := range res.Preemptions {
+			fmt.Printf("  #%d t=%.3fms slot%d->slot%d layer=%s latency=%.1fus cost=%.1fus backup=%dB\n",
+				i, cfg.CyclesToMicros(p.RequestCycle)/1000, p.Preemptor, p.Victim, p.VictimLayer,
+				cfg.CyclesToMicros(p.Latency()), cfg.CyclesToMicros(p.Cost()), p.BackupBytes)
+		}
+	}
+	if *gantt {
+		fmt.Println("\ntimeline (each column ≈ " +
+			fmt.Sprintf("%.1f ms", float64(duration.Milliseconds())/72) + "):")
+		fmt.Print(sched.Gantt(cfg, res.Timeline, cfg.SecondsToCycles(duration.Seconds()), 72))
+	}
+	if *timeline {
+		fmt.Println("\ntimeline:")
+		for _, e := range res.Timeline {
+			fmt.Printf("  t=%10.3fms %-8s slot%d %s\n",
+				cfg.CyclesToMicros(e.Cycle)/1000, e.Kind, e.Slot, e.Label)
+		}
+	}
+}
+
+func parsePolicy(s string) (iau.Policy, error) {
+	switch s {
+	case "none":
+		return iau.PolicyNone, nil
+	case "vi", "virtual", "virtual-instruction":
+		return iau.PolicyVI, nil
+	case "layer", "layer-by-layer":
+		return iau.PolicyLayerByLayer, nil
+	case "cpu", "cpu-like":
+		return iau.PolicyCPULike, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (none|vi|layer|cpu)", s)
+	}
+}
+
+func parseTask(s string, cfg accel.Config, pol iau.Policy) (sched.TaskSpec, error) {
+	spec := sched.TaskSpec{}
+	netName, progPath := "", ""
+	c, h, w := 3, 120, 160
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return spec, fmt.Errorf("bad key=value %q", kv)
+		}
+		k, v := parts[0], parts[1]
+		var err error
+		switch k {
+		case "name":
+			spec.Name = v
+		case "slot":
+			spec.Slot, err = strconv.Atoi(v)
+		case "net":
+			netName = v
+		case "prog":
+			progPath = v
+		case "c":
+			c, err = strconv.Atoi(v)
+		case "h":
+			h, err = strconv.Atoi(v)
+		case "w":
+			w, err = strconv.Atoi(v)
+		case "period":
+			spec.Period, err = time.ParseDuration(v)
+		case "deadline":
+			spec.Deadline, err = time.ParseDuration(v)
+		case "offset":
+			spec.Offset, err = time.ParseDuration(v)
+		case "count":
+			spec.Count, err = strconv.Atoi(v)
+		case "continuous":
+			spec.Continuous, err = strconv.ParseBool(v)
+		case "drop":
+			spec.DropIfBusy, err = strconv.ParseBool(v)
+		default:
+			return spec, fmt.Errorf("unknown key %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("key %q: %v", k, err)
+		}
+	}
+	if spec.Name == "" {
+		return spec, fmt.Errorf("missing name=")
+	}
+	switch {
+	case progPath != "":
+		f, err := os.Open(progPath)
+		if err != nil {
+			return spec, err
+		}
+		defer f.Close()
+		p, err := isa.Decode(f)
+		if err != nil {
+			return spec, fmt.Errorf("decoding %s: %v", progPath, err)
+		}
+		if p.ParaIn != cfg.ParaIn || p.ParaOut != cfg.ParaOut || p.ParaHeight != cfg.ParaHeight {
+			return spec, fmt.Errorf("%s compiled for Para=(%d,%d,%d), accelerator is (%d,%d,%d)",
+				progPath, p.ParaIn, p.ParaOut, p.ParaHeight, cfg.ParaIn, cfg.ParaOut, cfg.ParaHeight)
+		}
+		spec.Prog = p
+	case netName != "":
+		g, err := model.ByName(netName, c, h, w)
+		if err != nil {
+			return spec, err
+		}
+		q, err := quant.Synthesize(g, 1)
+		if err != nil {
+			return spec, err
+		}
+		opt := cfg.CompilerOptions()
+		opt.InsertVirtual = pol == iau.PolicyVI && spec.Slot > 0
+		spec.Prog, err = compiler.Compile(q, opt)
+		if err != nil {
+			return spec, err
+		}
+	default:
+		return spec, fmt.Errorf("need net= or prog=")
+	}
+	return spec, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "inca-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

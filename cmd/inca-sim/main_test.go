@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/iau"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]iau.Policy{
+		"none": iau.PolicyNone, "vi": iau.PolicyVI, "virtual": iau.PolicyVI,
+		"layer": iau.PolicyLayerByLayer, "cpu": iau.PolicyCPULike,
+	}
+	for in, want := range cases {
+		got, err := parsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("parsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parsePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestParseTask(t *testing.T) {
+	cfg := accel.Big()
+	spec, err := parseTask("name=FE,slot=0,net=tinycnn,c=3,h=24,w=32,period=50ms,deadline=40ms,drop=true", cfg, iau.PolicyVI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "FE" || spec.Slot != 0 || spec.Period != 50*time.Millisecond ||
+		spec.Deadline != 40*time.Millisecond || !spec.DropIfBusy {
+		t.Fatalf("parsed %+v", spec)
+	}
+	if spec.Prog == nil {
+		t.Fatal("no program compiled")
+	}
+	// Slot 0 under VI gets no virtual instructions.
+	if n := len(spec.Prog.InterruptPoints()); n != 0 {
+		t.Errorf("slot-0 program has %d interrupt points", n)
+	}
+	spec2, err := parseTask("name=PR,slot=1,net=tinycnn,c=3,h=24,w=32,continuous=true", cfg, iau.PolicyVI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec2.Continuous || len(spec2.Prog.InterruptPoints()) == 0 {
+		t.Fatalf("continuous interruptible task parsed wrong: %+v", spec2)
+	}
+}
+
+func TestParseTaskErrors(t *testing.T) {
+	cfg := accel.Big()
+	cases := []string{
+		"slot=0,net=tinycnn",           // missing name
+		"name=x,slot=0",                // missing net/prog
+		"name=x,slot=zero,net=tinycnn", // bad int
+		"name=x,slot=0,net=doesnotexist",
+		"name=x,slot=0,net=tinycnn,period=fast",
+		"name=x,slot=0,net=tinycnn,nonsense=1",
+		"justgarbage",
+	}
+	for _, c := range cases {
+		if _, err := parseTask(c, cfg, iau.PolicyVI); err == nil {
+			t.Errorf("%q accepted", c)
+		}
+	}
+	if _, err := parseTask("name=x,slot=1,prog=/nonexistent.bin", cfg, iau.PolicyVI); err == nil ||
+		!strings.Contains(err.Error(), "no such file") {
+		t.Errorf("missing prog file: %v", err)
+	}
+}

@@ -1,0 +1,13 @@
+// Package inca reproduces "INCA: INterruptible CNN Accelerator for
+// Multi-tasking in Embedded Robots" (DAC 2020) as a pure-Go simulation
+// stack: an instruction-driven CNN accelerator with a calibrated cycle
+// model and a bit-exact functional datapath, the virtual-instruction
+// compiler pass, the Instruction Arrangement Unit (IAU) with four priority
+// slots, the CPU-like and layer-by-layer baselines, a deterministic
+// ROS-like middleware, and the two-agent CNN-based DSLAM evaluation system.
+//
+// See README.md for usage, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record. The root package exists
+// to host the repository-level benchmarks (bench_test.go); the
+// implementation lives under internal/.
+package inca

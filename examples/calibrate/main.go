@@ -1,0 +1,125 @@
+// Calibrate: the complete Fig. 1 deployment flow on a user-supplied network
+// description — parse a Caffe-style prototxt, build a float model, calibrate
+// activation ranges over sample inputs, quantize to the accelerator's int8
+// datapath, compile to interruptible VI-ISA, and verify the compiled program
+// against both the int8 reference and the float model.
+//
+//	go run ./examples/calibrate
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/iau"
+	"inca/internal/model"
+	"inca/internal/quant"
+	"inca/internal/tensor"
+)
+
+const netDescription = `
+name: "robot-head"
+input_shape { dim: 3 dim: 48 dim: 64 }
+layer {
+  name: "conv1" type: "Convolution" bottom: "data" top: "conv1"
+  convolution_param { num_output: 16 kernel_size: 3 stride: 1 pad: 1 }
+}
+layer { name: "relu1" type: "ReLU" bottom: "conv1" top: "conv1" }
+layer {
+  name: "pool1" type: "Pooling" bottom: "conv1" top: "pool1"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+layer {
+  name: "conv2" type: "Convolution" bottom: "pool1" top: "conv2"
+  convolution_param { num_output: 32 kernel_size: 3 stride: 1 pad: 1 }
+}
+layer { name: "relu2" type: "ReLU" bottom: "conv2" top: "conv2" }
+layer {
+  name: "conv2b" type: "Convolution" bottom: "conv2" top: "conv2b"
+  convolution_param { num_output: 32 kernel_size: 3 stride: 1 pad: 1 }
+}
+layer { name: "sum" type: "Eltwise" bottom: "conv2b" bottom: "conv2" top: "sum" }
+layer { name: "relu3" type: "ReLU" bottom: "sum" top: "sum" }
+`
+
+func main() {
+	// 1. Parse the network description (the *.prototxt of the paper's flow).
+	g, err := model.ParsePrototxt(netDescription)
+	check(err)
+	fmt.Print(g.Summary())
+
+	// 2. Float model (the *.caffemodel stand-in) and calibration set.
+	fn, err := quant.SynthesizeFloat(g, 2026)
+	check(err)
+	var samples []*tensor.Float32
+	for s := uint64(0); s < 8; s++ {
+		in := tensor.NewFloat32(g.InC, g.InH, g.InW)
+		tensor.FillPatternFloat32(in, 500+s)
+		samples = append(samples, in)
+	}
+	cal, err := fn.Calibrate(samples)
+	check(err)
+	fmt.Printf("\ncalibrated %d activation scales (input scale %.4f)\n", len(cal.ActScale), cal.ActScale[0])
+
+	// 3. Quantize to the accelerator's shift-only int8 datapath.
+	q, err := fn.Quantize(cal)
+	check(err)
+
+	// 4. Compile to interruptible VI-ISA with the weight image embedded.
+	cfg := accel.Big()
+	cfg.ParaIn, cfg.ParaOut, cfg.ParaHeight = 8, 8, 4
+	opt := cfg.CompilerOptions()
+	opt.InsertVirtual = true
+	opt.EmitWeights = true
+	prog, err := compiler.Compile(q, opt)
+	check(err)
+	fmt.Printf("\ncompiled: %v", compiler.Analyze(prog))
+
+	// 5. Run a held-out input on the simulated accelerator.
+	probe := tensor.NewFloat32(g.InC, g.InH, g.InW)
+	tensor.FillPatternFloat32(probe, 9999)
+	qin := quant.QuantizeInput(probe, cal)
+
+	arena, err := accel.NewArena(prog)
+	check(err)
+	check(accel.WriteInput(arena, prog, qin))
+	u := iau.New(cfg, iau.PolicyVI)
+	check(u.Submit(1, &iau.Request{Label: "robot-head", Prog: prog, Arena: arena}))
+	check(u.RunAll())
+	got, err := accel.ReadOutput(arena, prog)
+	check(err)
+	req := u.Completions[0].Req
+	fmt.Printf("inference: %.1f us simulated on %s\n",
+		cfg.CyclesToMicros(req.ExecCycles), cfg.Name)
+
+	// 6a. Bit-exactness against the int8 software reference.
+	want, err := q.RunFinal(qin)
+	check(err)
+	if !got.Equal(want) {
+		log.Fatal("accelerator output differs from the int8 reference")
+	}
+	fmt.Println("accelerator output is bit-exact vs the int8 reference ✓")
+
+	// 6b. Fidelity against the float model.
+	floatActs, err := fn.RunFloat(probe)
+	check(err)
+	last := len(g.Layers) - 1
+	scale := q.EffScale[last]
+	deq := quant.DequantizeOutput(got, scale)
+	cos, err := tensor.CosineSimilarity(deq, floatActs[last])
+	check(err)
+	fmt.Printf("int8 vs float cosine similarity: %.4f", cos)
+	if math.IsNaN(cos) || cos < 0.9 {
+		log.Fatalf(" — quantization fidelity too low")
+	}
+	fmt.Println(" ✓")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

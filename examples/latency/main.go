@@ -1,0 +1,75 @@
+// Latency: sweep interrupt response latency across networks and accelerator
+// configurations (the shape of the paper's Fig. 5), mixing the analytical
+// worst-case model with end-to-end measurements on the simulator.
+//
+//	go run ./examples/latency [-measure]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/iau"
+	"inca/internal/interrupt"
+	"inca/internal/model"
+	"inca/internal/quant"
+)
+
+func main() {
+	measure := flag.Bool("measure", true, "also measure end-to-end on the simulator")
+	h := flag.Int("h", 120, "input height")
+	w := flag.Int("w", 160, "input width")
+	flag.Parse()
+
+	resnet, err := model.NewResNet(101, 3, *h, *w)
+	check(err)
+	nets := []*model.Network{resnet, model.NewVGG16(3, *h, *w), model.NewMobileNetV1(3, *h, *w)}
+	cfgs := []accel.Config{accel.Big(), accel.Small()}
+
+	fmt.Printf("%-12s %-16s %14s %14s %10s\n", "network", "accelerator", "layer wait", "VI wait", "reduction")
+	for _, g := range nets {
+		for _, cfg := range cfgs {
+			st, err := interrupt.WorstWaits(cfg, g)
+			check(err)
+			avgL := cfg.CyclesToMicros(uint64(interrupt.Mean(st.LayerLBL)))
+			avgV := cfg.CyclesToMicros(uint64(interrupt.Mean(st.LayerVI)))
+			fmt.Printf("%-12s %-16s %11.1f us %11.1f us %9.0fx\n",
+				g.Name, cfg.Name, avgL, avgV, avgL/avgV)
+		}
+	}
+
+	if !*measure {
+		return
+	}
+	fmt.Println("\nend-to-end measurement (ResNet-101 victim on the big accelerator):")
+	cfg := accel.Big()
+	q, err := quant.Synthesize(resnet, 1)
+	check(err)
+	opt := cfg.CompilerOptions()
+	opt.InsertVirtual = true
+	victim, err := compiler.Compile(q, opt)
+	check(err)
+	probe, err := interrupt.TinyPreemptor(cfg)
+	check(err)
+	total, err := interrupt.SoloCycles(cfg, victim)
+	check(err)
+	fmt.Printf("solo inference: %.1f ms\n", cfg.CyclesToMicros(total)/1000)
+	for i := 1; i <= 4; i++ {
+		pos := total * uint64(i) / 5
+		for _, pol := range []iau.Policy{iau.PolicyLayerByLayer, iau.PolicyVI} {
+			m, err := interrupt.MeasureAt(cfg, pol, victim, probe, pos)
+			check(err)
+			fmt.Printf("  %d/5 through, %-20v latency %8.1f us  extra cost %8.1f us  (layer %s)\n",
+				i, pol, m.LatencyMicros(cfg), m.CostMicros(cfg), m.VictimLayer)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Multitask: four independently-authored ROS nodes share one accelerator
+// through the INCA runtime — the scenario the paper's IAU is built for
+// (four priority slots, slot 0 never preempted). Each node submits
+// inferences on its own schedule without knowing the others exist.
+//
+//	go run ./examples/multitask
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/core"
+	"inca/internal/iau"
+	"inca/internal/model"
+	"inca/internal/ros"
+)
+
+func main() {
+	cfg := accel.Big()
+	rt, err := core.NewRuntime(cfg, iau.PolicyVI)
+	check(err)
+
+	// Four components from four "developers", by priority:
+	//  0: obstacle detector — hard 30 ms deadline, 25 ms period
+	//  1: feature extraction — 50 ms period
+	//  2: place recognition — continuous
+	//  3: semantic segmentation — continuous
+	gem, err := model.NewGeM(3, 120, 160)
+	check(err)
+	deploys := []struct {
+		name string
+		net  *model.Network
+	}{
+		{"detector", model.NewTinyCNN(3, 60, 80)},
+		{"feature-extraction", model.NewSuperPoint(90, 120)},
+		{"place-recognition", gem},
+		{"segmentation", model.NewVGG16(3, 90, 120)},
+	}
+	var handles [4]*core.Deployment
+	for slot, d := range deploys {
+		h, err := rt.Deploy(slot, d.net, uint64(slot+1))
+		check(err)
+		handles[slot] = h
+		fmt.Printf("slot %d: %-20s %6d instructions\n", slot, d.name, len(h.Prog.Instrs))
+	}
+
+	// Wire the middleware: each node runs its own loop.
+	rc := ros.NewCore()
+	rt.AttachROS(rc, 200*time.Microsecond)
+
+	type stats struct {
+		done    int
+		missed  int
+		latency time.Duration
+	}
+	results := make([]stats, 4)
+
+	// Periodic nodes (slots 0 and 1).
+	for _, p := range []struct {
+		slot     int
+		period   time.Duration
+		deadline time.Duration
+	}{
+		{0, 25 * time.Millisecond, 30 * time.Millisecond},
+		{1, 50 * time.Millisecond, 50 * time.Millisecond},
+	} {
+		p := p
+		node := rc.Node(deploys[p.slot].name)
+		node.Timer(p.period, func() {
+			start := rc.Now()
+			err := handles[p.slot].InferAsync(func(done ros.Time) {
+				lat := done - start
+				results[p.slot].done++
+				results[p.slot].latency += lat
+				if lat > p.deadline {
+					results[p.slot].missed++
+				}
+			})
+			check(err)
+		})
+	}
+
+	// Continuous nodes (slots 2 and 3) resubmit on completion.
+	for _, slot := range []int{2, 3} {
+		slot := slot
+		var fire func()
+		fire = func() {
+			start := rc.Now()
+			err := handles[slot].InferAsync(func(done ros.Time) {
+				results[slot].done++
+				results[slot].latency += done - start
+				fire()
+			})
+			check(err)
+		}
+		rc.After(time.Millisecond, fire)
+	}
+
+	horizon := 5 * time.Second
+	rc.Run(horizon)
+	rt.DetachROS()
+
+	fmt.Printf("\nafter %v of simulated time:\n", horizon)
+	fmt.Printf("%-20s %6s %6s %12s\n", "task", "done", "miss", "mean latency")
+	for slot, d := range deploys {
+		r := results[slot]
+		mean := time.Duration(0)
+		if r.done > 0 {
+			mean = r.latency / time.Duration(r.done)
+		}
+		fmt.Printf("%-20s %6d %6d %12v\n", d.name, r.done, r.missed, mean.Round(10*time.Microsecond))
+	}
+	var preempts int
+	for _, p := range rt.U.Preemptions {
+		_ = p
+		preempts++
+	}
+	fmt.Printf("\n%d preemptions; accelerator busy %.0f%% of the run\n",
+		preempts, 100*float64(rt.U.BusyCycles)/float64(cfg.SecondsToCycles(horizon.Seconds())))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module inca
+
+go 1.22

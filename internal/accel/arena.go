@@ -1,0 +1,66 @@
+package accel
+
+import (
+	"fmt"
+
+	"inca/internal/isa"
+	"inca/internal/tensor"
+)
+
+// NewArena materialises a task's DDR image for functional execution: a
+// zeroed featuremap area with the program's weight image placed at its
+// weight base. Programs compiled without EmitWeights cannot run
+// functionally.
+func NewArena(p *isa.Program) ([]byte, error) {
+	if len(p.Weights) == 0 {
+		return nil, fmt.Errorf("accel: program %q carries no weight image (compile with EmitWeights)", p.Name)
+	}
+	if p.DDRBytes == 0 {
+		return nil, fmt.Errorf("accel: program %q has an empty DDR arena", p.Name)
+	}
+	arena := make([]byte, p.DDRBytes)
+	if int(p.WeightsAddr)+len(p.Weights) > len(arena) {
+		return nil, fmt.Errorf("accel: weight image [%d,%d) exceeds arena %d", p.WeightsAddr, int(p.WeightsAddr)+len(p.Weights), len(arena))
+	}
+	for i, v := range p.Weights {
+		arena[int(p.WeightsAddr)+i] = byte(v)
+	}
+	return arena, nil
+}
+
+// WriteInput copies an input activation (CHW int8) into the arena's input
+// region.
+func WriteInput(arena []byte, p *isa.Program, in *tensor.Int8) error {
+	if uint32(len(in.Data)) != p.InputBytes {
+		return fmt.Errorf("accel: input has %d bytes, program expects %d", len(in.Data), p.InputBytes)
+	}
+	for i, v := range in.Data {
+		arena[int(p.InputAddr)+i] = byte(v)
+	}
+	return nil
+}
+
+// ReadOutput extracts the final featuremap from the arena as a CHW tensor.
+func ReadOutput(arena []byte, p *isa.Program) (*tensor.Int8, error) {
+	if len(p.Layers) == 0 {
+		return nil, fmt.Errorf("accel: program %q has no layers", p.Name)
+	}
+	last := &p.Layers[len(p.Layers)-1]
+	out := tensor.NewInt8(last.OutC, last.OutH, last.OutW)
+	if uint32(len(out.Data)) != p.OutputBytes {
+		return nil, fmt.Errorf("accel: output region %d bytes, shape wants %d", p.OutputBytes, len(out.Data))
+	}
+	for i := range out.Data {
+		out.Data[i] = int8(arena[int(p.OutputAddr)+i])
+	}
+	return out, nil
+}
+
+// ReadRegion extracts an arbitrary layer's output featuremap.
+func ReadRegion(arena []byte, l *isa.LayerInfo) *tensor.Int8 {
+	out := tensor.NewInt8(l.OutC, l.OutH, l.OutW)
+	for i := range out.Data {
+		out.Data[i] = int8(arena[int(l.OutAddr)+i])
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package accel
+
+// Energy model: an architectural estimate in the style of Eyeriss-class
+// accounting — picojoules per MAC in the array, per byte moved to/from DDR,
+// per byte touched in on-chip SRAM, plus static leakage per cycle. It is not
+// a paper experiment (the paper reports no energy numbers); it exists to
+// quantify a side-effect of the interrupt mechanisms: CPU-like preemption
+// pays millijoules of DDR traffic per switch, the VI method microjoules.
+// Constants follow published 28/16-nm embedded-accelerator estimates
+// (DDR ≈ 100 pJ/B, SRAM ≈ 1 pJ/B, int8 MAC ≈ 0.3 pJ).
+type EnergyModel struct {
+	PJPerMAC       float64
+	PJPerDDRByte   float64
+	PJPerSRAMByte  float64
+	StaticPJPerCyc float64
+}
+
+// DefaultEnergy returns the calibrated constants.
+func DefaultEnergy() EnergyModel {
+	return EnergyModel{
+		PJPerMAC:       0.3,
+		PJPerDDRByte:   100,
+		PJPerSRAMByte:  1,
+		StaticPJPerCyc: 150, // ~45 mW static at 300 MHz
+	}
+}
+
+// EnergyBreakdown aggregates the energy of a run in millijoules.
+type EnergyBreakdown struct {
+	ComputeMJ float64
+	DDRMJ     float64
+	SRAMMJ    float64
+	StaticMJ  float64
+}
+
+// TotalMJ sums the breakdown.
+func (e EnergyBreakdown) TotalMJ() float64 {
+	return e.ComputeMJ + e.DDRMJ + e.SRAMMJ + e.StaticMJ
+}
+
+// Estimate converts run counters into a breakdown.
+//
+//	macs      — multiply-accumulates executed
+//	ddrBytes  — bytes moved over DDR (loads + saves + interrupt traffic)
+//	cycles    — total cycles (busy + idle) for the static term
+func (m EnergyModel) Estimate(macs, ddrBytes, cycles uint64) EnergyBreakdown {
+	return EnergyBreakdown{
+		ComputeMJ: float64(macs) * m.PJPerMAC * 1e-9,
+		DDRMJ:     float64(ddrBytes) * m.PJPerDDRByte * 1e-9,
+		// Every DDR byte is also written/read once on chip, and each MAC
+		// touches ~2 operand bytes from SRAM.
+		SRAMMJ:   (float64(ddrBytes) + 2*float64(macs)) * m.PJPerSRAMByte * 1e-9,
+		StaticMJ: float64(cycles) * m.StaticPJPerCyc * 1e-9,
+	}
+}
+
+// InterruptEnergyMJ estimates the energy of one preemption's extra DDR
+// traffic (backup + restore bytes).
+func (m EnergyModel) InterruptEnergyMJ(backupBytes, restoreBytes uint64) float64 {
+	b := float64(backupBytes + restoreBytes)
+	return b * (m.PJPerDDRByte + m.PJPerSRAMByte) * 1e-9
+}

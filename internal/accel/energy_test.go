@@ -1,0 +1,41 @@
+package accel_test
+
+import (
+	"testing"
+
+	"inca/internal/accel"
+)
+
+func TestEnergyModelBreakdown(t *testing.T) {
+	m := accel.DefaultEnergy()
+	e := m.Estimate(1e9, 100e6, 300e6) // 1 GMAC, 100 MB DDR, 1 s at 300 MHz
+	if e.ComputeMJ <= 0 || e.DDRMJ <= 0 || e.SRAMMJ <= 0 || e.StaticMJ <= 0 {
+		t.Fatalf("non-positive component: %+v", e)
+	}
+	total := e.ComputeMJ + e.DDRMJ + e.SRAMMJ + e.StaticMJ
+	if e.TotalMJ() != total {
+		t.Fatalf("TotalMJ %v != sum %v", e.TotalMJ(), total)
+	}
+	// DDR at 100 pJ/B dominates SRAM at 1 pJ/B for equal traffic.
+	if e.DDRMJ <= e.SRAMMJ {
+		t.Fatalf("DDR energy %v not above SRAM %v", e.DDRMJ, e.SRAMMJ)
+	}
+	// Linearity in each counter.
+	e2 := m.Estimate(2e9, 100e6, 300e6)
+	if e2.ComputeMJ <= e.ComputeMJ || e2.DDRMJ != e.DDRMJ {
+		t.Fatal("compute term not linear/independent")
+	}
+}
+
+func TestInterruptEnergyOrdering(t *testing.T) {
+	m := accel.DefaultEnergy()
+	cfg := accel.Big()
+	cpuLike := m.InterruptEnergyMJ(uint64(cfg.TotalBufferBytes()), uint64(cfg.TotalBufferBytes()))
+	vi := m.InterruptEnergyMJ(16<<10, 64<<10) // typical VI backup+restore
+	if cpuLike < 10*vi {
+		t.Fatalf("CPU-like preemption energy %.3f mJ not an order above VI %.3f mJ", cpuLike, vi)
+	}
+	if m.InterruptEnergyMJ(0, 0) != 0 {
+		t.Fatal("zero transfer costs energy")
+	}
+}

@@ -1,0 +1,553 @@
+package accel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"inca/internal/isa"
+	"inca/internal/quant"
+)
+
+// Engine executes instructions against a task's DDR arena. It always
+// produces cycle counts; when given a non-nil arena it additionally executes
+// the integer datapath bit-exactly, modelling the on-chip buffer state
+// (input-row window, weight blob, accumulators, unsaved final results) whose
+// loss on preemption the virtual instructions must repair. A functional run
+// therefore *proves* that an interrupt schedule is correct: any missing
+// restore surfaces as an execution error or a wrong output.
+type Engine struct {
+	Cfg Config
+
+	// credit is the accumulated load/compute overlap (cycles of DMA work
+	// hideable under compute already issued), capped by PrefetchBytes.
+	credit uint64
+
+	// Cycle accounting by class (never reset by Invalidate): where the
+	// accelerator's time actually goes.
+	calcCycles   uint64
+	xferCycles   uint64
+	hiddenCycles uint64 // transfer cycles hidden under compute
+
+	curProg  *isa.Program
+	curLayer int
+
+	win [2]rowWindow // resident input rows per input selector
+
+	wLayer, wOG int // identity of the loaded weight blob
+	bias        []int32
+	wdata       []byte // int8 weights within the loaded blob
+
+	acc    accTile
+	finals finalTile
+}
+
+type rowWindow struct {
+	lo, hi int
+	valid  bool
+}
+
+type accTile struct {
+	layer, tile, og int
+	row0, rows      int
+	valid           bool
+	data            []int32 // oCnt x rows x OutW
+}
+
+type finalTile struct {
+	layer, tile int
+	row0, rows  int
+	valid       bool
+	data        []int8 // OutC x rows x OutW
+	ogDone      []bool
+}
+
+// NewEngine returns an engine for the given configuration.
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{Cfg: cfg}
+	e.Invalidate()
+	return e
+}
+
+// DrainPipeline discards the outstanding prefetch overlap: a preemption
+// boundary stops the MAC array, so the transfers that follow (backup,
+// restore, or a cold restart) pay full price.
+func (e *Engine) DrainPipeline() { e.credit = 0 }
+
+// CycleStats reports where the accelerator's time went: MAC-array compute
+// cycles, exposed (unhidden) transfer cycles, and transfer cycles hidden
+// under compute by the prefetch pipeline.
+func (e *Engine) CycleStats() (calc, xfer, hidden uint64) {
+	return e.calcCycles, e.xferCycles, e.hiddenCycles
+}
+
+// Invalidate models the loss of all on-chip state when the accelerator
+// switches tasks.
+func (e *Engine) Invalidate() {
+	e.DrainPipeline()
+	e.curProg = nil
+	e.curLayer = -1
+	e.win[0] = rowWindow{}
+	e.win[1] = rowWindow{}
+	e.wLayer, e.wOG = -1, -1
+	e.acc.valid = false
+	e.finals.valid = false
+}
+
+// Snapshot captures the full on-chip state (CPU-like interrupt backup).
+type Snapshot struct {
+	curProg  *isa.Program
+	curLayer int
+	win      [2]rowWindow
+	wLayer   int
+	wOG      int
+	bias     []int32
+	wdata    []byte
+	acc      accTile
+	finals   finalTile
+}
+
+// Snapshot deep-copies the mutable on-chip state.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		curProg: e.curProg, curLayer: e.curLayer, win: e.win,
+		wLayer: e.wLayer, wOG: e.wOG,
+		bias: append([]int32(nil), e.bias...),
+		// wdata references the read-only weight region of the arena.
+		wdata:  e.wdata,
+		acc:    e.acc,
+		finals: e.finals,
+	}
+	s.acc.data = append([]int32(nil), e.acc.data...)
+	s.finals.data = append([]int8(nil), e.finals.data...)
+	s.finals.ogDone = append([]bool(nil), e.finals.ogDone...)
+	return s
+}
+
+// Restore reinstates a snapshot (CPU-like interrupt recovery).
+func (e *Engine) Restore(s *Snapshot) {
+	e.curProg, e.curLayer, e.win = s.curProg, s.curLayer, s.win
+	e.wLayer, e.wOG = s.wLayer, s.wOG
+	e.bias = append(e.bias[:0], s.bias...)
+	e.wdata = s.wdata
+	e.acc = s.acc
+	e.acc.data = append([]int32(nil), s.acc.data...)
+	e.finals = s.finals
+	e.finals.data = append([]int8(nil), s.finals.data...)
+	e.finals.ogDone = append([]bool(nil), s.finals.ogDone...)
+}
+
+// Exec runs one instruction. arena is the task's DDR image (nil for
+// timing-only runs). skipBytes is the channel-major prefix of a SAVE or
+// Vir_SAVE region that the IAU marked as already stored; the transfer and
+// the functional write both omit it. The returned cycle count reflects the
+// reduced transfer.
+func (e *Engine) Exec(arena []byte, p *isa.Program, in isa.Instruction, skipBytes uint32) (uint64, error) {
+	length := in.Len
+	if in.Op == isa.OpSave || in.Op == isa.OpVirSave {
+		if skipBytes > length {
+			return 0, fmt.Errorf("accel: skip %d exceeds save length %d", skipBytes, length)
+		}
+		length -= skipBytes
+	}
+	var cycles uint64
+	switch in.Op {
+	case isa.OpLoadW, isa.OpLoadD, isa.OpSave, isa.OpVirSave, isa.OpVirLoadD:
+		cycles = e.Cfg.XferCycles(length)
+		// Double-buffering hides transfer time under previously issued
+		// compute, down to the DMA setup floor.
+		if e.credit > 0 && cycles > 0 {
+			floor := uint64(e.Cfg.XferSetupCycles)
+			hideable := uint64(0)
+			if cycles > floor {
+				hideable = cycles - floor
+			}
+			hidden := hideable
+			if hidden > e.credit {
+				hidden = e.credit
+			}
+			e.credit -= hidden
+			cycles -= hidden
+			e.hiddenCycles += hidden
+		}
+		e.xferCycles += cycles
+	default:
+		cycles = e.Cfg.InstrCycles(p, in)
+		if in.Op == isa.OpCalcI || in.Op == isa.OpCalcF {
+			cap := e.Cfg.XferCycles(uint32(e.Cfg.PrefetchBytes))
+			e.credit += cycles
+			if e.credit > cap {
+				e.credit = cap
+			}
+			e.calcCycles += cycles
+		}
+	}
+	if arena == nil || in.Op == isa.OpEnd {
+		return cycles, nil
+	}
+	if err := e.execFunctional(arena, p, in, skipBytes); err != nil {
+		return cycles, fmt.Errorf("accel: %s: %w", in, err)
+	}
+	return cycles, nil
+}
+
+func (e *Engine) execFunctional(arena []byte, p *isa.Program, in isa.Instruction, skipBytes uint32) error {
+	if e.curProg != p || int(in.Layer) != e.curLayer {
+		// A new layer (or a new task's stream) reuses the on-chip buffers.
+		e.Invalidate()
+		e.curProg = p
+		e.curLayer = int(in.Layer)
+	}
+	l := &p.Layers[in.Layer]
+	switch in.Op {
+	case isa.OpLoadD:
+		return e.loadRows(&e.win[in.Which], in, false)
+	case isa.OpVirLoadD:
+		return e.loadRows(&e.win[in.Which], in, true)
+	case isa.OpLoadW:
+		return e.loadWeights(arena, l, in)
+	case isa.OpCalcI, isa.OpCalcF:
+		return e.calc(arena, p, l, in)
+	case isa.OpSave, isa.OpVirSave:
+		return e.save(arena, p, l, in, skipBytes)
+	}
+	return nil
+}
+
+// loadRows updates the resident-row window of one input. Normal LOAD_D
+// extends a contiguous window (delta loads reuse rows already on chip);
+// Vir_LOAD_D re-establishes the window from scratch after a preemption.
+func (e *Engine) loadRows(w *rowWindow, in isa.Instruction, restore bool) error {
+	if in.Rows == 0 {
+		return nil
+	}
+	lo, hi := int(in.Row0), int(in.Row0)+int(in.Rows)
+	if restore || !w.valid || lo > w.hi || hi < w.lo {
+		// Fresh window: first load of a layer, a restore after preemption,
+		// or a disjoint segment (strided layers can skip rows entirely; the
+		// line buffer keeps only the new segment).
+		w.lo, w.hi, w.valid = lo, hi, true
+		return nil
+	}
+	if hi > w.hi {
+		w.hi = hi
+	}
+	if lo < w.lo {
+		w.lo = lo
+	}
+	return nil
+}
+
+func (e *Engine) loadWeights(arena []byte, l *isa.LayerInfo, in isa.Instruction) error {
+	oCnt := min(e.Cfg.ParaOut, l.OutC-int(in.OutG)*e.Cfg.ParaOut)
+	if oCnt <= 0 {
+		return fmt.Errorf("load_w beyond output channels (og=%d outC=%d)", in.OutG, l.OutC)
+	}
+	end := int(in.Addr) + int(in.Len)
+	if end > len(arena) {
+		return fmt.Errorf("load_w out of arena bounds [%d,%d) of %d", in.Addr, end, len(arena))
+	}
+	blob := arena[in.Addr:end]
+	e.bias = e.bias[:0]
+	for i := 0; i < oCnt; i++ {
+		e.bias = append(e.bias, int32(binary.LittleEndian.Uint32(blob[i*4:])))
+	}
+	e.wdata = blob[oCnt*4:]
+	e.wLayer, e.wOG = int(in.Layer), int(in.OutG)
+	return nil
+}
+
+// needWindow checks that the input rows a CALC consumes are resident.
+func (e *Engine) needWindow(which int, l *isa.LayerInfo, row0, rows int) error {
+	c0, cn := l.ConvRows(row0, rows)
+	lo := c0*l.Stride - l.Pad
+	hi := (c0+cn-1)*l.Stride - l.Pad + l.KH
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > l.InH {
+		hi = l.InH
+	}
+	w := &e.win[which]
+	if !w.valid || lo < w.lo || hi > w.hi {
+		return fmt.Errorf("input rows [%d,%d) not resident (window valid=%v [%d,%d)) — missing restore after preemption?",
+			lo, hi, w.valid, w.lo, w.hi)
+	}
+	return nil
+}
+
+func (e *Engine) calc(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction) error {
+	oc0 := int(in.OutG) * e.Cfg.ParaOut
+	oc1 := min(oc0+e.Cfg.ParaOut, l.OutC)
+	row0, rows := int(in.Row0), int(in.Rows)
+	if err := e.needWindow(0, l, row0, rows); err != nil {
+		return err
+	}
+	switch l.Op {
+	case isa.LayerConv:
+		return e.calcConv(arena, p, l, in, oc0, oc1, row0, rows)
+	case isa.LayerPool:
+		return e.calcPool(arena, p, l, in, oc0, oc1, row0, rows)
+	case isa.LayerAdd:
+		if err := e.needWindow(1, l, row0, rows); err != nil {
+			return err
+		}
+		return e.calcAdd(arena, p, l, in, oc0, oc1, row0, rows)
+	}
+	return fmt.Errorf("unknown layer op %v", l.Op)
+}
+
+func (e *Engine) calcConv(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, oc0, oc1, row0, rows int) error {
+	if e.wLayer != int(in.Layer) || e.wOG != int(in.OutG) {
+		return fmt.Errorf("weights for layer %d og %d not loaded (have %d/%d)", in.Layer, in.OutG, e.wLayer, e.wOG)
+	}
+	oCnt := oc1 - oc0
+	depthwise := l.Groups == l.InC && l.Groups > 1
+	// Work happens at convolution resolution; fused pooling shrinks it only
+	// at requantization time.
+	crow0, crows := l.ConvRows(row0, rows)
+	convW := l.ConvW()
+	// Establish / verify the accumulator tile.
+	if in.InG == 0 {
+		e.acc = accTile{
+			layer: int(in.Layer), tile: int(in.Tile), og: int(in.OutG),
+			row0: row0, rows: rows, valid: true,
+			data: resizeI32(e.acc.data, oCnt*crows*convW),
+		}
+		for i := range e.acc.data {
+			e.acc.data[i] = 0
+		}
+	} else {
+		if !e.acc.valid || e.acc.layer != int(in.Layer) || e.acc.tile != int(in.Tile) || e.acc.og != int(in.OutG) {
+			return fmt.Errorf("accumulator tile mismatch: have l%d t%d og%d valid=%v, want l%d t%d og%d",
+				e.acc.layer, e.acc.tile, e.acc.og, e.acc.valid, in.Layer, in.Tile, in.OutG)
+		}
+	}
+	ic0, ic1 := 0, 0
+	if depthwise {
+		// Each output channel consumes its own input channel.
+	} else {
+		ic0 = int(in.InG) * e.Cfg.ParaIn
+		ic1 = min(ic0+e.Cfg.ParaIn, l.InC)
+	}
+	for oc := oc0; oc < oc1; oc++ {
+		wBase := (oc - oc0) * weightsPerOC(l)
+		for r := 0; r < crows; r++ {
+			oy := crow0 + r
+			outRow := ((oc-oc0)*crows + r) * convW
+			for ox := 0; ox < convW; ox++ {
+				var sum int32
+				if depthwise {
+					sum = e.convPoint(arena, l, oc, oy, ox, wBase)
+				} else {
+					for ic := ic0; ic < ic1; ic++ {
+						sum += e.convPoint(arena, l, ic, oy, ox, wBase+ic*l.KH*l.KW)
+					}
+				}
+				e.acc.data[outRow+ox] += sum
+			}
+		}
+	}
+	if in.Op == isa.OpCalcF {
+		e.ensureFinals(l, in, row0, rows)
+		fp := l.FusedPool
+		if fp <= 1 {
+			fp = 1
+		}
+		for oc := oc0; oc < oc1; oc++ {
+			for r := 0; r < rows; r++ {
+				dst := (oc*rows + r) * l.OutW
+				for ox := 0; ox < l.OutW; ox++ {
+					// Requantize, then max-pool the fp x fp conv window
+					// (requantization is monotonic, so the order matches the
+					// reference's pool-after-requant exactly).
+					m := int8(-128)
+					for py := 0; py < fp; py++ {
+						src := ((oc-oc0)*crows + r*fp + py) * convW
+						for px := 0; px < fp; px++ {
+							v := quant.Requantize(e.acc.data[src+ox*fp+px], e.bias[oc-oc0], l.Shift, l.ReLU)
+							if v > m {
+								m = v
+							}
+						}
+					}
+					e.finals.data[dst+ox] = m
+				}
+			}
+		}
+		e.finals.ogDone[in.OutG] = true
+		e.acc.valid = false
+	}
+	return nil
+}
+
+// convPoint accumulates one (input-channel, output-pixel) kernel window.
+// ch is the input channel; wOff locates that channel's KHxKW weights in the
+// loaded blob.
+func (e *Engine) convPoint(arena []byte, l *isa.LayerInfo, ch, oy, ox, wOff int) int32 {
+	var sum int32
+	inBase := int(l.InAddr) + ch*l.InH*l.InW
+	for ky := 0; ky < l.KH; ky++ {
+		iy := oy*l.Stride + ky - l.Pad
+		if iy < 0 || iy >= l.InH {
+			continue
+		}
+		rowBase := inBase + iy*l.InW
+		wRow := wOff + ky*l.KW
+		for kx := 0; kx < l.KW; kx++ {
+			ix := ox*l.Stride + kx - l.Pad
+			if ix < 0 || ix >= l.InW {
+				continue
+			}
+			sum += int32(int8(arena[rowBase+ix])) * int32(int8(e.wdata[wRow+kx]))
+		}
+	}
+	return sum
+}
+
+func weightsPerOC(l *isa.LayerInfo) int {
+	if l.Groups == l.InC && l.Groups > 1 {
+		return l.KH * l.KW
+	}
+	return l.InC * l.KH * l.KW
+}
+
+func (e *Engine) calcPool(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, oc0, oc1, row0, rows int) error {
+	e.ensureFinals(l, in, row0, rows)
+	for oc := oc0; oc < oc1; oc++ {
+		inBase := int(l.InAddr) + oc*l.InH*l.InW
+		for r := 0; r < rows; r++ {
+			oy := row0 + r
+			dst := (oc*rows + r) * l.OutW
+			for ox := 0; ox < l.OutW; ox++ {
+				m := int8(-128)
+				for ky := 0; ky < l.KH; ky++ {
+					iy := oy*l.Stride + ky
+					if iy >= l.InH {
+						continue
+					}
+					for kx := 0; kx < l.KW; kx++ {
+						ix := ox*l.Stride + kx
+						if ix >= l.InW {
+							continue
+						}
+						v := int8(arena[inBase+iy*l.InW+ix])
+						if v > m {
+							m = v
+						}
+					}
+				}
+				e.finals.data[dst+ox] = m
+			}
+		}
+	}
+	e.finals.ogDone[in.OutG] = true
+	return nil
+}
+
+func (e *Engine) calcAdd(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, oc0, oc1, row0, rows int) error {
+	e.ensureFinals(l, in, row0, rows)
+	for oc := oc0; oc < oc1; oc++ {
+		aBase := int(l.InAddr) + (oc*l.InH+row0)*l.InW
+		bBase := int(l.In2Addr) + (oc*l.InH+row0)*l.InW
+		for r := 0; r < rows; r++ {
+			dst := (oc*rows + r) * l.OutW
+			for ox := 0; ox < l.OutW; ox++ {
+				a := int8(arena[aBase+r*l.InW+ox])
+				// The second input carries the branch-alignment shift.
+				b := int8(arena[bBase+r*l.InW+ox]) >> l.Shift
+				e.finals.data[dst+ox] = quant.SaturateAdd(a, b, l.ReLU)
+			}
+		}
+	}
+	e.finals.ogDone[in.OutG] = true
+	return nil
+}
+
+// ensureFinals (re)establishes the final-results tile buffer for the
+// instruction's (layer, tile).
+func (e *Engine) ensureFinals(l *isa.LayerInfo, in isa.Instruction, row0, rows int) {
+	if e.finals.valid && e.finals.layer == int(in.Layer) && e.finals.tile == int(in.Tile) {
+		return
+	}
+	nOut := l.NOut
+	e.finals = finalTile{
+		layer: int(in.Layer), tile: int(in.Tile),
+		row0: row0, rows: rows, valid: true,
+		data:   resizeI8(e.finals.data, l.OutC*rows*l.OutW),
+		ogDone: resizeBool(e.finals.ogDone, nOut),
+	}
+	for i := range e.finals.ogDone {
+		e.finals.ogDone[i] = false
+	}
+}
+
+// save writes the tile's final results to DDR, skipping the channel-major
+// prefix already stored by earlier Vir_SAVEs of the same SaveID.
+func (e *Engine) save(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, skipBytes uint32) error {
+	row0, rows := int(in.Row0), int(in.Rows)
+	if rows == 0 {
+		return nil
+	}
+	perChan := rows * l.OutW
+	if int(skipBytes)%perChan != 0 {
+		return fmt.Errorf("save skip %d not channel-aligned (per-channel %d)", skipBytes, perChan)
+	}
+	// The save window covers out-channel groups [InG, OutG]; skipBytes is a
+	// channel-major prefix of that window already stored by Vir_SAVEs.
+	c0 := int(in.InG) * e.Cfg.ParaOut
+	endC := min((int(in.OutG)+1)*e.Cfg.ParaOut, l.OutC)
+	if got, want := int(in.Len), (endC-c0)*perChan; got != want {
+		return fmt.Errorf("save window [%d,%d) length %d, instruction says %d", c0, endC, want, got)
+	}
+	skipC := c0 + int(skipBytes)/perChan
+	if skipC >= endC {
+		return nil // everything already stored
+	}
+	if !e.finals.valid || e.finals.layer != int(in.Layer) || e.finals.tile != int(in.Tile) {
+		return fmt.Errorf("save of tile l%d t%d but finals hold l%d t%d (valid=%v)",
+			in.Layer, in.Tile, e.finals.layer, e.finals.tile, e.finals.valid)
+	}
+	for oc := skipC; oc < endC; oc++ {
+		if oc < 0 || oc >= l.OutC {
+			return fmt.Errorf("save channel %d outside layer channels %d", oc, l.OutC)
+		}
+		og := oc / e.Cfg.ParaOut
+		if !e.finals.ogDone[og] {
+			return fmt.Errorf("save of channel %d (group %d) before CALC_F finished it", oc, og)
+		}
+		dst := int(l.OutAddr) + (oc*l.OutH+row0)*l.OutW
+		src := oc * rows * l.OutW
+		for i := 0; i < perChan; i++ {
+			arena[dst+i] = byte(e.finals.data[src+i])
+		}
+	}
+	return nil
+}
+
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func resizeI8(s []int8, n int) []int8 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int8, n)
+}
+
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/iau"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+	"inca/internal/sched"
+)
+
+// E13Migration extends the multi-core study (E9) with cross-core task
+// migration: because every interrupt policy's backup lands in the shared
+// DDR, a preempted request can be stolen from one accelerator and resumed
+// on an idle one, paying only the normal restore cost. The scenario pins FE
+// and PR to core 0 (weight locality) and keeps core 1 lightly loaded; with
+// migration the preempted PR finishes on core 1 instead of waiting behind
+// every camera frame.
+func E13Migration(scale Scale) (*Table, error) {
+	cfg := accel.Big()
+	h, w := scale.inputSize()
+	mk := func(g *model.Network, vi bool, seed uint64) (*isa.Program, error) {
+		q, err := quant.Synthesize(g, seed)
+		if err != nil {
+			return nil, err
+		}
+		opt := cfg.CompilerOptions()
+		opt.InsertVirtual = vi
+		return compiler.Compile(q, opt)
+	}
+	fe, err := mk(model.NewSuperPoint(h*3/4, w*3/4), false, 1)
+	if err != nil {
+		return nil, err
+	}
+	gem, err := model.NewGeM(3, h, w)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := mk(gem, true, 2)
+	if err != nil {
+		return nil, err
+	}
+	light, err := mk(model.NewTinyCNN(3, h/4, w/4), false, 3)
+	if err != nil {
+		return nil, err
+	}
+
+	horizon := 3 * time.Second
+	if scale == Full {
+		horizon = 8 * time.Second
+	}
+	core0, core1 := 0, 1
+	specs := []sched.TaskSpec{
+		{Name: "FE", Slot: 0, Prog: fe, Period: 50 * time.Millisecond, Deadline: 50 * time.Millisecond, PinCore: &core0},
+		{Name: "PR", Slot: 1, Prog: pr, Continuous: true, PinCore: &core0, Migratable: true},
+		{Name: "aux", Slot: 2, Prog: light, Period: 25 * time.Millisecond, PinCore: &core1},
+	}
+
+	t := &Table{
+		ID:    "E13",
+		Title: fmt.Sprintf("extension — cross-core migration of preempted tasks (2 cores, %v)", horizon),
+		Columns: []string{"migration", "FE miss", "PR done", "PR mean(ms)",
+			"migrations", "preempts"},
+	}
+	for _, mig := range []bool{false, true} {
+		r, err := sched.RunMultiMigrate(cfg, iau.PolicyVI, specs, horizon, 2, mig)
+		if err != nil {
+			return nil, fmt.Errorf("E13 migrate=%v: %w", mig, err)
+		}
+		label := "off"
+		if mig {
+			label = "on"
+		}
+		t.AddRow(label,
+			fmt.Sprintf("%d", r.Tasks["FE"].DeadlineMisses),
+			fmt.Sprintf("%d", r.Tasks["PR"].Completed),
+			fmt.Sprintf("%.1f", cfg.CyclesToMicros(uint64(r.Tasks["PR"].MeanLatency()))/1000),
+			fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%d", r.Preemptions),
+		)
+	}
+	t.AddNote("PR pinned with FE on core 0 (weight locality); migration lets its preempted remainder finish on the idle core")
+	t.AddNote("cross-core resume is bit-exact (internal/sched's migration tests): all interrupt state lives in shared DDR")
+	return t, nil
+}

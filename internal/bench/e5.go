@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"fmt"
+
+	"inca/internal/accel"
+)
+
+// E5Resources reproduces the paper's hardware consumption table: the CNN
+// accelerator, the IAU, and the FE post-processing block against the ZU9
+// board capacity. The architectural estimator is calibrated to the paper's
+// Vivado report; the claim being reproduced is that interrupt support (the
+// IAU) is essentially free next to the accelerator.
+func E5Resources(scale Scale) (*Table, error) {
+	cfg := accel.Big()
+	board := accel.ZU9Board()
+	acc := cfg.AcceleratorResources()
+	iauRes := cfg.IAUResources()
+	fe := cfg.FEPostResources()
+
+	t := &Table{
+		ID:      "E5",
+		Title:   "hardware consumption (modeled) vs paper's Vivado report, ZU9 MPSoC",
+		Columns: []string{"block", "DSP", "LUT", "FF", "BRAM", "LUT % of accel"},
+	}
+	row := func(name string, r accel.Resources) {
+		pct := "-"
+		if name != "On-board" && acc.LUT > 0 {
+			pct = fmt.Sprintf("%.1f%%", 100*float64(r.LUT)/float64(acc.LUT))
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%d", r.DSP), fmt.Sprintf("%d", r.LUT),
+			fmt.Sprintf("%d", r.FF), fmt.Sprintf("%d", r.BRAM), pct)
+	}
+	row("On-board", board)
+	row("CNN accelerator", acc)
+	row("IAU", iauRes)
+	row("FE post-processing", fe)
+	t.AddNote("paper reports: accelerator 1282/74569/171416/499, IAU 0/2268/4633/4, FE post 25/17573/29115/10")
+	t.AddNote("reproduced claim: the IAU needs ~3%% of the accelerator's logic and no DSPs")
+	return t, nil
+}

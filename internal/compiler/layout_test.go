@@ -1,0 +1,124 @@
+package compiler_test
+
+import (
+	"strings"
+	"testing"
+
+	"inca/internal/compiler"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+)
+
+// TestWeightBlobOffsets: blob addresses must tile the weight region exactly
+// — contiguous, non-overlapping, in out-group order.
+func TestWeightBlobOffsets(t *testing.T) {
+	opt := compiler.BigAccel()
+	opt.ParaIn, opt.ParaOut, opt.ParaHeight = 4, 4, 3
+	opt.EmitWeights = true
+	g := model.New("wb", 3, 12, 16)
+	g.Conv("c", 0, 10, 3, 1, 1, true) // 10 channels: groups of 4,4,2
+	q, err := quant.Synthesize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := compiler.Compile(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &p.Layers[0]
+	var cursor uint32
+	for og := 0; og < l.NOut; og++ {
+		addr, length := compiler.WeightBlob(l, opt.ParaOut, og)
+		if og == 0 {
+			cursor = addr
+		}
+		if addr != cursor {
+			t.Fatalf("og %d blob at %d, want contiguous %d", og, addr, cursor)
+		}
+		oc := 4
+		if og == 2 {
+			oc = 2
+		}
+		want := uint32(oc*4 + oc*3*9) // bias + weights
+		if length != want {
+			t.Fatalf("og %d blob length %d, want %d", og, length, want)
+		}
+		cursor += length
+	}
+	// The final cursor must not exceed the weight image.
+	if cursor > p.WeightsAddr+uint32(len(p.Weights)) {
+		t.Fatalf("blobs end at %d beyond weight image end %d", cursor, p.WeightsAddr+uint32(len(p.Weights)))
+	}
+}
+
+// TestLayerBufferNeeds: the Add layer doubles input-buffer demand; fused
+// pooling inflates the accumulator demand.
+func TestLayerBufferNeeds(t *testing.T) {
+	conv := &isa.LayerInfo{
+		Op: isa.LayerConv, InC: 8, InH: 16, InW: 16,
+		OutC: 8, OutH: 16, OutW: 16, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1,
+	}
+	add := &isa.LayerInfo{
+		Op: isa.LayerAdd, InC: 8, InH: 16, InW: 16,
+		OutC: 8, OutH: 16, OutW: 16, KH: 1, KW: 1, Stride: 1, Groups: 1,
+	}
+	inConv, _, wConv := compiler.LayerBufferNeeds(conv, 4, 4)
+	inAdd, _, wAdd := compiler.LayerBufferNeeds(add, 4, 4)
+	if inAdd <= inConv {
+		t.Errorf("Add input need %d not above conv %d (two operands)", inAdd, inConv)
+	}
+	if wConv == 0 || wAdd != 0 {
+		t.Errorf("weight needs: conv %d (want >0), add %d (want 0)", wConv, wAdd)
+	}
+	fused := *conv
+	fused.FusedPool = 2
+	fused.OutH, fused.OutW = 8, 8
+	_, outPlain, _ := compiler.LayerBufferNeeds(conv, 4, 4)
+	_, outFused, _ := compiler.LayerBufferNeeds(&fused, 4, 4)
+	if outFused <= outPlain/2 {
+		t.Errorf("fused-pool accumulator demand %d suspiciously small vs plain %d", outFused, outPlain)
+	}
+}
+
+// TestCompileRejectsBadParallelism and missing params.
+func TestCompileErrors(t *testing.T) {
+	g := model.NewTinyCNN(3, 16, 16)
+	q, err := quant.Synthesize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compiler.Compile(q, compiler.Options{}); err == nil {
+		t.Error("zero parallelism accepted")
+	}
+	// Remove a conv layer's params.
+	delete(q.Params, 1)
+	if _, err := compiler.Compile(q, compiler.BigAccel()); err == nil {
+		t.Error("missing parameters accepted")
+	}
+}
+
+// TestStatsString renders without panicking and carries the op counts.
+func TestStatsString(t *testing.T) {
+	opt := compiler.BigAccel()
+	opt.InsertVirtual = true
+	g := model.NewTinyCNN(3, 24, 32)
+	q, err := quant.Synthesize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := compiler.Compile(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := compiler.Analyze(p)
+	s := st.String()
+	for _, want := range []string{"CALC_F", "Vir_LOAD_D", "interrupt points"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats rendering missing %q:\n%s", want, s)
+		}
+	}
+	if st.InterruptPoints == 0 || st.Tiles == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}

@@ -1,0 +1,60 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"inca/internal/isa"
+)
+
+// Stats summarises a compiled program: instruction mix, transfer volumes and
+// the static overhead of the virtual-instruction pass.
+type Stats struct {
+	Instrs        int
+	PerOp         map[isa.Op]int
+	LoadBytes     uint64 // LOAD_W + LOAD_D traffic in the uninterrupted path
+	SaveBytes     uint64 // SAVE traffic in the uninterrupted path
+	VirtualInstrs int
+	// VirtualBytes is the worst-case traffic the virtual instructions would
+	// add if every one of them fired (they do not; they are skipped unless
+	// an interrupt lands on them).
+	VirtualBytes    uint64
+	InterruptPoints int
+	Layers          int
+	Tiles           int
+}
+
+// Analyze computes stream statistics.
+func Analyze(p *isa.Program) Stats {
+	s := Stats{PerOp: make(map[isa.Op]int), Layers: len(p.Layers)}
+	for _, in := range p.Instrs {
+		s.Instrs++
+		s.PerOp[in.Op]++
+		switch in.Op {
+		case isa.OpLoadW, isa.OpLoadD:
+			s.LoadBytes += uint64(in.Len)
+		case isa.OpSave:
+			s.SaveBytes += uint64(in.Len)
+			s.Tiles++
+		case isa.OpVirSave, isa.OpVirLoadD:
+			s.VirtualInstrs++
+			s.VirtualBytes += uint64(in.Len)
+		}
+	}
+	s.InterruptPoints = len(p.InterruptPoints())
+	return s
+}
+
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d instrs (%d layers, %d tiles, %d interrupt points)\n",
+		s.Instrs, s.Layers, s.Tiles, s.InterruptPoints)
+	for op := isa.OpLoadW; op <= isa.OpEnd; op++ {
+		if n := s.PerOp[op]; n > 0 {
+			fmt.Fprintf(&b, "  %-10s %8d\n", op, n)
+		}
+	}
+	fmt.Fprintf(&b, "  load %.2f MB, save %.2f MB, virtual worst-case %.2f MB\n",
+		float64(s.LoadBytes)/1e6, float64(s.SaveBytes)/1e6, float64(s.VirtualBytes)/1e6)
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package compiler
+
+import "inca/internal/isa"
+
+// emitter walks the layer table and produces the original ISA stream.
+//
+// Tiling scheme per layer (matching §4.1 of the paper):
+//
+//	for each height tile t (Para_height output rows):
+//	  LOAD_D   — input rows for the tile; tiles after the first load only
+//	             the rows not already resident (line-buffer reuse)
+//	  for each output-channel group og:            ┐
+//	    LOAD_W(og)                                 │ one CalcBlob
+//	    CALC_I(og, ig)  for ig < NIn-1             │
+//	    CALC_F(og, NIn-1)                          ┘
+//	    SAVE every BlobsPerSave blobs (and at tile end) — stores the
+//	    finished groups' rows; each SAVE window carries one SaveID
+type emitter struct {
+	prog   *isa.Program
+	opt    Options
+	saveID uint32
+}
+
+func (e *emitter) add(in isa.Instruction) {
+	e.prog.Instrs = append(e.prog.Instrs, in)
+}
+
+// inputWindow returns the input-row interval [lo, hi) a tile of output rows
+// [row0, row0+rows) consumes, clamped to the featuremap. For fused-pool
+// layers the output rows are pooled rows, each consuming FusedPool
+// convolution rows.
+func inputWindow(l *isa.LayerInfo, row0, rows int) (lo, hi int) {
+	c0, cn := l.ConvRows(row0, rows)
+	lo = c0*l.Stride - l.Pad
+	hi = (c0+cn-1)*l.Stride - l.Pad + l.KH
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > l.InH {
+		hi = l.InH
+	}
+	return lo, hi
+}
+
+// saveWindowBytes returns the byte count of a SAVE covering out-channel
+// groups [g0, g1] (inclusive) for `rows` output rows.
+func saveWindowBytes(l *isa.LayerInfo, paraOut, g0, g1, rows int) uint32 {
+	c0 := g0 * paraOut
+	c1 := min((g1+1)*paraOut, l.OutC)
+	return uint32((c1 - c0) * rows * l.OutW)
+}
+
+func (e *emitter) emitLayer(li int) {
+	l := &e.prog.Layers[li]
+	ph := e.prog.ParaHeight
+	blobsPerSave := e.opt.BlobsPerSave
+	if blobsPerSave <= 0 {
+		blobsPerSave = l.NOut // one SAVE per tile
+	}
+	prevHi := -1
+	for t := 0; t < l.NTiles; t++ {
+		row0 := t * ph
+		rows := min(ph, l.OutH-row0)
+		lo, hi := inputWindow(l, row0, rows)
+
+		// Delta load: only rows not already resident from the previous tile.
+		ld0 := lo
+		if prevHi >= 0 && prevHi > ld0 {
+			ld0 = prevHi
+		}
+		if hi > ld0 {
+			e.add(isa.Instruction{
+				Op: isa.OpLoadD, Layer: uint16(li), Which: 0, Tile: uint16(t),
+				Row0: uint16(ld0), Rows: uint16(hi - ld0),
+				Addr: l.InAddr, Len: uint32(l.InC * (hi - ld0) * l.InW),
+			})
+			if l.Op == isa.LayerAdd {
+				e.add(isa.Instruction{
+					Op: isa.OpLoadD, Layer: uint16(li), Which: 1, Tile: uint16(t),
+					Row0: uint16(ld0), Rows: uint16(hi - ld0),
+					Addr: l.In2Addr, Len: uint32(l.InC * (hi - ld0) * l.InW),
+				})
+			}
+		}
+		prevHi = hi
+
+		gStart := 0
+		saveID := e.saveID
+		e.saveID++
+		for og := 0; og < l.NOut; og++ {
+			if l.Op == isa.LayerConv {
+				addr, length := WeightBlob(l, e.prog.ParaOut, og)
+				e.add(isa.Instruction{
+					Op: isa.OpLoadW, Layer: uint16(li), OutG: uint16(og), Tile: uint16(t),
+					Addr: addr, Len: length,
+				})
+			}
+			for ig := 0; ig < l.NIn; ig++ {
+				op := isa.OpCalcI
+				if ig == l.NIn-1 {
+					op = isa.OpCalcF
+				}
+				e.add(isa.Instruction{
+					Op: op, Layer: uint16(li), InG: uint16(ig), OutG: uint16(og),
+					Tile: uint16(t), Row0: uint16(row0), Rows: uint16(rows),
+					SaveID: saveID,
+				})
+			}
+			if og-gStart+1 >= blobsPerSave || og == l.NOut-1 {
+				e.add(isa.Instruction{
+					Op: isa.OpSave, Layer: uint16(li), Tile: uint16(t),
+					InG: uint16(gStart), OutG: uint16(og),
+					Row0: uint16(row0), Rows: uint16(rows), SaveID: saveID,
+					Addr: l.OutAddr, Len: saveWindowBytes(l, e.prog.ParaOut, gStart, og, rows),
+				})
+				gStart = og + 1
+				saveID = e.saveID
+				e.saveID++
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package compiler
+
+import "inca/internal/isa"
+
+// insertVirtual runs the INCA virtual-instruction pass (§4.2–4.3): it makes
+// the stream interruptible after every CALC_F and after every SAVE, the
+// positions with minimal backup/recovery cost.
+//
+//   - After a CALC_F that is not immediately followed by a SAVE (more
+//     CalcBlobs share the pending save window), it inserts
+//     Vir_SAVE  — back up the window's finished output-channel groups
+//     Vir_LOAD_D — restore the tile's full input-row window on resume
+//     (plus the residual input for Add layers).
+//   - After a mid-tile SAVE it inserts Vir_LOAD_D restoring the current
+//     tile's input window (later CalcBlobs of the tile still consume it).
+//   - After a tile's final SAVE it inserts Vir_LOAD_D restoring the rows the
+//     next tile's delta LOAD_D assumes resident (line-buffer overlap); at a
+//     layer's final tile the restore is empty but the interrupt point
+//     remains.
+//
+// Interrupting anywhere else would strand intermediate accumulator state
+// (CALC_I) or waste the just-loaded data (LOAD), exactly the cases Table 1
+// of the paper rules out.
+func insertVirtual(p *isa.Program) []isa.Instruction {
+	out := make([]isa.Instruction, 0, len(p.Instrs)*3/2)
+	ins := p.Instrs
+	windowStart := 0 // first out-group of the pending save window
+	for i, in := range ins {
+		out = append(out, in)
+		switch in.Op {
+		case isa.OpLoadD:
+			if in.Tile == 0 && in.Which == 0 {
+				windowStart = 0 // new layer
+			}
+		case isa.OpCalcF:
+			if i+1 < len(ins) && ins[i+1].Op == isa.OpSave {
+				// The window's SAVE is next; the post-SAVE point covers this
+				// position with zero backup.
+				continue
+			}
+			l := &p.Layers[in.Layer]
+			row0, rows := int(in.Row0), int(in.Rows)
+			out = append(out, isa.Instruction{
+				Op: isa.OpVirSave, Layer: in.Layer, Tile: in.Tile,
+				InG: uint16(windowStart), OutG: in.OutG,
+				Row0: in.Row0, Rows: in.Rows,
+				SaveID: in.SaveID, Addr: l.OutAddr,
+				Len: saveWindowBytes(l, p.ParaOut, windowStart, int(in.OutG), rows),
+			})
+			lo, hi := inputWindow(l, row0, rows)
+			out = append(out, virLoad(in, 0, l.InAddr, l.InC, lo, hi, l.InW))
+			if l.Op == isa.LayerAdd {
+				out = append(out, virLoad(in, 1, l.In2Addr, l.InC, lo, hi, l.InW))
+			}
+		case isa.OpSave:
+			l := &p.Layers[in.Layer]
+			lastOfTile := int(in.OutG) == l.NOut-1
+			if !lastOfTile {
+				windowStart = int(in.OutG) + 1
+				// Remaining CalcBlobs of this tile still need its window.
+				lo, hi := inputWindow(l, int(in.Row0), int(in.Rows))
+				out = append(out, virLoad(in, 0, l.InAddr, l.InC, lo, hi, l.InW))
+				if l.Op == isa.LayerAdd {
+					out = append(out, virLoad(in, 1, l.In2Addr, l.InC, lo, hi, l.InW))
+				}
+				continue
+			}
+			windowStart = 0
+			if int(in.Tile)+1 < l.NTiles {
+				// Restore the forward overlap the next delta load assumes.
+				nextRow0 := (int(in.Tile) + 1) * p.ParaHeight
+				nextRows := min(p.ParaHeight, l.OutH-nextRow0)
+				nlo, _ := inputWindow(l, nextRow0, nextRows)
+				_, hiCur := inputWindow(l, int(in.Row0), int(in.Rows))
+				if nlo < hiCur {
+					out = append(out, virLoad(in, 0, l.InAddr, l.InC, nlo, hiCur, l.InW))
+					if l.Op == isa.LayerAdd {
+						out = append(out, virLoad(in, 1, l.In2Addr, l.InC, nlo, hiCur, l.InW))
+					}
+					continue
+				}
+			}
+			if i+1 < len(ins) && ins[i+1].Op == isa.OpEnd {
+				// Program completion releases the accelerator anyway.
+				continue
+			}
+			// Empty restore: a pure interrupt point.
+			out = append(out, isa.Instruction{
+				Op: isa.OpVirLoadD, Layer: in.Layer, Tile: in.Tile,
+			})
+		}
+	}
+	return out
+}
+
+func virLoad(ref isa.Instruction, which uint8, addr uint32, inC, lo, hi, inW int) isa.Instruction {
+	return isa.Instruction{
+		Op: isa.OpVirLoadD, Layer: ref.Layer, Which: which, Tile: ref.Tile,
+		Row0: uint16(lo), Rows: uint16(hi - lo),
+		Addr: addr, Len: uint32(inC * (hi - lo) * inW),
+	}
+}

@@ -1,0 +1,178 @@
+// Package core is the INCA framework's top-level API (Fig. 1 of the paper):
+// it takes the CNNs of independently developed robot components, compiles
+// each to the interruptible VI-ISA for a chosen accelerator, binds them to
+// IAU priority slots, and exposes a runtime through which ROS nodes issue
+// inference requests without coordinating with each other.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/iau"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+	"inca/internal/ros"
+)
+
+// Runtime owns one accelerator (through its IAU) and the deployments bound
+// to its priority slots.
+type Runtime struct {
+	Cfg    accel.Config
+	Policy iau.Policy
+	U      *iau.IAU
+
+	deployments [iau.NumSlots]*Deployment
+
+	rosCore   *ros.Core
+	callbacks map[*iau.Request]func(ros.Time)
+	nextComp  int
+	pollStop  func()
+}
+
+// Deployment is one network compiled and bound to a priority slot.
+type Deployment struct {
+	Name string
+	Slot int
+	Prog *isa.Program
+	rt   *Runtime
+
+	// Inferences counts completed requests.
+	Inferences int
+}
+
+// NewRuntime creates a runtime for the accelerator configuration under the
+// given interrupt policy (PolicyVI is INCA proper; the baselines exist for
+// comparison).
+func NewRuntime(cfg accel.Config, policy iau.Policy) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runtime{
+		Cfg:       cfg,
+		Policy:    policy,
+		U:         iau.New(cfg, policy),
+		callbacks: make(map[*iau.Request]func(ros.Time)),
+	}, nil
+}
+
+// Deploy quantizes (synthetically) and compiles the network for the slot.
+// Slot 0 is the highest priority and never preempted; higher slot numbers
+// are interruptible and receive virtual instructions.
+func (rt *Runtime) Deploy(slot int, g *model.Network, seed uint64) (*Deployment, error) {
+	if slot < 0 || slot >= iau.NumSlots {
+		return nil, fmt.Errorf("core: slot %d out of range [0,%d)", slot, iau.NumSlots)
+	}
+	if rt.deployments[slot] != nil {
+		return nil, fmt.Errorf("core: slot %d already bound to %q", slot, rt.deployments[slot].Name)
+	}
+	q, err := quant.Synthesize(g, seed)
+	if err != nil {
+		return nil, err
+	}
+	return rt.deployQuantized(slot, g.Name, q)
+}
+
+// DeployQuantized compiles an already-quantized network for the slot.
+func (rt *Runtime) DeployQuantized(slot int, q *quant.Network) (*Deployment, error) {
+	if slot < 0 || slot >= iau.NumSlots {
+		return nil, fmt.Errorf("core: slot %d out of range [0,%d)", slot, iau.NumSlots)
+	}
+	if rt.deployments[slot] != nil {
+		return nil, fmt.Errorf("core: slot %d already bound to %q", slot, rt.deployments[slot].Name)
+	}
+	return rt.deployQuantized(slot, q.Graph.Name, q)
+}
+
+func (rt *Runtime) deployQuantized(slot int, name string, q *quant.Network) (*Deployment, error) {
+	opt := rt.Cfg.CompilerOptions()
+	opt.InsertVirtual = rt.Policy == iau.PolicyVI && slot > 0
+	p, err := compiler.Compile(q, opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling %q: %w", name, err)
+	}
+	d := &Deployment{Name: name, Slot: slot, Prog: p, rt: rt}
+	rt.deployments[slot] = d
+	return d, nil
+}
+
+// Deployment returns the deployment bound to a slot, or nil.
+func (rt *Runtime) Deployment(slot int) *Deployment { return rt.deployments[slot] }
+
+// AttachROS couples the runtime to a middleware instance: the accelerator
+// timeline advances with virtual time and completions are delivered as
+// scheduled callbacks. pollEvery bounds the completion-delivery quantization
+// (hardware drivers poll or take interrupts at a similar granularity).
+func (rt *Runtime) AttachROS(c *ros.Core, pollEvery time.Duration) {
+	rt.rosCore = c
+	drv := c.Node("inca_driver")
+	rt.pollStop = drv.Every(pollEvery, func() { rt.poll(c.Now()) })
+}
+
+// DetachROS stops the driver polling.
+func (rt *Runtime) DetachROS() {
+	if rt.pollStop != nil {
+		rt.pollStop()
+		rt.pollStop = nil
+	}
+}
+
+// poll advances the accelerator to the current virtual time and fires
+// completion callbacks.
+func (rt *Runtime) poll(now ros.Time) {
+	horizon := rt.Cfg.SecondsToCycles(now.Seconds())
+	if err := rt.U.Run(horizon); err != nil {
+		panic(fmt.Sprintf("core: accelerator error: %v", err))
+	}
+	for rt.nextComp < len(rt.U.Completions) {
+		comp := rt.U.Completions[rt.nextComp]
+		rt.nextComp++
+		if d := rt.deployments[comp.Slot]; d != nil {
+			d.Inferences++
+		}
+		if cb, ok := rt.callbacks[comp.Req]; ok {
+			delete(rt.callbacks, comp.Req)
+			done := ros.Time(rt.Cfg.CyclesToSeconds(comp.Req.DoneCycle) * float64(time.Second))
+			cb(done)
+		}
+	}
+}
+
+// InferAsync submits one inference at the current virtual time; onDone fires
+// (from the driver's poll) with the completion timestamp.
+func (d *Deployment) InferAsync(onDone func(ros.Time)) error {
+	rt := d.rt
+	if rt.rosCore == nil {
+		return fmt.Errorf("core: runtime not attached to a ros core")
+	}
+	req := &iau.Request{Label: d.Name, Prog: d.Prog}
+	at := rt.Cfg.SecondsToCycles(rt.rosCore.Now().Seconds())
+	if at < rt.U.Now {
+		at = rt.U.Now
+	}
+	if err := rt.U.SubmitAt(d.Slot, req, at); err != nil {
+		return err
+	}
+	if onDone != nil {
+		rt.callbacks[req] = onDone
+	}
+	return nil
+}
+
+// InferSync runs one inference to completion outside any middleware,
+// returning the request with its timing filled in. Arena may be nil for
+// timing-only programs.
+func (d *Deployment) InferSync(arena []byte) (*iau.Request, error) {
+	req := &iau.Request{Label: d.Name, Prog: d.Prog, Arena: arena}
+	if err := d.rt.U.Submit(d.Slot, req); err != nil {
+		return nil, err
+	}
+	if err := d.rt.U.RunAll(); err != nil {
+		return nil, err
+	}
+	d.Inferences++
+	return req, nil
+}

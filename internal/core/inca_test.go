@@ -1,0 +1,171 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/core"
+	"inca/internal/iau"
+	"inca/internal/model"
+	"inca/internal/quant"
+	"inca/internal/ros"
+	"inca/internal/tensor"
+)
+
+func newRuntime(t *testing.T) *core.Runtime {
+	t.Helper()
+	rt, err := core.NewRuntime(accel.Big(), iau.PolicyVI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestDeploySlotRules(t *testing.T) {
+	rt := newRuntime(t)
+	g := model.NewTinyCNN(3, 16, 16)
+	if _, err := rt.Deploy(-1, g, 1); err == nil {
+		t.Error("negative slot accepted")
+	}
+	if _, err := rt.Deploy(iau.NumSlots, g, 1); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	d, err := rt.Deploy(1, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Deploy(1, g, 2); err == nil {
+		t.Error("double-binding a slot accepted")
+	}
+	if rt.Deployment(1) != d {
+		t.Error("Deployment(1) does not return the binding")
+	}
+	if rt.Deployment(2) != nil {
+		t.Error("unbound slot returns a deployment")
+	}
+}
+
+// TestVirtualInstructionPolicy: only interruptible slots (>0) under the VI
+// policy receive virtual instructions.
+func TestVirtualInstructionPolicy(t *testing.T) {
+	rt := newRuntime(t)
+	top, err := rt.Deploy(0, model.NewTinyCNN(3, 16, 16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := rt.Deploy(1, model.NewTinyCNN(3, 16, 16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(top.Prog.InterruptPoints()); n != 0 {
+		t.Errorf("slot-0 program has %d interrupt points, want 0", n)
+	}
+	if n := len(low.Prog.InterruptPoints()); n == 0 {
+		t.Error("slot-1 program has no interrupt points under PolicyVI")
+	}
+}
+
+func TestInferSyncTiming(t *testing.T) {
+	rt := newRuntime(t)
+	d, err := rt.Deploy(1, model.NewTinyCNN(3, 32, 40), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := d.InferSync(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ExecCycles == 0 || req.DoneCycle <= req.SubmitCycle {
+		t.Fatalf("timing not filled: exec=%d submit=%d done=%d", req.ExecCycles, req.SubmitCycle, req.DoneCycle)
+	}
+	if d.Inferences != 1 {
+		t.Fatalf("inference count = %d", d.Inferences)
+	}
+}
+
+func TestDeployQuantizedAndFunctionalInferSync(t *testing.T) {
+	rt, err := core.NewRuntime(accel.Big(), iau.PolicyVI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := model.NewTinyCNN(3, 16, 16)
+	q, err := quant.Synthesize(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := rt.DeployQuantized(1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deployment compiles timing-only (no weights): functional arenas
+	// are built by callers who compiled with EmitWeights; nil arena must
+	// still run.
+	if _, err := d.InferSync(nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = tensor.NewInt8(1)
+}
+
+func TestAttachROSAndInferAsync(t *testing.T) {
+	rt := newRuntime(t)
+	fast, err := rt.Deploy(0, model.NewTinyCNN(3, 16, 16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := rt.Deploy(1, model.NewVGG16(3, 60, 80), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := ros.NewCore()
+	rt.AttachROS(rc, 100*time.Microsecond)
+	defer rt.DetachROS()
+
+	var fastDone, slowDone []ros.Time
+	// Start the slow network, then fire the fast one while it runs.
+	if err := slow.InferAsync(func(at ros.Time) { slowDone = append(slowDone, at) }); err != nil {
+		t.Fatal(err)
+	}
+	_ = rc.At(2*time.Millisecond, func() {
+		if err := fast.InferAsync(func(at ros.Time) { fastDone = append(fastDone, at) }); err != nil {
+			t.Fatal(err)
+		}
+	})
+	rc.Run(5 * time.Second)
+
+	if len(fastDone) != 1 || len(slowDone) != 1 {
+		t.Fatalf("completions: fast=%d slow=%d, want 1 and 1", len(fastDone), len(slowDone))
+	}
+	if fastDone[0] >= slowDone[0] {
+		t.Errorf("high-priority task finished at %v, after the preempted task at %v", fastDone[0], slowDone[0])
+	}
+	if len(rt.U.Preemptions) == 0 {
+		t.Error("fast task did not preempt the slow one")
+	}
+	// Completion callbacks must arrive within the polling quantum of the
+	// true completion time.
+	comp := rt.U.Completions
+	for _, c := range comp {
+		trueAt := ros.Time(accel.Big().CyclesToSeconds(c.Req.DoneCycle) * float64(time.Second))
+		var seen ros.Time
+		if c.Slot == 0 {
+			seen = fastDone[0]
+		} else {
+			seen = slowDone[0]
+		}
+		if seen < trueAt {
+			t.Errorf("slot %d callback at %v before true completion %v", c.Slot, seen, trueAt)
+		}
+	}
+}
+
+func TestInferAsyncWithoutROS(t *testing.T) {
+	rt := newRuntime(t)
+	d, err := rt.Deploy(1, model.NewTinyCNN(3, 16, 16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InferAsync(nil); err == nil {
+		t.Error("InferAsync without AttachROS accepted")
+	}
+}

@@ -1,0 +1,723 @@
+// Package iau simulates the Instruction Arrangement Unit — the hardware
+// block INCA adds between instruction memory and the CNN accelerator
+// (Fig. 3 of the paper). The IAU holds four task slots with static
+// priorities (slot 0 highest, never preempted), fetches each task's VI-ISA
+// stream, and feeds the accelerator plain original-ISA instructions:
+//
+//   - in normal flow virtual instructions are fetched and discarded (a
+//     few cycles each — the source of the <0.3 % degradation);
+//   - when a higher-priority request is pending, the IAU waits for the
+//     next legal boundary, materialises the Vir_SAVE backup, switches
+//     streams, and on resume materialises the Vir_LOAD_D restores;
+//   - per-slot SaveID/SaveBytes registers track what a Vir_SAVE already
+//     stored so the next original SAVE is rewritten to skip it (no
+//     duplicate output transfer).
+//
+// The same runtime also implements the paper's two baselines: CPU-like
+// (switch anywhere, spill/refill every on-chip cache) and layer-by-layer
+// (switch only between layers).
+package iau
+
+import (
+	"container/heap"
+	"fmt"
+
+	"inca/internal/accel"
+	"inca/internal/isa"
+)
+
+// NumSlots is the number of priority task slots (paper: four).
+const NumSlots = 4
+
+// Policy selects the interrupt mechanism.
+type Policy int
+
+// Interrupt policies.
+const (
+	// PolicyNone runs every task to completion (native accelerator).
+	PolicyNone Policy = iota
+	// PolicyVI is the paper's virtual-instruction method.
+	PolicyVI
+	// PolicyLayerByLayer switches only at layer boundaries.
+	PolicyLayerByLayer
+	// PolicyCPULike switches at any instruction, spilling all on-chip caches.
+	PolicyCPULike
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyVI:
+		return "virtual-instruction"
+	case PolicyLayerByLayer:
+		return "layer-by-layer"
+	case PolicyCPULike:
+		return "cpu-like"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// State is a task slot's scheduling state.
+type State int
+
+// Slot states.
+const (
+	Idle State = iota
+	Ready
+	Running
+	Preempted
+)
+
+// Request is one execution of a program on a slot.
+type Request struct {
+	Label string
+	Prog  *isa.Program
+	Arena []byte // nil for timing-only
+
+	// DropIfBusy discards the request at arrival when the slot already has
+	// work queued or in flight (camera pipelines drop frames rather than
+	// queueing them unboundedly).
+	DropIfBusy bool
+
+	// Filled by the runtime.
+	SubmitCycle   uint64
+	StartCycle    uint64
+	DoneCycle     uint64
+	ExecCycles    uint64 // accelerator-busy cycles spent on this request
+	FetchCycles   uint64 // IAU overhead skipping virtual instructions
+	Preemptions   int    // times this request was preempted
+	InterruptCost uint64 // backup+restore cycles charged to this request
+}
+
+// Completion is the record returned when a request finishes.
+type Completion struct {
+	Slot int
+	Req  *Request
+}
+
+// Preemption records one task switch forced by a higher-priority request.
+type Preemption struct {
+	Victim, Preemptor int
+	RequestCycle      uint64 // preemptor became ready
+	BoundaryCycle     uint64 // victim reached a legal switch point (t1 end)
+	BackupDoneCycle   uint64 // backup finished (t2 end) — latency = this - request
+	BackupBytes       uint64
+	ResumeCycles      uint64 // t4: restore cost paid when the victim resumed
+	ResumeBytes       uint64
+	Resumed           bool
+	VictimPC          int    // victim stream position at the switch
+	VictimLayer       string // victim layer executing when the request landed
+}
+
+// TraceKind classifies a timeline event.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceStart TraceKind = iota
+	TracePreempt
+	TraceResume
+	TraceComplete
+	TraceDrop
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceStart:
+		return "start"
+	case TracePreempt:
+		return "preempt"
+	case TraceResume:
+		return "resume"
+	case TraceComplete:
+		return "complete"
+	case TraceDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one entry of the execution timeline (EnableTrace).
+type TraceEvent struct {
+	Cycle uint64
+	Kind  TraceKind
+	Slot  int
+	Label string
+	PC    int
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("@%-12d %-8s slot%d %-18s pc=%d", e.Cycle, e.Kind, e.Slot, e.Label, e.PC)
+}
+
+// Latency returns the interrupt response latency (t1+t2) in cycles.
+func (p *Preemption) Latency() uint64 { return p.BackupDoneCycle - p.RequestCycle }
+
+// Cost returns the extra cycles the interrupt added (t2+t4).
+func (p *Preemption) Cost() uint64 {
+	return (p.BackupDoneCycle - p.BoundaryCycle) + p.ResumeCycles
+}
+
+type task struct {
+	slot  int
+	queue []*Request
+	cur   *Request
+	state State
+	pc    int
+
+	readySince uint64
+
+	// SAVE-rewrite registers.
+	saveValid bool
+	saveID    uint32
+	saveBytes uint32
+
+	snapshot *accel.Snapshot // CPU-like backup
+	lastPre  *Preemption     // record to charge resume cost to
+}
+
+type arrival struct {
+	cycle uint64
+	slot  int
+	req   *Request
+	seq   int
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// IAU is the simulated instruction arrangement unit plus its accelerator.
+type IAU struct {
+	Cfg    accel.Config
+	Policy Policy
+	Eng    *accel.Engine
+
+	Now uint64
+
+	// OnComplete, when set, is invoked after every completion; it may submit
+	// follow-up requests (closed-loop workloads such as continuous PR).
+	OnComplete func(Completion)
+	// OnDrop, when set, is invoked when a DropIfBusy request is discarded.
+	OnDrop func(slot int, req *Request)
+	// OnPreempt, when set, is invoked right after a preemption is recorded
+	// (the victim is in the Preempted state); a multi-accelerator dispatcher
+	// may steal the victim from here and resume it elsewhere.
+	OnPreempt func(*Preemption)
+
+	Completions []Completion
+	Preemptions []*Preemption
+
+	// EnableTrace records a timeline of start/preempt/resume/complete/drop
+	// events in Trace.
+	EnableTrace bool
+	Trace       []TraceEvent
+
+	BusyCycles uint64 // cycles the accelerator executed instructions
+	IdleCycles uint64
+
+	slots    [NumSlots]*task
+	arrivals arrivalHeap
+	seq      int
+	running  int // slot currently executing, or -1
+}
+
+// New creates an IAU for the given accelerator configuration and policy.
+func New(cfg accel.Config, policy Policy) *IAU {
+	u := &IAU{Cfg: cfg, Policy: policy, Eng: accel.NewEngine(cfg), running: -1}
+	for i := range u.slots {
+		u.slots[i] = &task{slot: i, state: Idle}
+	}
+	return u
+}
+
+// Submit enqueues a request on a priority slot at the current cycle.
+func (u *IAU) Submit(slot int, req *Request) error {
+	return u.SubmitAt(slot, req, u.Now)
+}
+
+// SubmitAt enqueues a request that arrives at the given cycle (>= Now).
+func (u *IAU) SubmitAt(slot int, req *Request, cycle uint64) error {
+	if slot < 0 || slot >= NumSlots {
+		return fmt.Errorf("iau: slot %d out of range [0,%d)", slot, NumSlots)
+	}
+	if req == nil || req.Prog == nil {
+		return fmt.Errorf("iau: nil request/program")
+	}
+	if cycle < u.Now {
+		return fmt.Errorf("iau: submission at cycle %d is in the past (now %d)", cycle, u.Now)
+	}
+	req.SubmitCycle = cycle
+	u.seq++
+	heap.Push(&u.arrivals, arrival{cycle: cycle, slot: slot, req: req, seq: u.seq})
+	return nil
+}
+
+// Pending reports whether any work (queued, ready, or in flight) remains.
+func (u *IAU) Pending() bool {
+	if len(u.arrivals) > 0 {
+		return true
+	}
+	for _, t := range u.slots {
+		if t.state != Idle || len(t.queue) > 0 || t.cur != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (u *IAU) admit() {
+	for len(u.arrivals) > 0 && u.arrivals[0].cycle <= u.Now {
+		a := heap.Pop(&u.arrivals).(arrival)
+		t := u.slots[a.slot]
+		if a.req.DropIfBusy && (t.cur != nil || len(t.queue) > 0) {
+			u.trace(TraceDrop, a.slot, a.req.Label, 0)
+			if u.OnDrop != nil {
+				u.OnDrop(a.slot, a.req)
+			}
+			continue
+		}
+		t.queue = append(t.queue, a.req)
+		if t.state == Idle {
+			t.state = Ready
+			t.readySince = a.cycle
+		}
+	}
+}
+
+// bestReady returns the highest-priority slot with runnable work, or -1.
+func (u *IAU) bestReady() int {
+	for i, t := range u.slots {
+		if t.state == Ready || t.state == Running || t.state == Preempted {
+			return i
+		}
+	}
+	return -1
+}
+
+// Run advances the simulation until no work remains or the horizon cycle is
+// reached, whichever comes first.
+func (u *IAU) Run(horizon uint64) error {
+	for {
+		u.admit()
+		if u.Now >= horizon {
+			return nil
+		}
+		best := u.bestReady()
+		if best == -1 {
+			if len(u.arrivals) == 0 {
+				return nil
+			}
+			next := u.arrivals[0].cycle
+			if next > horizon {
+				u.IdleCycles += horizon - u.Now
+				u.Now = horizon
+				return nil
+			}
+			u.IdleCycles += next - u.Now
+			u.Now = next
+			continue
+		}
+		if u.running == -1 {
+			if err := u.dispatch(best); err != nil {
+				return err
+			}
+			continue
+		}
+		if best < u.running && u.canSwitch(u.slots[u.running]) {
+			if err := u.preempt(u.running, best); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := u.execOne(u.slots[u.running]); err != nil {
+			return err
+		}
+	}
+}
+
+// RunAll drives the simulation to completion of all submitted work.
+func (u *IAU) RunAll() error {
+	for u.Pending() {
+		if err := u.Run(^uint64(0)); err != nil {
+			return err
+		}
+		if !u.Pending() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// canSwitch reports whether the running task's next instruction is a legal
+// switch boundary under the active policy.
+func (u *IAU) canSwitch(t *task) bool {
+	switch u.Policy {
+	case PolicyCPULike:
+		return true
+	case PolicyVI:
+		ins := t.cur.Prog.Instrs
+		in := ins[t.pc]
+		if in.Op == isa.OpVirSave {
+			return true
+		}
+		if in.Op == isa.OpVirLoadD {
+			// A lone Vir_LOAD_D (post-SAVE point). A Vir_LOAD_D right after
+			// a Vir_SAVE is mid-group: switching there would lose the
+			// unsaved results whose backup was already skipped.
+			return t.pc == 0 || ins[t.pc-1].Op != isa.OpVirSave
+		}
+		return false
+	case PolicyLayerByLayer:
+		ins := t.cur.Prog.Instrs
+		if t.pc == 0 || ins[t.pc].Op == isa.OpEnd {
+			return false // about to finish anyway
+		}
+		return ins[t.pc].Layer != ins[t.pc-1].Layer
+	default:
+		return false
+	}
+}
+
+// dispatch starts or resumes the given slot.
+func (u *IAU) dispatch(slot int) error {
+	t := u.slots[slot]
+	switch t.state {
+	case Ready:
+		t.cur = t.queue[0]
+		t.queue = t.queue[1:]
+		t.pc = 0
+		t.cur.StartCycle = u.Now
+		t.saveValid = false
+		u.Eng.Invalidate()
+		u.trace(TraceStart, slot, t.cur.Label, 0)
+	case Preempted:
+		if err := u.resume(t); err != nil {
+			return err
+		}
+		u.trace(TraceResume, slot, t.cur.Label, t.pc)
+	default:
+		return fmt.Errorf("iau: dispatch of slot %d in state %d", slot, t.state)
+	}
+	t.state = Running
+	u.running = slot
+	return nil
+}
+
+// resume pays the policy's restore cost and re-establishes on-chip state.
+func (u *IAU) resume(t *task) error {
+	switch u.Policy {
+	case PolicyCPULike:
+		u.Eng.Restore(t.snapshot)
+		t.snapshot = nil
+		c := u.Cfg.XferCycles(uint32(u.Cfg.TotalBufferBytes()))
+		u.advance(t.cur, c)
+		t.cur.InterruptCost += c
+		if t.lastPre != nil {
+			t.lastPre.ResumeCycles += c
+			t.lastPre.ResumeBytes += uint64(u.Cfg.TotalBufferBytes())
+			t.lastPre.Resumed = true
+		}
+	case PolicyVI:
+		u.Eng.Invalidate()
+		ins := t.cur.Prog.Instrs
+		for t.pc < len(ins) && ins[t.pc].Op == isa.OpVirLoadD {
+			in := ins[t.pc]
+			c, err := u.Eng.Exec(t.cur.Arena, t.cur.Prog, in, 0)
+			if err != nil {
+				return fmt.Errorf("iau: slot %d resume pc %d: %w", t.slot, t.pc, err)
+			}
+			u.advance(t.cur, c)
+			t.cur.InterruptCost += c
+			if t.lastPre != nil {
+				t.lastPre.ResumeCycles += c
+				t.lastPre.ResumeBytes += uint64(in.Len)
+			}
+			t.pc++
+		}
+		if t.lastPre != nil {
+			t.lastPre.Resumed = true
+		}
+	default:
+		// Layer-by-layer: next layer reloads everything through its own
+		// ordinary LOAD instructions; nothing to restore.
+		u.Eng.Invalidate()
+		if t.lastPre != nil {
+			t.lastPre.Resumed = true
+		}
+	}
+	return nil
+}
+
+// preempt switches from the running victim to a higher-priority slot,
+// performing the policy's backup at the already-reached boundary.
+func (u *IAU) preempt(victim, preemptor int) error {
+	vt := u.slots[victim]
+	rec := &Preemption{
+		Victim: victim, Preemptor: preemptor,
+		RequestCycle:  u.slots[preemptor].readySince,
+		BoundaryCycle: u.Now,
+		VictimPC:      vt.pc,
+	}
+	if in := vt.cur.Prog.Instrs[vt.pc]; in.Op != isa.OpEnd {
+		rec.VictimLayer = vt.cur.Prog.Layers[in.Layer].Name
+	}
+	switch u.Policy {
+	case PolicyCPULike:
+		vt.snapshot = u.Eng.Snapshot()
+		c := u.Cfg.XferCycles(uint32(u.Cfg.TotalBufferBytes()))
+		u.advance(vt.cur, c)
+		vt.cur.InterruptCost += c
+		rec.BackupBytes = uint64(u.Cfg.TotalBufferBytes())
+	case PolicyVI:
+		// The boundary stops the MAC array; the backup transfer cannot hide
+		// under compute.
+		u.Eng.DrainPipeline()
+		ins := vt.cur.Prog.Instrs
+		if ins[vt.pc].Op == isa.OpVirSave {
+			in := ins[vt.pc]
+			var skip uint32
+			if vt.saveValid && vt.saveID == in.SaveID {
+				skip = vt.saveBytes
+			}
+			c, err := u.Eng.Exec(vt.cur.Arena, vt.cur.Prog, in, skip)
+			if err != nil {
+				return fmt.Errorf("iau: slot %d backup pc %d: %w", victim, vt.pc, err)
+			}
+			u.advance(vt.cur, c)
+			vt.cur.InterruptCost += c
+			rec.BackupBytes = uint64(in.Len - skip)
+			vt.saveValid = true
+			vt.saveID = in.SaveID
+			vt.saveBytes = in.Len
+			vt.pc++ // resume at the following Vir_LOAD_D restores
+		}
+	case PolicyLayerByLayer:
+		// No backup at a layer boundary.
+	default:
+		return fmt.Errorf("iau: policy %v cannot preempt", u.Policy)
+	}
+	rec.BackupDoneCycle = u.Now
+	vt.state = Preempted
+	vt.cur.Preemptions++
+	vt.lastPre = rec
+	u.trace(TracePreempt, victim, vt.cur.Label, vt.pc)
+	u.Preemptions = append(u.Preemptions, rec)
+	u.Eng.Invalidate()
+	u.running = -1
+	if u.OnPreempt != nil {
+		u.OnPreempt(rec)
+	}
+	return nil
+}
+
+// ResumeToken carries a preempted request's scheduling state so it can be
+// resumed on a different IAU. This works because every interrupt policy's
+// backup lands in DDR, which multi-accelerator MPSoC systems share: the
+// paper's future-work direction (multi-core multi-tasking) gets task
+// migration almost for free from the VI mechanism.
+type ResumeToken struct {
+	Req       *Request
+	Policy    Policy
+	pc        int
+	saveValid bool
+	saveID    uint32
+	saveBytes uint32
+	snapshot  *accel.Snapshot
+}
+
+// Registers is the architectural per-slot register view of Fig. 3: the
+// instruction pointer, the SAVE-rewrite status registers, and the slot's
+// scheduling state. Exposed for debugging and the inca-sim inspector.
+type Registers struct {
+	State      State
+	Label      string // current request, "" when idle
+	InstrAddr  int    // next instruction index in the task's stream
+	SaveValid  bool
+	SaveID     uint32
+	SaveLength uint32
+	QueueDepth int
+}
+
+// Registers returns the architectural state of one task slot.
+func (u *IAU) Registers(slot int) Registers {
+	if slot < 0 || slot >= NumSlots {
+		return Registers{}
+	}
+	t := u.slots[slot]
+	r := Registers{
+		State:      t.state,
+		InstrAddr:  t.pc,
+		SaveValid:  t.saveValid,
+		SaveID:     t.saveID,
+		SaveLength: t.saveBytes,
+		QueueDepth: len(t.queue),
+	}
+	if t.cur != nil {
+		r.Label = t.cur.Label
+	}
+	return r
+}
+
+// SlotFree reports whether a slot has no current request and an empty
+// queue (an InjectPreempted target).
+func (u *IAU) SlotFree(slot int) bool {
+	if slot < 0 || slot >= NumSlots {
+		return false
+	}
+	t := u.slots[slot]
+	return t.state == Idle && t.cur == nil && len(t.queue) == 0
+}
+
+// PeekPreempted returns the slot's preempted request without removing it,
+// or nil.
+func (u *IAU) PeekPreempted(slot int) *Request {
+	if slot < 0 || slot >= NumSlots {
+		return nil
+	}
+	t := u.slots[slot]
+	if t.state != Preempted {
+		return nil
+	}
+	return t.cur
+}
+
+// StealPreempted removes the slot's preempted request and returns a token
+// that InjectPreempted can install on another IAU of the same policy.
+func (u *IAU) StealPreempted(slot int) (*ResumeToken, error) {
+	if slot < 0 || slot >= NumSlots {
+		return nil, fmt.Errorf("iau: slot %d out of range", slot)
+	}
+	t := u.slots[slot]
+	if t.state != Preempted || t.cur == nil {
+		return nil, fmt.Errorf("iau: slot %d has no preempted request to steal", slot)
+	}
+	tok := &ResumeToken{
+		Req: t.cur, Policy: u.Policy,
+		pc: t.pc, saveValid: t.saveValid, saveID: t.saveID, saveBytes: t.saveBytes,
+		snapshot: t.snapshot,
+	}
+	t.cur = nil
+	t.snapshot = nil
+	t.lastPre = nil
+	t.saveValid = false
+	if len(t.queue) > 0 {
+		t.state = Ready
+		t.readySince = u.Now
+	} else {
+		t.state = Idle
+	}
+	return tok, nil
+}
+
+// InjectPreempted installs a stolen request on an idle slot; it will resume
+// through the policy's normal restore path (Vir_LOAD_D replays, snapshot
+// refill) when the slot is dispatched.
+func (u *IAU) InjectPreempted(slot int, tok *ResumeToken) error {
+	if slot < 0 || slot >= NumSlots {
+		return fmt.Errorf("iau: slot %d out of range", slot)
+	}
+	if tok == nil || tok.Req == nil {
+		return fmt.Errorf("iau: nil resume token")
+	}
+	if tok.Policy != u.Policy {
+		return fmt.Errorf("iau: token from policy %v cannot resume under %v", tok.Policy, u.Policy)
+	}
+	t := u.slots[slot]
+	if t.state != Idle || t.cur != nil || len(t.queue) > 0 {
+		return fmt.Errorf("iau: slot %d busy; cannot inject", slot)
+	}
+	t.cur = tok.Req
+	t.pc = tok.pc
+	t.saveValid = tok.saveValid
+	t.saveID = tok.saveID
+	t.saveBytes = tok.saveBytes
+	t.snapshot = tok.snapshot
+	t.state = Preempted
+	t.readySince = u.Now
+	return nil
+}
+
+// execOne runs the next instruction of the running task.
+func (u *IAU) execOne(t *task) error {
+	ins := t.cur.Prog.Instrs
+	in := ins[t.pc]
+	if in.Op == isa.OpEnd {
+		u.complete(t)
+		return nil
+	}
+	if in.Op.Virtual() {
+		// Discarded by the IAU: costs only the fetch.
+		c := uint64(u.Cfg.FetchCycles)
+		u.Now += c
+		t.cur.FetchCycles += c
+		t.pc++
+		return nil
+	}
+	var skip uint32
+	if in.Op == isa.OpSave && t.saveValid && t.saveID == in.SaveID {
+		skip = t.saveBytes
+	}
+	c, err := u.Eng.Exec(t.cur.Arena, t.cur.Prog, in, skip)
+	if err != nil {
+		return fmt.Errorf("iau: slot %d pc %d: %w", t.slot, t.pc, err)
+	}
+	if in.Op == isa.OpSave {
+		t.saveValid = false
+	}
+	u.advance(t.cur, c)
+	t.pc++
+	return nil
+}
+
+func (u *IAU) advance(req *Request, cycles uint64) {
+	u.Now += cycles
+	u.BusyCycles += cycles
+	req.ExecCycles += cycles
+}
+
+func (u *IAU) trace(kind TraceKind, slot int, label string, pc int) {
+	if !u.EnableTrace {
+		return
+	}
+	u.Trace = append(u.Trace, TraceEvent{Cycle: u.Now, Kind: kind, Slot: slot, Label: label, PC: pc})
+}
+
+func (u *IAU) complete(t *task) {
+	t.cur.DoneCycle = u.Now
+	u.trace(TraceComplete, t.slot, t.cur.Label, t.pc)
+	comp := Completion{Slot: t.slot, Req: t.cur}
+	u.Completions = append(u.Completions, comp)
+	t.cur = nil
+	t.saveValid = false
+	t.lastPre = nil
+	if len(t.queue) > 0 {
+		t.state = Ready
+		t.readySince = u.Now
+	} else {
+		t.state = Idle
+	}
+	u.running = -1
+	u.Eng.Invalidate()
+	if u.OnComplete != nil {
+		u.OnComplete(comp)
+	}
+}

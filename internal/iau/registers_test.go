@@ -1,0 +1,70 @@
+package iau_test
+
+import (
+	"testing"
+
+	"inca/internal/accel"
+	"inca/internal/iau"
+	"inca/internal/model"
+)
+
+// TestRegistersView: the Fig. 3 per-slot register view tracks a task
+// through preemption — SaveID/SaveLength populate at the Vir_SAVE and clear
+// after the rewritten SAVE retires.
+func TestRegistersView(t *testing.T) {
+	cfg := accel.Big()
+	u := iau.New(cfg, iau.PolicyVI)
+
+	if r := u.Registers(1); r.State != iau.Idle || r.Label != "" || r.QueueDepth != 0 {
+		t.Fatalf("idle slot registers %+v", r)
+	}
+	if r := u.Registers(-1); r != (iau.Registers{}) {
+		t.Fatal("out-of-range slot returned data")
+	}
+
+	victim := timingProg(t, model.NewVGG16(3, 60, 80), cfg, true)
+	probe := timingProg(t, model.NewTinyCNN(3, 8, 8), cfg, false)
+	if err := u.Submit(1, &iau.Request{Label: "victim", Prog: victim}); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Submit(1, &iau.Request{Label: "queued", Prog: probe}); err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals are admitted when the clock runs; a minimal Run dispatches
+	// the first request and leaves the second queued.
+	if err := u.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if r := u.Registers(1); r.State != iau.Running || r.Label != "victim" || r.QueueDepth != 1 {
+		t.Fatalf("running slot registers %+v", r)
+	}
+	// The preemptor is itself long-running, so there is a wide window in
+	// which the victim sits Preempted.
+	big := timingProg(t, model.NewVGG16(3, 60, 80), cfg, false)
+	if err := u.SubmitAt(0, &iau.Request{Label: "fe", Prog: big}, 200_000); err != nil {
+		t.Fatal(err)
+	}
+	// Run until the preemption has happened but the victim has not resumed.
+	if err := u.Run(300_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Preemptions) == 0 {
+		t.Fatal("no preemption by 210k cycles")
+	}
+	r := u.Registers(1)
+	if r.State != iau.Preempted || r.Label != "victim" {
+		t.Fatalf("victim registers after preemption: %+v", r)
+	}
+	if r.InstrAddr == 0 {
+		t.Fatal("InstrAddr not advanced")
+	}
+	if u.Preemptions[0].BackupBytes > 0 && !r.SaveValid {
+		t.Fatal("backup happened but SaveValid clear")
+	}
+	if err := u.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if r := u.Registers(1); r.State != iau.Idle || r.SaveValid {
+		t.Fatalf("registers after completion: %+v", r)
+	}
+}

@@ -1,0 +1,161 @@
+package interrupt_test
+
+import (
+	"testing"
+
+	"inca/internal/accel"
+	"inca/internal/iau"
+	"inca/internal/interrupt"
+	"inca/internal/model"
+)
+
+func TestWorstWaitsPerNetwork(t *testing.T) {
+	cfg := accel.Big()
+	g := model.NewVGG16(3, 120, 160)
+	st, err := interrupt.WorstWaits(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.LayerName) != 13 || len(st.LayerVI) != 13 || len(st.LayerLBL) != 13 {
+		t.Fatalf("per-layer series length %d/%d/%d, want 13", len(st.LayerName), len(st.LayerVI), len(st.LayerLBL))
+	}
+	for i := range st.LayerVI {
+		if st.LayerVI[i] >= st.LayerLBL[i] {
+			t.Errorf("layer %s: VI wait %d not below layer-by-layer %d", st.LayerName[i], st.LayerVI[i], st.LayerLBL[i])
+		}
+	}
+	// A network with no conv layers must error.
+	empty := model.New("empty", 3, 8, 8)
+	empty.MaxPool("p", 0, 2, 2)
+	if _, err := interrupt.WorstWaits(cfg, empty); err == nil {
+		t.Error("conv-free network accepted")
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	xs := []uint64{2, 8, 5}
+	if m := interrupt.Mean(xs); m != 5 {
+		t.Errorf("mean %v", m)
+	}
+	if m := interrupt.Max(xs); m != 8 {
+		t.Errorf("max %v", m)
+	}
+	if interrupt.Mean(nil) != 0 || interrupt.Max(nil) != 0 {
+		t.Error("empty series not zero")
+	}
+}
+
+func TestLayerCyclesComposition(t *testing.T) {
+	cfg := accel.Big()
+	spec := model.ConvSpec{
+		InC: 64, InH: 60, InW: 80, OutC: 64, OutH: 60, OutW: 80,
+		KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1,
+	}
+	total := interrupt.LayerCycles(cfg, spec)
+	calcOnly := interrupt.WorstWaitLayerByLayer(cfg, spec)
+	if total <= calcOnly {
+		t.Fatalf("full layer cycles %d not above CALC-only %d (transfers missing)", total, calcOnly)
+	}
+	// Doubling the output channels roughly doubles the compute term.
+	spec2 := spec
+	spec2.OutC = 128
+	if c2 := interrupt.WorstWaitLayerByLayer(cfg, spec2); c2 != 2*calcOnly {
+		t.Fatalf("CALC cycles %d, want %d for 2x channels", c2, 2*calcOnly)
+	}
+}
+
+func TestMeasurementUnitConversions(t *testing.T) {
+	cfg := accel.Big() // 300 MHz
+	m := interrupt.Measurement{LatencyCycles: 300, CostCycles: 600}
+	if got := m.LatencyMicros(cfg); got != 1.0 {
+		t.Errorf("latency %v us, want 1", got)
+	}
+	if got := m.CostMicros(cfg); got != 2.0 {
+		t.Errorf("cost %v us, want 2", got)
+	}
+}
+
+func TestPoliciesList(t *testing.T) {
+	ps := interrupt.Policies()
+	if len(ps) != 3 {
+		t.Fatalf("%d policies, want 3", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		seen[p.String()] = true
+	}
+	for _, want := range []string{"cpu-like", "layer-by-layer", "virtual-instruction"} {
+		if !seen[want] {
+			t.Errorf("missing policy %s", want)
+		}
+	}
+}
+
+// TestWorstGapBoundsMeasurements: the stream-level uninterruptible gap must
+// upper-bound every measured VI response latency, and stay within a small
+// factor of the per-layer analytical bound (they model the same thing at
+// different granularities).
+func TestWorstGapBoundsMeasurements(t *testing.T) {
+	cfg := accel.Big()
+	g := model.NewVGG16(3, 60, 80)
+	victim := compileFor(t, cfg, g, true)
+	gap := interrupt.WorstUninterruptibleGap(cfg, victim)
+	if gap == 0 {
+		t.Fatal("zero gap on a real program")
+	}
+	probe, err := interrupt.TinyPreemptor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := interrupt.SoloCycles(cfg, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		m, err := interrupt.MeasureAt(cfg, iau.PolicyVI, victim, probe, total*uint64(i)/9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Preempted && m.LatencyCycles > gap {
+			t.Errorf("measured VI latency %d exceeds the stream gap bound %d", m.LatencyCycles, gap)
+		}
+	}
+	// Agreement with the per-layer analytical worst (one blob + backup +
+	// tile transfers): within 4x either way.
+	var analytic uint64
+	specs, err := g.ConvSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if c := interrupt.WorstWaitVI(cfg, s) + interrupt.BackupCyclesVI(cfg, s); c > analytic {
+			analytic = c
+		}
+	}
+	if gap > 4*analytic || analytic > 4*gap {
+		t.Errorf("stream gap %d and analytical bound %d disagree by >4x", gap, analytic)
+	}
+}
+
+// TestNonPreemptingRequest: a request landing after the victim completes
+// reports Preempted=false rather than an error.
+func TestNonPreemptingRequest(t *testing.T) {
+	cfg := accel.Big()
+	g := model.NewTinyCNN(3, 16, 16)
+	victim := compileFor(t, cfg, g, true)
+	probe, err := interrupt.TinyPreemptor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := interrupt.SoloCycles(cfg, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := interrupt.MeasureAt(cfg, iau.PolicyVI, victim, probe, total*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Preempted {
+		t.Fatal("request after completion reported as preempting")
+	}
+}

@@ -1,0 +1,158 @@
+package interrupt_test
+
+import (
+	"math"
+	"testing"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/iau"
+	"inca/internal/interrupt"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+)
+
+// TestTheoreticalRlWorkedExample checks Eq. (1) against the paper's §4.3
+// worked example: 80x60 featuremap, 48->32 channels, Para=(8,8,4) gives
+// R_l = 8*4/(32*60) ≈ 1.7 %.
+func TestTheoreticalRlWorkedExample(t *testing.T) {
+	cfg := accel.Small()
+	g := model.NewMediumLayerNet()
+	specs, err := g.ConvSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := interrupt.TheoreticalRl(cfg, specs[0])
+	if math.Abs(rl-8.0*4.0/(32.0*60.0)) > 1e-12 {
+		t.Fatalf("R_l = %v, want 8*4/(32*60)", rl)
+	}
+	if rl < 0.016 || rl > 0.018 {
+		t.Fatalf("R_l = %.4f, want ≈ 1.7%%", rl)
+	}
+	mr := interrupt.MeasuredRl(cfg, specs[0])
+	if math.Abs(mr-rl)/rl > 0.10 {
+		t.Fatalf("cycle-model R_l %.5f deviates >10%% from theory %.5f", mr, rl)
+	}
+}
+
+func compileFor(t *testing.T, cfg accel.Config, g *model.Network, vi bool) *isa.Program {
+	t.Helper()
+	q, err := quant.Synthesize(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := cfg.CompilerOptions()
+	opt.InsertVirtual = vi
+	p, err := compiler.Compile(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestMeasuredOrdering verifies the qualitative result of Fig. 5(a): the VI
+// method's response latency is far below layer-by-layer's, layer-by-layer
+// has zero extra cost, and CPU-like pays the largest cost.
+func TestMeasuredOrdering(t *testing.T) {
+	cfg := accel.Big()
+	g := model.NewVGG16(3, 120, 160)
+	victim := compileFor(t, cfg, g, true)
+	probe, err := interrupt.TinyPreemptor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := interrupt.SoloCycles(cfg, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("victim has zero duration")
+	}
+	sums := make(map[iau.Policy]uint64)
+	n := 0
+	for i := 1; i <= 5; i++ {
+		req := total * uint64(i) / 6
+		results := make(map[iau.Policy]interrupt.Measurement)
+		for _, pol := range interrupt.Policies() {
+			m, err := interrupt.MeasureAt(cfg, pol, victim, probe, req)
+			if err != nil {
+				t.Fatalf("%v: %v", pol, err)
+			}
+			if !m.Preempted {
+				t.Fatalf("%v: request at %d did not preempt (total %d)", pol, req, total)
+			}
+			results[pol] = m
+		}
+		vi := results[iau.PolicyVI]
+		lbl := results[iau.PolicyLayerByLayer]
+		cpu := results[iau.PolicyCPULike]
+		if lbl.CostCycles != 0 {
+			t.Errorf("pos %d: layer-by-layer extra cost = %d, want 0", i, lbl.CostCycles)
+		}
+		if cpu.CostCycles <= vi.CostCycles {
+			t.Errorf("pos %d: CPU-like cost %d should exceed VI cost %d", i, cpu.CostCycles, vi.CostCycles)
+		}
+		if cpu.BackupBytes != uint64(cfg.TotalBufferBytes()) {
+			t.Errorf("pos %d: CPU-like backup %d bytes, want full caches %d", i, cpu.BackupBytes, cfg.TotalBufferBytes())
+		}
+		for pol, m := range results {
+			sums[pol] += m.LatencyCycles
+		}
+		n++
+	}
+	// At this reduced image scale the paper's 50x gap shrinks, but the VI
+	// method must still average several times better than layer-by-layer.
+	if sums[iau.PolicyVI]*3 > sums[iau.PolicyLayerByLayer] {
+		t.Errorf("avg VI latency %d not well below layer-by-layer %d",
+			sums[iau.PolicyVI]/uint64(n), sums[iau.PolicyLayerByLayer]/uint64(n))
+	}
+}
+
+// TestWorstWaitBound: measured VI response latency never exceeds the
+// analytical worst case (one CalcBlob + backup) by more than the transfer
+// granularity, across several request positions.
+func TestWorstWaitBound(t *testing.T) {
+	cfg := accel.Big()
+	g := model.NewVGG16(3, 60, 80)
+	victim := compileFor(t, cfg, g, true)
+	probe, err := interrupt.TinyPreemptor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := interrupt.SoloCycles(cfg, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := g.ConvSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global analytical bound: worst blob across layers + worst backup +
+	// one SAVE (a request can also land just before a tile's SAVE) + LOAD_W.
+	var bound uint64
+	for _, s := range specs {
+		w := interrupt.WorstWaitVI(cfg, s) + interrupt.BackupCyclesVI(cfg, s)
+		rows := cfg.ParaHeight
+		w += cfg.XferCycles(uint32(s.OutC * rows * s.OutW)) // tile SAVE
+		icg := s.InC / s.Groups
+		w += cfg.XferCycles(uint32(cfg.ParaOut*4 + cfg.ParaOut*icg*s.KH*s.KW))
+		w += cfg.XferCycles(uint32(s.InC * ((rows-1)*s.Stride + s.KH) * s.InW)) // tile LOAD_D
+		if w > bound {
+			bound = w
+		}
+	}
+	for i := 1; i <= 9; i++ {
+		req := total * uint64(i) / 10
+		m, err := interrupt.MeasureAt(cfg, iau.PolicyVI, victim, probe, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Preempted {
+			continue
+		}
+		if m.LatencyCycles > bound {
+			t.Errorf("position %d/10: latency %d exceeds analytical bound %d (layer %s)", i, m.LatencyCycles, bound, m.VictimLayer)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package isa
+
+import (
+	"fmt"
+	"io"
+)
+
+// Disassemble writes a human-readable listing of the program: the layer
+// table, then the instruction stream annotated with layer/tile boundaries
+// and interrupt points. It is the inspection tool behind
+// `inca-compile -dump`.
+func (p *Program) Disassemble(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "program %q  Para=(%d,%d,%d)  %d layers, %d instructions, DDR %d bytes\n",
+		p.Name, p.ParaIn, p.ParaOut, p.ParaHeight, len(p.Layers), len(p.Instrs), p.DDRBytes); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nlayer table:\n")
+	for i := range p.Layers {
+		l := &p.Layers[i]
+		extra := ""
+		if l.FusedPool > 1 {
+			extra = fmt.Sprintf(" fusedpool=%d", l.FusedPool)
+		}
+		if l.ReLU {
+			extra += " relu"
+		}
+		if l.Groups > 1 {
+			extra += fmt.Sprintf(" groups=%d", l.Groups)
+		}
+		fmt.Fprintf(w, "  L%-3d %-5s %-18s in %dx%dx%d @%d  out %dx%dx%d @%d  k%dx%d s%d p%d  tiles=%d blobs=%dx%d%s\n",
+			i, l.Op, l.Name,
+			l.InC, l.InH, l.InW, l.InAddr,
+			l.OutC, l.OutH, l.OutW, l.OutAddr,
+			l.KH, l.KW, l.Stride, l.Pad,
+			l.NTiles, l.NOut, l.NIn, extra)
+	}
+
+	points := make(map[int]bool)
+	for _, i := range p.InterruptPoints() {
+		points[i] = true
+	}
+	fmt.Fprintf(w, "\ninstruction stream (* marks an interrupt point):\n")
+	lastLayer, lastTile := -1, -1
+	for i, in := range p.Instrs {
+		if in.Op != OpEnd && (int(in.Layer) != lastLayer || int(in.Tile) != lastTile) {
+			if int(in.Layer) != lastLayer {
+				fmt.Fprintf(w, "  ; ---- layer %d (%s) ----\n", in.Layer, p.Layers[in.Layer].Name)
+			}
+			fmt.Fprintf(w, "  ; tile %d\n", in.Tile)
+			lastLayer, lastTile = int(in.Layer), int(in.Tile)
+		}
+		mark := " "
+		if points[i] {
+			mark = "*"
+		}
+		if _, err := fmt.Fprintf(w, "%s %6d  %s\n", mark, i, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package isa_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassemble(t *testing.T) {
+	p := sampleProgram()
+	var b strings.Builder
+	if err := p.Disassemble(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`program "sample"`,
+		"Para=(16,16,8)",
+		"layer table:",
+		"L0   conv  conv1",
+		"LOAD_D",
+		"Vir_SAVE",
+		"; ---- layer 0 (conv1) ----",
+		"; tile 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+	// Every interrupt point must carry the '*' marker at line start.
+	starred := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "*") {
+			starred++
+		}
+	}
+	if want := len(p.InterruptPoints()); starred != want {
+		t.Errorf("%d starred lines, want %d interrupt points", starred, want)
+	}
+}

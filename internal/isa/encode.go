@@ -1,0 +1,252 @@
+package isa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary format of instruction.bin:
+//
+//	header:  magic "INCA" | u16 version | u16 flags
+//	         u16 paraIn | u16 paraOut | u16 paraHeight | u16 nameLen | name
+//	         u32 nLayers | u32 nInstrs | u32 ddrBytes
+//	         u32 inputAddr | u32 inputBytes | u32 outputAddr | u32 outputBytes
+//	         u32 weightsAddr | u32 weightsLen
+//	layers:  fixed 64-byte records + u16-prefixed name
+//	instrs:  fixed 24-byte records
+//	weights: raw int8 image (weightsLen bytes)
+
+const (
+	magic   = "INCA"
+	version = 1
+)
+
+type fixedHeader struct {
+	Version    uint16
+	Flags      uint16
+	ParaIn     uint16
+	ParaOut    uint16
+	ParaHeight uint16
+	NameLen    uint16
+}
+
+type fixedCounts struct {
+	NLayers     uint32
+	NInstrs     uint32
+	DDRBytes    uint32
+	InputAddr   uint32
+	InputBytes  uint32
+	OutputAddr  uint32
+	OutputBytes uint32
+	WeightsAddr uint32
+	WeightsLen  uint32
+}
+
+type fixedLayer struct {
+	Op        uint8
+	Shift     uint8
+	ReLU      uint8
+	FusedPool uint8
+	InC       uint32
+	InH       uint32
+	InW       uint32
+	OutC      uint32
+	OutH      uint32
+	OutW      uint32
+	KH        uint16
+	KW        uint16
+	Stride    uint16
+	Pad       uint16
+	Groups    uint32
+	InAddr    uint32
+	In2Addr   uint32
+	OutAddr   uint32
+	WAddr     uint32
+	NIn       uint32
+	NOut      uint32
+	NTiles    uint32
+}
+
+type fixedInstr struct {
+	Op     uint8
+	Which  uint8
+	Layer  uint16
+	InG    uint16
+	OutG   uint16
+	Row0   uint16
+	Rows   uint16
+	Tile   uint16
+	_      uint16 // pad
+	SaveID uint32
+	Addr   uint32
+	Len    uint32
+}
+
+// Encode writes the program in instruction.bin format.
+func Encode(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	hdr := fixedHeader{
+		Version:    version,
+		ParaIn:     uint16(p.ParaIn),
+		ParaOut:    uint16(p.ParaOut),
+		ParaHeight: uint16(p.ParaHeight),
+		NameLen:    uint16(len(p.Name)),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(p.Name); err != nil {
+		return err
+	}
+	counts := fixedCounts{
+		NLayers:     uint32(len(p.Layers)),
+		NInstrs:     uint32(len(p.Instrs)),
+		DDRBytes:    p.DDRBytes,
+		InputAddr:   p.InputAddr,
+		InputBytes:  p.InputBytes,
+		OutputAddr:  p.OutputAddr,
+		OutputBytes: p.OutputBytes,
+		WeightsAddr: p.WeightsAddr,
+		WeightsLen:  uint32(len(p.Weights)),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, counts); err != nil {
+		return err
+	}
+	for i := range p.Layers {
+		l := &p.Layers[i]
+		fl := fixedLayer{
+			Op: uint8(l.Op), Shift: l.Shift, ReLU: b2u(l.ReLU), FusedPool: uint8(l.FusedPool),
+			InC: uint32(l.InC), InH: uint32(l.InH), InW: uint32(l.InW),
+			OutC: uint32(l.OutC), OutH: uint32(l.OutH), OutW: uint32(l.OutW),
+			KH: uint16(l.KH), KW: uint16(l.KW), Stride: uint16(l.Stride), Pad: uint16(l.Pad),
+			Groups: uint32(l.Groups),
+			InAddr: l.InAddr, In2Addr: l.In2Addr, OutAddr: l.OutAddr, WAddr: l.WAddr,
+			NIn: uint32(l.NIn), NOut: uint32(l.NOut), NTiles: uint32(l.NTiles),
+		}
+		if err := binary.Write(bw, binary.LittleEndian, fl); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(l.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(l.Name); err != nil {
+			return err
+		}
+	}
+	for _, in := range p.Instrs {
+		fi := fixedInstr{
+			Op: uint8(in.Op), Which: in.Which, Layer: in.Layer,
+			InG: in.InG, OutG: in.OutG, Row0: in.Row0, Rows: in.Rows, Tile: in.Tile,
+			SaveID: in.SaveID, Addr: in.Addr, Len: in.Len,
+		}
+		if err := binary.Write(bw, binary.LittleEndian, fi); err != nil {
+			return err
+		}
+	}
+	if len(p.Weights) > 0 {
+		raw := make([]byte, len(p.Weights))
+		for i, v := range p.Weights {
+			raw[i] = byte(v)
+		}
+		if _, err := bw.Write(raw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a program from instruction.bin format.
+func Decode(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	mg := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, mg); err != nil {
+		return nil, fmt.Errorf("isa: reading magic: %w", err)
+	}
+	if string(mg) != magic {
+		return nil, fmt.Errorf("isa: bad magic %q", mg)
+	}
+	var hdr fixedHeader
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("isa: reading header: %w", err)
+	}
+	if hdr.Version != version {
+		return nil, fmt.Errorf("isa: unsupported version %d", hdr.Version)
+	}
+	name := make([]byte, hdr.NameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("isa: reading name: %w", err)
+	}
+	var counts fixedCounts
+	if err := binary.Read(br, binary.LittleEndian, &counts); err != nil {
+		return nil, fmt.Errorf("isa: reading counts: %w", err)
+	}
+	p := &Program{
+		Name:       string(name),
+		ParaIn:     int(hdr.ParaIn),
+		ParaOut:    int(hdr.ParaOut),
+		ParaHeight: int(hdr.ParaHeight),
+		Layers:     make([]LayerInfo, counts.NLayers),
+		Instrs:     make([]Instruction, counts.NInstrs),
+		DDRBytes:   counts.DDRBytes,
+		InputAddr:  counts.InputAddr, InputBytes: counts.InputBytes,
+		OutputAddr: counts.OutputAddr, OutputBytes: counts.OutputBytes,
+		WeightsAddr: counts.WeightsAddr,
+	}
+	for i := range p.Layers {
+		var fl fixedLayer
+		if err := binary.Read(br, binary.LittleEndian, &fl); err != nil {
+			return nil, fmt.Errorf("isa: reading layer %d: %w", i, err)
+		}
+		var nl uint16
+		if err := binary.Read(br, binary.LittleEndian, &nl); err != nil {
+			return nil, fmt.Errorf("isa: reading layer %d name len: %w", i, err)
+		}
+		ln := make([]byte, nl)
+		if _, err := io.ReadFull(br, ln); err != nil {
+			return nil, fmt.Errorf("isa: reading layer %d name: %w", i, err)
+		}
+		p.Layers[i] = LayerInfo{
+			Op: LayerOp(fl.Op), Name: string(ln),
+			InC: int(fl.InC), InH: int(fl.InH), InW: int(fl.InW),
+			OutC: int(fl.OutC), OutH: int(fl.OutH), OutW: int(fl.OutW),
+			KH: int(fl.KH), KW: int(fl.KW), Stride: int(fl.Stride), Pad: int(fl.Pad),
+			Groups: int(fl.Groups), Shift: fl.Shift, ReLU: fl.ReLU != 0, FusedPool: int(fl.FusedPool),
+			InAddr: fl.InAddr, In2Addr: fl.In2Addr, OutAddr: fl.OutAddr, WAddr: fl.WAddr,
+			NIn: int(fl.NIn), NOut: int(fl.NOut), NTiles: int(fl.NTiles),
+		}
+	}
+	for i := range p.Instrs {
+		var fi fixedInstr
+		if err := binary.Read(br, binary.LittleEndian, &fi); err != nil {
+			return nil, fmt.Errorf("isa: reading instr %d: %w", i, err)
+		}
+		p.Instrs[i] = Instruction{
+			Op: Op(fi.Op), Which: fi.Which, Layer: fi.Layer,
+			InG: fi.InG, OutG: fi.OutG, Row0: fi.Row0, Rows: fi.Rows, Tile: fi.Tile,
+			SaveID: fi.SaveID, Addr: fi.Addr, Len: fi.Len,
+		}
+	}
+	if counts.WeightsLen > 0 {
+		raw := make([]byte, counts.WeightsLen)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("isa: reading weights: %w", err)
+		}
+		p.Weights = make([]int8, len(raw))
+		for i, b := range raw {
+			p.Weights[i] = int8(b)
+		}
+	}
+	return p, nil
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,298 @@
+// Package isa defines the instruction set of the simulated instruction-driven
+// CNN accelerator, both the original ISA (LOAD_W / LOAD_D / CALC_I / CALC_F /
+// SAVE, Table 1 of the paper) and the Virtual-Instruction extension
+// (Vir_SAVE / Vir_LOAD_D) that makes a compiled stream interruptible.
+//
+// A Program couples the instruction stream with a layer table carrying the
+// geometry the execution engine needs for cycle-accurate timing and for
+// functional (bit-exact) execution. Programs serialize to the
+// `instruction.bin` format via Encode/Decode.
+package isa
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. The first five form the original ISA; VirSave/VirLoadD are the
+// virtual instructions added by the INCA compiler; End terminates a stream.
+const (
+	OpLoadW Op = iota
+	OpLoadD
+	OpCalcI
+	OpCalcF
+	OpSave
+	OpVirSave
+	OpVirLoadD
+	OpEnd
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpLoadW:
+		return "LOAD_W"
+	case OpLoadD:
+		return "LOAD_D"
+	case OpCalcI:
+		return "CALC_I"
+	case OpCalcF:
+		return "CALC_F"
+	case OpSave:
+		return "SAVE"
+	case OpVirSave:
+		return "Vir_SAVE"
+	case OpVirLoadD:
+		return "Vir_LOAD_D"
+	case OpEnd:
+		return "END"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Virtual reports whether the opcode is a virtual instruction: skipped by the
+// IAU in normal flow, materialised only around an interrupt.
+func (o Op) Virtual() bool { return o == OpVirSave || o == OpVirLoadD }
+
+// Instruction is one fixed-width instruction record.
+//
+// Field meaning by opcode:
+//
+//	LOAD_W    Layer, OutG (out-channel group whose weights are loaded),
+//	          Addr/Len (weight bytes incl. bias words in DDR).
+//	LOAD_D    Layer, Which (0 = primary input, 1 = residual input),
+//	          Row0/Rows (input featuremap rows fetched, all channels),
+//	          Addr/Len. Delta loads fetch only rows not already resident.
+//	CALC_I/F  Layer, InG, OutG, Row0/Rows (OUTPUT rows of the tile).
+//	SAVE      Layer, Row0/Rows (output rows), SaveID, Addr/Len. Covers the
+//	          out-channel groups [InG, OutG] (inclusive) of the tile — the
+//	          compiler may emit one SAVE per CalcBlob, per few blobs, or per
+//	          tile (BlobsPerSave).
+//	Vir_SAVE  Like SAVE, but covers only the save window's groups finished
+//	          when the preceding CALC_F retired ([InG, OutG]); executed only
+//	          when an interrupt is taken here.
+//	Vir_LOAD_D Like LOAD_D; restores the input-row window a resumed task
+//	          needs (full window after CALC_F, forward overlap after SAVE).
+//	END       stream terminator.
+type Instruction struct {
+	Op     Op
+	Which  uint8  // LOAD_D input selector (0 primary, 1 residual)
+	Layer  uint16 // index into Program.Layers
+	InG    uint16 // input-channel group index
+	OutG   uint16 // output-channel group index
+	Row0   uint16 // first row of the affected row range
+	Rows   uint16 // number of rows (0 ⇒ no-op transfer)
+	Tile   uint16 // height-tile ordinal within the layer
+	SaveID uint32 // correlates Vir_SAVE with the SAVE it pre-empts
+	Addr   uint32 // DDR byte address (task-relative)
+	Len    uint32 // transfer length in bytes
+}
+
+func (in Instruction) String() string {
+	switch in.Op {
+	case OpLoadW:
+		return fmt.Sprintf("%s l%d og%d addr=%d len=%d", in.Op, in.Layer, in.OutG, in.Addr, in.Len)
+	case OpLoadD, OpVirLoadD:
+		return fmt.Sprintf("%s l%d in%d rows[%d+%d) len=%d", in.Op, in.Layer, in.Which, in.Row0, in.Rows, in.Len)
+	case OpCalcI, OpCalcF:
+		return fmt.Sprintf("%s l%d ig%d og%d tile%d rows[%d+%d)", in.Op, in.Layer, in.InG, in.OutG, in.Tile, in.Row0, in.Rows)
+	case OpSave, OpVirSave:
+		return fmt.Sprintf("%s l%d tile%d rows[%d+%d) save=%d len=%d", in.Op, in.Layer, in.Tile, in.Row0, in.Rows, in.SaveID, in.Len)
+	default:
+		return in.Op.String()
+	}
+}
+
+// LayerOp distinguishes how the engine executes a layer's CALC instructions.
+type LayerOp uint8
+
+// Layer operation classes the accelerator executes.
+const (
+	LayerConv LayerOp = iota // dense or grouped/depthwise convolution
+	LayerPool                // max pooling
+	LayerAdd                 // element-wise residual addition
+)
+
+func (k LayerOp) String() string {
+	switch k {
+	case LayerConv:
+		return "conv"
+	case LayerPool:
+		return "pool"
+	case LayerAdd:
+		return "add"
+	default:
+		return fmt.Sprintf("LayerOp(%d)", uint8(k))
+	}
+}
+
+// LayerInfo is one row of a program's layer table: everything the engine
+// needs to time and (optionally) functionally execute the layer's
+// instructions.
+type LayerInfo struct {
+	Op   LayerOp
+	Name string
+
+	InC, InH, InW    int
+	OutC, OutH, OutW int
+	KH, KW           int
+	Stride, Pad      int
+	Groups           int // 1 dense; InC depthwise
+
+	Shift uint8 // arithmetic right shift applied at requantization
+	ReLU  bool
+
+	// FusedPool, when >1, max-pools the conv output with this window/stride
+	// during SAVE (OutH/OutW already reflect the pooled size).
+	FusedPool int
+
+	// DDR layout (task-relative byte addresses).
+	InAddr  uint32 // input featuremap region (int8, CHW)
+	In2Addr uint32 // second input for LayerAdd
+	OutAddr uint32 // output featuremap region (int8, CHW)
+	WAddr   uint32 // weights region base (int8 tiles + int32 biases)
+
+	// Tiling (derived from the parallelism the program was compiled for).
+	NIn    int // ceil(effInC / ParaIn) input-channel groups
+	NOut   int // ceil(OutC / ParaOut) output-channel groups
+	NTiles int // ceil(OutH / ParaHeight) height tiles
+}
+
+// ConvRows maps an output-row range to the convolution-row range that
+// computes it (identity unless pooling is fused into the layer).
+func (l *LayerInfo) ConvRows(row0, rows int) (c0, cn int) {
+	if l.FusedPool > 1 {
+		return row0 * l.FusedPool, rows * l.FusedPool
+	}
+	return row0, rows
+}
+
+// ConvW returns the layer's convolution output width (pre-fused-pool).
+func (l *LayerInfo) ConvW() int {
+	if l.FusedPool > 1 {
+		return l.OutW * l.FusedPool
+	}
+	return l.OutW
+}
+
+// Program is a compiled, loadable instruction stream plus its layer table.
+type Program struct {
+	Name string
+
+	// Parallelism the stream was scheduled for.
+	ParaIn, ParaOut, ParaHeight int
+
+	Layers []LayerInfo
+	Instrs []Instruction
+
+	// DDRBytes is the size of the task's DDR arena (featuremaps + weights).
+	DDRBytes uint32
+
+	// Weights is the weight image to place at its layers' WAddr regions when
+	// running functionally. Empty for timing-only programs.
+	Weights []int8
+	// WeightsAddr is the base address of the weight image.
+	WeightsAddr uint32
+
+	// InputAddr/InputBytes locate the network input featuremap in the arena.
+	InputAddr  uint32
+	InputBytes uint32
+	// OutputAddr/OutputBytes locate the final output featuremap.
+	OutputAddr  uint32
+	OutputBytes uint32
+}
+
+// Validate performs structural checks on the program: opcode validity, layer
+// references, row ranges, and stream termination.
+func (p *Program) Validate() error {
+	if p.ParaIn <= 0 || p.ParaOut <= 0 || p.ParaHeight <= 0 {
+		return fmt.Errorf("isa: program %q has invalid parallelism (%d,%d,%d)", p.Name, p.ParaIn, p.ParaOut, p.ParaHeight)
+	}
+	if len(p.Instrs) == 0 || p.Instrs[len(p.Instrs)-1].Op != OpEnd {
+		return fmt.Errorf("isa: program %q does not end with END", p.Name)
+	}
+	for i, in := range p.Instrs {
+		if in.Op >= numOps {
+			return fmt.Errorf("isa: program %q instr %d has invalid opcode %d", p.Name, i, in.Op)
+		}
+		if in.Op == OpEnd {
+			if i != len(p.Instrs)-1 {
+				return fmt.Errorf("isa: program %q has END at %d before stream end", p.Name, i)
+			}
+			continue
+		}
+		if int(in.Layer) >= len(p.Layers) {
+			return fmt.Errorf("isa: program %q instr %d references layer %d of %d", p.Name, i, in.Layer, len(p.Layers))
+		}
+		l := &p.Layers[in.Layer]
+		switch in.Op {
+		case OpCalcI, OpCalcF, OpSave, OpVirSave:
+			if int(in.Row0)+int(in.Rows) > l.OutH {
+				return fmt.Errorf("isa: program %q instr %d rows [%d,%d) exceed OutH=%d", p.Name, i, in.Row0, int(in.Row0)+int(in.Rows), l.OutH)
+			}
+		case OpLoadD, OpVirLoadD:
+			if int(in.Row0)+int(in.Rows) > l.InH {
+				return fmt.Errorf("isa: program %q instr %d rows [%d,%d) exceed InH=%d", p.Name, i, in.Row0, int(in.Row0)+int(in.Rows), l.InH)
+			}
+		}
+	}
+	return nil
+}
+
+// StripVirtual returns a copy of the instruction stream with every virtual
+// instruction removed — i.e. the original-ISA stream the IAU feeds the
+// accelerator when no interrupt occurs.
+func (p *Program) StripVirtual() []Instruction {
+	out := make([]Instruction, 0, len(p.Instrs))
+	for _, in := range p.Instrs {
+		if !in.Op.Virtual() {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// CountOps tallies instructions per opcode.
+func (p *Program) CountOps() map[Op]int {
+	m := make(map[Op]int, int(numOps))
+	for _, in := range p.Instrs {
+		m[in.Op]++
+	}
+	return m
+}
+
+// InterruptPoints returns the indices of instructions at which the VI method
+// may take an interrupt: every virtual instruction that begins a
+// backup/restore group (a Vir_SAVE, or a lone Vir_LOAD_D following a SAVE).
+func (p *Program) InterruptPoints() []int {
+	var pts []int
+	for i, in := range p.Instrs {
+		switch in.Op {
+		case OpVirSave:
+			pts = append(pts, i)
+		case OpVirLoadD:
+			if i == 0 || p.Instrs[i-1].Op != OpVirSave {
+				pts = append(pts, i)
+			}
+		}
+	}
+	return pts
+}
+
+// LayerBoundaries returns the indices of the first instruction of each layer
+// (the positions at which the layer-by-layer method may switch).
+func (p *Program) LayerBoundaries() []int {
+	var pts []int
+	last := -1
+	for i, in := range p.Instrs {
+		if in.Op == OpEnd {
+			break
+		}
+		if int(in.Layer) != last {
+			pts = append(pts, i)
+			last = int(in.Layer)
+		}
+	}
+	return pts
+}

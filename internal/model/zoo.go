@@ -1,0 +1,287 @@
+package model
+
+import "fmt"
+
+// This file builds the networks the paper deploys or sweeps over:
+//
+//   - SuperPoint's VGG-style backbone (feature-point extraction, FE)
+//   - GeM's ResNet-101 backbone (place recognition, PR)
+//   - VGG-16, ResNet-18/34/50, MobileNetV1 for the Fig. 5(b) latency sweep
+//
+// Weights are synthetic (the interrupt experiments depend on shapes only);
+// the structures follow the original papers.
+
+// NewVGG16 builds the VGG-16 convolutional body for a c×h×w input. Pooling
+// is fused into the preceding convolution, as instruction-driven
+// accelerators lower it.
+func NewVGG16(c, h, w int) *Network {
+	n := New("vgg16", c, h, w)
+	cur := 0
+	stage := func(outC, convs int, pool bool) {
+		for i := 0; i < convs; i++ {
+			l := Layer{
+				Name: fmt.Sprintf("conv%d_%d", outC, i+1), Kind: KindConv,
+				Inputs: []int{cur}, OutC: outC, KH: 3, KW: 3, Stride: 1, Pad: 1,
+				Groups: 1, ReLU: true,
+			}
+			if pool && i == convs-1 {
+				l.FusedPool = 2
+			}
+			cur = n.Add(l)
+		}
+	}
+	stage(64, 2, true)
+	stage(128, 2, true)
+	stage(256, 3, true)
+	stage(512, 3, true)
+	stage(512, 3, true)
+	return n
+}
+
+// NewSuperPoint builds the SuperPoint backbone plus its two heads (detector
+// and descriptor), the FE network of the paper. The shared VGG-style encoder
+// downsamples by 8; the detector head emits 65 channels (8x8 cells + dustbin)
+// and the descriptor head 256 channels.
+func NewSuperPoint(h, w int) *Network {
+	n := New("superpoint", 1, h, w)
+	cur := 0
+	conv := func(name string, outC int, pool bool) {
+		l := Layer{
+			Name: name, Kind: KindConv, Inputs: []int{cur},
+			OutC: outC, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1, ReLU: true,
+		}
+		if pool {
+			l.FusedPool = 2
+		}
+		cur = n.Add(l)
+	}
+	conv("conv1a", 64, false)
+	conv("conv1b", 64, true)
+	conv("conv2a", 64, false)
+	conv("conv2b", 64, true)
+	conv("conv3a", 128, false)
+	conv("conv3b", 128, true)
+	conv("conv4a", 128, false)
+	conv("conv4b", 128, false)
+	trunk := cur
+	// Detector head: 3x3 -> 1x1 to 65 channels.
+	n.Add(Layer{Name: "det_convPa", Kind: KindConv, Inputs: []int{trunk}, OutC: 256, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1, ReLU: true})
+	n.Add(Layer{Name: "det_convPb", Kind: KindConv, Inputs: []int{len(n.Layers) - 1}, OutC: 65, KH: 1, KW: 1, Stride: 1, Pad: 0, Groups: 1})
+	// Descriptor head: 3x3 -> 1x1 to 256 channels.
+	n.Add(Layer{Name: "desc_convDa", Kind: KindConv, Inputs: []int{trunk}, OutC: 256, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1, ReLU: true})
+	n.Add(Layer{Name: "desc_convDb", Kind: KindConv, Inputs: []int{len(n.Layers) - 1}, OutC: 256, KH: 1, KW: 1, Stride: 1, Pad: 0, Groups: 1})
+	return n
+}
+
+// resNetPlan captures per-stage block counts for the ResNet family.
+type resNetPlan struct {
+	blocks     [4]int
+	bottleneck bool
+}
+
+var resNetPlans = map[int]resNetPlan{
+	18:  {blocks: [4]int{2, 2, 2, 2}},
+	34:  {blocks: [4]int{3, 4, 6, 3}},
+	50:  {blocks: [4]int{3, 4, 6, 3}, bottleneck: true},
+	101: {blocks: [4]int{3, 4, 23, 3}, bottleneck: true},
+}
+
+// NewResNet builds a ResNet body (depth in {18, 34, 50, 101}) for a c×h×w
+// input, ending after the final residual stage (the global-pool/FC head is a
+// CPU-side post-processing step and is added by callers that need it).
+func NewResNet(depth, c, h, w int) (*Network, error) {
+	plan, ok := resNetPlans[depth]
+	if !ok {
+		return nil, fmt.Errorf("model: unsupported ResNet depth %d", depth)
+	}
+	n := New(fmt.Sprintf("resnet%d", depth), c, h, w)
+	cur := n.Add(Layer{
+		Name: "conv1", Kind: KindConv, Inputs: []int{0},
+		OutC: 64, KH: 7, KW: 7, Stride: 2, Pad: 3, Groups: 1, ReLU: true,
+	})
+	cur = n.MaxPool("pool1", cur, 3, 2)
+
+	stageC := [4]int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		baseC := stageC[stage]
+		for blk := 0; blk < plan.blocks[stage]; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			prefix := fmt.Sprintf("res%d_%d", stage+2, blk)
+			if plan.bottleneck {
+				cur = addBottleneck(n, prefix, cur, baseC, stride)
+			} else {
+				cur = addBasicBlock(n, prefix, cur, baseC, stride)
+			}
+		}
+	}
+	return n, nil
+}
+
+func addBasicBlock(n *Network, prefix string, in, outC, stride int) int {
+	a := n.Conv(prefix+"_a", in, outC, 3, stride, 1, true)
+	b := n.Conv(prefix+"_b", a, outC, 3, 1, 1, false)
+	shortcut := in
+	if stride != 1 || shapeC(n, in) != outC {
+		shortcut = n.Conv(prefix+"_proj", in, outC, 1, stride, 0, false)
+	}
+	return n.Residual(prefix+"_add", b, shortcut, true)
+}
+
+func addBottleneck(n *Network, prefix string, in, baseC, stride int) int {
+	expC := baseC * 4
+	a := n.Conv(prefix+"_a", in, baseC, 1, 1, 0, true)
+	b := n.Conv(prefix+"_b", a, baseC, 3, stride, 1, true)
+	c := n.Conv(prefix+"_c", b, expC, 1, 1, 0, false)
+	shortcut := in
+	if stride != 1 || shapeC(n, in) != expC {
+		shortcut = n.Conv(prefix+"_proj", in, expC, 1, stride, 0, false)
+	}
+	return n.Residual(prefix+"_add", c, shortcut, true)
+}
+
+// shapeC returns the output channel count of layer idx without running full
+// shape inference (builders only need channel propagation).
+func shapeC(n *Network, idx int) int {
+	for idx > 0 {
+		l := n.Layers[idx]
+		switch l.Kind {
+		case KindConv:
+			if l.OutC > 0 {
+				return l.OutC
+			}
+			idx = l.Inputs[0] // depthwise keeps channel count
+		case KindFC:
+			return l.OutC
+		default:
+			idx = l.Inputs[0]
+		}
+	}
+	return n.InC
+}
+
+// NewGeM builds the GeM place-recognition network: a ResNet-101 backbone
+// followed by generalized-mean pooling producing a 2048-d global descriptor.
+func NewGeM(c, h, w int) (*Network, error) {
+	n, err := NewResNet(101, c, h, w)
+	if err != nil {
+		return nil, err
+	}
+	n.Name = "gem-resnet101"
+	n.Add(Layer{Name: "gem_pool", Kind: KindGeMPool, Inputs: []int{len(n.Layers) - 1}})
+	return n, nil
+}
+
+// NewMobileNetV1 builds MobileNetV1 (depthwise-separable convolutions) for a
+// c×h×w input.
+func NewMobileNetV1(c, h, w int) *Network {
+	n := New("mobilenetv1", c, h, w)
+	cur := n.Conv("conv1", 0, 32, 3, 2, 1, true)
+	sep := func(idx, outC, stride int) {
+		cur = n.DWConv(fmt.Sprintf("dw%d", idx), cur, 3, stride, 1, true)
+		cur = n.Conv(fmt.Sprintf("pw%d", idx), cur, outC, 1, 1, 0, true)
+	}
+	sep(1, 64, 1)
+	sep(2, 128, 2)
+	sep(3, 128, 1)
+	sep(4, 256, 2)
+	sep(5, 256, 1)
+	sep(6, 512, 2)
+	for i := 0; i < 5; i++ {
+		sep(7+i, 512, 1)
+	}
+	sep(12, 1024, 2)
+	sep(13, 1024, 1)
+	return n
+}
+
+// NewTinyCNN builds a small three-conv network used by tests and the
+// quickstart example: big enough to have multiple CalcBlobs per layer, small
+// enough for bit-exact functional simulation in milliseconds.
+func NewTinyCNN(c, h, w int) *Network {
+	n := New("tinycnn", c, h, w)
+	a := n.Conv("conv1", 0, 16, 3, 1, 1, true)
+	b := n.Conv("conv2", a, 32, 3, 2, 1, true)
+	n.Conv("conv3", b, 32, 3, 1, 1, false)
+	return n
+}
+
+// ByName builds a zoo network by its command-line name for a c×h×w input.
+// Recognised names: tinycnn, vgg16, resnet18/34/50/101, mobilenetv1,
+// superpoint (1-channel), gem (ResNet-101 + GeM pooling), medium (the §4.3
+// worked-example layer).
+func ByName(name string, c, h, w int) (*Network, error) {
+	switch name {
+	case "tinycnn":
+		return NewTinyCNN(c, h, w), nil
+	case "vgg16":
+		return NewVGG16(c, h, w), nil
+	case "resnet18":
+		return NewResNet(18, c, h, w)
+	case "resnet34":
+		return NewResNet(34, c, h, w)
+	case "resnet50":
+		return NewResNet(50, c, h, w)
+	case "resnet101":
+		return NewResNet(101, c, h, w)
+	case "mobilenetv1", "mobilenet":
+		return NewMobileNetV1(c, h, w), nil
+	case "superpoint":
+		return NewSuperPoint(h, w), nil
+	case "gem":
+		return NewGeM(c, h, w)
+	case "medium":
+		return NewMediumLayerNet(), nil
+	default:
+		return nil, fmt.Errorf("model: unknown network %q", name)
+	}
+}
+
+// NewResNetTiny builds a small residual network (conv + two basic blocks)
+// for functional tests: it exercises residual Add lowering, 1x1 stride-2
+// projections, and max pooling at test-friendly sizes.
+func NewResNetTiny() *Network {
+	n := New("resnet-tiny", 3, 24, 24)
+	cur := n.Conv("conv1", 0, 8, 3, 1, 1, true)
+	cur = n.MaxPool("pool1", cur, 2, 2)
+	cur = addBasicBlock(n, "blk1", cur, 8, 1)
+	cur = addBasicBlock(n, "blk2", cur, 16, 2)
+	_ = cur
+	return n
+}
+
+// NewMobileNetTiny builds a small depthwise-separable network for functional
+// tests of grouped-convolution lowering.
+func NewMobileNetTiny() *Network {
+	n := New("mobilenet-tiny", 3, 20, 24)
+	cur := n.Conv("conv1", 0, 8, 3, 2, 1, true)
+	cur = n.DWConv("dw1", cur, 3, 1, 1, true)
+	cur = n.Conv("pw1", cur, 16, 1, 1, 0, true)
+	cur = n.DWConv("dw2", cur, 3, 2, 1, true)
+	n.Conv("pw2", cur, 16, 1, 1, 0, false)
+	return n
+}
+
+// NewPoolNet builds a network with fused and standalone pooling for
+// functional tests of both pooling paths.
+func NewPoolNet() *Network {
+	n := New("poolnet", 2, 20, 20)
+	cur := n.Add(Layer{
+		Name: "convp", Kind: KindConv, Inputs: []int{0},
+		OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1, ReLU: true,
+		FusedPool: 2,
+	})
+	cur = n.MaxPool("pool2", cur, 3, 2)
+	n.Conv("conv2", cur, 8, 3, 1, 1, false)
+	return n
+}
+
+// NewMediumLayerNet builds the single "medium-sized layer" worked example of
+// the paper (§4.3): 80×60 input, 48 input channels, 32 output channels.
+func NewMediumLayerNet() *Network {
+	n := New("medium-layer", 48, 60, 80)
+	n.Conv("conv", 0, 32, 3, 1, 1, true)
+	return n
+}

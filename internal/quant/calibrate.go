@@ -1,0 +1,325 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"inca/internal/model"
+	"inca/internal/tensor"
+)
+
+// This file implements the real deployment quantization flow of Fig. 1: a
+// float network (what a *.caffemodel would carry) is calibrated over sample
+// inputs to pick per-layer activation scales, weights are quantized to
+// symmetric int8, biases to int32 in the accumulator's scale, and the
+// requantization multiplier is rounded to the power-of-two shift the
+// accelerator implements.
+
+// FloatParams holds one convolution layer's float parameters.
+type FloatParams struct {
+	Weights *tensor.Float32 // OIHW (per-group I for grouped conv)
+	Bias    []float32
+}
+
+// FloatNetwork couples a graph with float parameters.
+type FloatNetwork struct {
+	Graph  *model.Network
+	Shapes []model.Shape
+	Params map[int]*FloatParams
+}
+
+// SynthesizeFloat builds a float network with deterministic parameters,
+// scaled so activations neither die nor explode through depth (He-style
+// fan-in scaling).
+func SynthesizeFloat(g *model.Network, seed uint64) (*FloatNetwork, error) {
+	shapes, err := g.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	fn := &FloatNetwork{Graph: g, Shapes: shapes, Params: make(map[int]*FloatParams)}
+	for i, l := range g.Layers {
+		if l.Kind != model.KindConv {
+			continue
+		}
+		in := shapes[l.Inputs[0]]
+		groups := l.Groups
+		if groups == -1 {
+			groups = in.C
+		}
+		outC := l.OutC
+		if outC == -1 {
+			outC = in.C
+		}
+		icg := in.C / groups
+		w := tensor.NewFloat32(outC, icg, l.KH, l.KW)
+		tensor.FillPatternFloat32(w, seed^uint64(i)*0x51ed)
+		fanIn := float32(icg * l.KH * l.KW)
+		gain := float32(math.Sqrt(2.0 / float64(fanIn)))
+		for j := range w.Data {
+			w.Data[j] *= gain
+		}
+		bias := make([]float32, outC)
+		bsrc := tensor.NewFloat32(outC)
+		tensor.FillPatternFloat32(bsrc, seed^(uint64(i)<<17))
+		for c := range bias {
+			bias[c] = bsrc.Data[c] * 0.05
+		}
+		fn.Params[i] = &FloatParams{Weights: w, Bias: bias}
+	}
+	return fn, nil
+}
+
+// RunFloat executes the float network, returning per-layer activations.
+func (fn *FloatNetwork) RunFloat(input *tensor.Float32) ([]*tensor.Float32, error) {
+	g := fn.Graph
+	if len(input.Shape) != 3 || input.Shape[0] != g.InC || input.Shape[1] != g.InH || input.Shape[2] != g.InW {
+		return nil, fmt.Errorf("quant: float input shape %v does not match network %dx%dx%d", input.Shape, g.InC, g.InH, g.InW)
+	}
+	acts := make([]*tensor.Float32, len(g.Layers))
+	acts[0] = input
+	for i := 1; i < len(g.Layers); i++ {
+		l := &g.Layers[i]
+		in := acts[l.Inputs[0]]
+		switch l.Kind {
+		case model.KindConv:
+			p := fn.Params[i]
+			if p == nil {
+				return nil, fmt.Errorf("quant: conv layer %d (%s) missing float params", i, l.Name)
+			}
+			acts[i] = floatConv(in, l, p)
+		case model.KindAdd:
+			b := acts[l.Inputs[1]]
+			out := tensor.NewFloat32(in.Shape...)
+			for j := range in.Data {
+				v := in.Data[j] + b.Data[j]
+				if l.ReLU && v < 0 {
+					v = 0
+				}
+				out.Data[j] = v
+			}
+			acts[i] = out
+		case model.KindMaxPool:
+			acts[i] = floatMaxPool(in, l.KH, l.Stride)
+		default:
+			acts[i] = in
+		}
+	}
+	return acts, nil
+}
+
+func floatConv(in *tensor.Float32, l *model.Layer, p *FloatParams) *tensor.Float32 {
+	inC, inH, inW := in.Shape[0], in.Shape[1], in.Shape[2]
+	groups := l.Groups
+	if groups == -1 {
+		groups = inC
+	}
+	outC := l.OutC
+	if outC == -1 {
+		outC = inC
+	}
+	convH := (inH+2*l.Pad-l.KH)/l.Stride + 1
+	convW := (inW+2*l.Pad-l.KW)/l.Stride + 1
+	icg := inC / groups
+	ocg := outC / groups
+	out := tensor.NewFloat32(outC, convH, convW)
+	ws := p.Weights
+	for oc := 0; oc < outC; oc++ {
+		grp := oc / ocg
+		for oy := 0; oy < convH; oy++ {
+			for ox := 0; ox < convW; ox++ {
+				acc := p.Bias[oc]
+				for ic := 0; ic < icg; ic++ {
+					srcC := grp*icg + ic
+					for ky := 0; ky < l.KH; ky++ {
+						iy := oy*l.Stride + ky - l.Pad
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						for kx := 0; kx < l.KW; kx++ {
+							ix := ox*l.Stride + kx - l.Pad
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							acc += in.At3(srcC, iy, ix) * ws.Data[((oc*icg+ic)*l.KH+ky)*l.KW+kx]
+						}
+					}
+				}
+				if l.ReLU && acc < 0 {
+					acc = 0
+				}
+				out.Set3(oc, oy, ox, acc)
+			}
+		}
+	}
+	if l.FusedPool > 1 {
+		return floatMaxPool(out, l.FusedPool, l.FusedPool)
+	}
+	return out
+}
+
+func floatMaxPool(in *tensor.Float32, k, stride int) *tensor.Float32 {
+	c, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh := (h-k)/stride + 1
+	ow := (w-k)/stride + 1
+	out := tensor.NewFloat32(c, oh, ow)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				m := float32(math.Inf(-1))
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						if v := in.At3(ch, oy*stride+ky, ox*stride+kx); v > m {
+							m = v
+						}
+					}
+				}
+				out.Set3(ch, oy, ox, m)
+			}
+		}
+	}
+	return out
+}
+
+// Calibration carries the per-layer scales derived from sample inputs.
+type Calibration struct {
+	// ActScale[i] is the int8 quantization scale of layer i's output
+	// activation (float ≈ int8 · scale). Index 0 is the network input.
+	ActScale []float32
+}
+
+// Calibrate runs the float network over sample inputs and derives symmetric
+// activation scales from the observed absolute maxima.
+func (fn *FloatNetwork) Calibrate(samples []*tensor.Float32) (*Calibration, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("quant: calibration needs at least one sample")
+	}
+	maxes := make([]float32, len(fn.Graph.Layers))
+	for _, s := range samples {
+		acts, err := fn.RunFloat(s)
+		if err != nil {
+			return nil, err
+		}
+		for i, a := range acts {
+			if m := a.AbsMax(); m > maxes[i] {
+				maxes[i] = m
+			}
+		}
+	}
+	cal := &Calibration{ActScale: make([]float32, len(maxes))}
+	for i, m := range maxes {
+		if m == 0 {
+			m = 1
+		}
+		cal.ActScale[i] = m / 127.0
+	}
+	return cal, nil
+}
+
+// Quantize converts the calibrated float network into the integer network
+// the compiler consumes: int8 weights (per-tensor symmetric), int32 biases
+// in accumulator scale, and power-of-two requantization shifts.
+func (fn *FloatNetwork) Quantize(cal *Calibration) (*Network, error) {
+	if len(cal.ActScale) != len(fn.Graph.Layers) {
+		return nil, fmt.Errorf("quant: calibration covers %d layers, network has %d", len(cal.ActScale), len(fn.Graph.Layers))
+	}
+	q := &Network{Graph: fn.Graph, Shapes: fn.Shapes, Params: make(map[int]*LayerParams)}
+	// effScale tracks each layer's actual int8 output scale as the
+	// power-of-two shifts realize it (it can deviate from the calibrated
+	// target by up to sqrt(2)).
+	effScale := make([]float32, len(fn.Graph.Layers))
+	effScale[0] = cal.ActScale[0]
+	for i, l := range fn.Graph.Layers {
+		switch l.Kind {
+		case model.KindMaxPool:
+			effScale[i] = effScale[l.Inputs[0]]
+			continue
+		case model.KindAdd:
+			// Align the smaller-scale branch to the larger one with a right
+			// shift (the DPU-style residual datapath).
+			sA := effScale[l.Inputs[0]]
+			sB := effScale[l.Inputs[1]]
+			big, small := sA, sB
+			swap := false
+			if sB > sA {
+				big, small = sB, sA
+				swap = true
+			}
+			d := 0.0
+			if small > 0 {
+				d = math.Round(math.Log2(float64(big) / float64(small)))
+			}
+			if d < 0 {
+				d = 0
+			}
+			if d > 15 {
+				d = 15
+			}
+			q.Params[i] = &LayerParams{Shift: uint8(d), AddSwap: swap}
+			effScale[i] = big
+			continue
+		case model.KindGlobalPool, model.KindGeMPool, model.KindFC, model.KindInput:
+			if len(l.Inputs) > 0 {
+				effScale[i] = effScale[l.Inputs[0]]
+			}
+			continue
+		}
+		fp := fn.Params[i]
+		wq, wScale := QuantizeWeights(fp.Weights)
+		sIn := effScale[l.Inputs[0]]
+		sOut := cal.ActScale[i]
+		shift, err := ShiftForScales(sIn, wScale, sOut)
+		if err != nil {
+			return nil, fmt.Errorf("quant: layer %s: %w", l.Name, err)
+		}
+		// Bias lives in the accumulator's scale: sIn*wScale. Using the
+		// shift-implied output scale keeps the datapath self-consistent.
+		accScale := float64(sIn) * float64(wScale)
+		bias := make([]int32, len(fp.Bias))
+		for c, b := range fp.Bias {
+			v := math.Round(float64(b) / accScale)
+			if v > math.MaxInt32 {
+				v = math.MaxInt32
+			}
+			if v < math.MinInt32 {
+				v = math.MinInt32
+			}
+			bias[c] = int32(v)
+		}
+		q.Params[i] = &LayerParams{
+			Weights: wq, Bias: bias, Shift: shift,
+			OutScale: float32(accScale * math.Pow(2, float64(shift))),
+		}
+		effScale[i] = q.Params[i].OutScale
+	}
+	// Record every layer's effective scale for dequantization.
+	q.EffScale = effScale
+	return q, nil
+}
+
+// QuantizeInput converts a float input image to int8 using the calibrated
+// input scale.
+func QuantizeInput(in *tensor.Float32, cal *Calibration) *tensor.Int8 {
+	out := tensor.NewInt8(in.Shape...)
+	s := cal.ActScale[0]
+	for i, v := range in.Data {
+		r := math.Round(float64(v / s))
+		if r > 127 {
+			r = 127
+		}
+		if r < -128 {
+			r = -128
+		}
+		out.Data[i] = int8(r)
+	}
+	return out
+}
+
+// DequantizeOutput converts a layer's int8 activation back to float using
+// its calibrated scale.
+func DequantizeOutput(a *tensor.Int8, scale float32) *tensor.Float32 {
+	out := tensor.NewFloat32(a.Shape...)
+	for i, v := range a.Data {
+		out.Data[i] = float32(v) * scale
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"inca/internal/model"
+	"inca/internal/tensor"
+)
+
+// QuantizePerChannel is the per-output-channel variant of Quantize: each
+// channel's weights get their own symmetric scale (and therefore their own
+// requantization shift and bias scale). DPUs implement this; the simulated
+// Angel-Eye-class requantizer is per-layer, so networks produced here run
+// only on the software reference — they exist to measure what the hardware
+// constraint costs (compare the calibration fidelity tests).
+func (fn *FloatNetwork) QuantizePerChannel(cal *Calibration) (*Network, error) {
+	if len(cal.ActScale) != len(fn.Graph.Layers) {
+		return nil, fmt.Errorf("quant: calibration covers %d layers, network has %d", len(cal.ActScale), len(fn.Graph.Layers))
+	}
+	q := &Network{Graph: fn.Graph, Shapes: fn.Shapes, Params: make(map[int]*LayerParams)}
+	effScale := make([]float32, len(fn.Graph.Layers))
+	effScale[0] = cal.ActScale[0]
+	for i, l := range fn.Graph.Layers {
+		switch l.Kind {
+		case model.KindMaxPool:
+			effScale[i] = effScale[l.Inputs[0]]
+			continue
+		case model.KindAdd:
+			// Reuse the per-layer alignment logic (channel scales have been
+			// folded into a single nominal output scale by then).
+			sA := effScale[l.Inputs[0]]
+			sB := effScale[l.Inputs[1]]
+			big, small := sA, sB
+			swap := false
+			if sB > sA {
+				big, small = sB, sA
+				swap = true
+			}
+			d := 0.0
+			if small > 0 {
+				d = math.Round(math.Log2(float64(big) / float64(small)))
+			}
+			if d < 0 {
+				d = 0
+			}
+			if d > 15 {
+				d = 15
+			}
+			q.Params[i] = &LayerParams{Shift: uint8(d), AddSwap: swap}
+			effScale[i] = big
+			continue
+		case model.KindGlobalPool, model.KindGeMPool, model.KindFC, model.KindInput:
+			if len(l.Inputs) > 0 {
+				effScale[i] = effScale[l.Inputs[0]]
+			}
+			continue
+		}
+		fp := fn.Params[i]
+		ws := fp.Weights.Shape
+		outC, icg, kh, kw := ws[0], ws[1], ws[2], ws[3]
+		per := icg * kh * kw
+		wq := tensor.NewInt8(outC, icg, kh, kw)
+		sIn := effScale[l.Inputs[0]]
+		sOut := cal.ActScale[i]
+		shifts := make([]uint8, outC)
+		scales := make([]float32, outC)
+		bias := make([]int32, outC)
+		for oc := 0; oc < outC; oc++ {
+			// Per-channel symmetric weight scale.
+			var m float32
+			base := oc * per
+			for j := 0; j < per; j++ {
+				a := fp.Weights.Data[base+j]
+				if a < 0 {
+					a = -a
+				}
+				if a > m {
+					m = a
+				}
+			}
+			if m == 0 {
+				m = 1
+			}
+			wScale := m / 127.0
+			for j := 0; j < per; j++ {
+				r := math.Round(float64(fp.Weights.Data[base+j] / wScale))
+				if r > 127 {
+					r = 127
+				}
+				if r < -128 {
+					r = -128
+				}
+				wq.Data[base+j] = int8(r)
+			}
+			sh, err := ShiftForScales(sIn, wScale, sOut)
+			if err != nil {
+				return nil, fmt.Errorf("quant: layer %s channel %d: %w", l.Name, oc, err)
+			}
+			shifts[oc] = sh
+			accScale := float64(sIn) * float64(wScale)
+			scales[oc] = float32(accScale * math.Pow(2, float64(sh)))
+			v := math.Round(float64(fp.Bias[oc]) / accScale)
+			if v > math.MaxInt32 {
+				v = math.MaxInt32
+			}
+			if v < math.MinInt32 {
+				v = math.MinInt32
+			}
+			bias[oc] = int32(v)
+		}
+		// Nominal layer scale for downstream consumers: the mean channel
+		// scale (channels deviate from it by at most sqrt(2)).
+		var sum float64
+		for _, s := range scales {
+			sum += float64(s)
+		}
+		nominal := float32(sum / float64(outC))
+		q.Params[i] = &LayerParams{
+			Weights: wq, Bias: bias,
+			ChannelShift: shifts, ChannelScale: scales,
+			OutScale: nominal,
+		}
+		effScale[i] = nominal
+	}
+	q.EffScale = effScale
+	return q, nil
+}

@@ -1,0 +1,185 @@
+package quant_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"inca/internal/model"
+	"inca/internal/quant"
+	"inca/internal/tensor"
+)
+
+func TestSynthesizeCoversConvLayers(t *testing.T) {
+	g := model.NewResNetTiny()
+	q, err := quant.Synthesize(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range g.Layers {
+		_, has := q.Params[i]
+		if (l.Kind == model.KindConv) != has {
+			t.Errorf("layer %d (%s, %v): params present=%v", i, l.Name, l.Kind, has)
+		}
+	}
+	// Deterministic.
+	q2, err := quant.Synthesize(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q.Params {
+		if !q.Params[i].Weights.Equal(q2.Params[i].Weights) {
+			t.Fatalf("layer %d weights differ across identical seeds", i)
+		}
+	}
+}
+
+func TestRequantize(t *testing.T) {
+	cases := []struct {
+		acc   int32
+		bias  int32
+		shift uint8
+		relu  bool
+		want  int8
+	}{
+		{1000, 24, 3, false, 127},    // saturate high
+		{-100000, 0, 4, false, -128}, // saturate low
+		{-50, 0, 0, true, 0},         // relu clamps
+		{640, 0, 4, false, 40},
+		{-64, 0, 2, false, -16},
+		{0, -8, 3, false, -1},
+	}
+	for i, c := range cases {
+		if got := quant.Requantize(c.acc, c.bias, c.shift, c.relu); got != c.want {
+			t.Errorf("case %d: Requantize = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestSaturateAdd(t *testing.T) {
+	if got := quant.SaturateAdd(100, 100, false); got != 127 {
+		t.Errorf("100+100 = %d", got)
+	}
+	if got := quant.SaturateAdd(-100, -100, false); got != -128 {
+		t.Errorf("-100-100 = %d", got)
+	}
+	if got := quant.SaturateAdd(-5, 2, true); got != 0 {
+		t.Errorf("relu(-3) = %d", got)
+	}
+	if got := quant.SaturateAdd(-5, 2, false); got != -3 {
+		t.Errorf("-5+2 = %d", got)
+	}
+}
+
+// Property: requantization result is always a sane int8, and ReLU output is
+// never negative.
+func TestRequantizeProperties(t *testing.T) {
+	f := func(acc, bias int32, shift uint8, relu bool) bool {
+		v := quant.Requantize(acc, bias, shift%32, relu)
+		if relu && v < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeWeightsRoundTrip(t *testing.T) {
+	w := tensor.NewFloat32(4, 2, 3, 3)
+	tensor.FillPatternFloat32(w, 9)
+	q, scale := quant.QuantizeWeights(w)
+	if scale <= 0 {
+		t.Fatalf("scale = %v", scale)
+	}
+	var maxErr float32
+	for i := range w.Data {
+		got := float32(q.Data[i]) * scale
+		err := got - w.Data[i]
+		if err < 0 {
+			err = -err
+		}
+		if err > maxErr {
+			maxErr = err
+		}
+	}
+	if maxErr > scale {
+		t.Fatalf("max quantization error %v exceeds one step %v", maxErr, scale)
+	}
+}
+
+func TestShiftForScales(t *testing.T) {
+	sh, err := quant.ShiftForScales(0.5, 0.25, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// multiplier = 0.0625 = 2^-4
+	if sh != 4 {
+		t.Fatalf("shift = %d, want 4", sh)
+	}
+	if _, err := quant.ShiftForScales(0, 1, 1); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}
+
+func TestReferenceRunShapes(t *testing.T) {
+	g := model.NewPoolNet()
+	q, err := quant.Synthesize(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.NewInt8(g.InC, g.InH, g.InW)
+	tensor.FillPattern(in, 8)
+	acts, err := q.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, _ := g.InferShapes()
+	for i, a := range acts {
+		k := g.Layers[i].Kind
+		if k == model.KindGlobalPool || k == model.KindGeMPool || k == model.KindFC {
+			continue
+		}
+		if a.Shape[0] != shapes[i].C || a.Shape[1] != shapes[i].H || a.Shape[2] != shapes[i].W {
+			t.Errorf("layer %d activation %v, inferred %v", i, a.Shape, shapes[i])
+		}
+	}
+	if _, err := q.Run(tensor.NewInt8(1, 2, 3)); err == nil {
+		t.Fatal("wrong input shape accepted")
+	}
+}
+
+// TestReferenceDepthwiseSemantics pins depthwise behaviour: each output
+// channel depends only on its own input channel.
+func TestReferenceDepthwiseSemantics(t *testing.T) {
+	g := model.New("dw", 2, 6, 6)
+	g.DWConv("dw", 0, 3, 1, 1, false)
+	q, err := quant.Synthesize(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.NewInt8(2, 6, 6)
+	tensor.FillPattern(in, 2)
+	base, err := q.RunFinal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb channel 1; channel 0's output must not change.
+	in2 := in.Clone()
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 6; x++ {
+			in2.Set3(1, y, x, in2.At3(1, y, x)+1)
+		}
+	}
+	out2, err := q.RunFinal(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 6; x++ {
+			if base.At3(0, y, x) != out2.At3(0, y, x) {
+				t.Fatalf("depthwise cross-channel leak at (%d,%d)", y, x)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package ros
+
+import "fmt"
+
+// Node is an independently-authored component, the unit of modularity ROS
+// provides robot developers.
+type Node struct {
+	core *Core
+	name string
+}
+
+// Name returns the node's registered name.
+func (n *Node) Name() string { return n.name }
+
+// Core returns the middleware the node belongs to.
+func (n *Node) Core() *Core { return n.core }
+
+// Publisher sends messages on one topic.
+type Publisher struct {
+	node  *Node
+	topic *topic
+}
+
+// Advertise creates a publisher for the topic.
+func (n *Node) Advertise(topicName string) *Publisher {
+	return &Publisher{node: n, topic: n.core.topic(topicName)}
+}
+
+// Publish stamps and delivers the payload to every active subscriber after
+// the core's transport delay.
+func (p *Publisher) Publish(data interface{}) {
+	c := p.node.core
+	p.topic.seq++
+	msg := Message{
+		Header: Header{Stamp: c.now, Seq: p.topic.seq, From: p.node.name},
+		Data:   data,
+	}
+	for _, s := range p.topic.subs {
+		s := s
+		if !s.active {
+			continue
+		}
+		c.After(c.Delay, func() {
+			if s.active {
+				s.cb(msg)
+			}
+		})
+	}
+}
+
+// Subscribe registers a callback on the topic. Callbacks run in virtual-
+// timestamp order on the single middleware thread.
+func (n *Node) Subscribe(topicName string, cb func(Message)) *Subscription {
+	t := n.core.topic(topicName)
+	s := &Subscription{topic: t, node: n, cb: cb, active: true}
+	t.subs = append(t.subs, s)
+	return s
+}
+
+// Timer invokes cb every period, starting one period from now, until the
+// returned stop function is called.
+func (n *Node) Timer(period Time, cb func()) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("ros: node %s timer with non-positive period %v", n.name, period))
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		cb()
+		if !stopped {
+			n.core.After(period, tick)
+		}
+	}
+	n.core.After(period, tick)
+	return func() { stopped = true }
+}
+
+// Every is like Timer but fires the first callback immediately at the
+// current time plus the transport delay.
+func (n *Node) Every(period Time, cb func()) (stop func()) {
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		cb()
+		if !stopped {
+			n.core.After(period, tick)
+		}
+	}
+	n.core.After(0, tick)
+	return func() { stopped = true }
+}

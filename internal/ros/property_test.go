@@ -1,0 +1,85 @@
+package ros_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"inca/internal/ros"
+)
+
+// Property: whatever order events are scheduled in, callbacks execute in
+// non-decreasing virtual time, ties break by insertion order, and every
+// event at or before the horizon runs exactly once.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := ros.NewCore()
+		count := int(n%50) + 1
+		type fired struct {
+			at  ros.Time
+			seq int
+		}
+		var log []fired
+		horizon := 500 * time.Millisecond
+		expected := 0
+		for i := 0; i < count; i++ {
+			at := time.Duration(r.Int63n(int64(time.Second)))
+			if at <= horizon {
+				expected++
+			}
+			if err := c.At(at, func() {
+				log = append(log, fired{at: c.Now(), seq: i})
+			}); err != nil {
+				return false
+			}
+		}
+		c.Run(horizon)
+		if len(log) != expected {
+			return false
+		}
+		for i := 1; i < len(log); i++ {
+			if log[i].at < log[i-1].at {
+				return false
+			}
+			if log[i].at == log[i-1].at && log[i].seq < log[i-1].seq {
+				return false
+			}
+		}
+		return c.Now() == horizon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: callbacks scheduling further callbacks preserve causality — a
+// child event never runs before its parent.
+func TestCausalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := ros.NewCore()
+		ok := true
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth >= 4 {
+				return
+			}
+			parent := c.Now()
+			d := time.Duration(r.Int63n(int64(10 * time.Millisecond)))
+			c.After(d, func() {
+				if c.Now() < parent {
+					ok = false
+				}
+				spawn(depth + 1)
+			})
+		}
+		_ = c.At(time.Millisecond, func() { spawn(0) })
+		c.Run(time.Second)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

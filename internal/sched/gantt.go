@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"inca/internal/accel"
+	"inca/internal/iau"
+)
+
+// Gantt renders an execution timeline as text: one row per priority slot,
+// one column per time bin, '#' where the slot's task held the accelerator.
+// Built from the IAU trace (RunTraced), it makes the paper's Fig. 2(a)
+// scheduling diagram reproducible for any workload:
+//
+//	slot0 |      ####      ####      ####     | FE
+//	slot1 |######    ######    ######    #####| PR
+func Gantt(cfg accel.Config, events []iau.TraceEvent, horizon uint64, cols int) string {
+	if cols <= 0 {
+		cols = 72
+	}
+	if horizon == 0 || len(events) == 0 {
+		return "(no timeline)\n"
+	}
+	type interval struct {
+		from, to uint64
+	}
+	busy := map[int][]interval{}
+	open := map[int]uint64{}
+	names := map[int]string{}
+	active := map[int]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case iau.TraceStart, iau.TraceResume:
+			open[e.Slot] = e.Cycle
+			active[e.Slot] = true
+			if _, ok := names[e.Slot]; !ok {
+				names[e.Slot] = strings.SplitN(e.Label, "#", 2)[0]
+			}
+		case iau.TracePreempt, iau.TraceComplete:
+			if active[e.Slot] {
+				busy[e.Slot] = append(busy[e.Slot], interval{open[e.Slot], e.Cycle})
+				active[e.Slot] = false
+			}
+		}
+	}
+	for slot, on := range active {
+		if on {
+			busy[slot] = append(busy[slot], interval{open[slot], horizon})
+		}
+	}
+
+	var slots []int
+	for s := 0; s < iau.NumSlots; s++ {
+		if len(busy[s]) > 0 {
+			slots = append(slots, s)
+		}
+	}
+	var b strings.Builder
+	binCycles := float64(horizon) / float64(cols)
+	for _, s := range slots {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, iv := range busy[s] {
+			c0 := int(float64(iv.from) / binCycles)
+			c1 := int(float64(iv.to) / binCycles)
+			if c1 >= cols {
+				c1 = cols - 1
+			}
+			for c := c0; c <= c1; c++ {
+				row[c] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "slot%d |%s| %s\n", s, row, names[s])
+	}
+	fmt.Fprintf(&b, "       0%sms\n", strings.Repeat(" ", cols-len(fmt.Sprintf("%.0f", cfg.CyclesToMicros(horizon)/1000))-1)+fmt.Sprintf("%.0f", cfg.CyclesToMicros(horizon)/1000))
+	return b.String()
+}

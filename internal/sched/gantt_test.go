@@ -1,0 +1,52 @@
+package sched_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/iau"
+	"inca/internal/model"
+	"inca/internal/sched"
+)
+
+func TestGanttRendering(t *testing.T) {
+	cfg := accel.Big()
+	specs := []sched.TaskSpec{
+		{Name: "FE", Slot: 0, Prog: compileNet(t, cfg, model.NewSuperPoint(90, 120), false),
+			Period: 50 * time.Millisecond},
+		{Name: "PR", Slot: 1, Prog: compileNet(t, cfg, mustResNet(t, 34, 3, 120, 160), true),
+			Continuous: true},
+	}
+	horizon := 300 * time.Millisecond
+	res, err := sched.RunTraced(cfg, iau.PolicyVI, specs, horizon, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sched.Gantt(cfg, res.Timeline, cfg.SecondsToCycles(horizon.Seconds()), 60)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 3 { // two slot rows + axis
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "slot0 |") || !strings.Contains(lines[0], "FE") {
+		t.Errorf("slot0 row malformed: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "PR") {
+		t.Errorf("slot1 row malformed: %q", lines[1])
+	}
+	// Both rows must show busy time, and the two rows must not both be busy
+	// in every column (they share one accelerator).
+	r0 := lines[0][strings.Index(lines[0], "|")+1 : strings.LastIndex(lines[0], "|")]
+	r1 := lines[1][strings.Index(lines[1], "|")+1 : strings.LastIndex(lines[1], "|")]
+	if !strings.Contains(r0, "#") || !strings.Contains(r1, "#") {
+		t.Fatalf("missing busy marks:\n%s", out)
+	}
+	gaps0 := strings.Count(r0, " ")
+	if gaps0 == 0 {
+		t.Errorf("FE row shows 100%% occupancy at 20 fps:\n%s", out)
+	}
+	if sched.Gantt(cfg, nil, 0, 60) != "(no timeline)\n" {
+		t.Error("empty timeline not handled")
+	}
+}

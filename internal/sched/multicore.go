@@ -1,0 +1,309 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/iau"
+)
+
+// This file implements the paper's stated future work (§6): multi-core
+// multi-tasking — several interruptible accelerators behind one dispatcher.
+// Each accelerator keeps its own IAU with priority preemption; the
+// dispatcher assigns each arriving request to the least-loaded core at its
+// arrival instant (work-conserving, locality-free).
+
+// MultiResult aggregates a multi-core run.
+type MultiResult struct {
+	Cores   int
+	Policy  iau.Policy
+	Horizon uint64
+
+	Tasks       map[string]*TaskStats
+	PerCoreBusy []uint64
+	Preemptions int
+	Migrations  int
+}
+
+// Utilization returns the mean per-core busy fraction.
+func (r *MultiResult) Utilization() float64 {
+	if r.Horizon == 0 || len(r.PerCoreBusy) == 0 {
+		return 0
+	}
+	var s float64
+	for _, b := range r.PerCoreBusy {
+		s += float64(b) / float64(r.Horizon)
+	}
+	return s / float64(len(r.PerCoreBusy))
+}
+
+// multiArrival is a dispatch-pending request.
+type multiArrival struct {
+	cycle uint64
+	seq   int
+	task  *runnerTask
+}
+
+type multiHeap []multiArrival
+
+func (h multiHeap) Len() int { return len(h) }
+func (h multiHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h multiHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *multiHeap) Push(x interface{}) { *h = append(*h, x.(multiArrival)) }
+func (h *multiHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunMulti executes the task set on `cores` accelerators of the given
+// configuration. Arrivals are dispatched to the core with the least
+// outstanding work at their arrival instant (or the task's pinned core);
+// every core runs the chosen interrupt policy internally.
+func RunMulti(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, cores int) (*MultiResult, error) {
+	return RunMultiMigrate(cfg, policy, specs, horizon, cores, false)
+}
+
+// RunMultiMigrate is RunMulti with optional cross-core migration: when a
+// Migratable task is preempted and another core sits idle, the dispatcher
+// steals the preempted request and resumes it there (its backup already
+// lives in the shared DDR).
+func RunMultiMigrate(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, cores int, migrate bool) (*MultiResult, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("sched: need at least one core, got %d", cores)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	horizonCycles := cfg.SecondsToCycles(horizon.Seconds())
+	res := &MultiResult{Cores: cores, Policy: policy, Horizon: horizonCycles, Tasks: make(map[string]*TaskStats)}
+
+	units := make([]*iau.IAU, cores)
+	outstanding := make([]int, cores) // queued + running requests per core
+	for i := range units {
+		units[i] = iau.New(cfg, policy)
+	}
+
+	tasks := make(map[string]*runnerTask, len(specs))
+	// reqOwner maps an in-flight request back to (task, core).
+	type owner struct {
+		task *runnerTask
+		core int
+	}
+	reqOwner := make(map[*iau.Request]owner)
+
+	var pending multiHeap
+	seq := 0
+	push := func(rt *runnerTask, cycle uint64) {
+		seq++
+		heap.Push(&pending, multiArrival{cycle: cycle, seq: seq, task: rt})
+	}
+
+	// dispatch places one request on the least-loaded core at the given
+	// cycle (clamped forward to that core's local clock), honouring pins.
+	dispatch := func(rt *runnerTask, cycle uint64) error {
+		best, bestLoad := 0, int(^uint(0)>>1)
+		if pin := rt.spec.PinCore; pin != nil {
+			if *pin < 0 || *pin >= cores {
+				return fmt.Errorf("sched: task %q pinned to core %d of %d", rt.spec.Name, *pin, cores)
+			}
+			best = *pin
+		} else {
+			for i := range units {
+				if outstanding[i] < bestLoad {
+					best, bestLoad = i, outstanding[i]
+				}
+			}
+		}
+		if rt.spec.DropIfBusy && rt.inFlight > 0 {
+			rt.stats.Dropped++
+			return nil
+		}
+		req := &iau.Request{
+			Label: fmt.Sprintf("%s#%d@c%d", rt.spec.Name, rt.nextSeq, best),
+			Prog:  rt.spec.Prog,
+		}
+		rt.nextSeq++
+		rt.inFlight++
+		rt.stats.Submitted++
+		outstanding[best]++
+		reqOwner[req] = owner{task: rt, core: best}
+		at := cycle
+		if at < units[best].Now {
+			at = units[best].Now
+		}
+		return units[best].SubmitAt(rt.spec.Slot, req, at)
+	}
+
+	for _, sp := range specs {
+		if sp.Prog == nil {
+			return nil, fmt.Errorf("sched: task %q has no program", sp.Name)
+		}
+		if _, dup := tasks[sp.Name]; dup {
+			return nil, fmt.Errorf("sched: duplicate task name %q", sp.Name)
+		}
+		rt := &runnerTask{spec: sp, stats: &TaskStats{Name: sp.Name, Slot: sp.Slot}}
+		tasks[sp.Name] = rt
+		res.Tasks[sp.Name] = rt.stats
+		switch {
+		case sp.Continuous, sp.Period <= 0:
+			push(rt, cfg.SecondsToCycles(sp.Offset.Seconds()))
+		default:
+			n := sp.Count
+			if n == 0 {
+				n = int((horizon-sp.Offset)/sp.Period) + 1
+			}
+			for i := 0; i < n; i++ {
+				at := sp.Offset + time.Duration(i)*sp.Period
+				if at >= horizon {
+					break
+				}
+				push(rt, cfg.SecondsToCycles(at.Seconds()))
+			}
+		}
+	}
+
+	lastDone := make(map[string]uint64)
+	for core := range units {
+		core := core
+		units[core].OnComplete = func(c iau.Completion) {
+			ow, ok := reqOwner[c.Req]
+			if !ok {
+				return
+			}
+			delete(reqOwner, c.Req)
+			rt := ow.task
+			st := rt.stats
+			outstanding[core]--
+			rt.inFlight--
+			st.Completed++
+			st.Latencies = append(st.Latencies, c.Req.DoneCycle-c.Req.SubmitCycle)
+			st.ExecCycles += c.Req.ExecCycles
+			st.FetchCycles += c.Req.FetchCycles
+			st.InterruptCost += c.Req.InterruptCost
+			st.Preempted += c.Req.Preemptions
+			if prev, okp := lastDone[rt.spec.Name]; okp {
+				st.addGap(c.Req.DoneCycle - prev)
+			}
+			lastDone[rt.spec.Name] = c.Req.DoneCycle
+			if rt.spec.Deadline > 0 &&
+				c.Req.DoneCycle-c.Req.SubmitCycle > cfg.SecondsToCycles(rt.spec.Deadline.Seconds()) {
+				st.DeadlineMisses++
+			}
+			if rt.spec.Continuous && c.Req.DoneCycle < horizonCycles {
+				// Re-dispatch immediately (possibly to another core): the
+				// dispatcher must not wait for the next pre-scheduled
+				// arrival, or continuous tasks serialize behind it.
+				if err := dispatch(rt, c.Req.DoneCycle); err != nil {
+					rt.stats.Dropped++
+				}
+			}
+		}
+	}
+
+	var migErr error
+	if migrate {
+		for core := range units {
+			core := core
+			units[core].OnPreempt = func(p *iau.Preemption) {
+				src := units[core]
+				req := src.PeekPreempted(p.Victim)
+				if req == nil {
+					return
+				}
+				ow, ok := reqOwner[req]
+				if !ok || !ow.task.spec.Migratable {
+					return
+				}
+				// Any core whose matching priority slot is free can take the
+				// task; lower-priority work already running there simply gets
+				// preempted in turn (the mechanism composing with itself).
+				slot := ow.task.spec.Slot
+				target := -1
+				for j := range units {
+					if j != core && units[j].SlotFree(slot) {
+						target = j
+						break
+					}
+				}
+				if target == -1 {
+					return
+				}
+				tok, err := src.StealPreempted(p.Victim)
+				if err != nil {
+					return
+				}
+				// Bring the idle target up to the backup-completion instant
+				// so the resumed task cannot time-travel.
+				if err := units[target].Run(p.BackupDoneCycle); err != nil {
+					migErr = err
+					return
+				}
+				if err := units[target].InjectPreempted(ow.task.spec.Slot, tok); err != nil {
+					// Target slot turned out busy: put the task back.
+					if err2 := src.InjectPreempted(ow.task.spec.Slot, tok); err2 != nil {
+						migErr = fmt.Errorf("sched: migration rollback failed: %v (after %v)", err2, err)
+					}
+					return
+				}
+				outstanding[core]--
+				outstanding[target]++
+				reqOwner[req] = owner{task: ow.task, core: target}
+				res.Migrations++
+			}
+		}
+	}
+
+	// Dispatch loop: advance every core to each pre-scheduled arrival
+	// instant (so load counters reflect that moment), then place the
+	// request on the least-loaded core. Continuous-task continuations are
+	// dispatched directly from the completion callbacks.
+	for len(pending) > 0 {
+		a := heap.Pop(&pending).(multiArrival)
+		if a.cycle >= horizonCycles {
+			continue
+		}
+		for _, u := range units {
+			if err := u.Run(a.cycle); err != nil {
+				return nil, err
+			}
+		}
+		if err := dispatch(a.task, a.cycle); err != nil {
+			return nil, err
+		}
+	}
+	// Final drain: a completion on one core can dispatch work onto a core
+	// whose Run already returned this round, so iterate to quiescence.
+	for {
+		progress := false
+		for _, u := range units {
+			before := u.Now
+			if err := u.Run(horizonCycles); err != nil {
+				return nil, err
+			}
+			if u.Now != before {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	if migErr != nil {
+		return nil, migErr
+	}
+	for _, u := range units {
+		res.PerCoreBusy = append(res.PerCoreBusy, u.BusyCycles)
+		res.Preemptions += len(u.Preemptions)
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package sched_test
+
+import (
+	"testing"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/iau"
+	"inca/internal/model"
+	"inca/internal/sched"
+)
+
+// multiSpecs: FE with hard deadline plus two continuous background CNNs.
+func multiSpecs(t *testing.T, cfg accel.Config) []sched.TaskSpec {
+	fe := compileNet(t, cfg, model.NewSuperPoint(90, 120), false)
+	pr := compileNet(t, cfg, mustResNet(t, 34, 3, 120, 160), true)
+	seg := compileNet(t, cfg, model.NewVGG16(3, 90, 120), true)
+	return []sched.TaskSpec{
+		{Name: "FE", Slot: 0, Prog: fe, Period: 50 * time.Millisecond, Deadline: 50 * time.Millisecond, DropIfBusy: true},
+		{Name: "PR", Slot: 1, Prog: pr, Continuous: true},
+		{Name: "SEG", Slot: 2, Prog: seg, Continuous: true},
+	}
+}
+
+// TestMultiCoreMatchesSingleCoreReference: RunMulti with one core must agree
+// with the single-IAU runtime on every completion count.
+func TestMultiCoreMatchesSingleCoreReference(t *testing.T) {
+	cfg := accel.Big()
+	specs := multiSpecs(t, cfg)
+	ref, err := sched.Run(cfg, iau.PolicyVI, specs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sched.RunMulti(cfg, iau.PolicyVI, specs, 2*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"FE", "PR", "SEG"} {
+		if ref.Tasks[name].Completed != got.Tasks[name].Completed {
+			t.Errorf("%s: single-core RunMulti completed %d, reference %d",
+				name, got.Tasks[name].Completed, ref.Tasks[name].Completed)
+		}
+		if ref.Tasks[name].DeadlineMisses != got.Tasks[name].DeadlineMisses {
+			t.Errorf("%s: misses %d vs reference %d",
+				name, got.Tasks[name].DeadlineMisses, ref.Tasks[name].DeadlineMisses)
+		}
+	}
+	if len(ref.Preemptions) != got.Preemptions {
+		t.Errorf("preemptions %d vs reference %d", got.Preemptions, len(ref.Preemptions))
+	}
+}
+
+// TestMultiCoreScalesBackgroundThroughput: adding a second accelerator must
+// lift total background completions substantially without hurting FE.
+func TestMultiCoreScalesBackgroundThroughput(t *testing.T) {
+	cfg := accel.Big()
+	specs := multiSpecs(t, cfg)
+	one, err := sched.RunMulti(cfg, iau.PolicyVI, specs, 2*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := sched.RunMulti(cfg, iau.PolicyVI, specs, 2*time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg1 := one.Tasks["PR"].Completed + one.Tasks["SEG"].Completed
+	bg2 := two.Tasks["PR"].Completed + two.Tasks["SEG"].Completed
+	if bg2 < bg1*3/2 {
+		t.Errorf("background completions %d on 2 cores vs %d on 1: expected >=1.5x scaling", bg2, bg1)
+	}
+	if two.Tasks["FE"].DeadlineMisses > one.Tasks["FE"].DeadlineMisses {
+		t.Errorf("FE misses grew with cores: %d vs %d",
+			two.Tasks["FE"].DeadlineMisses, one.Tasks["FE"].DeadlineMisses)
+	}
+	if two.Tasks["FE"].Completed < one.Tasks["FE"].Completed {
+		t.Errorf("FE completions fell with cores: %d vs %d",
+			two.Tasks["FE"].Completed, one.Tasks["FE"].Completed)
+	}
+}
+
+// TestMultiCoreRejectsBadArgs covers the error paths.
+func TestMultiCoreRejectsBadArgs(t *testing.T) {
+	cfg := accel.Big()
+	specs := multiSpecs(t, cfg)
+	if _, err := sched.RunMulti(cfg, iau.PolicyVI, specs, time.Second, 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+	dup := append([]sched.TaskSpec{}, specs...)
+	dup[1].Name = "FE"
+	if _, err := sched.RunMulti(cfg, iau.PolicyVI, dup, time.Second, 2); err == nil {
+		t.Error("duplicate task name accepted")
+	}
+	missing := append([]sched.TaskSpec{}, specs...)
+	missing[0].Prog = nil
+	if _, err := sched.RunMulti(cfg, iau.PolicyVI, missing, time.Second, 2); err == nil {
+		t.Error("nil program accepted")
+	}
+}

@@ -1,0 +1,292 @@
+// Package sched is the software runtime above the IAU: it turns task
+// descriptions (periodic camera-driven inference, continuous best-effort
+// inference) into timed accelerator requests, runs them under a chosen
+// interrupt policy, and reports the scheduling metrics the paper's DSLAM
+// evaluation uses — deadline misses, per-request latency, preemption counts,
+// and the multi-tasking overhead (degradation) of the VI mechanism.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/iau"
+	"inca/internal/isa"
+)
+
+// TaskSpec describes one recurring workload bound to a priority slot.
+type TaskSpec struct {
+	Name string
+	Slot int
+	Prog *isa.Program
+
+	// Period schedules arrivals every Period of simulated time. Zero with
+	// Continuous unset means a single arrival at Offset.
+	Period time.Duration
+	// Offset delays the first arrival.
+	Offset time.Duration
+	// Count limits the number of periodic arrivals (0 = until horizon).
+	Count int
+	// Continuous resubmits the task immediately after each completion
+	// (best-effort background work such as place recognition).
+	Continuous bool
+	// Deadline, when non-zero, is the per-request relative deadline.
+	Deadline time.Duration
+	// DropIfBusy skips a periodic arrival when the previous request of this
+	// task is still queued or running (a camera pipeline drops frames
+	// rather than queueing them indefinitely).
+	DropIfBusy bool
+
+	// PinCore restricts the task to one accelerator in multi-core runs
+	// (nil = the dispatcher picks the least-loaded core per request).
+	PinCore *int
+	// Migratable allows a preempted request to be stolen and resumed on an
+	// idle core (multi-core runs with Migrate enabled). Safe because every
+	// policy's interrupt backup lives in the shared DDR.
+	Migratable bool
+}
+
+// TaskStats aggregates per-task results.
+type TaskStats struct {
+	Name      string
+	Slot      int
+	Submitted int
+	Completed int
+	Dropped   int
+
+	DeadlineMisses int
+
+	// Response times (submit -> done), cycles.
+	Latencies []uint64
+
+	ExecCycles    uint64
+	FetchCycles   uint64
+	InterruptCost uint64
+	Preempted     int
+
+	gaps []uint64 // cycles between consecutive completions
+}
+
+// MeanLatency returns the average response time in cycles.
+func (s *TaskStats) MeanLatency() float64 {
+	if len(s.Latencies) == 0 {
+		return 0
+	}
+	var t float64
+	for _, l := range s.Latencies {
+		t += float64(l)
+	}
+	return t / float64(len(s.Latencies))
+}
+
+// MaxLatency returns the worst response time in cycles.
+func (s *TaskStats) MaxLatency() uint64 {
+	var m uint64
+	for _, l := range s.Latencies {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// Result is the outcome of one scheduling run.
+type Result struct {
+	Config  accel.Config
+	Policy  iau.Policy
+	Horizon uint64 // cycles simulated
+
+	Tasks       map[string]*TaskStats
+	Preemptions []*iau.Preemption
+	Timeline    []iau.TraceEvent // populated by RunTraced
+	BusyCycles  uint64
+	IdleCycles  uint64
+
+	// Cycle accounting by class from the accelerator engine.
+	CalcCycles   uint64
+	XferCycles   uint64
+	HiddenCycles uint64
+
+	// OverheadCycles is the interrupt-support tax: virtual-instruction
+	// fetches plus backup/restore transfers.
+	OverheadCycles uint64
+}
+
+// Utilization is the fraction of simulated time the accelerator was busy.
+func (r *Result) Utilization() float64 {
+	if r.Horizon == 0 {
+		return 0
+	}
+	return float64(r.BusyCycles) / float64(r.Horizon)
+}
+
+// Degradation is the fraction of busy cycles spent on interrupt support
+// rather than useful work — the paper reports <0.3 % for the VI method.
+func (r *Result) Degradation() float64 {
+	if r.BusyCycles == 0 {
+		return 0
+	}
+	return float64(r.OverheadCycles) / float64(r.BusyCycles)
+}
+
+// CycleStats reports the accelerator's compute vs exposed-transfer vs
+// hidden-transfer cycle split.
+func (r *Result) CycleStats() (calc, xfer, hidden uint64) {
+	return r.CalcCycles, r.XferCycles, r.HiddenCycles
+}
+
+// CompletionGaps returns the cycles between consecutive completions of the
+// named task (used to verify "PR completes every 7–10 camera frames").
+func (r *Result) CompletionGaps(name string) []uint64 {
+	st := r.Tasks[name]
+	if st == nil {
+		return nil
+	}
+	return st.gaps
+}
+
+type runnerTask struct {
+	spec  TaskSpec
+	stats *TaskStats
+	// inFlight counts submitted-but-not-completed requests.
+	inFlight int
+	nextSeq  int
+}
+
+// gaps is stored on TaskStats via an unexported field.
+func (s *TaskStats) addGap(g uint64) { s.gaps = append(s.gaps, g) }
+
+// Run executes the task set under the policy for the given horizon of
+// simulated time.
+func Run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration) (*Result, error) {
+	return RunTraced(cfg, policy, specs, horizon, false)
+}
+
+// RunTraced is Run with the IAU timeline recorded into Result.Timeline.
+func RunTraced(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, trace bool) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	horizonCycles := cfg.SecondsToCycles(horizon.Seconds())
+	u := iau.New(cfg, policy)
+	u.EnableTrace = trace
+	res := &Result{Config: cfg, Policy: policy, Horizon: horizonCycles, Tasks: make(map[string]*TaskStats)}
+
+	tasks := make(map[string]*runnerTask, len(specs))
+	bySlot := make(map[int]*runnerTask, len(specs))
+	for _, sp := range specs {
+		if sp.Prog == nil {
+			return nil, fmt.Errorf("sched: task %q has no program", sp.Name)
+		}
+		if _, dup := tasks[sp.Name]; dup {
+			return nil, fmt.Errorf("sched: duplicate task name %q", sp.Name)
+		}
+		if other, busy := bySlot[sp.Slot]; busy {
+			return nil, fmt.Errorf("sched: slot %d claimed by both %q and %q", sp.Slot, other.spec.Name, sp.Name)
+		}
+		rt := &runnerTask{spec: sp, stats: &TaskStats{Name: sp.Name, Slot: sp.Slot}}
+		tasks[sp.Name] = rt
+		bySlot[sp.Slot] = rt
+		res.Tasks[sp.Name] = rt.stats
+	}
+
+	submit := func(rt *runnerTask, cycle uint64) error {
+		req := &iau.Request{
+			Label:      fmt.Sprintf("%s#%d", rt.spec.Name, rt.nextSeq),
+			Prog:       rt.spec.Prog,
+			DropIfBusy: rt.spec.DropIfBusy,
+		}
+		rt.nextSeq++
+		rt.inFlight++
+		rt.stats.Submitted++
+		return u.SubmitAt(rt.spec.Slot, req, cycle)
+	}
+	u.OnDrop = func(slot int, _ *iau.Request) {
+		if rt := bySlot[slot]; rt != nil {
+			rt.inFlight--
+			rt.stats.Submitted--
+			rt.stats.Dropped++
+		}
+	}
+
+	// Pre-register periodic arrivals; closed-loop tasks are fed by the
+	// completion callback.
+	for _, rt := range tasks {
+		sp := rt.spec
+		if sp.Continuous {
+			if err := submit(rt, cfg.SecondsToCycles(sp.Offset.Seconds())); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if sp.Period <= 0 {
+			if err := submit(rt, cfg.SecondsToCycles(sp.Offset.Seconds())); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		n := sp.Count
+		if n == 0 {
+			n = int(math.Ceil((horizon - sp.Offset).Seconds() / sp.Period.Seconds()))
+		}
+		for i := 0; i < n; i++ {
+			at := sp.Offset + time.Duration(i)*sp.Period
+			if at >= horizon {
+				break
+			}
+			if err := submit(rt, cfg.SecondsToCycles(at.Seconds())); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	lastDone := make(map[string]uint64)
+	u.OnComplete = func(c iau.Completion) {
+		rt := bySlot[c.Slot]
+		if rt == nil {
+			return
+		}
+		st := rt.stats
+		rt.inFlight--
+		st.Completed++
+		st.Latencies = append(st.Latencies, c.Req.DoneCycle-c.Req.SubmitCycle)
+		st.ExecCycles += c.Req.ExecCycles
+		st.FetchCycles += c.Req.FetchCycles
+		st.InterruptCost += c.Req.InterruptCost
+		st.Preempted += c.Req.Preemptions
+		if prev, ok := lastDone[rt.spec.Name]; ok {
+			st.addGap(c.Req.DoneCycle - prev)
+		}
+		lastDone[rt.spec.Name] = c.Req.DoneCycle
+		if rt.spec.Deadline > 0 &&
+			c.Req.DoneCycle-c.Req.SubmitCycle > cfg.SecondsToCycles(rt.spec.Deadline.Seconds()) {
+			st.DeadlineMisses++
+		}
+		if rt.spec.Continuous && c.Req.DoneCycle < horizonCycles {
+			if err := submit(rt, c.Req.DoneCycle); err != nil {
+				// Submission at the completion cycle cannot be in the past;
+				// record as a dropped iteration if it ever fails.
+				st.Dropped++
+			}
+		}
+	}
+
+	if err := u.Run(horizonCycles); err != nil {
+		return nil, err
+	}
+	res.Preemptions = u.Preemptions
+	res.Timeline = u.Trace
+	res.BusyCycles = u.BusyCycles
+	res.IdleCycles = u.IdleCycles
+	res.CalcCycles, res.XferCycles, res.HiddenCycles = u.Eng.CycleStats()
+	for _, st := range res.Tasks {
+		res.OverheadCycles += st.FetchCycles + st.InterruptCost
+	}
+	sort.Slice(res.Preemptions, func(i, j int) bool {
+		return res.Preemptions[i].RequestCycle < res.Preemptions[j].RequestCycle
+	})
+	return res, nil
+}

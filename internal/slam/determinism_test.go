@@ -1,0 +1,55 @@
+package slam_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"inca/internal/slam"
+)
+
+// TestDSLAMDeterminism: the entire co-simulation — two accelerators, the
+// middleware, the world, noise — is a pure function of its seed. Identical
+// configurations must produce identical results down to the last preemption
+// count and merge error.
+func TestDSLAMDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second co-simulation")
+	}
+	run := func() *slam.DSLAMResult {
+		cfg := slam.DefaultDSLAMConfig()
+		cfg.Duration = 8 * time.Second
+		res, err := slam.RunDSLAM(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a.Agents {
+		if a.Agents[i] != b.Agents[i] {
+			t.Fatalf("agent %d stats differ across identical runs:\n%+v\nvs\n%+v", i, a.Agents[i], b.Agents[i])
+		}
+	}
+	if len(a.Matches) != len(b.Matches) {
+		t.Fatalf("match counts differ: %d vs %d", len(a.Matches), len(b.Matches))
+	}
+	sameF := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	if !sameF(a.MergedError, b.MergedError) || !sameF(a.RefinedError, b.RefinedError) {
+		t.Fatalf("merge errors differ: %.6f/%.6f vs %.6f/%.6f",
+			a.MergedError, a.RefinedError, b.MergedError, b.RefinedError)
+	}
+	// And a different seed must actually change something.
+	cfg := slam.DefaultDSLAMConfig()
+	cfg.Duration = 8 * time.Second
+	cfg.Seed = 4242
+	c, err := slam.RunDSLAM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Agents[0] == a.Agents[0] && len(c.Matches) == len(a.Matches) {
+		t.Error("different seed produced identical results")
+	}
+}

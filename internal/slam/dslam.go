@@ -1,0 +1,380 @@
+package slam
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/core"
+	"inca/internal/iau"
+	"inca/internal/model"
+	"inca/internal/ros"
+	"inca/internal/world"
+)
+
+// DSLAMConfig parameterises the two-agent hardware-in-the-loop experiment
+// (§5.3): each agent owns one accelerator running both CNN backbones, a
+// camera at FPS frames per second, and the CPU-side SLAM stack on ROS.
+type DSLAMConfig struct {
+	Seed     uint64
+	Duration time.Duration
+	FPS      int
+
+	CameraW, CameraH int
+
+	Accel  accel.Config
+	Policy iau.Policy
+
+	// FENet/PRNet are the deployed backbones. Nil selects the paper's
+	// choices (SuperPoint and GeM/ResNet-101) at the camera resolution.
+	FENet *model.Network
+	PRNet *model.Network
+
+	// FECPUPost/PRCPUPost model the CPU-side post-processing latency after
+	// the accelerator finishes a backbone.
+	FECPUPost time.Duration
+	PRCPUPost time.Duration
+
+	Extractor  Extractor
+	Recognizer Recognizer
+}
+
+// DefaultDSLAMConfig returns a reduced-scale configuration that runs in
+// seconds; the benchmark harness scales it to the paper's 480x640.
+func DefaultDSLAMConfig() DSLAMConfig {
+	return DSLAMConfig{
+		Seed:     42,
+		Duration: 20 * time.Second,
+		FPS:      20,
+		CameraW:  128, CameraH: 96,
+		Accel:      accel.Big(),
+		Policy:     iau.PolicyVI,
+		FECPUPost:  2 * time.Millisecond,
+		PRCPUPost:  1 * time.Millisecond,
+		Extractor:  DefaultExtractor(),
+		Recognizer: DefaultRecognizer(),
+	}
+}
+
+// AgentStats aggregates one agent's run.
+type AgentStats struct {
+	Frames          int // camera frames published
+	FEDone          int
+	FEDropped       int // frames skipped because FE was still busy
+	FEMisses        int // FE results later than the next frame
+	FEMeanLat       time.Duration
+	FEMaxLat        time.Duration
+	VOTracked       int
+	VOLost          int
+	DriftEnd        float64 // meters between odometry-projected and true end pose
+	PRDone          int
+	PRMeanGapFrames float64 // camera frames between PR completions
+	Preempts        int
+	Degradation     float64 // interrupt-support overhead / busy cycles
+	Utilization     float64
+}
+
+// DSLAMResult is the outcome of one two-agent run.
+type DSLAMResult struct {
+	Config  DSLAMConfig
+	Agents  [2]AgentStats
+	Matches []MergeResult
+	// MergedError is the merged-map trajectory error of the first accepted
+	// match (NaN when no merge happened).
+	MergedError    float64
+	FirstMergeTime time.Duration
+
+	// RefinedTAB/RefinedError fuse every accepted match with the same
+	// orientation as the first into a robust transform (RefineMerge).
+	RefinedTAB   world.Pose
+	RefinedError float64
+
+	kfReg map[int][]KeyFrame
+}
+
+// Merged reports whether the maps were merged during the run.
+func (r *DSLAMResult) Merged() bool { return len(r.Matches) > 0 }
+
+type agentState struct {
+	id    int
+	agent *world.Agent
+	rt    *core.Runtime
+	fe    *core.Deployment
+	pr    *core.Deployment
+	odo   *Odometry
+
+	latestObs   *world.Observation
+	feBusy      bool
+	prBusy      bool
+	kfSeq       int
+	keyframes   []KeyFrame
+	odomByStamp map[time.Duration]world.Pose
+	firstTrue   world.Pose
+	haveFirst   bool
+	lastTrue    world.Pose
+
+	stats        AgentStats
+	feLatSum     time.Duration
+	prDoneStamps []time.Duration
+}
+
+// RunDSLAM executes the full two-agent DSLAM co-simulation.
+func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
+	if cfg.FPS <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("slam: invalid FPS %d / duration %v", cfg.FPS, cfg.Duration)
+	}
+	if cfg.FENet == nil {
+		// SuperPoint runs on the standard downscaled grayscale frame; the
+		// PR backbone consumes the full camera resolution (see E6).
+		cfg.FENet = model.NewSuperPoint(cfg.CameraH*3/4, cfg.CameraW*3/4)
+	}
+	if cfg.PRNet == nil {
+		g, err := model.NewGeM(3, cfg.CameraH, cfg.CameraW)
+		if err != nil {
+			return nil, err
+		}
+		cfg.PRNet = g
+	}
+
+	w := world.NewArena(cfg.Seed)
+	a0, a1 := world.TwoAgentPatrol(w)
+	cam := world.DefaultCamera(cfg.CameraW, cfg.CameraH)
+	intr := CameraIntrinsics{FOV: cam.FOV, Width: cam.Width}
+	period := time.Second / time.Duration(cfg.FPS)
+
+	rc := ros.NewCore()
+	db := &Database{}
+	res := &DSLAMResult{Config: cfg, MergedError: math.NaN()}
+
+	agents := [2]*agentState{}
+	for i, ag := range []*world.Agent{a0, a1} {
+		rt, err := core.NewRuntime(cfg.Accel, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		fe, err := rt.Deploy(0, cfg.FENet, cfg.Seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		pr, err := rt.Deploy(1, cfg.PRNet, cfg.Seed+100+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		rt.AttachROS(rc, 200*time.Microsecond)
+		agents[i] = &agentState{
+			id: i, agent: ag, rt: rt, fe: fe, pr: pr,
+			odo:         NewOdometry(intr),
+			odomByStamp: make(map[time.Duration]world.Pose),
+		}
+	}
+
+	for i := range agents {
+		st := agents[i]
+		camNode := rc.Node(fmt.Sprintf("agent%d/camera", i))
+		feNode := rc.Node(fmt.Sprintf("agent%d/fe", i))
+		voNode := rc.Node(fmt.Sprintf("agent%d/vo", i))
+		prNode := rc.Node(fmt.Sprintf("agent%d/pr", i))
+
+		camTopic := fmt.Sprintf("/agent%d/image", i)
+		featTopic := fmt.Sprintf("/agent%d/features", i)
+
+		camPub := camNode.Advertise(camTopic)
+		featPub := feNode.Advertise(featTopic)
+
+		// Camera: 20 fps observations.
+		camNode.Timer(period, func() {
+			now := rc.Now()
+			pose := st.agent.PoseAt(now)
+			obs := cam.Observe(w, st.id, pose, now, cfg.Seed^0xCA11)
+			st.stats.Frames++
+			if !st.haveFirst {
+				st.firstTrue = pose
+				st.haveFirst = true
+			}
+			st.lastTrue = pose
+			camPub.Publish(obs)
+		})
+
+		// FE: every frame through the accelerator at top priority.
+		feNode.Subscribe(camTopic, func(m ros.Message) {
+			obs := m.Data.(world.Observation)
+			o := obs
+			st.latestObs = &o
+			if st.feBusy {
+				st.stats.FEDropped++
+				return
+			}
+			st.feBusy = true
+			err := st.fe.InferAsync(func(done ros.Time) {
+				rc.After(cfg.FECPUPost, func() {
+					st.feBusy = false
+					frame := cfg.Extractor.Extract(obs, cfg.Seed^0xFE)
+					lat := rc.Now() - obs.Stamp
+					st.stats.FEDone++
+					st.feLatSum += lat
+					if lat > st.stats.FEMaxLat {
+						st.stats.FEMaxLat = lat
+					}
+					if lat > period {
+						st.stats.FEMisses++
+					}
+					featPub.Publish(frame)
+				})
+			})
+			if err != nil {
+				panic(err)
+			}
+		})
+
+		// VO: consume features, integrate odometry.
+		voNode.Subscribe(featTopic, func(m ros.Message) {
+			frame := m.Data.(Frame)
+			if _, ok := st.odo.Track(&frame); ok {
+				st.stats.VOTracked++
+			}
+			st.odomByStamp[frame.Stamp] = st.odo.Pose()
+		})
+
+		// PR: continuous best-effort descriptor computation + retrieval.
+		var firePR func()
+		firePR = func() {
+			if st.prBusy || st.latestObs == nil {
+				// Nothing captured yet; retry shortly.
+				rc.After(period/2, firePR)
+				return
+			}
+			obs := *st.latestObs
+			st.prBusy = true
+			err := st.pr.InferAsync(func(done ros.Time) {
+				rc.After(cfg.PRCPUPost, func() {
+					st.prBusy = false
+					st.completePR(rc, cfg, intr, db, obs, res)
+					firePR()
+				})
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+		prNode.Subscribe(camTopic, func(m ros.Message) {
+			// Keep latestObs fresh even before the first FE completes.
+			obs := m.Data.(world.Observation)
+			o := obs
+			st.latestObs = &o
+		})
+		rc.After(period, firePR)
+	}
+
+	rc.Run(cfg.Duration)
+
+	// Final per-agent statistics.
+	for i := range agents {
+		st := agents[i]
+		st.rt.DetachROS()
+		st.stats.VOLost = st.odo.Lost
+		if st.stats.FEDone > 0 {
+			st.stats.FEMeanLat = st.feLatSum / time.Duration(st.stats.FEDone)
+		}
+		if st.haveFirst {
+			est := st.firstTrue.Compose(st.odo.Pose())
+			st.stats.DriftEnd = world.Dist(est, st.lastTrue)
+		}
+		if n := len(st.prDoneStamps); n > 1 {
+			gap := st.prDoneStamps[n-1] - st.prDoneStamps[0]
+			frames := gap.Seconds() * float64(cfg.FPS)
+			st.stats.PRMeanGapFrames = frames / float64(n-1)
+		}
+		var overhead, busy uint64
+		for _, c := range st.rt.U.Completions {
+			overhead += c.Req.FetchCycles + c.Req.InterruptCost
+			busy += c.Req.ExecCycles
+			st.stats.Preempts += c.Req.Preemptions
+		}
+		if busy > 0 {
+			st.stats.Degradation = float64(overhead) / float64(busy)
+		}
+		horizon := cfg.Accel.SecondsToCycles(cfg.Duration.Seconds())
+		if horizon > 0 {
+			st.stats.Utilization = float64(st.rt.U.BusyCycles) / float64(horizon)
+		}
+		res.Agents[i] = st.stats
+	}
+	if len(res.Matches) > 0 {
+		m := res.Matches[0]
+		res.MergedError = MergedTrajectoryError(m.TAB, res.kfReg[m.AgentA], res.kfReg[m.AgentB])
+		var same []MergeResult
+		for _, mr := range res.Matches {
+			if mr.AgentA == m.AgentA && mr.AgentB == m.AgentB {
+				same = append(same, mr)
+			}
+		}
+		if tab, err := RefineMerge(same); err == nil {
+			res.RefinedTAB = tab
+			res.RefinedError = MergedTrajectoryError(tab, res.kfReg[m.AgentA], res.kfReg[m.AgentB])
+		} else {
+			res.RefinedError = math.NaN()
+		}
+	} else {
+		res.RefinedError = math.NaN()
+	}
+	return res, nil
+}
+
+// completePR finishes one PR iteration: describe, store, retrieve, merge.
+func (st *agentState) completePR(rc *ros.Core, cfg DSLAMConfig, intr CameraIntrinsics, db *Database, obs world.Observation, res *DSLAMResult) {
+	st.stats.PRDone++
+	st.prDoneStamps = append(st.prDoneStamps, rc.Now())
+	desc := cfg.Recognizer.Describe(obs)
+	odom, ok := st.odomByStamp[obs.Stamp]
+	if !ok {
+		odom = st.odo.Pose() // VO has not caught up; use current estimate
+	}
+	kf := KeyFrame{
+		AgentID: st.id, Seq: st.kfSeq, Stamp: obs.Stamp,
+		Odom: odom, True: obs.Pose,
+		Frame: cfg.Extractor.Extract(obs, cfg.Seed^0xFE),
+		Desc:  desc,
+	}
+	st.kfSeq++
+	st.keyframes = append(st.keyframes, kf)
+
+	if match, ok := db.Query(cfg.Recognizer, kf.Entry(), true); ok {
+		// Retrieve the hit's keyframe from the other agent via the shared
+		// result structure (single-threaded middleware: no races).
+		other := res.agentKeyframe(match.Hit.AgentID, match.Hit.Seq)
+		if other != nil {
+			mr, err := AlignKeyFrames(intr, *other, kf, 0.95, 6)
+			if err == nil {
+				mr.Similarity = match.Similarity
+				mr.Stamp = rc.Now()
+				res.Matches = append(res.Matches, mr)
+				if len(res.Matches) == 1 {
+					res.FirstMergeTime = rc.Now()
+				}
+			}
+		}
+	}
+	db.Add(kf.Entry())
+	res.registerKeyframes(st.id, st.keyframes)
+}
+
+// KeyFrames returns the keyframes an agent accumulated during the run.
+func (r *DSLAMResult) KeyFrames(agent int) []KeyFrame { return r.kfReg[agent] }
+
+// keyframe registry shared between the two agents for merge alignment.
+func (r *DSLAMResult) registerKeyframes(agent int, kfs []KeyFrame) {
+	if r.kfReg == nil {
+		r.kfReg = map[int][]KeyFrame{}
+	}
+	r.kfReg[agent] = kfs
+}
+
+func (r *DSLAMResult) agentKeyframe(agent, seq int) *KeyFrame {
+	for i := range r.kfReg[agent] {
+		if r.kfReg[agent][i].Seq == seq {
+			return &r.kfReg[agent][i]
+		}
+	}
+	return nil
+}

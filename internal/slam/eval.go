@@ -1,0 +1,167 @@
+package slam
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"inca/internal/world"
+)
+
+// This file provides retrieval-quality evaluation for the place recognizer:
+// precision/recall over views with known ground truth. The paper motivates
+// CNN-based PR with its accuracy advantage; these tools let the reproduction
+// quantify that the behavioural stand-in actually discriminates places.
+//
+// Ground truth for appearance-based retrieval is *visual overlap* (IoU of
+// the landmark sets the two views contain), not pose distance: two cameras
+// far apart but staring at the same structure legitimately produce similar
+// descriptors, and a pose-radius truth would mislabel them.
+
+// GroundTruth decides whether two poses count as the same place for
+// map-level evaluation (merge errors, loop-closure checks).
+type GroundTruth struct {
+	// MaxDist is the position tolerance in meters.
+	MaxDist float64
+	// MaxAngle is the heading tolerance in radians.
+	MaxAngle float64
+}
+
+// DefaultGroundTruth matches places within 1.5 m and 30 degrees.
+func DefaultGroundTruth() GroundTruth {
+	return GroundTruth{MaxDist: 1.5, MaxAngle: math.Pi / 6}
+}
+
+// Same reports whether two true poses count as the same place.
+func (g GroundTruth) Same(a, b world.Pose) bool {
+	if world.Dist(a, b) > g.MaxDist {
+		return false
+	}
+	d := math.Abs(a.Theta - b.Theta)
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d <= g.MaxAngle
+}
+
+// EvalView is one described view with its visible-landmark ground truth.
+type EvalView struct {
+	AgentID int
+	Desc    PlaceDescriptor
+	Visible []int // landmark IDs in the view
+}
+
+// ViewOverlap returns the intersection-over-union of two views' landmark
+// sets.
+func ViewOverlap(a, b []int) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[int]bool, len(a))
+	for _, id := range a {
+		set[id] = true
+	}
+	inter := 0
+	for _, id := range b {
+		if set[id] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// PRPoint is one operating point of the retrieval system.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+	Accepted  int
+}
+
+// EvaluateViews queries every view against the other agent's views and
+// sweeps the acceptance threshold. A retrieval counts as correct when the
+// best match's visual overlap reaches minIoU; recall is measured over
+// queries for which such a match exists at all.
+func EvaluateViews(views []EvalView, minIoU float64, thresholds []float64) []PRPoint {
+	type scored struct {
+		sim  float64
+		hit  bool
+		have bool
+	}
+	var scoreds []scored
+	for qi := range views {
+		q := &views[qi]
+		bestSim := -1.0
+		bestHit := false
+		haveTrue := false
+		for ei := range views {
+			e := &views[ei]
+			if e.AgentID == q.AgentID {
+				continue
+			}
+			ov := ViewOverlap(q.Visible, e.Visible)
+			if ov >= minIoU {
+				haveTrue = true
+			}
+			if s := q.Desc.Cosine(e.Desc); s > bestSim {
+				bestSim = s
+				bestHit = ov >= minIoU
+			}
+		}
+		if bestSim < 0 {
+			continue
+		}
+		scoreds = append(scoreds, scored{sim: bestSim, hit: bestHit, have: haveTrue})
+	}
+
+	var out []PRPoint
+	for _, th := range thresholds {
+		tp, fp, fn := 0, 0, 0
+		for _, s := range scoreds {
+			accepted := s.sim >= th
+			switch {
+			case accepted && s.hit:
+				tp++
+			case accepted && !s.hit:
+				fp++
+			case !accepted && s.have:
+				fn++
+			}
+		}
+		p := PRPoint{Threshold: th, Accepted: tp + fp}
+		if tp+fp > 0 {
+			p.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			p.Recall = float64(tp) / float64(tp+fn)
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Threshold < out[j].Threshold })
+	return out
+}
+
+// TourViews builds the controlled retrieval benchmark: both agents sweep
+// their patrols, describing each stop, with the visible landmark sets kept
+// as ground truth.
+func TourViews(w *world.World, cam world.Camera, r Recognizer, stops int, seed uint64) []EvalView {
+	a0, a1 := world.TwoAgentPatrol(w)
+	var views []EvalView
+	add := func(agent *world.Agent, id int, at time.Duration, s uint64) {
+		pose := agent.PoseAt(at)
+		obs := cam.Observe(w, id, pose, at, s)
+		ids := make([]int, 0, len(obs.Points))
+		for _, p := range obs.Points {
+			ids = append(ids, p.LandmarkID)
+		}
+		views = append(views, EvalView{AgentID: id, Desc: r.Describe(obs), Visible: ids})
+	}
+	p0 := a0.Traj.Period()
+	p1 := a1.Traj.Period()
+	for i := 0; i < stops; i++ {
+		add(a0, 0, p0*time.Duration(i)/time.Duration(stops), seed)
+		add(a1, 1, p1*time.Duration(i)/time.Duration(stops), seed+1)
+	}
+	return views
+}

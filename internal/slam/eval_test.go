@@ -1,0 +1,76 @@
+package slam_test
+
+import (
+	"testing"
+	"time"
+
+	"inca/internal/slam"
+	"inca/internal/world"
+)
+
+func TestFEPostLatency(t *testing.T) {
+	m := slam.DefaultFEPost()
+	small := m.Latency(160, 120, 100)
+	big := m.Latency(640, 480, 150)
+	if small <= 0 || big <= small {
+		t.Fatalf("latency not monotone: %v vs %v", small, big)
+	}
+	// The dedicated block must comfortably keep up with 20 fps at VGA —
+	// that's why the paper builds it in fabric.
+	if big > 5*time.Millisecond {
+		t.Fatalf("FE post-processing %v too slow for the 50 ms frame budget", big)
+	}
+	// More keypoints cost more.
+	if m.Latency(640, 480, 10) >= m.Latency(640, 480, 200) {
+		t.Fatal("per-point cost missing")
+	}
+}
+
+func TestRetrievalPrecisionRecall(t *testing.T) {
+	w := world.NewArena(9)
+	cam := world.DefaultCamera(160, 120)
+	r := slam.DefaultRecognizer()
+	views := slam.TourViews(w, cam, r, 40, 5)
+
+	pts := slam.EvaluateViews(views, 0.3, []float64{0.5, 0.7, 0.8, 0.9})
+	if len(pts) != 4 {
+		t.Fatalf("%d operating points", len(pts))
+	}
+	// Precision must be monotone non-decreasing with the threshold, and
+	// high at the paper-style operating point.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Precision+1e-9 < pts[i-1].Precision {
+			t.Errorf("precision not monotone: %.2f@%.1f then %.2f@%.1f",
+				pts[i-1].Precision, pts[i-1].Threshold, pts[i].Precision, pts[i].Threshold)
+		}
+	}
+	var at08 slam.PRPoint
+	for _, p := range pts {
+		if p.Threshold == 0.8 {
+			at08 = p
+		}
+	}
+	if at08.Accepted == 0 {
+		t.Fatal("no matches accepted at the default threshold")
+	}
+	if at08.Precision < 0.8 {
+		t.Errorf("precision %.2f at threshold 0.8, want >= 0.8", at08.Precision)
+	}
+	if at08.Recall < 0.3 {
+		t.Errorf("recall %.2f at threshold 0.8, want >= 0.3", at08.Recall)
+	}
+}
+
+func TestGroundTruthRules(t *testing.T) {
+	gt := slam.DefaultGroundTruth()
+	a := world.Pose{X: 5, Y: 5, Theta: 1}
+	if !gt.Same(a, a.Add(0.3, 0.2, 0.1)) {
+		t.Error("nearby pose rejected")
+	}
+	if gt.Same(a, world.Pose{X: 12, Y: 5, Theta: 1}) {
+		t.Error("far pose accepted")
+	}
+	if gt.Same(a, world.Pose{X: 5, Y: 5, Theta: 1 + 3}) {
+		t.Error("opposite heading accepted")
+	}
+}

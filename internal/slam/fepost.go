@@ -1,0 +1,32 @@
+package slam
+
+import "time"
+
+// FEPostModel times the dedicated feature-extraction post-processing block
+// the paper places in FPGA fabric next to the accelerator (heatmap NMS +
+// descriptor sampling, 200 MHz, 25 DSP / 17.6k LUT — see E5). The systolic
+// NMS streams the detector head's cell grid once and emits up to MaxPoints
+// keypoints with descriptor reads.
+type FEPostModel struct {
+	// FreqMHz is the block's clock (the paper runs it at 200 MHz).
+	FreqMHz int
+	// CyclesPerCell is the streaming cost per 8x8 heatmap cell.
+	CyclesPerCell int
+	// CyclesPerPoint covers descriptor sampling and normalization per kept
+	// keypoint.
+	CyclesPerPoint int
+}
+
+// DefaultFEPost returns the calibrated post-processing block model.
+func DefaultFEPost() FEPostModel {
+	return FEPostModel{FreqMHz: 200, CyclesPerCell: 4, CyclesPerPoint: 96}
+}
+
+// Latency returns the block's processing time for a camW x camH frame from
+// which `points` keypoints are kept.
+func (m FEPostModel) Latency(camW, camH, points int) time.Duration {
+	cells := (camH / 8) * (camW / 8)
+	cycles := cells*m.CyclesPerCell + points*m.CyclesPerPoint
+	sec := float64(cycles) / (float64(m.FreqMHz) * 1e6)
+	return time.Duration(sec * float64(time.Second))
+}

@@ -1,0 +1,86 @@
+package slam
+
+import (
+	"math"
+	"time"
+
+	"inca/internal/world"
+)
+
+// LoopCloser detects single-agent place revisits (the classic SLAM loop
+// closure, the paper's PR module serving its original purpose) and applies a
+// drift correction: when the recognizer matches the current view against a
+// sufficiently old keyframe, the accumulated odometry error relative to that
+// keyframe is measured by feature alignment and blended away.
+type LoopCloser struct {
+	Intr       CameraIntrinsics
+	Recognizer Recognizer
+	// Blend is the fraction of the measured drift corrected per closure
+	// (1 = snap fully onto the loop-closure estimate).
+	Blend float64
+	// MinMatches is the geometric-verification support threshold.
+	MinMatches int
+
+	db        Database
+	keyframes []KeyFrame
+	seq       int
+
+	Closures int
+}
+
+// NewLoopCloser builds a loop closer with GeM-style retrieval defaults.
+func NewLoopCloser(intr CameraIntrinsics) *LoopCloser {
+	return &LoopCloser{
+		Intr:       intr,
+		Recognizer: DefaultRecognizer(),
+		Blend:      0.9,
+		MinMatches: 6,
+	}
+}
+
+// Observe ingests a described keyframe and returns the corrected odometry
+// pose. When no loop closure fires, the input pose is returned unchanged.
+func (lc *LoopCloser) Observe(agentID int, stamp time.Duration, odom world.Pose, truePose world.Pose, frame Frame, obs world.Observation) world.Pose {
+	kf := KeyFrame{
+		AgentID: agentID, Seq: lc.seq, Stamp: stamp,
+		Odom: odom, True: truePose, Frame: frame,
+		Desc: lc.Recognizer.Describe(obs),
+	}
+	lc.seq++
+
+	corrected := odom
+	if match, ok := lc.db.Query(lc.Recognizer, kf.Entry(), false); ok {
+		// Geometric verification against the matched old keyframe.
+		var old *KeyFrame
+		for i := range lc.keyframes {
+			if lc.keyframes[i].Seq == match.Hit.Seq {
+				old = &lc.keyframes[i]
+				break
+			}
+		}
+		if old != nil {
+			if mr, err := AlignKeyFrames(lc.Intr, *old, kf, 0.95, lc.MinMatches); err == nil {
+				// mr.TAB maps current odometry into the old keyframe's
+				// odometry frame; if odometry had no drift it would be the
+				// identity. Blend the measured discrepancy away.
+				want := mr.TAB.Compose(odom) // where this pose *should* be
+				corrected = world.Pose{
+					X:     odom.X + lc.Blend*(want.X-odom.X),
+					Y:     odom.Y + lc.Blend*(want.Y-odom.Y),
+					Theta: blendAngle(odom.Theta, want.Theta, lc.Blend),
+				}
+				lc.Closures++
+			}
+		}
+	}
+	kf.Odom = corrected
+	lc.db.Add(kf.Entry())
+	lc.keyframes = append(lc.keyframes, kf)
+	return corrected
+}
+
+func blendAngle(a, b, f float64) float64 {
+	d := math.Atan2(math.Sin(b-a), math.Cos(b-a))
+	r := a + f*d
+	return math.Atan2(math.Sin(r), math.Cos(r))
+}

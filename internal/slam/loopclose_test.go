@@ -1,0 +1,69 @@
+package slam_test
+
+import (
+	"testing"
+	"time"
+
+	"inca/internal/slam"
+	"inca/internal/world"
+)
+
+// TestLoopClosureReducesDrift: one agent patrols its loop twice; odometry
+// drifts on the first lap, and when the recognizer re-identifies lap-one
+// places on lap two, the loop closer pulls the estimate back. Final pose
+// error with closures must beat raw odometry.
+func TestLoopClosureReducesDrift(t *testing.T) {
+	w := world.NewArena(3)
+	cam := world.DefaultCamera(160, 120)
+	ex := slam.DefaultExtractor()
+	intr := slam.CameraIntrinsics{FOV: cam.FOV, Width: cam.Width}
+	a0, _ := world.TwoAgentPatrol(w)
+
+	period := a0.Traj.Period()
+	dt := 100 * time.Millisecond
+	steps := int(2 * period / dt)
+
+	runOnce := func(withClosure bool) (finalErr float64, closures int) {
+		odo := slam.NewOdometry(intr)
+		lc := slam.NewLoopCloser(intr)
+		// Require temporal separation so lap-one frames only match from
+		// lap two.
+		lc.Recognizer.MinSeparation = period / 2
+
+		var start world.Pose
+		started := false
+		var lastTrue, lastEst world.Pose
+		for i := 0; i <= steps; i++ {
+			ts := time.Duration(i) * dt
+			truth := a0.PoseAt(ts)
+			obs := cam.Observe(w, 0, truth, ts, 7)
+			frame := ex.Extract(obs, uint64(i))
+			odo.Track(&frame)
+			if !started {
+				start = truth
+				started = true
+			}
+			est := odo.Pose()
+			if withClosure && i%5 == 0 { // keyframe every 0.5 s
+				corrected := lc.Observe(0, ts, est, truth, frame, obs)
+				if corrected != est {
+					odo.SetPose(corrected)
+					est = corrected
+				}
+			}
+			lastTrue = truth
+			lastEst = start.Compose(est)
+		}
+		return world.Dist(lastEst, lastTrue), lc.Closures
+	}
+
+	rawErr, _ := runOnce(false)
+	closedErr, closures := runOnce(true)
+	if closures == 0 {
+		t.Fatal("no loop closures fired on the second lap")
+	}
+	if closedErr >= rawErr {
+		t.Fatalf("loop closure did not reduce drift: %.2f m vs raw %.2f m (%d closures)", closedErr, rawErr, closures)
+	}
+	t.Logf("drift after two laps: raw %.2f m, with %d loop closures %.2f m", rawErr, closures, closedErr)
+}

@@ -1,0 +1,107 @@
+package slam
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"inca/internal/world"
+)
+
+// KeyFrame couples everything a map-merge needs about one described place:
+// the FE features (for geometric alignment), the odometry pose, and the
+// ground-truth pose retained for evaluation.
+type KeyFrame struct {
+	AgentID int
+	Seq     int
+	Stamp   time.Duration
+	Odom    world.Pose
+	True    world.Pose
+	Frame   Frame
+	Desc    PlaceDescriptor
+}
+
+// Entry converts the keyframe to its database record.
+func (k KeyFrame) Entry() PlaceEntry {
+	return PlaceEntry{
+		AgentID: k.AgentID, Seq: k.Seq, Stamp: k.Stamp,
+		Odom: k.Odom, Desc: k.Desc, TruePose: k.True,
+	}
+}
+
+// MergeResult is the estimated inter-map transform from one PR match plus
+// its evaluation against ground truth.
+type MergeResult struct {
+	Stamp      time.Duration
+	Similarity float64
+	// AgentA is the map the match merges into; AgentB is mapped through TAB.
+	AgentA, AgentB int
+	// TAB maps poses in agent B's odometry frame into agent A's frame.
+	TAB world.Pose
+	// Matches is the feature-correspondence support.
+	Matches int
+	// ErrTrans/ErrRot compare TAB against the ground-truth transform.
+	ErrTrans float64
+	ErrRot   float64
+}
+
+// AlignKeyFrames estimates the transform between two agents' odometry
+// frames from a PR match: features are matched across the two keyframes,
+// back-projected into each body frame, rigidly aligned, and the body-level
+// transform is lifted through both odometry poses. The paper's Fig. 5(b/c)
+// "maps and trajectories are merged via the similar scene" step.
+func AlignKeyFrames(intr CameraIntrinsics, a, b KeyFrame, ratio float64, minMatches int) (MergeResult, error) {
+	res := MergeResult{Stamp: b.Stamp}
+	matches := MatchFrames(a.Frame.Points, b.Frame.Points, ratio)
+	if len(matches) < minMatches {
+		return res, fmt.Errorf("slam: only %d feature matches (need %d)", len(matches), minMatches)
+	}
+	// Align B-body points onto A-body points: p_A = T_ab · p_B.
+	src := make([][2]float64, len(matches))
+	dst := make([][2]float64, len(matches))
+	for k, m := range matches {
+		x, y := intr.PointInBody(b.Frame.Points[m[1]])
+		src[k] = [2]float64{x, y}
+		x, y = intr.PointInBody(a.Frame.Points[m[0]])
+		dst[k] = [2]float64{x, y}
+	}
+	rel, ok := estimateRigid(src, dst)
+	if !ok {
+		return res, fmt.Errorf("slam: rigid estimation failed")
+	}
+	tab := world.Pose{X: rel.Dx, Y: rel.Dy, Theta: rel.Dtheta} // B body in A body
+	// Lift to odometry frames: T_AB = Odom_a ∘ T_ab ∘ Odom_b⁻¹.
+	res.TAB = a.Odom.Compose(tab).Compose(b.Odom.Inverse())
+	res.Matches = len(matches)
+	res.AgentA, res.AgentB = a.AgentID, b.AgentID
+
+	// Ground truth uses the true relative body pose.
+	tabTrue := a.True.Inverse().Compose(b.True)
+	tABTrue := a.Odom.Compose(tabTrue).Compose(b.Odom.Inverse())
+	diff := res.TAB.Inverse().Compose(tABTrue)
+	res.ErrTrans = math.Hypot(diff.X, diff.Y)
+	res.ErrRot = math.Abs(diff.Theta)
+	return res, nil
+}
+
+// MergedTrajectoryError evaluates a merged map: agent B's odometry poses are
+// mapped through TAB into A's frame and compared against where B's true
+// poses land when mapped through A's true-vs-odometry relation. It returns
+// the mean position error over the provided keyframes — the end-to-end
+// quality of the merged DSLAM map.
+func MergedTrajectoryError(tab world.Pose, aKeys, bKeys []KeyFrame) float64 {
+	if len(aKeys) == 0 || len(bKeys) == 0 {
+		return math.NaN()
+	}
+	// Estimate A's odometry-to-world transform from its most recent
+	// keyframe (odometry drift makes this time-varying; the merged map
+	// inherits whatever drift A has).
+	ka := aKeys[len(aKeys)-1]
+	tWA := ka.True.Compose(ka.Odom.Inverse())
+	var sum float64
+	for _, kb := range bKeys {
+		est := tWA.Compose(tab).Compose(kb.Odom)
+		sum += world.Dist(est, kb.True)
+	}
+	return sum / float64(len(bKeys))
+}

@@ -1,0 +1,83 @@
+package slam
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"inca/internal/world"
+)
+
+// RefineMerge fuses many single-match inter-map transform estimates into one
+// robust estimate: a support-weighted average on SE(2) (circular mean for
+// the rotation) after median-distance outlier rejection. Real DSLAM systems
+// refine the merge as more cross-agent matches accumulate; this is the
+// lightweight equivalent, and the DSLAM co-simulation reports both the
+// first-match and the refined merge error.
+//
+// All inputs must share the same orientation (AgentA/AgentB); mixed
+// directions are rejected.
+func RefineMerge(matches []MergeResult) (world.Pose, error) {
+	if len(matches) == 0 {
+		return world.Pose{}, fmt.Errorf("slam: no matches to refine")
+	}
+	a, b := matches[0].AgentA, matches[0].AgentB
+	for _, m := range matches[1:] {
+		if m.AgentA != a || m.AgentB != b {
+			return world.Pose{}, fmt.Errorf("slam: mixed match orientations (%d->%d vs %d->%d)", m.AgentB, m.AgentA, b, a)
+		}
+	}
+
+	mean := weightedMean(matches)
+	if len(matches) >= 4 {
+		// Outlier rejection: drop estimates beyond 3x the median deviation
+		// from the initial mean, then re-average.
+		devs := make([]float64, len(matches))
+		for i, m := range matches {
+			devs[i] = poseDeviation(m.TAB, mean)
+		}
+		sorted := append([]float64(nil), devs...)
+		sort.Float64s(sorted)
+		med := sorted[len(sorted)/2]
+		if med > 0 {
+			var kept []MergeResult
+			for i, m := range matches {
+				if devs[i] <= 3*med {
+					kept = append(kept, m)
+				}
+			}
+			if len(kept) > 0 {
+				mean = weightedMean(kept)
+			}
+		}
+	}
+	return mean, nil
+}
+
+// weightedMean averages transforms weighted by feature-match support.
+func weightedMean(ms []MergeResult) world.Pose {
+	var wx, wy, wc, ws, wsum float64
+	for _, m := range ms {
+		w := float64(m.Matches)
+		if w <= 0 {
+			w = 1
+		}
+		wx += w * m.TAB.X
+		wy += w * m.TAB.Y
+		wc += w * math.Cos(m.TAB.Theta)
+		ws += w * math.Sin(m.TAB.Theta)
+		wsum += w
+	}
+	return world.Pose{
+		X:     wx / wsum,
+		Y:     wy / wsum,
+		Theta: math.Atan2(ws, wc),
+	}
+}
+
+// poseDeviation is a combined translation+rotation distance between two
+// transforms (1 rad weighted as 1 m).
+func poseDeviation(a, b world.Pose) float64 {
+	d := a.Inverse().Compose(b)
+	return math.Hypot(d.X, d.Y) + math.Abs(d.Theta)
+}

@@ -1,0 +1,100 @@
+package slam_test
+
+import (
+	"math"
+	"testing"
+
+	"inca/internal/slam"
+	"inca/internal/world"
+)
+
+func mkMatch(tab world.Pose, support int) slam.MergeResult {
+	return slam.MergeResult{AgentA: 0, AgentB: 1, TAB: tab, Matches: support}
+}
+
+func TestRefineMergeAveragesNoise(t *testing.T) {
+	truth := world.Pose{X: 10, Y: -4, Theta: 1.2}
+	r := prngLocal{s: 9}
+	var matches []slam.MergeResult
+	for i := 0; i < 30; i++ {
+		noisy := world.Pose{
+			X:     truth.X + (r.float()-0.5)*0.4,
+			Y:     truth.Y + (r.float()-0.5)*0.4,
+			Theta: truth.Theta + (r.float()-0.5)*0.06,
+		}
+		matches = append(matches, mkMatch(noisy, 10))
+	}
+	refined, err := slam.RefineMerge(matches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := matches[0].TAB
+	errSingle := math.Hypot(single.X-truth.X, single.Y-truth.Y)
+	errRefined := math.Hypot(refined.X-truth.X, refined.Y-truth.Y)
+	if errRefined > 0.08 {
+		t.Fatalf("refined translation error %.3f m too large", errRefined)
+	}
+	if errRefined >= errSingle && errSingle > 0.05 {
+		t.Fatalf("refinement (%.3f) no better than a noisy single match (%.3f)", errRefined, errSingle)
+	}
+	if d := math.Abs(refined.Theta - truth.Theta); d > 0.02 {
+		t.Fatalf("refined rotation error %.4f rad", d)
+	}
+}
+
+func TestRefineMergeRejectsOutliers(t *testing.T) {
+	truth := world.Pose{X: 3, Y: 2, Theta: -0.5}
+	var matches []slam.MergeResult
+	for i := 0; i < 10; i++ {
+		matches = append(matches, mkMatch(truth, 12))
+	}
+	// A grossly wrong match with high support.
+	matches = append(matches, mkMatch(world.Pose{X: 30, Y: -20, Theta: 2.5}, 20))
+	refined, err := slam.RefineMerge(matches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Hypot(refined.X-truth.X, refined.Y-truth.Y); d > 0.2 {
+		t.Fatalf("outlier dragged the refinement %.2f m off", d)
+	}
+}
+
+func TestRefineMergeErrors(t *testing.T) {
+	if _, err := slam.RefineMerge(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	mixed := []slam.MergeResult{
+		mkMatch(world.Pose{}, 5),
+		{AgentA: 1, AgentB: 0, TAB: world.Pose{}, Matches: 5},
+	}
+	if _, err := slam.RefineMerge(mixed); err == nil {
+		t.Fatal("mixed orientations accepted")
+	}
+}
+
+func TestRefineMergeCircularMean(t *testing.T) {
+	// Angles straddling the ±π wrap must average to ~π, not 0.
+	matches := []slam.MergeResult{
+		mkMatch(world.Pose{Theta: math.Pi - 0.05}, 1),
+		mkMatch(world.Pose{Theta: -math.Pi + 0.05}, 1),
+	}
+	refined, err := slam.RefineMerge(matches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Abs(refined.Theta)-math.Pi) > 0.01 {
+		t.Fatalf("circular mean broken: %.3f rad", refined.Theta)
+	}
+}
+
+// prngLocal is a tiny deterministic generator for the tests.
+type prngLocal struct{ s uint64 }
+
+func (r *prngLocal) float() float64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

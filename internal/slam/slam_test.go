@@ -1,0 +1,214 @@
+package slam_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"inca/internal/slam"
+	"inca/internal/world"
+)
+
+func obsAt(w *world.World, cam world.Camera, pose world.Pose, stamp time.Duration) world.Observation {
+	return cam.Observe(w, 0, pose, stamp, 7)
+}
+
+func TestExtractorNMSAndCap(t *testing.T) {
+	w := world.NewArena(1)
+	cam := world.DefaultCamera(160, 120)
+	ex := slam.DefaultExtractor()
+	ex.MaxPoints = 10
+	obs := obsAt(w, cam, world.Pose{X: 12, Y: 8, Theta: 0}, time.Second)
+	if len(obs.Points) == 0 {
+		t.Fatal("observation sees nothing; camera geometry broken")
+	}
+	f := ex.Extract(obs, 3)
+	if len(f.Points) == 0 || len(f.Points) > 10 {
+		t.Fatalf("extracted %d points, want 1..10", len(f.Points))
+	}
+	for i, p := range f.Points {
+		for j := i + 1; j < len(f.Points); j++ {
+			q := f.Points[j]
+			d := math.Hypot(p.U-q.U, p.V-q.V)
+			if d < ex.NMSRadius {
+				t.Fatalf("points %d,%d within NMS radius: %.1f px", i, j, d)
+			}
+		}
+	}
+}
+
+func TestDescriptorMatchingSameLandmarks(t *testing.T) {
+	w := world.NewArena(2)
+	cam := world.DefaultCamera(160, 120)
+	ex := slam.DefaultExtractor()
+	pose := world.Pose{X: 10, Y: 8, Theta: 1.0}
+	f1 := ex.Extract(obsAt(w, cam, pose, time.Second), 3)
+	// Slightly moved viewpoint, different noise draw.
+	pose2 := pose.Add(0.05, 0.01, 0.01)
+	f2 := ex.Extract(obsAt(w, cam, pose2, 2*time.Second), 4)
+	matches := slam.MatchFrames(f1.Points, f2.Points, 0.9)
+	if len(matches) < 5 {
+		t.Fatalf("only %d matches between adjacent views", len(matches))
+	}
+	correct := 0
+	for _, m := range matches {
+		if f1.Points[m[0]].LandmarkID() == f2.Points[m[1]].LandmarkID() {
+			correct++
+		}
+	}
+	if prec := float64(correct) / float64(len(matches)); prec < 0.9 {
+		t.Fatalf("match precision %.2f < 0.9 (%d/%d)", prec, correct, len(matches))
+	}
+}
+
+func TestOdometryTracksStraightLine(t *testing.T) {
+	w := world.NewArena(3)
+	cam := world.DefaultCamera(160, 120)
+	ex := slam.DefaultExtractor()
+	intr := slam.CameraIntrinsics{FOV: cam.FOV, Width: cam.Width}
+	odo := slam.NewOdometry(intr)
+
+	start := world.Pose{X: 4, Y: 8, Theta: 0}
+	truth := start
+	step := 0.04 // meters per frame, 0.8 m/s at 20 fps
+	for i := 0; i < 50; i++ {
+		truth = truth.Add(step, 0, 0)
+		obs := obsAt(w, cam, truth, time.Duration(i)*50*time.Millisecond)
+		f := ex.Extract(obs, uint64(i))
+		odo.Track(&f)
+	}
+	if odo.Tracked < 40 {
+		t.Fatalf("tracked only %d/49 frames", odo.Tracked)
+	}
+	est := start.Compose(odo.Pose())
+	err := world.Dist(est, truth)
+	if err > 0.5 {
+		t.Fatalf("odometry error %.2f m after 2 m straight line", err)
+	}
+}
+
+func TestPlaceRecognitionSamePlaceVsDifferent(t *testing.T) {
+	w := world.NewArena(4)
+	cam := world.DefaultCamera(160, 120)
+	r := slam.DefaultRecognizer()
+	// Same pose observed at different times by different agents.
+	p1 := world.Pose{X: 8, Y: 4, Theta: 2.0}
+	d1 := r.Describe(cam.Observe(w, 0, p1, time.Second, 9))
+	d2 := r.Describe(cam.Observe(w, 1, p1.Add(0.1, 0.05, 0.02), 30*time.Second, 10))
+	// A genuinely different place.
+	p3 := world.Pose{X: 20, Y: 12, Theta: -1.0}
+	d3 := r.Describe(cam.Observe(w, 1, p3, 40*time.Second, 11))
+
+	same := d1.Cosine(d2)
+	diff := d1.Cosine(d3)
+	if same < r.Threshold {
+		t.Fatalf("same-place similarity %.3f below threshold %.2f", same, r.Threshold)
+	}
+	if diff >= same {
+		t.Fatalf("different place similarity %.3f >= same place %.3f", diff, same)
+	}
+}
+
+func TestDatabaseQueryRules(t *testing.T) {
+	w := world.NewArena(5)
+	cam := world.DefaultCamera(160, 120)
+	r := slam.DefaultRecognizer()
+	db := &slam.Database{}
+	p := world.Pose{X: 8, Y: 4, Theta: 2.0}
+	e1 := slam.PlaceEntry{AgentID: 0, Seq: 0, Stamp: time.Second, Desc: r.Describe(cam.Observe(w, 0, p, time.Second, 1))}
+	db.Add(e1)
+	q := slam.PlaceEntry{AgentID: 0, Seq: 1, Stamp: 2 * time.Second, Desc: r.Describe(cam.Observe(w, 0, p, 2*time.Second, 2))}
+	// Cross-agent-only query must reject the same-agent hit.
+	if _, ok := db.Query(r, q, true); ok {
+		t.Fatal("cross-agent query matched a same-agent entry")
+	}
+	// Same-agent loop closure is rejected within MinSeparation...
+	if _, ok := db.Query(r, q, false); ok {
+		t.Fatal("query matched a temporally-adjacent frame (trivial self-match)")
+	}
+	// ...but accepted after it.
+	q.Stamp = 30 * time.Second
+	if _, ok := db.Query(r, q, false); !ok {
+		t.Fatal("loop closure rejected despite separation")
+	}
+}
+
+func TestAlignKeyFramesRecoversTransform(t *testing.T) {
+	w := world.NewArena(6)
+	cam := world.DefaultCamera(160, 120)
+	ex := slam.DefaultExtractor()
+	intr := slam.CameraIntrinsics{FOV: cam.FOV, Width: cam.Width}
+
+	truePose := world.Pose{X: 8, Y: 4, Theta: 2.0}
+	// Agent A's odometry frame differs from agent B's by a known offset.
+	odomA := world.Pose{X: 1, Y: 2, Theta: 0.3}
+	odomB := world.Pose{X: 5, Y: 1, Theta: -0.7}
+
+	kfA := slam.KeyFrame{
+		AgentID: 0, Seq: 0, Stamp: time.Second, Odom: odomA, True: truePose,
+		Frame: ex.Extract(cam.Observe(w, 0, truePose, time.Second, 1), 1),
+	}
+	poseB := truePose.Add(0.08, -0.03, 0.05)
+	kfB := slam.KeyFrame{
+		AgentID: 1, Seq: 0, Stamp: 20 * time.Second, Odom: odomB, True: poseB,
+		Frame: ex.Extract(cam.Observe(w, 1, poseB, 20*time.Second, 2), 2),
+	}
+	mr, err := slam.AlignKeyFrames(intr, kfA, kfB, 0.95, 6)
+	if err != nil {
+		t.Fatalf("align: %v", err)
+	}
+	if mr.ErrTrans > 0.4 {
+		t.Fatalf("merge translation error %.2f m", mr.ErrTrans)
+	}
+	if mr.ErrRot > 0.1 {
+		t.Fatalf("merge rotation error %.3f rad", mr.ErrRot)
+	}
+}
+
+// TestRunDSLAM is the end-to-end system test: two agents, two simulated
+// accelerators, ROS middleware — FE holds its deadline, PR keeps cycling and
+// getting preempted, and the maps merge when the agents see the same place.
+func TestRunDSLAM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second co-simulation")
+	}
+	cfg := slam.DefaultDSLAMConfig()
+	cfg.Duration = 25 * time.Second
+	res, err := slam.RunDSLAM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Agents {
+		if a.Frames < 20*20 {
+			t.Errorf("agent %d published %d frames, want ~%d", i, a.Frames, 20*25)
+		}
+		if a.FEDone == 0 {
+			t.Errorf("agent %d completed no FE inferences", i)
+		}
+		if a.FEMisses > a.FEDone/20 {
+			t.Errorf("agent %d FE misses %d/%d above 5%%", i, a.FEMisses, a.FEDone)
+		}
+		if a.PRDone == 0 {
+			t.Errorf("agent %d completed no PR inferences", i)
+		}
+		if a.Preempts == 0 {
+			t.Errorf("agent %d: PR never preempted by FE", i)
+		}
+		if a.VOTracked < a.FEDone/2 {
+			t.Errorf("agent %d VO tracked %d of %d FE frames", i, a.VOTracked, a.FEDone)
+		}
+		if a.Degradation > 0.005 {
+			t.Errorf("agent %d degradation %.4f%% too high", i, a.Degradation*100)
+		}
+	}
+	if !res.Merged() {
+		t.Error("maps never merged (no cross-agent PR match)")
+	} else {
+		if math.IsNaN(res.MergedError) || res.MergedError > 3 {
+			t.Errorf("merged-map error %.2f m", res.MergedError)
+		}
+		if math.IsNaN(res.RefinedError) || res.RefinedError > 3 {
+			t.Errorf("refined merge error %.2f m", res.RefinedError)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package world
+
+import "strings"
+
+// AsciiMap renders the arena and a set of labelled tracks as a text grid
+// (y grows downward; the arena's y-axis is flipped so north is up). Used by
+// inca-dslam to show trajectories and the merged map in the terminal.
+type AsciiMap struct {
+	W     *World
+	Cols  int
+	Rows  int
+	cells [][]rune
+}
+
+// NewAsciiMap allocates a canvas and draws the static world: walls as '#',
+// obstacles as 'O'.
+func NewAsciiMap(w *World, cols, rows int) *AsciiMap {
+	m := &AsciiMap{W: w, Cols: cols, Rows: rows}
+	m.cells = make([][]rune, rows)
+	for r := range m.cells {
+		m.cells[r] = make([]rune, cols)
+		for c := range m.cells[r] {
+			m.cells[r][c] = ' '
+		}
+	}
+	// Border.
+	for c := 0; c < cols; c++ {
+		m.cells[0][c] = '#'
+		m.cells[rows-1][c] = '#'
+	}
+	for r := 0; r < rows; r++ {
+		m.cells[r][0] = '#'
+		m.cells[r][cols-1] = '#'
+	}
+	for _, ob := range w.Obstacles {
+		// Fill the obstacle disc.
+		steps := 8
+		for dy := -steps; dy <= steps; dy++ {
+			for dx := -steps; dx <= steps; dx++ {
+				x := ob.X + ob.R*float64(dx)/float64(steps)
+				y := ob.Y + ob.R*float64(dy)/float64(steps)
+				if (x-ob.X)*(x-ob.X)+(y-ob.Y)*(y-ob.Y) <= ob.R*ob.R {
+					m.Plot(x, y, 'O')
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Plot marks a world coordinate with the rune (later plots win).
+func (m *AsciiMap) Plot(x, y float64, mark rune) {
+	c := int(x / m.W.Width * float64(m.Cols))
+	r := m.Rows - 1 - int(y/m.W.Height*float64(m.Rows))
+	if c < 0 || c >= m.Cols || r < 0 || r >= m.Rows {
+		return
+	}
+	m.cells[r][c] = mark
+}
+
+// Track plots a pose sequence with the rune.
+func (m *AsciiMap) Track(poses []Pose, mark rune) {
+	for _, p := range poses {
+		m.Plot(p.X, p.Y, mark)
+	}
+}
+
+// String renders the canvas.
+func (m *AsciiMap) String() string {
+	var b strings.Builder
+	for _, row := range m.cells {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

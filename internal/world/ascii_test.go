@@ -1,0 +1,38 @@
+package world_test
+
+import (
+	"strings"
+	"testing"
+
+	"inca/internal/world"
+)
+
+func TestAsciiMap(t *testing.T) {
+	w := world.NewArena(1)
+	m := world.NewAsciiMap(w, 60, 20)
+	m.Track([]world.Pose{{X: 12, Y: 8}, {X: 13, Y: 8}}, 'a')
+	m.Plot(-5, 2, 'x') // out of bounds: ignored
+	s := m.String()
+	lines := strings.Split(strings.TrimSuffix(s, "\n"), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("%d lines, want 20", len(lines))
+	}
+	for _, l := range lines {
+		if len([]rune(l)) != 60 {
+			t.Fatalf("line width %d, want 60", len([]rune(l)))
+		}
+	}
+	if !strings.Contains(s, "a") {
+		t.Error("track marker missing")
+	}
+	if !strings.Contains(s, "O") {
+		t.Error("obstacles missing")
+	}
+	if strings.Contains(s, "x") {
+		t.Error("out-of-bounds plot drawn")
+	}
+	// Border intact.
+	if !strings.HasPrefix(lines[0], "####") {
+		t.Error("top border missing")
+	}
+}

@@ -1,0 +1,115 @@
+package world
+
+import (
+	"math"
+	"time"
+
+	"inca/internal/tensor"
+)
+
+// Camera is a planar pinhole camera: landmarks within the field of view and
+// range project to image coordinates.
+type Camera struct {
+	FOV      float64 // horizontal field of view, radians
+	MaxRange float64 // meters
+	Width    int     // image width, pixels
+	Height   int     // image height, pixels
+	FocalPx  float64 // vertical focal length in pixels
+	EyeZ     float64 // camera height above floor
+
+	// PixelNoise adds deterministic sub-pixel observation noise.
+	PixelNoise float64
+}
+
+// DefaultCamera matches the evaluation setup: 480x640 at 20 fps would be the
+// paper's full-scale input; tests use smaller variants.
+func DefaultCamera(width, height int) Camera {
+	return Camera{
+		FOV:      math.Pi / 2,
+		MaxRange: 9,
+		Width:    width, Height: height,
+		FocalPx:    float64(height),
+		EyeZ:       1.0,
+		PixelNoise: 0.4,
+	}
+}
+
+// ImagePoint is one landmark observation in image space.
+type ImagePoint struct {
+	LandmarkID int
+	U, V       float64 // pixels
+	Depth      float64 // meters
+	Sig        uint64  // appearance signature observed
+}
+
+// Observation is one camera frame's worth of geometry.
+type Observation struct {
+	AgentID int
+	Stamp   time.Duration
+	Pose    Pose // true pose (consumers add their own odometry noise)
+	Points  []ImagePoint
+}
+
+// Observe projects the world's landmarks into the camera at the given pose.
+// Noise is derived deterministically from (seed, landmark, stamp).
+func (c Camera) Observe(w *World, agentID int, pose Pose, stamp time.Duration, seed uint64) Observation {
+	obs := Observation{AgentID: agentID, Stamp: stamp, Pose: pose}
+	for _, lm := range w.Landmarks {
+		dx, dy := lm.X-pose.X, lm.Y-pose.Y
+		dist := math.Hypot(dx, dy)
+		if dist < 0.3 || dist > c.MaxRange {
+			continue
+		}
+		bearing := normAngle(math.Atan2(dy, dx) - pose.Theta)
+		if math.Abs(bearing) > c.FOV/2 {
+			continue
+		}
+		if w.Occluded(pose.X, pose.Y, &lm) {
+			continue
+		}
+		r := rng{s: seed ^ uint64(lm.ID)*0x9e37 ^ uint64(stamp)}
+		nu := (r.float() - 0.5) * 2 * c.PixelNoise
+		nv := (r.float() - 0.5) * 2 * c.PixelNoise
+		u := (bearing/(c.FOV/2))*float64(c.Width)/2 + float64(c.Width)/2 + nu
+		v := float64(c.Height)/2 - c.FocalPx*(lm.Z-c.EyeZ)/dist + nv
+		if u < 0 || u >= float64(c.Width) || v < 0 || v >= float64(c.Height) {
+			continue
+		}
+		obs.Points = append(obs.Points, ImagePoint{
+			LandmarkID: lm.ID, U: u, V: v, Depth: dist, Sig: lm.Sig,
+		})
+	}
+	return obs
+}
+
+// Render rasterises the observation into a 1xHxW int8 image: a background
+// gradient plus an 8x8 signature patch per visible landmark, brighter when
+// closer. The image is what the deployed CNN backbone consumes, so the
+// accelerator-side load is driven by real frame content.
+func (c Camera) Render(obs Observation) *tensor.Int8 {
+	img := tensor.NewInt8(1, c.Height, c.Width)
+	for y := 0; y < c.Height; y++ {
+		for x := 0; x < c.Width; x++ {
+			img.Set3(0, y, x, int8(-30+20*y/c.Height+10*x/c.Width))
+		}
+	}
+	for _, p := range obs.Points {
+		scale := 1.0 / (1.0 + p.Depth/3.0)
+		u0, v0 := int(p.U)-4, int(p.V)-4
+		for dy := 0; dy < 8; dy++ {
+			for dx := 0; dx < 8; dx++ {
+				x, y := u0+dx, v0+dy
+				if x < 0 || x >= c.Width || y < 0 || y >= c.Height {
+					continue
+				}
+				bit := (p.Sig >> uint((dy*8+dx)%64)) & 1
+				val := -70.0
+				if bit == 1 {
+					val = 90.0
+				}
+				img.Set3(0, y, x, int8(val*scale))
+			}
+		}
+	}
+	return img
+}

@@ -1,0 +1,41 @@
+package world
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+	"path/filepath"
+
+	"inca/internal/tensor"
+)
+
+// WritePNG saves a rendered camera frame (1xHxW int8) as an 8-bit grayscale
+// PNG — the inspectable artifact of what the deployed CNN consumes.
+func WritePNG(img *tensor.Int8, path string) error {
+	if len(img.Shape) != 3 || img.Shape[0] != 1 {
+		return fmt.Errorf("world: WritePNG wants a 1xHxW tensor, got %v", img.Shape)
+	}
+	h, w := img.Shape[1], img.Shape[2]
+	out := image.NewGray(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.SetGray(x, y, color.Gray{Y: uint8(int(img.At3(0, y, x)) + 128)})
+		}
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := png.Encode(f, out); err != nil {
+		return err
+	}
+	return f.Close()
+}
