@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: tier1 build test bench race refconv vet
+
+# tier1 is the gate every change must keep green.
+tier1: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Datapath micro-benchmarks (MACs/s per layer shape, snapshot round trip)
+# plus the repo-level experiment benchmarks.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem ./internal/accel
+	$(GO) test -run xxx -bench 'BenchmarkFunctionalInference' .
+
+# Differential bit-exactness tests (optimized vs reference datapath, worker
+# sharding, preemption replay) under the race detector.
+race:
+	$(GO) test -race -run 'TestDatapathDifferential|TestSnapshotRoundTrip' -count 1 ./internal/accel
+
+# Verify the build-tag pin that forces the scalar reference datapath.
+refconv:
+	$(GO) build -tags inca_refconv ./...
+	$(GO) test -tags inca_refconv -count 1 ./internal/accel
+
+vet:
+	$(GO) vet ./...

@@ -1,6 +1,7 @@
 package inca_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"inca/internal/compiler"
 	"inca/internal/iau"
 	"inca/internal/interrupt"
+	"inca/internal/isa"
 	"inca/internal/model"
 	"inca/internal/quant"
 	"inca/internal/sched"
@@ -204,7 +206,8 @@ func BenchmarkTimingSimulation(b *testing.B) {
 }
 
 // BenchmarkFunctionalInference measures the bit-exact functional datapath on
-// a small network.
+// a small network, end to end through the IAU, at several worker counts.
+// (Per-kernel datapath numbers live in internal/accel's BenchmarkEngineConv.)
 func BenchmarkFunctionalInference(b *testing.B) {
 	cfg := accel.Big()
 	cfg.ParaIn, cfg.ParaOut, cfg.ParaHeight = 4, 4, 3
@@ -220,24 +223,46 @@ func BenchmarkFunctionalInference(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var macs float64
+	for i := range p.Layers {
+		l := &p.Layers[i]
+		if l.Op != isa.LayerConv {
+			continue
+		}
+		icg := l.InC
+		if l.Groups == l.InC && l.Groups > 1 {
+			icg = 1
+		}
+		fp := l.FusedPool
+		if fp < 1 {
+			fp = 1
+		}
+		macs += float64(l.OutC*l.OutH*fp*l.OutW*fp) * float64(l.KH*l.KW*icg)
+	}
 	input := tensor.NewInt8(g.InC, g.InH, g.InW)
 	tensor.FillPattern(input, 5)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		arena, err := accel.NewArena(p)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := accel.WriteInput(arena, p, input); err != nil {
-			b.Fatal(err)
-		}
-		u := iau.New(cfg, iau.PolicyNone)
-		if err := u.Submit(1, &iau.Request{Label: "f", Prog: p, Arena: arena}); err != nil {
-			b.Fatal(err)
-		}
-		if err := u.RunAll(); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			wcfg := cfg
+			wcfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				arena, err := accel.NewArena(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := accel.WriteInput(arena, p, input); err != nil {
+					b.Fatal(err)
+				}
+				u := iau.New(wcfg, iau.PolicyNone)
+				if err := u.Submit(1, &iau.Request{Label: "f", Prog: p, Arena: arena}); err != nil {
+					b.Fatal(err)
+				}
+				if err := u.RunAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(macs*float64(b.N)/b.Elapsed().Seconds(), "MACs/s")
+		})
 	}
 }
 

@@ -5,6 +5,7 @@
 //
 //	inca-bench -e all -scale full
 //	inca-bench -e E1,E3 -scale quick
+//	inca-bench -e E2 -cpuprofile cpu.pprof -benchjson results.json
 package main
 
 import (
@@ -12,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"inca/internal/bench"
@@ -19,10 +22,13 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("e", "all", "experiments to run: all or comma list of E1..E7")
-		scaleStr = flag.String("scale", "quick", "quick (reduced inputs, seconds) or full (paper-scale 480x640)")
-		outPath  = flag.String("o", "", "also write results to this file")
-		formatMD = flag.Bool("md", false, "render tables as markdown")
+		exps       = flag.String("e", "all", "experiments to run: all or comma list of E1..E13")
+		scaleStr   = flag.String("scale", "quick", "quick (reduced inputs, seconds) or full (paper-scale 480x640)")
+		outPath    = flag.String("o", "", "also write results to this file")
+		formatMD   = flag.Bool("md", false, "render tables as markdown")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+		benchJSON  = flag.String("benchjson", "", "write all result tables as a JSON array to this file")
 	)
 	flag.Parse()
 
@@ -45,6 +51,55 @@ func main() {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("create %s: %v", *cpuProfile, err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("start cpu profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	tables, err := run(*exps, scale)
+	for _, t := range tables {
+		printTable(out, t, *formatMD)
+	}
+	if *benchJSON != "" {
+		f, jerr := os.Create(*benchJSON)
+		if jerr != nil {
+			fatalf("create %s: %v", *benchJSON, jerr)
+		}
+		if jerr := bench.WriteJSON(f, tables); jerr != nil {
+			fatalf("write %s: %v", *benchJSON, jerr)
+		}
+		f.Close()
+	}
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr != nil {
+			fatalf("create %s: %v", *memProfile, merr)
+		}
+		runtime.GC()
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fatalf("write heap profile: %v", merr)
+		}
+		f.Close()
+	}
+	if err != nil {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		fatalf("%v", err)
+	}
+}
+
+// run executes the requested experiments and returns every table produced,
+// including the ones finished before an error (so partial results still
+// reach -o/-benchjson).
+func run(exps string, scale bench.Scale) ([]*bench.Table, error) {
 	runners := map[string]func(bench.Scale) (*bench.Table, error){
 		"E2":  bench.E2NetworkSweep,
 		"E3":  bench.E3BackupVsConv,
@@ -59,51 +114,51 @@ func main() {
 		"E13": bench.E13Migration,
 	}
 
-	if *exps == "all" {
-		tables, err := bench.All(scale)
-		for _, t := range tables {
-			printTable(out, t, *formatMD)
-		}
+	var tables []*bench.Table
+	if exps == "all" {
+		all, err := bench.All(scale)
+		tables = append(tables, all...)
 		if err != nil {
-			fatalf("%v", err)
+			return tables, err
 		}
 		for _, id := range []string{"E8", "E9", "E10", "E11", "E12", "E13"} {
 			t, err := runners[id](scale)
 			if err != nil {
-				fatalf("%s: %v", id, err)
+				return tables, fmt.Errorf("%s: %v", id, err)
 			}
-			printTable(out, t, *formatMD)
+			tables = append(tables, t)
 		}
-		return
+		return tables, nil
 	}
 
-	for _, id := range strings.Split(*exps, ",") {
+	for _, id := range strings.Split(exps, ",") {
 		id = strings.TrimSpace(strings.ToUpper(id))
 		switch id {
 		case "E1":
 			r, err := bench.E1InterruptPositions(scale)
 			if err != nil {
-				fatalf("E1: %v", err)
+				return tables, fmt.Errorf("E1: %v", err)
 			}
-			printTable(out, r.Table, *formatMD)
+			tables = append(tables, r.Table)
 		case "E6":
 			r, err := bench.E6DSLAMScheduling(scale)
 			if err != nil {
-				fatalf("E6: %v", err)
+				return tables, fmt.Errorf("E6: %v", err)
 			}
-			printTable(out, r.Table, *formatMD)
+			tables = append(tables, r.Table)
 		default:
 			f, ok := runners[id]
 			if !ok {
-				fatalf("unknown experiment %q", id)
+				return tables, fmt.Errorf("unknown experiment %q", id)
 			}
 			t, err := f(scale)
 			if err != nil {
-				fatalf("%s: %v", id, err)
+				return tables, fmt.Errorf("%s: %v", id, err)
 			}
-			printTable(out, t, *formatMD)
+			tables = append(tables, t)
 		}
 	}
+	return tables, nil
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -54,6 +54,15 @@ type Config struct {
 	InputBufBytes  int
 	OutputBufBytes int
 	WeightBufBytes int
+
+	// Workers bounds the host threads the functional datapath may use to
+	// execute one CALC across output channels. 0 means GOMAXPROCS; 1 forces
+	// the serial path. Output channels are partitioned statically and every
+	// worker writes a disjoint region, so results are byte-identical at any
+	// value — only wall-clock changes. Cycle accounting is untouched: the
+	// simulated MAC array is the same hardware no matter how many host
+	// threads emulate it.
+	Workers int
 }
 
 // Big returns the paper's large Angel-Eye configuration:
@@ -96,6 +105,9 @@ func (c Config) Validate() error {
 	}
 	if c.DDRBandwidthGBps <= 0 {
 		return fmt.Errorf("accel: invalid DDR bandwidth %g GB/s", c.DDRBandwidthGBps)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("accel: invalid worker count %d", c.Workers)
 	}
 	return nil
 }

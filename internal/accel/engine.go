@@ -3,9 +3,9 @@ package accel
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 
 	"inca/internal/isa"
-	"inca/internal/quant"
 )
 
 // Engine executes instructions against a task's DDR arena. It always
@@ -15,6 +15,12 @@ import (
 // loss on preemption the virtual instructions must repair. A functional run
 // therefore *proves* that an interrupt schedule is correct: any missing
 // restore surfaces as an execution error or a wrong output.
+//
+// The functional datapath has two implementations: the row-sliced kernels
+// (kernels.go), optionally sharded across output channels by a persistent
+// worker pool, and the original scalar reference path (reference.go). Both
+// are bit-identical; the differential tests prove it continuously. Cycle
+// accounting never depends on which path (or how many host workers) ran.
 type Engine struct {
 	Cfg Config
 
@@ -39,6 +45,12 @@ type Engine struct {
 
 	acc    accTile
 	finals finalTile
+
+	// Host-execution resources (no effect on simulated results or cycles).
+	workers  int         // resolved from Cfg.Workers at construction
+	pool     *workerPool // lazily created when workers > 1
+	useRef   bool        // run the scalar reference datapath instead
+	snapFree []*Snapshot // released snapshots awaiting reuse
 }
 
 type rowWindow struct {
@@ -63,9 +75,20 @@ type finalTile struct {
 
 // NewEngine returns an engine for the given configuration.
 func NewEngine(cfg Config) *Engine {
-	e := &Engine{Cfg: cfg}
+	e := &Engine{Cfg: cfg, workers: resolveWorkers(cfg.Workers), useRef: forceReferenceConv}
 	e.Invalidate()
 	return e
+}
+
+// Close releases the engine's worker pool. It is safe to call multiple
+// times and on engines that never sharded; engines that are simply dropped
+// are cleaned up by a finalizer.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+	runtime.SetFinalizer(e, nil)
 }
 
 // DrainPipeline discards the outstanding prefetch overlap: a preemption
@@ -106,34 +129,65 @@ type Snapshot struct {
 	finals   finalTile
 }
 
-// Snapshot deep-copies the mutable on-chip state.
+// Snapshot deep-copies the mutable on-chip state. Released snapshots (see
+// ReleaseSnapshot) are recycled, so steady-state CPU-like backup performs no
+// heap allocation.
 func (e *Engine) Snapshot() *Snapshot {
-	s := &Snapshot{
-		curProg: e.curProg, curLayer: e.curLayer, win: e.win,
-		wLayer: e.wLayer, wOG: e.wOG,
-		bias: append([]int32(nil), e.bias...),
-		// wdata references the read-only weight region of the arena.
-		wdata:  e.wdata,
-		acc:    e.acc,
-		finals: e.finals,
+	var s *Snapshot
+	if n := len(e.snapFree); n > 0 {
+		s = e.snapFree[n-1]
+		e.snapFree[n-1] = nil
+		e.snapFree = e.snapFree[:n-1]
+	} else {
+		s = new(Snapshot)
 	}
-	s.acc.data = append([]int32(nil), e.acc.data...)
-	s.finals.data = append([]int8(nil), e.finals.data...)
-	s.finals.ogDone = append([]bool(nil), e.finals.ogDone...)
+	s.curProg, s.curLayer, s.win = e.curProg, e.curLayer, e.win
+	s.wLayer, s.wOG = e.wLayer, e.wOG
+	s.bias = append(s.bias[:0], e.bias...)
+	// wdata references the read-only weight region of the arena.
+	s.wdata = e.wdata
+	accData, finData, finDone := s.acc.data, s.finals.data, s.finals.ogDone
+	s.acc = e.acc
+	s.acc.data = resizeI32(accData, len(e.acc.data))
+	copy(s.acc.data, e.acc.data)
+	s.finals = e.finals
+	s.finals.data = resizeI8(finData, len(e.finals.data))
+	copy(s.finals.data, e.finals.data)
+	s.finals.ogDone = resizeBool(finDone, len(e.finals.ogDone))
+	copy(s.finals.ogDone, e.finals.ogDone)
 	return s
 }
 
-// Restore reinstates a snapshot (CPU-like interrupt recovery).
+// Restore reinstates a snapshot (CPU-like interrupt recovery). The engine's
+// existing tile buffers are reused, so recovery allocates only when the
+// snapshot is larger than anything the engine has held before.
 func (e *Engine) Restore(s *Snapshot) {
 	e.curProg, e.curLayer, e.win = s.curProg, s.curLayer, s.win
 	e.wLayer, e.wOG = s.wLayer, s.wOG
 	e.bias = append(e.bias[:0], s.bias...)
 	e.wdata = s.wdata
+	accData, finData, finDone := e.acc.data, e.finals.data, e.finals.ogDone
 	e.acc = s.acc
-	e.acc.data = append([]int32(nil), s.acc.data...)
+	e.acc.data = resizeI32(accData, len(s.acc.data))
+	copy(e.acc.data, s.acc.data)
 	e.finals = s.finals
-	e.finals.data = append([]int8(nil), s.finals.data...)
-	e.finals.ogDone = append([]bool(nil), s.finals.ogDone...)
+	e.finals.data = resizeI8(finData, len(s.finals.data))
+	copy(e.finals.data, s.finals.data)
+	e.finals.ogDone = resizeBool(finDone, len(s.finals.ogDone))
+	copy(e.finals.ogDone, s.finals.ogDone)
+}
+
+// ReleaseSnapshot returns a snapshot's buffers to the engine's free list so
+// the next Snapshot reuses them instead of allocating. Call it once the
+// snapshot has been restored (or abandoned); the snapshot must not be used
+// afterwards.
+func (e *Engine) ReleaseSnapshot(s *Snapshot) {
+	if s == nil || len(e.snapFree) >= 4 {
+		return
+	}
+	s.curProg = nil
+	s.wdata = nil
+	e.snapFree = append(e.snapFree, s)
 }
 
 // Exec runs one instruction. arena is the task's DDR image (nil for
@@ -282,14 +336,24 @@ func (e *Engine) calc(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Ins
 	if err := e.needWindow(0, l, row0, rows); err != nil {
 		return err
 	}
+	ref := forceReferenceConv || e.useRef
 	switch l.Op {
 	case isa.LayerConv:
+		if ref {
+			return e.referenceCalcConv(arena, p, l, in, oc0, oc1, row0, rows)
+		}
 		return e.calcConv(arena, p, l, in, oc0, oc1, row0, rows)
 	case isa.LayerPool:
+		if ref {
+			return e.referenceCalcPool(arena, p, l, in, oc0, oc1, row0, rows)
+		}
 		return e.calcPool(arena, p, l, in, oc0, oc1, row0, rows)
 	case isa.LayerAdd:
 		if err := e.needWindow(1, l, row0, rows); err != nil {
 			return err
+		}
+		if ref {
+			return e.referenceCalcAdd(arena, p, l, in, oc0, oc1, row0, rows)
 		}
 		return e.calcAdd(arena, p, l, in, oc0, oc1, row0, rows)
 	}
@@ -323,29 +387,27 @@ func (e *Engine) calcConv(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa
 		}
 	}
 	ic0, ic1 := 0, 0
-	if depthwise {
-		// Each output channel consumes its own input channel.
-	} else {
+	icCnt := 1
+	if !depthwise {
 		ic0 = int(in.InG) * e.Cfg.ParaIn
 		ic1 = min(ic0+e.Cfg.ParaIn, l.InC)
+		icCnt = ic1 - ic0
 	}
-	for oc := oc0; oc < oc1; oc++ {
-		wBase := (oc - oc0) * weightsPerOC(l)
-		for r := 0; r < crows; r++ {
-			oy := crow0 + r
-			outRow := ((oc-oc0)*crows + r) * convW
-			for ox := 0; ox < convW; ox++ {
-				var sum int32
-				if depthwise {
-					sum = e.convPoint(arena, l, oc, oy, ox, wBase)
-				} else {
-					for ic := ic0; ic < ic1; ic++ {
-						sum += e.convPoint(arena, l, ic, oy, ox, wBase+ic*l.KH*l.KW)
-					}
-				}
-				e.acc.data[outRow+ox] += sum
-			}
-		}
+	c := convCall{
+		arena: arena, l: l, g: newConvGeom(l, convW),
+		oc0: oc0, crow0: crow0, crows: crows,
+		blockSz: crows * convW, depthwise: depthwise,
+		ic0: ic0, ic1: ic1,
+		wpo: weightsPerOC(l), khkw: l.KH * l.KW,
+		planeSz: l.InH * l.InW, inBase: int(l.InAddr),
+	}
+	if shards := e.shardsFor(oCnt, c.blockSz*c.khkw*icCnt); shards > 1 {
+		// The closure gets its own copy so the serial path below keeps the
+		// call frame allocation-free.
+		cc := c
+		e.runShards(shards, oc0, oc1, func(a, b int) { e.convShard(&cc, a, b) })
+	} else {
+		e.convShard(&c, oc0, oc1)
 	}
 	if in.Op == isa.OpCalcF {
 		e.ensureFinals(l, in, row0, rows)
@@ -353,26 +415,15 @@ func (e *Engine) calcConv(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa
 		if fp <= 1 {
 			fp = 1
 		}
-		for oc := oc0; oc < oc1; oc++ {
-			for r := 0; r < rows; r++ {
-				dst := (oc*rows + r) * l.OutW
-				for ox := 0; ox < l.OutW; ox++ {
-					// Requantize, then max-pool the fp x fp conv window
-					// (requantization is monotonic, so the order matches the
-					// reference's pool-after-requant exactly).
-					m := int8(-128)
-					for py := 0; py < fp; py++ {
-						src := ((oc-oc0)*crows + r*fp + py) * convW
-						for px := 0; px < fp; px++ {
-							v := quant.Requantize(e.acc.data[src+ox*fp+px], e.bias[oc-oc0], l.Shift, l.ReLU)
-							if v > m {
-								m = v
-							}
-						}
-					}
-					e.finals.data[dst+ox] = m
-				}
-			}
+		q := requantCall{
+			l: l, oc0: oc0, rows: rows, convW: convW, fp: fp,
+			perChan: rows * l.OutW, blockSz: c.blockSz,
+		}
+		if shards := e.shardsFor(oCnt, q.perChan*fp*fp); shards > 1 {
+			qq := q
+			e.runShards(shards, oc0, oc1, func(a, b int) { e.requantShard(&qq, a, b) })
+		} else {
+			e.requantShard(&q, oc0, oc1)
 		}
 		e.finals.ogDone[in.OutG] = true
 		e.acc.valid = false
@@ -380,28 +431,55 @@ func (e *Engine) calcConv(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa
 	return nil
 }
 
-// convPoint accumulates one (input-channel, output-pixel) kernel window.
-// ch is the input channel; wOff locates that channel's KHxKW weights in the
-// loaded blob.
-func (e *Engine) convPoint(arena []byte, l *isa.LayerInfo, ch, oy, ox, wOff int) int32 {
-	var sum int32
-	inBase := int(l.InAddr) + ch*l.InH*l.InW
-	for ky := 0; ky < l.KH; ky++ {
-		iy := oy*l.Stride + ky - l.Pad
-		if iy < 0 || iy >= l.InH {
+// convCall carries one CALC's resolved geometry to its channel shards.
+type convCall struct {
+	arena        []byte
+	l            *isa.LayerInfo
+	g            convGeom
+	oc0          int // first channel of the accumulator tile
+	crow0, crows int
+	blockSz      int // per-channel accumulator block (crows x convW)
+	depthwise    bool
+	ic0, ic1     int
+	wpo, khkw    int
+	planeSz      int
+	inBase       int
+}
+
+// convShard accumulates output channels [a,b) of one CALC.
+func (e *Engine) convShard(c *convCall, a, b int) {
+	for oc := a; oc < b; oc++ {
+		wBase := (oc - c.oc0) * c.wpo
+		out := e.acc.data[(oc-c.oc0)*c.blockSz : (oc-c.oc0+1)*c.blockSz]
+		if c.depthwise {
+			// Each output channel consumes its own input channel.
+			plane := c.arena[c.inBase+oc*c.planeSz : c.inBase+(oc+1)*c.planeSz]
+			convAccumChannel(out, plane, e.wdata[wBase:wBase+c.khkw], c.g, c.crow0, c.crows)
 			continue
 		}
-		rowBase := inBase + iy*l.InW
-		wRow := wOff + ky*l.KW
-		for kx := 0; kx < l.KW; kx++ {
-			ix := ox*l.Stride + kx - l.Pad
-			if ix < 0 || ix >= l.InW {
-				continue
-			}
-			sum += int32(int8(arena[rowBase+ix])) * int32(int8(e.wdata[wRow+kx]))
+		for ic := c.ic0; ic < c.ic1; ic++ {
+			plane := c.arena[c.inBase+ic*c.planeSz : c.inBase+(ic+1)*c.planeSz]
+			wOff := wBase + ic*c.khkw
+			convAccumChannel(out, plane, e.wdata[wOff:wOff+c.khkw], c.g, c.crow0, c.crows)
 		}
 	}
-	return sum
+}
+
+// requantCall carries one CALC_F epilogue's geometry to its channel shards.
+type requantCall struct {
+	l                *isa.LayerInfo
+	oc0              int
+	rows, convW, fp  int
+	perChan, blockSz int
+}
+
+// requantShard requantizes (and fused-pools) output channels [a,b).
+func (e *Engine) requantShard(q *requantCall, a, b int) {
+	for oc := a; oc < b; oc++ {
+		dst := e.finals.data[oc*q.perChan : (oc+1)*q.perChan]
+		acc := e.acc.data[(oc-q.oc0)*q.blockSz : (oc-q.oc0+1)*q.blockSz]
+		requantChannel(dst, acc, e.bias[oc-q.oc0], q.l, q.rows, q.convW, q.fp)
+	}
 }
 
 func weightsPerOC(l *isa.LayerInfo) int {
@@ -413,54 +491,50 @@ func weightsPerOC(l *isa.LayerInfo) int {
 
 func (e *Engine) calcPool(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, oc0, oc1, row0, rows int) error {
 	e.ensureFinals(l, in, row0, rows)
-	for oc := oc0; oc < oc1; oc++ {
-		inBase := int(l.InAddr) + oc*l.InH*l.InW
-		for r := 0; r < rows; r++ {
-			oy := row0 + r
-			dst := (oc*rows + r) * l.OutW
-			for ox := 0; ox < l.OutW; ox++ {
-				m := int8(-128)
-				for ky := 0; ky < l.KH; ky++ {
-					iy := oy*l.Stride + ky
-					if iy >= l.InH {
-						continue
-					}
-					for kx := 0; kx < l.KW; kx++ {
-						ix := ox*l.Stride + kx
-						if ix >= l.InW {
-							continue
-						}
-						v := int8(arena[inBase+iy*l.InW+ix])
-						if v > m {
-							m = v
-						}
-					}
-				}
-				e.finals.data[dst+ox] = m
-			}
-		}
+	perChan := rows * l.OutW
+	if shards := e.shardsFor(oc1-oc0, perChan*l.KH*l.KW); shards > 1 {
+		e.runShards(shards, oc0, oc1, func(a, b int) { e.poolShard(arena, l, row0, rows, a, b) })
+	} else {
+		e.poolShard(arena, l, row0, rows, oc0, oc1)
 	}
 	e.finals.ogDone[in.OutG] = true
 	return nil
 }
 
+// poolShard evaluates output channels [a,b) of a standalone pool CALC.
+func (e *Engine) poolShard(arena []byte, l *isa.LayerInfo, row0, rows, a, b int) {
+	planeSz := l.InH * l.InW
+	inBase := int(l.InAddr)
+	perChan := rows * l.OutW
+	for oc := a; oc < b; oc++ {
+		plane := arena[inBase+oc*planeSz : inBase+(oc+1)*planeSz]
+		dst := e.finals.data[oc*perChan : (oc+1)*perChan]
+		poolChannel(dst, plane, l, row0, rows)
+	}
+}
+
 func (e *Engine) calcAdd(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, oc0, oc1, row0, rows int) error {
 	e.ensureFinals(l, in, row0, rows)
-	for oc := oc0; oc < oc1; oc++ {
-		aBase := int(l.InAddr) + (oc*l.InH+row0)*l.InW
-		bBase := int(l.In2Addr) + (oc*l.InH+row0)*l.InW
-		for r := 0; r < rows; r++ {
-			dst := (oc*rows + r) * l.OutW
-			for ox := 0; ox < l.OutW; ox++ {
-				a := int8(arena[aBase+r*l.InW+ox])
-				// The second input carries the branch-alignment shift.
-				b := int8(arena[bBase+r*l.InW+ox]) >> l.Shift
-				e.finals.data[dst+ox] = quant.SaturateAdd(a, b, l.ReLU)
-			}
-		}
+	perChan := rows * l.OutW
+	if shards := e.shardsFor(oc1-oc0, perChan); shards > 1 {
+		e.runShards(shards, oc0, oc1, func(a, b int) { e.addShard(arena, l, row0, rows, a, b) })
+	} else {
+		e.addShard(arena, l, row0, rows, oc0, oc1)
 	}
 	e.finals.ogDone[in.OutG] = true
 	return nil
+}
+
+// addShard evaluates output channels [a,b) of a residual-add CALC.
+func (e *Engine) addShard(arena []byte, l *isa.LayerInfo, row0, rows, a, b int) {
+	perChan := rows * l.OutW
+	span := (rows-1)*l.InW + l.OutW
+	for oc := a; oc < b; oc++ {
+		aBase := int(l.InAddr) + (oc*l.InH+row0)*l.InW
+		bBase := int(l.In2Addr) + (oc*l.InH+row0)*l.InW
+		dst := e.finals.data[oc*perChan : (oc+1)*perChan]
+		addChannel(dst, arena[aBase:aBase+span], arena[bBase:bBase+span], l, rows)
+	}
 }
 
 // ensureFinals (re)establishes the final-results tile buffer for the
@@ -515,10 +589,10 @@ func (e *Engine) save(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Ins
 		if !e.finals.ogDone[og] {
 			return fmt.Errorf("save of channel %d (group %d) before CALC_F finished it", oc, og)
 		}
-		dst := int(l.OutAddr) + (oc*l.OutH+row0)*l.OutW
-		src := oc * rows * l.OutW
-		for i := 0; i < perChan; i++ {
-			arena[dst+i] = byte(e.finals.data[src+i])
+		dst := arena[int(l.OutAddr)+(oc*l.OutH+row0)*l.OutW:]
+		src := e.finals.data[oc*perChan : (oc+1)*perChan]
+		for i, v := range src {
+			dst[i] = byte(v)
 		}
 	}
 	return nil

@@ -1,0 +1,15 @@
+package accel
+
+// Test hooks. They compile only into the accel test binary (and the test
+// binaries of packages built alongside it), never into release builds.
+
+// SetReferencePath pins the engine to the original scalar reference
+// datapath (true) or the row-sliced kernels (false), regardless of the
+// inca_refconv build tag. Differential tests run both paths in one binary.
+func (e *Engine) SetReferencePath(on bool) { e.useRef = on }
+
+// ReferencePathDefault reports the build-time datapath selection.
+func ReferencePathDefault() bool { return forceReferenceConv }
+
+// SnapFreeLen reports how many released snapshots await reuse.
+func (e *Engine) SnapFreeLen() int { return len(e.snapFree) }

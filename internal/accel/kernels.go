@@ -1,0 +1,293 @@
+package accel
+
+import (
+	"inca/internal/isa"
+	"inca/internal/quant"
+)
+
+// Row-sliced functional kernels. The seed datapath walked every output pixel
+// through convPoint — padding branches, bounds checks, and a function call
+// inside the MAC loop. Here each CALC is decomposed once into row spans:
+// border columns (kernel window clipped horizontally) are handled by a
+// clipped dot product, and the interior — where the full KHxKW window is
+// in-bounds — runs contiguous 1-D int8 dot products over the arena and the
+// loaded weight blob with all clipping hoisted out of the loop. Every kernel
+// accumulates the same int32 terms as the reference path; int32 addition is
+// associative mod 2^32, so the results are bit-identical.
+
+// convGeom is the per-CALC geometry shared by every (channel, row) kernel.
+type convGeom struct {
+	inW, inH    int
+	kh, kw      int
+	stride, pad int
+	convW       int
+	// Interior column span [loEdge,hiEdge): output columns whose full
+	// kernel-width window lies inside the input row.
+	loEdge, hiEdge int
+}
+
+func newConvGeom(l *isa.LayerInfo, convW int) convGeom {
+	g := convGeom{
+		inW: l.InW, inH: l.InH, kh: l.KH, kw: l.KW,
+		stride: l.Stride, pad: l.Pad, convW: convW,
+	}
+	lo := 0
+	if g.pad > 0 {
+		lo = (g.pad + g.stride - 1) / g.stride
+	}
+	if lo > convW {
+		lo = convW
+	}
+	hi := 0
+	if n := g.inW - g.kw + g.pad; n >= 0 {
+		hi = n/g.stride + 1
+	}
+	if hi > convW {
+		hi = convW
+	}
+	if hi < lo {
+		hi = lo
+	}
+	g.loEdge, g.hiEdge = lo, hi
+	return g
+}
+
+// convAccumChannel accumulates one input channel's contribution to a block
+// of convolution output rows. plane is the channel's InH x InW featuremap,
+// w its KH x KW weights, dst the crows x convW accumulator block.
+func convAccumChannel(dst []int32, plane, w []byte, g convGeom, crow0, crows int) {
+	for r := 0; r < crows; r++ {
+		oy := crow0 + r
+		dstRow := dst[r*g.convW : (r+1)*g.convW]
+		// Vertical clip: kernel rows whose input row exists.
+		ky0 := 0
+		if v := g.pad - oy*g.stride; v > 0 {
+			ky0 = v
+		}
+		ky1 := g.kh
+		if v := g.inH - oy*g.stride + g.pad; v < ky1 {
+			ky1 = v
+		}
+		if ky1 <= ky0 {
+			continue
+		}
+		nky := ky1 - ky0
+		rows := plane[(oy*g.stride+ky0-g.pad)*g.inW:]
+		wRows := w[ky0*g.kw:]
+		for ox := 0; ox < g.loEdge; ox++ {
+			dstRow[ox] += clippedDot(rows, wRows, g, ox, nky)
+		}
+		if g.loEdge < g.hiEdge {
+			interior := dstRow[g.loEdge:g.hiEdge]
+			x0 := g.loEdge*g.stride - g.pad
+			switch {
+			case g.kw == 3 && nky == 3 && g.stride == 1:
+				convRow3x3S1(interior, rows, g.inW, wRows, x0)
+			case g.kw == 1 && nky == 1:
+				convRow1x1(interior, rows, int32(int8(wRows[0])), g.stride, x0)
+			default:
+				convRowGeneric(interior, rows, g.inW, wRows, g.kw, nky, g.stride, x0)
+			}
+		}
+		for ox := g.hiEdge; ox < g.convW; ox++ {
+			dstRow[ox] += clippedDot(rows, wRows, g, ox, nky)
+		}
+	}
+}
+
+// clippedDot evaluates one border output pixel: the kernel window clipped to
+// the input row on either side.
+func clippedDot(rows, wRows []byte, g convGeom, ox, nky int) int32 {
+	x0 := ox*g.stride - g.pad
+	kx0, kx1 := 0, g.kw
+	if x0 < 0 {
+		kx0 = -x0
+	}
+	if v := g.inW - x0; v < kx1 {
+		kx1 = v
+	}
+	if kx1 <= kx0 {
+		return 0
+	}
+	var sum int32
+	for ky := 0; ky < nky; ky++ {
+		inR := rows[ky*g.inW+x0+kx0 : ky*g.inW+x0+kx1]
+		wR := wRows[ky*g.kw+kx0 : ky*g.kw+kx1]
+		for i, wv := range wR {
+			sum += int32(int8(inR[i])) * int32(int8(wv))
+		}
+	}
+	return sum
+}
+
+// convRow3x3S1 is the hot interior kernel: 3x3 window, stride 1, all three
+// kernel rows valid. The three input taps per row slide through registers,
+// so each output pixel costs three fresh byte loads for nine MACs.
+func convRow3x3S1(dst []int32, rows []byte, inW int, wRows []byte, x0 int) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	// Row slices sized so the compiler can drop the i+2 bounds checks.
+	r0 := rows[x0 : x0+n+2]
+	r1 := rows[inW+x0 : inW+x0+n+2]
+	r2 := rows[2*inW+x0 : 2*inW+x0+n+2]
+	w00, w01, w02 := int32(int8(wRows[0])), int32(int8(wRows[1])), int32(int8(wRows[2]))
+	w10, w11, w12 := int32(int8(wRows[3])), int32(int8(wRows[4])), int32(int8(wRows[5]))
+	w20, w21, w22 := int32(int8(wRows[6])), int32(int8(wRows[7])), int32(int8(wRows[8]))
+	a0, b0 := int32(int8(r0[0])), int32(int8(r0[1]))
+	a1, b1 := int32(int8(r1[0])), int32(int8(r1[1]))
+	a2, b2 := int32(int8(r2[0])), int32(int8(r2[1]))
+	for i := 0; i < n; i++ {
+		c0 := int32(int8(r0[i+2]))
+		c1 := int32(int8(r1[i+2]))
+		c2 := int32(int8(r2[i+2]))
+		dst[i] += w00*a0 + w01*b0 + w02*c0 +
+			w10*a1 + w11*b1 + w12*c1 +
+			w20*a2 + w21*b2 + w22*c2
+		a0, b0 = b0, c0
+		a1, b1 = b1, c1
+		a2, b2 = b2, c2
+	}
+}
+
+// convRow1x1 is the pointwise kernel: one weight scales a contiguous (or
+// strided) run of input bytes.
+func convRow1x1(dst []int32, rows []byte, w0 int32, stride, x0 int) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	if stride == 1 {
+		in := rows[x0 : x0+n]
+		for i, v := range in {
+			dst[i] += w0 * int32(int8(v))
+		}
+		return
+	}
+	x := x0
+	for i := range dst {
+		dst[i] += w0 * int32(int8(rows[x]))
+		x += stride
+	}
+}
+
+// convRowGeneric covers every remaining interior shape (strided 3x3, 5x5,
+// clipped border rows, 1xK, ...): a full-width dot product per pixel with
+// per-row contiguous slices.
+func convRowGeneric(dst []int32, rows []byte, inW int, wRows []byte, kw, nky, stride, x0 int) {
+	x := x0
+	for i := range dst {
+		var sum int32
+		rowOff := x
+		wOff := 0
+		for ky := 0; ky < nky; ky++ {
+			inR := rows[rowOff : rowOff+kw]
+			wR := wRows[wOff : wOff+kw : wOff+kw]
+			for j, wv := range wR {
+				sum += int32(int8(inR[j])) * int32(int8(wv))
+			}
+			rowOff += inW
+			wOff += kw
+		}
+		dst[i] += sum
+		x += stride
+	}
+}
+
+// requantChannel flattens the CALC_F epilogue for one output channel:
+// requantize the accumulator block and max-pool the fp x fp window when
+// pooling is fused (requantization is monotonic, so pooling after requant
+// matches the reference's per-window order exactly).
+func requantChannel(dst []int8, acc []int32, bias int32, l *isa.LayerInfo, rows, convW, fp int) {
+	if fp == 1 {
+		quant.RequantizeRow(dst, acc, bias, l.Shift, l.ReLU)
+		return
+	}
+	outW := l.OutW
+	for r := 0; r < rows; r++ {
+		dstRow := dst[r*outW : (r+1)*outW]
+		for i := range dstRow {
+			dstRow[i] = -128
+		}
+		for py := 0; py < fp; py++ {
+			src := acc[(r*fp+py)*convW : (r*fp+py+1)*convW]
+			for ox := range dstRow {
+				m := dstRow[ox]
+				base := ox * fp
+				for px := 0; px < fp; px++ {
+					if v := quant.Requantize(src[base+px], bias, l.Shift, l.ReLU); v > m {
+						m = v
+					}
+				}
+				dstRow[ox] = m
+			}
+		}
+	}
+}
+
+// poolChannel evaluates one channel of a standalone max-pool layer with the
+// horizontal clip hoisted: interior columns take the full kernel width,
+// border columns clip against the input edge. Max is order-independent, so
+// accumulating row-by-row matches the reference's window order.
+func poolChannel(dst []int8, plane []byte, l *isa.LayerInfo, row0, rows int) {
+	inW, inH, outW := l.InW, l.InH, l.OutW
+	kh, kw, stride := l.KH, l.KW, l.Stride
+	hiX := 0
+	if n := inW - kw; n >= 0 {
+		hiX = n/stride + 1
+	}
+	if hiX > outW {
+		hiX = outW
+	}
+	for r := 0; r < rows; r++ {
+		oy := row0 + r
+		dstRow := dst[r*outW : (r+1)*outW]
+		for i := range dstRow {
+			dstRow[i] = -128
+		}
+		ky1 := kh
+		if v := inH - oy*stride; v < ky1 {
+			ky1 = v
+		}
+		for ky := 0; ky < ky1; ky++ {
+			inR := plane[(oy*stride+ky)*inW : (oy*stride+ky)*inW+inW]
+			x := 0
+			for ox := 0; ox < hiX; ox++ {
+				m := dstRow[ox]
+				win := inR[x : x+kw : x+kw]
+				for _, v := range win {
+					if int8(v) > m {
+						m = int8(v)
+					}
+				}
+				dstRow[ox] = m
+				x += stride
+			}
+			for ox := hiX; ox < outW; ox++ {
+				m := dstRow[ox]
+				for kx := ox * stride; kx < inW; kx++ {
+					if v := int8(inR[kx]); v > m {
+						m = v
+					}
+				}
+				dstRow[ox] = m
+			}
+		}
+	}
+}
+
+// addChannel evaluates one channel of a residual-add layer as flat row
+// traversals; the second input carries the branch-alignment shift.
+func addChannel(dst []int8, a, b []byte, l *isa.LayerInfo, rows int) {
+	inW, outW := l.InW, l.OutW
+	shift, relu := l.Shift, l.ReLU
+	for r := 0; r < rows; r++ {
+		dstRow := dst[r*outW : (r+1)*outW]
+		aRow := a[r*inW : r*inW+outW]
+		bRow := b[r*inW : r*inW+outW]
+		for i := range dstRow {
+			dstRow[i] = quant.SaturateAdd(int8(aRow[i]), int8(bRow[i])>>shift, relu)
+		}
+	}
+}

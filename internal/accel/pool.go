@@ -1,0 +1,108 @@
+package accel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMinWork is the per-CALC op count below which sharding across
+// workers costs more than it saves and the engine stays serial. The choice
+// only affects wall-clock: shards write disjoint channel blocks, so the
+// output is byte-identical either way.
+const parallelMinWork = 1 << 14
+
+// workerPool is a persistent set of goroutines that execute per-shard
+// kernel closures. One pool lives on each Engine whose resolved worker
+// count exceeds 1; it is created lazily on the first CALC big enough to
+// shard and freed by (*Engine).Close (or the engine's finalizer).
+type workerPool struct {
+	jobs chan poolJob
+}
+
+type poolJob struct {
+	fn    func(shard int)
+	shard int
+	wg    *sync.WaitGroup
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{jobs: make(chan poolJob, workers)}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	for j := range p.jobs {
+		j.fn(j.shard)
+		j.wg.Done()
+	}
+}
+
+// run executes fn(0..shards-1), running shard 0 on the calling goroutine and
+// blocking until every shard completes.
+func (p *workerPool) run(shards int, fn func(shard int)) {
+	if shards <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for s := 1; s < shards; s++ {
+		p.jobs <- poolJob{fn: fn, shard: s, wg: &wg}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+func (p *workerPool) close() { close(p.jobs) }
+
+// resolveWorkers maps Config.Workers to an effective thread count.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// shardsFor decides how many contiguous output-channel shards a CALC over n
+// channels should use. The decision depends only on the configuration and
+// the layer geometry — never on scheduling — so a given program always
+// shards the same way. workPerOC is the approximate op count per channel,
+// used to keep small tiles serial (1 shard means: run inline, allocation-
+// and closure-free).
+func (e *Engine) shardsFor(n, workPerOC int) int {
+	shards := e.workers
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 || workPerOC*n < parallelMinWork {
+		return 1
+	}
+	return shards
+}
+
+// runShards partitions the output-channel range [oc0,oc1) into contiguous
+// blocks and runs fn over each on the worker pool. Every shard writes a
+// disjoint slice of the accumulator/finals tiles and the partition is a
+// pure function of (oc0, oc1, shards), so the result is byte-identical for
+// any Config.Workers.
+func (e *Engine) runShards(shards, oc0, oc1 int, fn func(ocA, ocB int)) {
+	if e.pool == nil {
+		e.pool = newWorkerPool(e.workers)
+		// Engines are rarely Closed explicitly; reclaim the pool's
+		// goroutines when the engine itself becomes unreachable.
+		runtime.SetFinalizer(e, (*Engine).Close)
+	}
+	n := oc1 - oc0
+	q, r := n/shards, n%shards
+	e.pool.run(shards, func(s int) {
+		a := oc0 + s*q + min(s, r)
+		b := a + q
+		if s < r {
+			b++
+		}
+		fn(a, b)
+	})
+}

@@ -1,0 +1,9 @@
+//go:build !inca_refconv
+
+package accel
+
+// forceReferenceConv selects the datapath implementation at build time. The
+// default build runs the row-sliced kernels; `go build -tags inca_refconv`
+// pins every engine to the original scalar reference path so any suspected
+// datapath miscompare can be bisected without code changes.
+const forceReferenceConv = false

@@ -1,0 +1,7 @@
+//go:build inca_refconv
+
+package accel
+
+// forceReferenceConv pins every engine to the original scalar reference
+// datapath (see refconv_off.go).
+const forceReferenceConv = true

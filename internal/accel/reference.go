@@ -1,0 +1,173 @@
+package accel
+
+import (
+	"fmt"
+
+	"inca/internal/isa"
+	"inca/internal/quant"
+)
+
+// The reference datapath: the original pixel-at-a-time scalar implementation
+// the row-sliced kernels were derived from. It is kept bit-for-bit intact as
+// the ground truth for the differential tests (TestDatapathDifferential) and
+// can be forced for every engine by building with `-tags inca_refconv`.
+
+func (e *Engine) referenceCalcConv(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, oc0, oc1, row0, rows int) error {
+	if e.wLayer != int(in.Layer) || e.wOG != int(in.OutG) {
+		return fmt.Errorf("weights for layer %d og %d not loaded (have %d/%d)", in.Layer, in.OutG, e.wLayer, e.wOG)
+	}
+	oCnt := oc1 - oc0
+	depthwise := l.Groups == l.InC && l.Groups > 1
+	// Work happens at convolution resolution; fused pooling shrinks it only
+	// at requantization time.
+	crow0, crows := l.ConvRows(row0, rows)
+	convW := l.ConvW()
+	// Establish / verify the accumulator tile.
+	if in.InG == 0 {
+		e.acc = accTile{
+			layer: int(in.Layer), tile: int(in.Tile), og: int(in.OutG),
+			row0: row0, rows: rows, valid: true,
+			data: resizeI32(e.acc.data, oCnt*crows*convW),
+		}
+		for i := range e.acc.data {
+			e.acc.data[i] = 0
+		}
+	} else {
+		if !e.acc.valid || e.acc.layer != int(in.Layer) || e.acc.tile != int(in.Tile) || e.acc.og != int(in.OutG) {
+			return fmt.Errorf("accumulator tile mismatch: have l%d t%d og%d valid=%v, want l%d t%d og%d",
+				e.acc.layer, e.acc.tile, e.acc.og, e.acc.valid, in.Layer, in.Tile, in.OutG)
+		}
+	}
+	ic0, ic1 := 0, 0
+	if depthwise {
+		// Each output channel consumes its own input channel.
+	} else {
+		ic0 = int(in.InG) * e.Cfg.ParaIn
+		ic1 = min(ic0+e.Cfg.ParaIn, l.InC)
+	}
+	for oc := oc0; oc < oc1; oc++ {
+		wBase := (oc - oc0) * weightsPerOC(l)
+		for r := 0; r < crows; r++ {
+			oy := crow0 + r
+			outRow := ((oc-oc0)*crows + r) * convW
+			for ox := 0; ox < convW; ox++ {
+				var sum int32
+				if depthwise {
+					sum = e.convPoint(arena, l, oc, oy, ox, wBase)
+				} else {
+					for ic := ic0; ic < ic1; ic++ {
+						sum += e.convPoint(arena, l, ic, oy, ox, wBase+ic*l.KH*l.KW)
+					}
+				}
+				e.acc.data[outRow+ox] += sum
+			}
+		}
+	}
+	if in.Op == isa.OpCalcF {
+		e.ensureFinals(l, in, row0, rows)
+		fp := l.FusedPool
+		if fp <= 1 {
+			fp = 1
+		}
+		for oc := oc0; oc < oc1; oc++ {
+			for r := 0; r < rows; r++ {
+				dst := (oc*rows + r) * l.OutW
+				for ox := 0; ox < l.OutW; ox++ {
+					// Requantize, then max-pool the fp x fp conv window
+					// (requantization is monotonic, so the order matches the
+					// reference's pool-after-requant exactly).
+					m := int8(-128)
+					for py := 0; py < fp; py++ {
+						src := ((oc-oc0)*crows + r*fp + py) * convW
+						for px := 0; px < fp; px++ {
+							v := quant.Requantize(e.acc.data[src+ox*fp+px], e.bias[oc-oc0], l.Shift, l.ReLU)
+							if v > m {
+								m = v
+							}
+						}
+					}
+					e.finals.data[dst+ox] = m
+				}
+			}
+		}
+		e.finals.ogDone[in.OutG] = true
+		e.acc.valid = false
+	}
+	return nil
+}
+
+// convPoint accumulates one (input-channel, output-pixel) kernel window.
+// ch is the input channel; wOff locates that channel's KHxKW weights in the
+// loaded blob.
+func (e *Engine) convPoint(arena []byte, l *isa.LayerInfo, ch, oy, ox, wOff int) int32 {
+	var sum int32
+	inBase := int(l.InAddr) + ch*l.InH*l.InW
+	for ky := 0; ky < l.KH; ky++ {
+		iy := oy*l.Stride + ky - l.Pad
+		if iy < 0 || iy >= l.InH {
+			continue
+		}
+		rowBase := inBase + iy*l.InW
+		wRow := wOff + ky*l.KW
+		for kx := 0; kx < l.KW; kx++ {
+			ix := ox*l.Stride + kx - l.Pad
+			if ix < 0 || ix >= l.InW {
+				continue
+			}
+			sum += int32(int8(arena[rowBase+ix])) * int32(int8(e.wdata[wRow+kx]))
+		}
+	}
+	return sum
+}
+
+func (e *Engine) referenceCalcPool(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, oc0, oc1, row0, rows int) error {
+	e.ensureFinals(l, in, row0, rows)
+	for oc := oc0; oc < oc1; oc++ {
+		inBase := int(l.InAddr) + oc*l.InH*l.InW
+		for r := 0; r < rows; r++ {
+			oy := row0 + r
+			dst := (oc*rows + r) * l.OutW
+			for ox := 0; ox < l.OutW; ox++ {
+				m := int8(-128)
+				for ky := 0; ky < l.KH; ky++ {
+					iy := oy*l.Stride + ky
+					if iy >= l.InH {
+						continue
+					}
+					for kx := 0; kx < l.KW; kx++ {
+						ix := ox*l.Stride + kx
+						if ix >= l.InW {
+							continue
+						}
+						v := int8(arena[inBase+iy*l.InW+ix])
+						if v > m {
+							m = v
+						}
+					}
+				}
+				e.finals.data[dst+ox] = m
+			}
+		}
+	}
+	e.finals.ogDone[in.OutG] = true
+	return nil
+}
+
+func (e *Engine) referenceCalcAdd(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, oc0, oc1, row0, rows int) error {
+	e.ensureFinals(l, in, row0, rows)
+	for oc := oc0; oc < oc1; oc++ {
+		aBase := int(l.InAddr) + (oc*l.InH+row0)*l.InW
+		bBase := int(l.In2Addr) + (oc*l.InH+row0)*l.InW
+		for r := 0; r < rows; r++ {
+			dst := (oc*rows + r) * l.OutW
+			for ox := 0; ox < l.OutW; ox++ {
+				a := int8(arena[aBase+r*l.InW+ox])
+				// The second input carries the branch-alignment shift.
+				b := int8(arena[bBase+r*l.InW+ox]) >> l.Shift
+				e.finals.data[dst+ox] = quant.SaturateAdd(a, b, l.ReLU)
+			}
+		}
+	}
+	e.finals.ogDone[in.OutG] = true
+	return nil
+}

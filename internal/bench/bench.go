@@ -6,17 +6,19 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 )
 
 // Table is a formatted experiment result.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -81,6 +83,15 @@ func (t *Table) Markdown() string {
 		fmt.Fprintf(&b, "\n*%s*\n", n)
 	}
 	return b.String()
+}
+
+// WriteJSON serialises a batch of tables as an indented JSON array, the
+// machine-readable counterpart of String/Markdown for tracking results
+// across commits (inca-bench -benchjson).
+func WriteJSON(w io.Writer, tables []*Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
 }
 
 // Scale selects experiment fidelity: Full reproduces the paper's input

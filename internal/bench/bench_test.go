@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"strconv"
 	"strings"
@@ -27,6 +29,29 @@ func TestTableRendering(t *testing.T) {
 	// Header + separator + 2 rows + note + title.
 	if len(lines) != 6 {
 		t.Errorf("rendered %d lines, want 6:\n%s", len(lines), s)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	tb := &Table{ID: "T9", Title: "json", Columns: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	tb.AddNote("n%d", 1)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*Table{tb, {ID: "T10", Title: "empty"}}); err != nil {
+		t.Fatal(err)
+	}
+	var got []Table
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 || got[0].ID != "T9" || got[1].Title != "empty" {
+		t.Fatalf("round trip mangled tables: %+v", got)
+	}
+	if len(got[0].Rows) != 1 || got[0].Rows[0][1] != "2" || got[0].Notes[0] != "n1" {
+		t.Fatalf("round trip mangled cells: %+v", got[0])
+	}
+	if !strings.Contains(buf.String(), "\"columns\"") {
+		t.Errorf("expected lower-case json keys:\n%s", buf.String())
 	}
 }
 

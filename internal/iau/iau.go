@@ -427,6 +427,9 @@ func (u *IAU) resume(t *task) error {
 	switch u.Policy {
 	case PolicyCPULike:
 		u.Eng.Restore(t.snapshot)
+		// The snapshot's buffers go back to the engine's free list so the
+		// next CPU-like backup reuses them instead of allocating.
+		u.Eng.ReleaseSnapshot(t.snapshot)
 		t.snapshot = nil
 		c := u.Cfg.XferCycles(uint32(u.Cfg.TotalBufferBytes()))
 		u.advance(t.cur, c)

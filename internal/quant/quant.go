@@ -176,6 +176,38 @@ func Requantize(acc int32, bias int32, shift uint8, relu bool) int8 {
 	return int8(v)
 }
 
+// RequantizeRow requantizes a contiguous row of int32 accumulators into
+// int8 outputs, element-for-element identical to Requantize. The ReLU
+// branch is hoisted out of the loop and the clamps are branch-light so the
+// engine's flattened CALC_F epilogue stays allocation- and call-free.
+func RequantizeRow(dst []int8, src []int32, bias int32, shift uint8, relu bool) {
+	if len(src) == 0 {
+		return
+	}
+	dst = dst[:len(src)]
+	if relu {
+		for i, a := range src {
+			v := (a + bias) >> shift
+			if v < 0 {
+				v = 0
+			} else if v > 127 {
+				v = 127
+			}
+			dst[i] = int8(v)
+		}
+		return
+	}
+	for i, a := range src {
+		v := (a + bias) >> shift
+		if v > 127 {
+			v = 127
+		} else if v < -128 {
+			v = -128
+		}
+		dst[i] = int8(v)
+	}
+}
+
 // SaturateAdd performs the element-wise residual addition datapath.
 func SaturateAdd(a, b int8, relu bool) int8 {
 	v := int16(a) + int16(b)

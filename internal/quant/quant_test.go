@@ -1,6 +1,8 @@
 package quant_test
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -67,6 +69,37 @@ func TestSaturateAdd(t *testing.T) {
 	}
 	if got := quant.SaturateAdd(-5, 2, false); got != -3 {
 		t.Errorf("-5+2 = %d", got)
+	}
+}
+
+// RequantizeRow is the batched form the engine's row-sliced datapath uses;
+// it must agree with scalar Requantize element for element, including at
+// the clamp boundaries.
+func TestRequantizeRowMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := make([]int32, 257)
+	dst := make([]int8, len(src))
+	for trial := 0; trial < 50; trial++ {
+		for i := range src {
+			switch i % 8 {
+			case 0:
+				src[i] = int32(rng.Uint32()) // full range, saturates both ways
+			default:
+				src[i] = int32(rng.Intn(1<<16) - 1<<15)
+			}
+		}
+		// Edge values at fixed slots every trial.
+		src[0], src[1], src[2], src[3] = math.MaxInt32, math.MinInt32, 0, -1
+		bias := int32(rng.Intn(512) - 256)
+		shift := uint8(rng.Intn(16))
+		relu := trial%2 == 0
+		quant.RequantizeRow(dst, src, bias, shift, relu)
+		for i, acc := range src {
+			if want := quant.Requantize(acc, bias, shift, relu); dst[i] != want {
+				t.Fatalf("trial %d elem %d: RequantizeRow(%d,bias=%d,shift=%d,relu=%v) = %d, scalar %d",
+					trial, i, acc, bias, shift, relu, dst[i], want)
+			}
+		}
 	}
 }
 
