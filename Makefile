@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build test bench race refconv vet
+.PHONY: tier1 build test bench race refconv vet chaos
 
 # tier1 is the gate every change must keep green.
-tier1: build test
+tier1: build vet test race
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,10 @@ refconv:
 
 vet:
 	$(GO) vet ./...
+
+# Chaos gate: the two-agent DSLAM mission under injected snapshot
+# corruption, stalls, hangs, lost IRQs and message faults must keep a
+# zero FE deadline-miss rate, detect every corrupt restore, and still
+# merge the maps — plus determinism and zero-rate-invisibility checks.
+chaos:
+	$(GO) test -count 1 -run 'TestChaos' -v ./internal/slam ./internal/sched

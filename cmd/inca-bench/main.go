@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exps       = flag.String("e", "all", "experiments to run: all or comma list of E1..E13")
+		exps       = flag.String("e", "all", "experiments to run: all or comma list of E1..E14")
 		scaleStr   = flag.String("scale", "quick", "quick (reduced inputs, seconds) or full (paper-scale 480x640)")
 		outPath    = flag.String("o", "", "also write results to this file")
 		formatMD   = flag.Bool("md", false, "render tables as markdown")
@@ -112,6 +112,7 @@ func run(exps string, scale bench.Scale) ([]*bench.Table, error) {
 		"E11": bench.E11Schedulability,
 		"E12": bench.E12Energy,
 		"E13": bench.E13Migration,
+		"E14": bench.E14FaultRecovery,
 	}
 
 	var tables []*bench.Table
@@ -121,7 +122,7 @@ func run(exps string, scale bench.Scale) ([]*bench.Table, error) {
 		if err != nil {
 			return tables, err
 		}
-		for _, id := range []string{"E8", "E9", "E10", "E11", "E12", "E13"} {
+		for _, id := range []string{"E8", "E9", "E10", "E11", "E12", "E13", "E14"} {
 			t, err := runners[id](scale)
 			if err != nil {
 				return tables, fmt.Errorf("%s: %v", id, err)

@@ -14,6 +14,7 @@ import (
 
 	"inca/internal/accel"
 	"inca/internal/compiler"
+	"inca/internal/iau"
 	"inca/internal/isa"
 	"inca/internal/model"
 	"inca/internal/quant"
@@ -88,6 +89,14 @@ func main() {
 		fmt.Print(compiler.Analyze(p))
 		macs, _ := g.TotalMACs()
 		fmt.Printf("  %.2f GMAC per inference\n", float64(macs)/1e9)
+		backups := 0
+		for _, in := range p.Instrs {
+			if in.Op == isa.OpVirSave {
+				backups++
+			}
+		}
+		fmt.Printf("  fault tolerance: %d snapshot (Vir_SAVE) sites, watchdog bound %d cycles (%.1f us/instr)\n",
+			backups, iau.WatchdogBound(cfg, p), cfg.CyclesToMicros(iau.WatchdogBound(cfg, p)))
 	}
 	if *profile {
 		prof, err := g.Profile()

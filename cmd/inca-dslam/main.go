@@ -28,6 +28,15 @@ func main() {
 		verbose  = flag.Bool("v", false, "print every accepted PR match")
 		showMap  = flag.Bool("map", false, "render the arena and trajectories as ASCII")
 		frames   = flag.String("frames", "", "write sample rendered camera frames (PNG) to this directory")
+
+		chaos       = flag.Bool("chaos", false, "run under deterministic fault injection with the recovery stack armed")
+		chaosSeed   = flag.Uint64("chaos-seed", 7, "fault injector seed")
+		corruptRate = flag.Float64("corrupt-rate", 0.02, "snapshot/backup bit-flip rate (with -chaos)")
+		stallRate   = flag.Float64("stall-rate", 0.02, "per-instruction stall rate (with -chaos)")
+		hangRate    = flag.Float64("hang-rate", 1e-5, "per-instruction hang rate (with -chaos)")
+		irqLostRate = flag.Float64("irq-lost-rate", 0.01, "lost preemption IRQ rate (with -chaos)")
+		msgDropRate = flag.Float64("msg-drop-rate", 0.002, "ROS delivery drop rate (with -chaos)")
+		maxRetries  = flag.Int("max-retries", 3, "resubmissions of a watchdog-killed inference (with -chaos)")
 	)
 	flag.Parse()
 
@@ -36,6 +45,17 @@ func main() {
 	cfg.FPS = *fps
 	cfg.CameraW, cfg.CameraH = *camW, *camH
 	cfg.Seed = *seed
+	if *chaos {
+		ch := slam.DefaultChaosConfig()
+		ch.Seed = *chaosSeed
+		ch.CorruptRate = *corruptRate
+		ch.StallRate = *stallRate
+		ch.HangRate = *hangRate
+		ch.IRQLostRate = *irqLostRate
+		ch.MsgDropRate = *msgDropRate
+		ch.MaxRetries = *maxRetries
+		cfg.Chaos = ch
+	}
 	switch *policy {
 	case "vi":
 		cfg.Policy = iau.PolicyVI
@@ -68,6 +88,17 @@ func main() {
 			a.PRDone, a.PRMeanGapFrames, a.Preempts)
 		fmt.Printf("  accelerator       utilization %.0f%%, interrupt overhead %.3f%%\n",
 			100*a.Utilization, 100*a.Degradation)
+		if *chaos {
+			fmt.Printf("  recovery          %d corrupt restores detected, %d stalls, %d lost IRQs\n",
+				a.CorruptedRestores, a.Stalls, a.LostIRQs)
+			fmt.Printf("                    %d watchdog kills -> %d retried, %d shed\n",
+				a.WatchdogKills, a.Retries, a.Shed)
+		}
+	}
+	if *chaos {
+		fmt.Printf("\n%s\n", res.Injected)
+		fmt.Printf("ros transport: %d dropped, %d delayed, %d duplicated\n",
+			res.MsgFaults.Dropped, res.MsgFaults.Delayed, res.MsgFaults.Duplicated)
 	}
 
 	fmt.Printf("\nplace recognition: %d accepted cross-agent matches\n", len(res.Matches))

@@ -22,6 +22,7 @@ import (
 
 	"inca/internal/accel"
 	"inca/internal/compiler"
+	"inca/internal/fault"
 	"inca/internal/iau"
 	"inca/internal/isa"
 	"inca/internal/model"
@@ -43,6 +44,14 @@ func main() {
 		verbose  = flag.Bool("v", false, "print every preemption record")
 		timeline = flag.Bool("timeline", false, "print the execution timeline (start/preempt/resume/complete)")
 		gantt    = flag.Bool("gantt", false, "render the timeline as a per-slot Gantt chart")
+
+		faults      = flag.Bool("faults", false, "arm the deterministic fault injector")
+		faultSeed   = flag.Uint64("fault-seed", 7, "fault injector seed")
+		corruptRate = flag.Float64("corrupt-rate", 0.02, "snapshot/backup bit-flip rate (with -faults)")
+		stallRate   = flag.Float64("stall-rate", 0.02, "per-instruction stall rate (with -faults)")
+		hangRate    = flag.Float64("hang-rate", 1e-5, "per-instruction hang rate (with -faults)")
+		irqLostRate = flag.Float64("irq-lost-rate", 0.01, "lost preemption IRQ rate (with -faults)")
+		watchdog    = flag.Uint64("watchdog", 0, "watchdog bound in cycles (0 = auto-derive, with -faults)")
 	)
 	flag.Var(&tasks, "task", "task spec (repeatable); see doc comment")
 	flag.Parse()
@@ -76,7 +85,17 @@ func main() {
 		specs = append(specs, spec)
 	}
 
-	res, err := sched.RunTraced(cfg, pol, specs, *duration, *timeline || *gantt)
+	opt := sched.Options{Trace: *timeline || *gantt}
+	if *faults {
+		inj := fault.New(*faultSeed)
+		inj.SetRate(fault.SiteBackup, *corruptRate)
+		inj.SetRate(fault.SiteStall, *stallRate)
+		inj.SetRate(fault.SiteHang, *hangRate)
+		inj.SetRate(fault.SiteIRQLost, *irqLostRate)
+		opt.Faults = inj
+		opt.WatchdogCycles = *watchdog
+	}
+	res, err := sched.RunOpt(cfg, pol, specs, *duration, opt)
 	if err != nil {
 		fatalf("run: %v", err)
 	}
@@ -99,6 +118,14 @@ func main() {
 			cfg.CyclesToMicros(uint64(st.MeanLatency()))/1000,
 			cfg.CyclesToMicros(st.MaxLatency())/1000,
 			cfg.CyclesToMicros(st.ExecCycles)/1000)
+	}
+	if res.Faults != nil {
+		fmt.Printf("\n%s\n", res.Faults)
+		fmt.Printf("%-10s %7s %9s %9s %5s\n", "task", "retried", "corrupted", "recovered", "shed")
+		for _, spec := range specs {
+			st := res.Tasks[spec.Name]
+			fmt.Printf("%-10s %7d %9d %9d %5d\n", st.Name, st.Retried, st.Corrupted, st.Recovered, st.Shed)
+		}
 	}
 	fmt.Printf("\n%d preemptions", len(res.Preemptions))
 	if len(res.Preemptions) > 0 {
@@ -186,6 +213,10 @@ func parseTask(s string, cfg accel.Config, pol iau.Policy) (sched.TaskSpec, erro
 			spec.Continuous, err = strconv.ParseBool(v)
 		case "drop":
 			spec.DropIfBusy, err = strconv.ParseBool(v)
+		case "retries":
+			spec.MaxRetries, err = strconv.Atoi(v)
+		case "backoff":
+			spec.RetryBackoff, err = time.ParseDuration(v)
 		default:
 			return spec, fmt.Errorf("unknown key %q", k)
 		}

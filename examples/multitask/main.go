@@ -69,7 +69,7 @@ func main() {
 	} {
 		p := p
 		node := rc.Node(deploys[p.slot].name)
-		node.Timer(p.period, func() {
+		_, err := node.Timer(p.period, func() {
 			start := rc.Now()
 			err := handles[p.slot].InferAsync(func(done ros.Time) {
 				lat := done - start
@@ -81,6 +81,7 @@ func main() {
 			})
 			check(err)
 		})
+		check(err)
 	}
 
 	// Continuous nodes (slots 2 and 3) resubmit on completion.

@@ -1,0 +1,91 @@
+package accel
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// This file gives CPU-like interrupt backups an end-to-end integrity story:
+// the IAU checksums a snapshot when the backup transfer completes and
+// verifies it before restoring, so a bit-flip while the blob sat in shared
+// DDR is *detected* instead of silently resurrecting garbage on-chip state.
+// Only the fault-injection path calls these; fault-free runs never checksum.
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns a CRC32-C over the snapshot's mutable payload — the
+// accumulator and final-result tiles, their geometry, the bias words, and
+// the row-window registers. The weight blob is excluded: it aliases the
+// read-only region of the task arena and is never part of the DDR backup.
+func (s *Snapshot) Checksum() uint32 {
+	var buf [8]byte
+	crc := uint32(0)
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		crc = crc32.Update(crc, castagnoli, buf[:])
+	}
+	b := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	word(uint64(int64(s.curLayer)))
+	for i := range s.win {
+		word(uint64(int64(s.win[i].lo)))
+		word(uint64(int64(s.win[i].hi)))
+		word(b(s.win[i].valid))
+	}
+	word(uint64(int64(s.wLayer)))
+	word(uint64(int64(s.wOG)))
+	for _, v := range s.bias {
+		word(uint64(uint32(v)))
+	}
+	word(uint64(int64(s.acc.layer)))
+	word(uint64(int64(s.acc.tile)))
+	word(uint64(int64(s.acc.og)))
+	word(uint64(int64(s.acc.row0)))
+	word(uint64(int64(s.acc.rows)))
+	word(b(s.acc.valid))
+	for _, v := range s.acc.data {
+		word(uint64(uint32(v)))
+	}
+	word(uint64(int64(s.finals.layer)))
+	word(uint64(int64(s.finals.tile)))
+	word(uint64(int64(s.finals.row0)))
+	word(uint64(int64(s.finals.rows)))
+	word(b(s.finals.valid))
+	for _, v := range s.finals.data {
+		word(uint64(uint8(v)))
+	}
+	for _, v := range s.finals.ogDone {
+		word(b(v))
+	}
+	return crc
+}
+
+// PayloadBits returns the number of corruptible data bits in the snapshot
+// (accumulator + final tiles). Zero for timing-only snapshots.
+func (s *Snapshot) PayloadBits() uint64 {
+	return uint64(len(s.acc.data))*32 + uint64(len(s.finals.data))*8
+}
+
+// FlipBit flips one bit of the snapshot's tile data, addressing the
+// accumulator tile first and then the finals tile; bit is taken modulo
+// PayloadBits. It reports false (and does nothing) when the snapshot holds
+// no data — a timing-only run, where corruption is tracked as metadata.
+func (s *Snapshot) FlipBit(bit uint64) bool {
+	total := s.PayloadBits()
+	if total == 0 {
+		return false
+	}
+	bit %= total
+	accBits := uint64(len(s.acc.data)) * 32
+	if bit < accBits {
+		s.acc.data[bit/32] ^= 1 << (bit % 32)
+		return true
+	}
+	bit -= accBits
+	s.finals.data[bit/8] ^= 1 << (bit % 8)
+	return true
+}

@@ -11,6 +11,7 @@ import (
 
 	"inca/internal/accel"
 	"inca/internal/compiler"
+	"inca/internal/fault"
 	"inca/internal/iau"
 	"inca/internal/isa"
 	"inca/internal/model"
@@ -27,8 +28,15 @@ type Runtime struct {
 
 	deployments [iau.NumSlots]*Deployment
 
+	// MaxRetries bounds how many times the runtime resubmits a request the
+	// watchdog killed; RetryBackoff spaces the attempts (attempt k waits
+	// k+1 backoffs). Both are armed by EnableFaults.
+	MaxRetries   int
+	RetryBackoff time.Duration
+
 	rosCore   *ros.Core
 	callbacks map[*iau.Request]func(ros.Time)
+	failbacks map[*iau.Request]func(error)
 	nextComp  int
 	pollStop  func()
 }
@@ -56,7 +64,49 @@ func NewRuntime(cfg accel.Config, policy iau.Policy) (*Runtime, error) {
 		Policy:    policy,
 		U:         iau.New(cfg, policy),
 		callbacks: make(map[*iau.Request]func(ros.Time)),
+		failbacks: make(map[*iau.Request]func(error)),
 	}, nil
+}
+
+// EnableFaults arms the runtime's accelerator with the injector plus a
+// watchdog and bounded retry. watchdogCycles 0 derives a safe bound from
+// the programs deployed so far (so call this after Deploy); maxRetries
+// and backoff configure the runtime's resubmission policy for requests
+// the watchdog kills.
+func (rt *Runtime) EnableFaults(inj *fault.Injector, watchdogCycles uint64, maxRetries int, backoff time.Duration) {
+	rt.U.Faults = inj
+	if watchdogCycles == 0 {
+		progs := make([]*isa.Program, 0, iau.NumSlots)
+		for _, d := range rt.deployments {
+			if d != nil {
+				progs = append(progs, d.Prog)
+			}
+		}
+		watchdogCycles = iau.WatchdogBound(rt.Cfg, progs...)
+	}
+	rt.U.WatchdogCycles = watchdogCycles
+	rt.MaxRetries = maxRetries
+	rt.RetryBackoff = backoff
+	rt.U.OnFail = rt.onFail
+}
+
+// onFail retries a watchdog-killed request within the budget; once
+// exhausted the caller's failure callback (if any) fires so it can shed
+// the iteration instead of waiting forever.
+func (rt *Runtime) onFail(c iau.Completion, failErr error) {
+	backoff := rt.Cfg.SecondsToCycles(rt.RetryBackoff.Seconds())
+	if c.Req.Retries < rt.MaxRetries {
+		at := rt.U.Now + uint64(c.Req.Retries+1)*backoff
+		if err := rt.U.Resubmit(c.Slot, c.Req, at); err == nil {
+			return // completion callback stays registered for the retry
+		}
+	}
+	cb := rt.failbacks[c.Req]
+	delete(rt.failbacks, c.Req)
+	delete(rt.callbacks, c.Req)
+	if cb != nil {
+		cb(failErr)
+	}
 }
 
 // Deploy quantizes (synthetically) and compiles the network for the slot.
@@ -133,6 +183,7 @@ func (rt *Runtime) poll(now ros.Time) {
 		if d := rt.deployments[comp.Slot]; d != nil {
 			d.Inferences++
 		}
+		delete(rt.failbacks, comp.Req)
 		if cb, ok := rt.callbacks[comp.Req]; ok {
 			delete(rt.callbacks, comp.Req)
 			done := ros.Time(rt.Cfg.CyclesToSeconds(comp.Req.DoneCycle) * float64(time.Second))
@@ -144,6 +195,14 @@ func (rt *Runtime) poll(now ros.Time) {
 // InferAsync submits one inference at the current virtual time; onDone fires
 // (from the driver's poll) with the completion timestamp.
 func (d *Deployment) InferAsync(onDone func(ros.Time)) error {
+	return d.InferAsyncFail(onDone, nil)
+}
+
+// InferAsyncFail is InferAsync with a failure callback: onFail fires when
+// the request is abandoned after the runtime's retry budget (watchdog
+// kills under fault injection), so the caller can shed the iteration
+// instead of waiting on a completion that will never come.
+func (d *Deployment) InferAsyncFail(onDone func(ros.Time), onFail func(error)) error {
 	rt := d.rt
 	if rt.rosCore == nil {
 		return fmt.Errorf("core: runtime not attached to a ros core")
@@ -159,6 +218,9 @@ func (d *Deployment) InferAsync(onDone func(ros.Time)) error {
 	if onDone != nil {
 		rt.callbacks[req] = onDone
 	}
+	if onFail != nil {
+		rt.failbacks[req] = onFail
+	}
 	return nil
 }
 
@@ -172,6 +234,9 @@ func (d *Deployment) InferSync(arena []byte) (*iau.Request, error) {
 	}
 	if err := d.rt.U.RunAll(); err != nil {
 		return nil, err
+	}
+	if req.Failed {
+		return req, fmt.Errorf("core: %q abandoned after %d retries (watchdog)", d.Name, req.Retries)
 	}
 	d.Inferences++
 	return req, nil

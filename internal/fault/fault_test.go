@@ -1,0 +1,121 @@
+package fault_test
+
+import (
+	"math"
+	"testing"
+
+	"inca/internal/fault"
+)
+
+// TestDeterministic: same seed and probe order → identical decisions.
+func TestDeterministic(t *testing.T) {
+	run := func() []bool {
+		j := fault.New(99)
+		j.SetRate(fault.SiteBackup, 0.3)
+		j.SetRate(fault.SiteStall, 0.05)
+		var out []bool
+		for i := 0; i < 500; i++ {
+			out = append(out, j.Hit(fault.SiteBackup))
+			out = append(out, j.Hit(fault.SiteStall))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestSiteIndependence: probing one site must not perturb another site's
+// decision stream (each site has its own sequence counter).
+func TestSiteIndependence(t *testing.T) {
+	j1 := fault.New(7)
+	j1.SetRate(fault.SiteHang, 0.2)
+	var solo []bool
+	for i := 0; i < 200; i++ {
+		solo = append(solo, j1.Hit(fault.SiteHang))
+	}
+
+	j2 := fault.New(7)
+	j2.SetRate(fault.SiteHang, 0.2)
+	j2.SetRate(fault.SiteMsgDrop, 0.5)
+	for i := 0; i < 200; i++ {
+		j2.Hit(fault.SiteMsgDrop) // interleaved traffic on another site
+		if got := j2.Hit(fault.SiteHang); got != solo[i] {
+			t.Fatalf("hang draw %d changed when another site was probed", i)
+		}
+		j2.Hit(fault.SiteMsgDrop)
+	}
+}
+
+// TestRateConvergence: the long-run hit fraction approaches the armed rate.
+func TestRateConvergence(t *testing.T) {
+	for _, rate := range []float64{0.01, 0.1, 0.5} {
+		j := fault.New(12345)
+		j.SetRate(fault.SiteMsgDelay, rate)
+		const n = 20000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if j.Hit(fault.SiteMsgDelay) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-rate) > 0.25*rate+0.002 {
+			t.Errorf("rate %.3f: observed %.4f over %d draws", rate, got, n)
+		}
+	}
+}
+
+// TestDisarmedAndNilCost: unarmed sites never fire; zero/negative rates
+// clamp; counters still track draws.
+func TestDisarmed(t *testing.T) {
+	j := fault.New(1)
+	j.SetRate(fault.SiteBackup, -0.5)
+	for i := 0; i < 100; i++ {
+		if j.Hit(fault.SiteBackup) || j.Hit(fault.SiteStall) {
+			t.Fatal("disarmed site injected a fault")
+		}
+	}
+	rep := j.Report()
+	if len(rep.Sites) != 2 {
+		t.Fatalf("want 2 probed sites in report, got %d", len(rep.Sites))
+	}
+	for _, s := range rep.Sites {
+		if s.Draws != 100 || s.Hits != 0 {
+			t.Errorf("site %s: draws=%d hits=%d, want 100/0", s.Site, s.Draws, s.Hits)
+		}
+	}
+}
+
+// TestSeedSensitivity: different seeds give different decision streams.
+func TestSeedSensitivity(t *testing.T) {
+	a, b := fault.New(1), fault.New(2)
+	a.SetRate(fault.SiteIRQLost, 0.5)
+	b.SetRate(fault.SiteIRQLost, 0.5)
+	same := 0
+	for i := 0; i < 256; i++ {
+		if a.Hit(fault.SiteIRQLost) == b.Hit(fault.SiteIRQLost) {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Fatal("seeds 1 and 2 produced identical decision streams")
+	}
+}
+
+// TestPickBounds: Pick stays in range and is deterministic per hit count.
+func TestPickBounds(t *testing.T) {
+	j := fault.New(3)
+	for n := uint64(1); n < 100; n += 7 {
+		if p := j.Pick(fault.SiteBackup, n); p >= n {
+			t.Fatalf("Pick(%d) = %d out of range", n, p)
+		}
+	}
+	k := fault.New(3)
+	if j.Pick(fault.SiteBackup, 1<<32) != k.Pick(fault.SiteBackup, 1<<32) {
+		t.Fatal("Pick not deterministic across same-seed injectors")
+	}
+}

@@ -21,8 +21,10 @@ package iau
 import (
 	"container/heap"
 	"fmt"
+	"hash/crc32"
 
 	"inca/internal/accel"
+	"inca/internal/fault"
 	"inca/internal/isa"
 )
 
@@ -89,6 +91,13 @@ type Request struct {
 	FetchCycles   uint64 // IAU overhead skipping virtual instructions
 	Preemptions   int    // times this request was preempted
 	InterruptCost uint64 // backup+restore cycles charged to this request
+
+	// Fault/recovery accounting (all zero unless IAU.Faults is armed).
+	StallCycles uint64 // extra cycles injected by stall faults
+	Corrupted   int    // corrupt interrupt backups detected at restore
+	Restarts    int    // re-executions from program start after detection
+	Retries     int    // resubmissions after a watchdog kill (see Resubmit)
+	Failed      bool   // true while the request sits killed, awaiting retry
 }
 
 // Completion is the record returned when a request finishes.
@@ -121,6 +130,11 @@ const (
 	TraceResume
 	TraceComplete
 	TraceDrop
+	// TraceRestart marks a corrupt-backup detection: the victim's parked
+	// state failed its checksum and the request re-executes from the start.
+	TraceRestart
+	// TraceKill marks a watchdog kill of a hung slot.
+	TraceKill
 )
 
 func (k TraceKind) String() string {
@@ -135,6 +149,10 @@ func (k TraceKind) String() string {
 		return "complete"
 	case TraceDrop:
 		return "drop"
+	case TraceRestart:
+		return "restart"
+	case TraceKill:
+		return "kill"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}
@@ -177,6 +195,12 @@ type task struct {
 
 	snapshot *accel.Snapshot // CPU-like backup
 	lastPre  *Preemption     // record to charge resume cost to
+
+	// Backup integrity registers (armed only when IAU.Faults != nil).
+	crcValid      bool
+	backupCRC     uint32 // checksum of the parked backup blob
+	bkLo, bkHi    int    // arena span the VI backup covers (CRC window)
+	backupCorrupt bool   // metadata corruption for timing-only backups
 }
 
 type arrival struct {
@@ -205,6 +229,27 @@ func (h *arrivalHeap) Pop() interface{} {
 	return x
 }
 
+// SlotReset records one watchdog kill: the slot's request exceeded the
+// per-instruction cycle bound and the IAU reset the slot to recover.
+type SlotReset struct {
+	Cycle uint64
+	Slot  int
+	Label string
+	PC    int
+}
+
+// FaultStats aggregates the IAU's fault detection and recovery activity.
+// All fields stay zero unless Faults is armed (or WatchdogCycles trips on
+// a genuinely oversized instruction).
+type FaultStats struct {
+	WatchdogKills     int    // hung slots killed and reset
+	CorruptedRestores int    // corrupt backups detected at restore time
+	Restarts          int    // victim re-executions after detection
+	LostIRQs          int    // preemption boundaries missed to lost IRQs
+	Stalls            int    // instruction stalls injected
+	StallCycles       uint64 // total cycles those stalls cost
+}
+
 // IAU is the simulated instruction arrangement unit plus its accelerator.
 type IAU struct {
 	Cfg    accel.Config
@@ -212,6 +257,17 @@ type IAU struct {
 	Eng    *accel.Engine
 
 	Now uint64
+
+	// Faults, when non-nil, arms deterministic fault injection at the IAU's
+	// sites (backup bit-flips, instruction stalls/hangs, lost IRQs). Nil —
+	// the default — keeps every hot path a single pointer comparison.
+	Faults *fault.Injector
+	// WatchdogCycles bounds the cycles any single instruction may take.
+	// When an instruction exceeds it (an injected hang, or a genuinely
+	// runaway transfer) the IAU charges the bound, kills the slot's request,
+	// resets the slot, and reports the corpse through OnFail. Zero disables
+	// the watchdog: a hung instruction is then a fatal simulation error.
+	WatchdogCycles uint64
 
 	// OnComplete, when set, is invoked after every completion; it may submit
 	// follow-up requests (closed-loop workloads such as continuous PR).
@@ -222,9 +278,15 @@ type IAU struct {
 	// (the victim is in the Preempted state); a multi-accelerator dispatcher
 	// may steal the victim from here and resume it elsewhere.
 	OnPreempt func(*Preemption)
+	// OnFail, when set, receives every watchdog-killed request. The handler
+	// may Resubmit the request (bounded retry) or shed it; the slot itself
+	// is already reset and schedulable again.
+	OnFail func(Completion, error)
 
 	Completions []Completion
 	Preemptions []*Preemption
+	Resets      []SlotReset
+	Fault       FaultStats
 
 	// EnableTrace records a timeline of start/preempt/resume/complete/drop
 	// events in Trace.
@@ -343,6 +405,16 @@ func (u *IAU) Run(horizon uint64) error {
 			continue
 		}
 		if best < u.running && u.canSwitch(u.slots[u.running]) {
+			if u.Faults != nil && u.Faults.Hit(fault.SiteIRQLost) {
+				// The preemption IRQ was lost at this boundary: the victim
+				// runs one more instruction and the IAU retries at the next
+				// legal boundary (bounded extra latency, no hang).
+				u.Fault.LostIRQs++
+				if err := u.execOne(u.slots[u.running]); err != nil {
+					return err
+				}
+				continue
+			}
 			if err := u.preempt(u.running, best); err != nil {
 				return err
 			}
@@ -410,16 +482,62 @@ func (u *IAU) dispatch(slot int) error {
 		u.Eng.Invalidate()
 		u.trace(TraceStart, slot, t.cur.Label, 0)
 	case Preempted:
-		if err := u.resume(t); err != nil {
-			return err
+		if u.restoreCorrupt(t) {
+			// The backup blob failed its checksum: the parked state is
+			// garbage. Detected, not trusted — discard it and re-execute the
+			// request from its last committed boundary (the program start;
+			// every intermediate output is rewritten deterministically, so
+			// the final arena matches a fault-free run bit-for-bit).
+			u.Fault.CorruptedRestores++
+			u.Fault.Restarts++
+			t.cur.Corrupted++
+			t.cur.Restarts++
+			u.restartVictim(t)
+			u.trace(TraceRestart, slot, t.cur.Label, 0)
+		} else {
+			if err := u.resume(t); err != nil {
+				return err
+			}
+			u.trace(TraceResume, slot, t.cur.Label, t.pc)
 		}
-		u.trace(TraceResume, slot, t.cur.Label, t.pc)
 	default:
 		return fmt.Errorf("iau: dispatch of slot %d in state %d", slot, t.state)
 	}
 	t.state = Running
 	u.running = slot
 	return nil
+}
+
+// restoreCorrupt verifies the slot's parked backup against the checksum
+// recorded when the backup transfer completed. It consumes the integrity
+// registers either way.
+func (u *IAU) restoreCorrupt(t *task) bool {
+	corrupt := t.backupCorrupt
+	if t.crcValid {
+		switch {
+		case t.snapshot != nil:
+			corrupt = corrupt || t.snapshot.Checksum() != t.backupCRC
+		case t.cur.Arena != nil && t.bkHi > t.bkLo:
+			crc := crc32.Checksum(t.cur.Arena[t.bkLo:t.bkHi], crcTable)
+			corrupt = corrupt || crc != t.backupCRC
+		}
+	}
+	t.crcValid = false
+	t.backupCorrupt = false
+	return corrupt
+}
+
+// restartVictim resets a slot whose backup was detected corrupt so its
+// request re-executes from the beginning through the normal Ready path.
+func (u *IAU) restartVictim(t *task) {
+	if t.snapshot != nil {
+		u.Eng.ReleaseSnapshot(t.snapshot)
+		t.snapshot = nil
+	}
+	t.pc = 0
+	t.saveValid = false
+	t.lastPre = nil
+	u.Eng.Invalidate()
 }
 
 // resume pays the policy's restore cost and re-establishes on-chip state.
@@ -490,6 +608,16 @@ func (u *IAU) preempt(victim, preemptor int) error {
 		u.advance(vt.cur, c)
 		vt.cur.InterruptCost += c
 		rec.BackupBytes = uint64(u.Cfg.TotalBufferBytes())
+		if u.Faults != nil {
+			vt.backupCRC = vt.snapshot.Checksum()
+			vt.crcValid = true
+			if u.Faults.Hit(fault.SiteBackup) {
+				bits := vt.snapshot.PayloadBits()
+				if bits == 0 || !vt.snapshot.FlipBit(u.Faults.Pick(fault.SiteBackup, bits)) {
+					vt.backupCorrupt = true // timing-only: corruption as metadata
+				}
+			}
+		}
 	case PolicyVI:
 		// The boundary stops the MAC array; the backup transfer cannot hide
 		// under compute.
@@ -511,6 +639,9 @@ func (u *IAU) preempt(victim, preemptor int) error {
 			vt.saveValid = true
 			vt.saveID = in.SaveID
 			vt.saveBytes = in.Len
+			if u.Faults != nil {
+				u.armBackupCheck(vt, in)
+			}
 			vt.pc++ // resume at the following Vir_LOAD_D restores
 		}
 	case PolicyLayerByLayer:
@@ -545,7 +676,23 @@ type ResumeToken struct {
 	saveID    uint32
 	saveBytes uint32
 	snapshot  *accel.Snapshot
+
+	// Backup integrity state travels with the token: the destination IAU
+	// verifies the checksum before resuming, so corruption during the DDR
+	// round trip between accelerators is detected exactly like a local one.
+	crcValid      bool
+	backupCRC     uint32
+	bkLo, bkHi    int
+	backupCorrupt bool
+
+	// consumed marks a token that already resumed somewhere; a second
+	// InjectPreempted would fork the request, so it is rejected.
+	consumed bool
 }
+
+// Checksum returns the token's recorded backup CRC32-C and whether one was
+// computed (fault injection armed and a data-bearing backup existed).
+func (tok *ResumeToken) Checksum() (uint32, bool) { return tok.backupCRC, tok.crcValid }
 
 // Registers is the architectural per-slot register view of Fig. 3: the
 // instruction pointer, the SAVE-rewrite status registers, and the slot's
@@ -580,14 +727,25 @@ func (u *IAU) Registers(slot int) Registers {
 	return r
 }
 
-// SlotFree reports whether a slot has no current request and an empty
-// queue (an InjectPreempted target).
+// SlotFree reports whether a slot has no current request, an empty queue,
+// and no submission waiting in the arrival heap (an InjectPreempted target).
 func (u *IAU) SlotFree(slot int) bool {
 	if slot < 0 || slot >= NumSlots {
 		return false
 	}
 	t := u.slots[slot]
-	return t.state == Idle && t.cur == nil && len(t.queue) == 0
+	return t.state == Idle && t.cur == nil && len(t.queue) == 0 && !u.slotHasArrivals(slot)
+}
+
+// slotHasArrivals reports whether any not-yet-admitted submission targets
+// the slot.
+func (u *IAU) slotHasArrivals(slot int) bool {
+	for _, a := range u.arrivals {
+		if a.slot == slot {
+			return true
+		}
+	}
+	return false
 }
 
 // PeekPreempted returns the slot's preempted request without removing it,
@@ -617,11 +775,15 @@ func (u *IAU) StealPreempted(slot int) (*ResumeToken, error) {
 		Req: t.cur, Policy: u.Policy,
 		pc: t.pc, saveValid: t.saveValid, saveID: t.saveID, saveBytes: t.saveBytes,
 		snapshot: t.snapshot,
+		crcValid: t.crcValid, backupCRC: t.backupCRC,
+		bkLo: t.bkLo, bkHi: t.bkHi, backupCorrupt: t.backupCorrupt,
 	}
 	t.cur = nil
 	t.snapshot = nil
 	t.lastPre = nil
 	t.saveValid = false
+	t.crcValid = false
+	t.backupCorrupt = false
 	if len(t.queue) > 0 {
 		t.state = Ready
 		t.readySince = u.Now
@@ -641,11 +803,14 @@ func (u *IAU) InjectPreempted(slot int, tok *ResumeToken) error {
 	if tok == nil || tok.Req == nil {
 		return fmt.Errorf("iau: nil resume token")
 	}
+	if tok.consumed {
+		return fmt.Errorf("iau: resume token for %q already consumed (double resume would fork the request)", tok.Req.Label)
+	}
 	if tok.Policy != u.Policy {
 		return fmt.Errorf("iau: token from policy %v cannot resume under %v", tok.Policy, u.Policy)
 	}
 	t := u.slots[slot]
-	if t.state != Idle || t.cur != nil || len(t.queue) > 0 {
+	if t.state != Idle || t.cur != nil || len(t.queue) > 0 || u.slotHasArrivals(slot) {
 		return fmt.Errorf("iau: slot %d busy; cannot inject", slot)
 	}
 	t.cur = tok.Req
@@ -654,9 +819,64 @@ func (u *IAU) InjectPreempted(slot int, tok *ResumeToken) error {
 	t.saveID = tok.saveID
 	t.saveBytes = tok.saveBytes
 	t.snapshot = tok.snapshot
+	t.crcValid = tok.crcValid
+	t.backupCRC = tok.backupCRC
+	t.bkLo, t.bkHi = tok.bkLo, tok.bkHi
+	t.backupCorrupt = tok.backupCorrupt
 	t.state = Preempted
 	t.readySince = u.Now
+	tok.consumed = true
 	return nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// armBackupCheck checksums the arena span a Vir_SAVE backup just wrote and
+// draws the DDR bit-flip fault for it. Nothing else writes the victim's
+// arena while it is parked (arenas are per-request), so a later checksum
+// mismatch over the same span can only mean the backup corrupted in DDR.
+func (u *IAU) armBackupCheck(vt *task, in isa.Instruction) {
+	vt.crcValid = false
+	if vt.cur.Arena != nil {
+		lo, hi := u.backupSpan(vt.cur.Prog, in)
+		if hi > lo && hi <= len(vt.cur.Arena) {
+			vt.bkLo, vt.bkHi = lo, hi
+			vt.backupCRC = crc32.Checksum(vt.cur.Arena[lo:hi], crcTable)
+			vt.crcValid = true
+		}
+	}
+	if u.Faults.Hit(fault.SiteBackup) {
+		if vt.crcValid {
+			bit := u.Faults.Pick(fault.SiteBackup, uint64(vt.bkHi-vt.bkLo)*8)
+			vt.cur.Arena[vt.bkLo+int(bit/8)] ^= 1 << (bit % 8)
+		} else {
+			vt.backupCorrupt = true // timing-only: corruption as metadata
+		}
+	}
+}
+
+// backupSpan returns the contiguous arena byte range covering a
+// (Vir_)SAVE's output window: channels [InG*ParaOut, (OutG+1)*ParaOut) of
+// rows [Row0, Row0+Rows). The per-channel writes are strided, so the span
+// also contains untouched gap bytes — harmless, since the whole span is
+// stable while the victim is parked.
+func (u *IAU) backupSpan(p *isa.Program, in isa.Instruction) (lo, hi int) {
+	l := &p.Layers[in.Layer]
+	rows := int(in.Rows)
+	if rows == 0 {
+		return 0, 0
+	}
+	c0 := int(in.InG) * u.Cfg.ParaOut
+	endC := (int(in.OutG) + 1) * u.Cfg.ParaOut
+	if endC > l.OutC {
+		endC = l.OutC
+	}
+	if endC <= c0 {
+		return 0, 0
+	}
+	lo = int(l.OutAddr) + (c0*l.OutH+int(in.Row0))*l.OutW
+	hi = int(l.OutAddr) + ((endC-1)*l.OutH+int(in.Row0))*l.OutW + rows*l.OutW
+	return lo, hi
 }
 
 // execOne runs the next instruction of the running task.
@@ -683,12 +903,119 @@ func (u *IAU) execOne(t *task) error {
 	if err != nil {
 		return fmt.Errorf("iau: slot %d pc %d: %w", t.slot, t.pc, err)
 	}
+	if u.Faults != nil {
+		if u.Faults.Hit(fault.SiteStall) {
+			s := u.Faults.StallCycles
+			u.Now += s
+			t.cur.StallCycles += s
+			u.Fault.Stalls++
+			u.Fault.StallCycles += s
+		}
+		if u.Faults.Hit(fault.SiteHang) {
+			// The instruction never completes; model as infinite cycles and
+			// let the watchdog (or the error path) take over.
+			c = ^uint64(0)
+		}
+	}
+	if u.WatchdogCycles > 0 && c > u.WatchdogCycles {
+		return u.watchdogKill(t)
+	}
+	if c == ^uint64(0) {
+		return fmt.Errorf("iau: slot %d pc %d (%s): instruction hung with no watchdog armed", t.slot, t.pc, t.cur.Label)
+	}
 	if in.Op == isa.OpSave {
 		t.saveValid = false
 	}
 	u.advance(t.cur, c)
 	t.pc++
 	return nil
+}
+
+// watchdogKill recovers a hung slot: the watchdog bound is charged as dead
+// time, the request is failed out, and the slot is reset so queued (and
+// retried) work can run. The corpse is reported through OnFail.
+func (u *IAU) watchdogKill(t *task) error {
+	u.Now += u.WatchdogCycles
+	u.IdleCycles += u.WatchdogCycles // hung, not doing useful work
+	req := t.cur
+	req.Failed = true
+	req.DoneCycle = u.Now
+	u.Fault.WatchdogKills++
+	u.Resets = append(u.Resets, SlotReset{Cycle: u.Now, Slot: t.slot, Label: req.Label, PC: t.pc})
+	u.trace(TraceKill, t.slot, req.Label, t.pc)
+	if t.snapshot != nil {
+		u.Eng.ReleaseSnapshot(t.snapshot)
+		t.snapshot = nil
+	}
+	t.cur = nil
+	t.saveValid = false
+	t.lastPre = nil
+	t.crcValid = false
+	t.backupCorrupt = false
+	if len(t.queue) > 0 {
+		t.state = Ready
+		t.readySince = u.Now
+	} else {
+		t.state = Idle
+	}
+	u.running = -1
+	u.Eng.Invalidate()
+	if u.OnFail != nil {
+		u.OnFail(Completion{Slot: t.slot, Req: req},
+			fmt.Errorf("iau: slot %d watchdog: %q exceeded %d cycles at pc %d", t.slot, req.Label, u.WatchdogCycles, t.pc))
+	}
+	return nil
+}
+
+// Resubmit re-enqueues a watchdog-killed request for a bounded retry. The
+// original SubmitCycle is preserved so response latency (and deadline
+// accounting) spans every attempt.
+func (u *IAU) Resubmit(slot int, req *Request, cycle uint64) error {
+	if req == nil || !req.Failed {
+		return fmt.Errorf("iau: resubmit of a request that has not failed")
+	}
+	orig := req.SubmitCycle
+	req.Failed = false
+	req.Retries++
+	if err := u.SubmitAt(slot, req, cycle); err != nil {
+		req.Failed = true
+		req.Retries--
+		return err
+	}
+	req.SubmitCycle = orig
+	return nil
+}
+
+// WatchdogBound returns a per-instruction cycle bound that no legitimate
+// instruction of the given programs can exceed: twice the largest single
+// modelled instruction cost (MAC burst or full-length transfer). Armed as
+// IAU.WatchdogCycles it converts injected hangs into bounded-latency slot
+// resets without ever killing healthy work.
+func WatchdogBound(cfg accel.Config, progs ...*isa.Program) uint64 {
+	var worst uint64
+	for _, p := range progs {
+		if p == nil {
+			continue
+		}
+		for _, in := range p.Instrs {
+			var c uint64
+			switch in.Op {
+			case isa.OpLoadW, isa.OpLoadD, isa.OpSave, isa.OpVirSave, isa.OpVirLoadD:
+				c = cfg.XferCycles(in.Len)
+			case isa.OpEnd:
+				continue
+			default:
+				c = cfg.InstrCycles(p, in)
+			}
+			if c > worst {
+				worst = c
+			}
+		}
+	}
+	if worst == 0 {
+		worst = 1
+	}
+	return 2 * worst
 }
 
 func (u *IAU) advance(req *Request, cycles uint64) {
@@ -712,6 +1039,8 @@ func (u *IAU) complete(t *task) {
 	t.cur = nil
 	t.saveValid = false
 	t.lastPre = nil
+	t.crcValid = false
+	t.backupCorrupt = false
 	if len(t.queue) > 0 {
 		t.state = Ready
 		t.readySince = u.Now

@@ -5,6 +5,20 @@ import (
 	"sort"
 )
 
+// ReplayError locates a replay failure within a bag: which record, on
+// which topic, and why scheduling it failed.
+type ReplayError struct {
+	RecordIndex int
+	Topic       string
+	Err         error
+}
+
+func (e *ReplayError) Error() string {
+	return fmt.Sprintf("ros: replaying bag record %d on %s: %v", e.RecordIndex, e.Topic, e.Err)
+}
+
+func (e *ReplayError) Unwrap() error { return e.Err }
+
 // Bag records messages crossing the middleware — the rosbag equivalent.
 // A recorded bag can be replayed into a fresh Core (same topics, same
 // virtual timestamps), which turns any live data source into a reproducible
@@ -81,23 +95,26 @@ func (b *Bag) MessagesOn(topic string) []Message {
 // Replay schedules every recorded message for publication on the target
 // core at its original stamp (which must not be in the target's past). The
 // messages are re-published through a replay node, so subscribers see the
-// usual transport delay on top of the original stamp.
+// usual transport delay on top of the original stamp. A failure mid-bag is
+// reported as a *ReplayError naming the offending record; earlier records
+// stay scheduled.
 func (b *Bag) Replay(c *Core) error {
 	pub := c.Node("_bag_replayer")
 	pubs := map[string]*Publisher{}
 	for _, t := range b.Topics() {
 		pubs[t] = pub.Advertise(t)
 	}
-	for _, r := range b.Records {
+	for i, r := range b.Records {
 		r := r
 		// The recorded header stamp is the original publish time; the bag
 		// captured it one delay later. Re-publish at the original stamp.
 		at := r.Msg.Header.Stamp
 		if at < c.Now() {
-			return fmt.Errorf("ros: bag message on %s stamped %v is in the target core's past (%v)", r.Topic, at, c.Now())
+			return &ReplayError{RecordIndex: i, Topic: r.Topic,
+				Err: fmt.Errorf("stamp %v is in the target core's past (%v)", at, c.Now())}
 		}
 		if err := c.At(at, func() { pubs[r.Topic].Publish(r.Msg.Data) }); err != nil {
-			return err
+			return &ReplayError{RecordIndex: i, Topic: r.Topic, Err: err}
 		}
 	}
 	return nil

@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"inca/internal/fault"
 )
 
 // Time is virtual time since simulation start.
@@ -44,6 +46,13 @@ func (h *eventHeap) Pop() interface{} {
 	return x
 }
 
+// MsgFaultStats counts transport faults the middleware injected.
+type MsgFaultStats struct {
+	Dropped    int // deliveries discarded
+	Delayed    int // deliveries given extra transport latency
+	Duplicated int // deliveries made twice
+}
+
 // Core is the middleware instance: event queue, topic registry, node set.
 type Core struct {
 	now    Time
@@ -54,6 +63,14 @@ type Core struct {
 
 	// Delay is the simulated transport latency applied to every publish.
 	Delay Time
+
+	// Faults, when non-nil, arms per-delivery message faults (drop, delay,
+	// duplication) — the lossy-DDS half of the chaos harness. Nil keeps the
+	// publish path untouched. Bag replays publish through the same path, so
+	// a replayed fixture sees the same fault model as live traffic.
+	Faults *fault.Injector
+	// Fault counts the transport faults injected so far.
+	Fault MsgFaultStats
 
 	stopped bool
 }

@@ -1,6 +1,10 @@
 package ros
 
-import "fmt"
+import (
+	"fmt"
+
+	"inca/internal/fault"
+)
 
 // Node is an independently-authored component, the unit of modularity ROS
 // provides robot developers.
@@ -27,7 +31,8 @@ func (n *Node) Advertise(topicName string) *Publisher {
 }
 
 // Publish stamps and delivers the payload to every active subscriber after
-// the core's transport delay.
+// the core's transport delay. With Core.Faults armed, each delivery may
+// independently be dropped, delayed, or duplicated (lossy transport).
 func (p *Publisher) Publish(data interface{}) {
 	c := p.node.core
 	p.topic.seq++
@@ -40,11 +45,30 @@ func (p *Publisher) Publish(data interface{}) {
 		if !s.active {
 			continue
 		}
-		c.After(c.Delay, func() {
+		deliver := func() {
 			if s.active {
 				s.cb(msg)
 			}
-		})
+		}
+		if c.Faults == nil {
+			c.After(c.Delay, deliver)
+			continue
+		}
+		if c.Faults.Hit(fault.SiteMsgDrop) {
+			c.Fault.Dropped++
+			s.dropped++
+			continue
+		}
+		delay := c.Delay
+		if c.Faults.Hit(fault.SiteMsgDelay) {
+			c.Fault.Delayed++
+			delay += c.Faults.MsgDelay
+		}
+		c.After(delay, deliver)
+		if c.Faults.Hit(fault.SiteMsgDup) {
+			c.Fault.Duplicated++
+			c.After(delay, deliver)
+		}
 	}
 }
 
@@ -58,10 +82,11 @@ func (n *Node) Subscribe(topicName string, cb func(Message)) *Subscription {
 }
 
 // Timer invokes cb every period, starting one period from now, until the
-// returned stop function is called.
-func (n *Node) Timer(period Time, cb func()) (stop func()) {
+// returned stop function is called. A non-positive period is rejected (it
+// would spin the event loop at the current timestamp forever).
+func (n *Node) Timer(period Time, cb func()) (stop func(), err error) {
 	if period <= 0 {
-		panic(fmt.Sprintf("ros: node %s timer with non-positive period %v", n.name, period))
+		return nil, fmt.Errorf("ros: node %s timer with non-positive period %v", n.name, period)
 	}
 	stopped := false
 	var tick func()
@@ -75,7 +100,7 @@ func (n *Node) Timer(period Time, cb func()) (stop func()) {
 		}
 	}
 	n.core.After(period, tick)
-	return func() { stopped = true }
+	return func() { stopped = true }, nil
 }
 
 // Every is like Timer but fires the first callback immediately at the

@@ -76,12 +76,15 @@ func TestTimer(t *testing.T) {
 	n := c.Node("tick")
 	count := 0
 	var stop func()
-	stop = n.Timer(10*time.Millisecond, func() {
+	stop, err := n.Timer(10*time.Millisecond, func() {
 		count++
 		if count == 5 {
 			stop()
 		}
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	c.Run(time.Second)
 	if count != 5 {
 		t.Fatalf("timer fired %d times, want 5", count)

@@ -145,8 +145,8 @@ func RunMultiMigrate(cfg accel.Config, policy iau.Policy, specs []TaskSpec, hori
 	}
 
 	for _, sp := range specs {
-		if sp.Prog == nil {
-			return nil, fmt.Errorf("sched: task %q has no program", sp.Name)
+		if err := validateSpec(&sp); err != nil {
+			return nil, err
 		}
 		if _, dup := tasks[sp.Name]; dup {
 			return nil, fmt.Errorf("sched: duplicate task name %q", sp.Name)

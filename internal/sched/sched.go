@@ -13,9 +13,56 @@ import (
 	"time"
 
 	"inca/internal/accel"
+	"inca/internal/fault"
 	"inca/internal/iau"
 	"inca/internal/isa"
 )
+
+// SpecError is a typed validation failure for one TaskSpec field.
+type SpecError struct {
+	Task   string
+	Field  string
+	Reason string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("sched: task %q: %s %s", e.Task, e.Field, e.Reason)
+}
+
+// validateSpec rejects out-of-range TaskSpec fields before they can wedge
+// a run (negative periods spin the arrival generator; bad slots would
+// surface much later as an IAU submit error).
+func validateSpec(sp *TaskSpec) error {
+	if sp.Name == "" {
+		return &SpecError{Task: sp.Name, Field: "Name", Reason: "is empty"}
+	}
+	if sp.Prog == nil {
+		return &SpecError{Task: sp.Name, Field: "Prog", Reason: "is nil (no program)"}
+	}
+	if sp.Slot < 0 || sp.Slot >= iau.NumSlots {
+		return &SpecError{Task: sp.Name, Field: "Slot",
+			Reason: fmt.Sprintf("%d out of range [0,%d)", sp.Slot, iau.NumSlots)}
+	}
+	if sp.Period < 0 {
+		return &SpecError{Task: sp.Name, Field: "Period", Reason: fmt.Sprintf("%v is negative", sp.Period)}
+	}
+	if sp.Deadline < 0 {
+		return &SpecError{Task: sp.Name, Field: "Deadline", Reason: fmt.Sprintf("%v is negative", sp.Deadline)}
+	}
+	if sp.Offset < 0 {
+		return &SpecError{Task: sp.Name, Field: "Offset", Reason: fmt.Sprintf("%v is negative", sp.Offset)}
+	}
+	if sp.Count < 0 {
+		return &SpecError{Task: sp.Name, Field: "Count", Reason: fmt.Sprintf("%d is negative", sp.Count)}
+	}
+	if sp.MaxRetries < 0 {
+		return &SpecError{Task: sp.Name, Field: "MaxRetries", Reason: fmt.Sprintf("%d is negative", sp.MaxRetries)}
+	}
+	if sp.RetryBackoff < 0 {
+		return &SpecError{Task: sp.Name, Field: "RetryBackoff", Reason: fmt.Sprintf("%v is negative", sp.RetryBackoff)}
+	}
+	return nil
+}
 
 // TaskSpec describes one recurring workload bound to a priority slot.
 type TaskSpec struct {
@@ -47,6 +94,16 @@ type TaskSpec struct {
 	// idle core (multi-core runs with Migrate enabled). Safe because every
 	// policy's interrupt backup lives in the shared DDR.
 	Migratable bool
+
+	// MaxRetries bounds how many times a watchdog-killed request is
+	// resubmitted before the iteration is shed (graceful degradation: a
+	// continuous task immediately starts its next iteration instead).
+	MaxRetries int
+	// RetryBackoff delays each resubmission; attempt k waits k+1 backoffs,
+	// so a persistently failing slot drains to lower-priority work instead
+	// of hammering the accelerator (linear backoff keeps worst-case retry
+	// latency analyzable for deadline tasks).
+	RetryBackoff time.Duration
 }
 
 // TaskStats aggregates per-task results.
@@ -66,6 +123,12 @@ type TaskStats struct {
 	FetchCycles   uint64
 	InterruptCost uint64
 	Preempted     int
+
+	// Fault/recovery accounting (zero in fault-free runs).
+	Retried   int // watchdog-killed requests resubmitted
+	Corrupted int // corrupt backups detected at restore
+	Recovered int // re-executions that then ran to completion
+	Shed      int // iterations abandoned after retries were exhausted
 
 	gaps []uint64 // cycles between consecutive completions
 }
@@ -113,6 +176,41 @@ type Result struct {
 	// OverheadCycles is the interrupt-support tax: virtual-instruction
 	// fetches plus backup/restore transfers.
 	OverheadCycles uint64
+
+	// Faults reports injection and recovery activity (nil when the run had
+	// no injector armed).
+	Faults *FaultReport
+}
+
+// FaultReport is the per-run fault ledger: what the injector did and what
+// the stack detected and recovered.
+type FaultReport struct {
+	Injected          fault.Report
+	WatchdogKills     int
+	CorruptedRestores int
+	LostIRQs          int
+	Stalls            int
+	StallCycles       uint64
+	Retries           int
+	Shed              int // iterations permanently abandoned
+	Resets            []iau.SlotReset
+}
+
+func (f *FaultReport) String() string {
+	return fmt.Sprintf("%v\nrecovery: %d watchdog kills, %d corrupt restores detected, %d IRQs lost, %d stalls (%d cycles), %d retries, %d iterations shed",
+		f.Injected, f.WatchdogKills, f.CorruptedRestores, f.LostIRQs, f.Stalls, f.StallCycles, f.Retries, f.Shed)
+}
+
+// Options tunes a scheduling run beyond the base (cfg, policy, specs,
+// horizon) tuple.
+type Options struct {
+	// Trace records the IAU timeline into Result.Timeline.
+	Trace bool
+	// Faults arms the IAU's fault sites with this injector.
+	Faults *fault.Injector
+	// WatchdogCycles bounds per-instruction cycles (0 with Faults set:
+	// derived automatically from the task programs via iau.WatchdogBound).
+	WatchdogCycles uint64
 }
 
 // Utilization is the fraction of simulated time the accelerator was busy.
@@ -162,24 +260,32 @@ func (s *TaskStats) addGap(g uint64) { s.gaps = append(s.gaps, g) }
 // Run executes the task set under the policy for the given horizon of
 // simulated time.
 func Run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration) (*Result, error) {
-	return RunTraced(cfg, policy, specs, horizon, false)
+	return RunOpt(cfg, policy, specs, horizon, Options{})
 }
 
 // RunTraced is Run with the IAU timeline recorded into Result.Timeline.
 func RunTraced(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, trace bool) (*Result, error) {
+	return RunOpt(cfg, policy, specs, horizon, Options{Trace: trace})
+}
+
+// RunOpt is Run with explicit Options (tracing, fault injection, watchdog).
+func RunOpt(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, opt Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	horizonCycles := cfg.SecondsToCycles(horizon.Seconds())
 	u := iau.New(cfg, policy)
-	u.EnableTrace = trace
+	u.EnableTrace = opt.Trace
+	u.Faults = opt.Faults
+	u.WatchdogCycles = opt.WatchdogCycles
 	res := &Result{Config: cfg, Policy: policy, Horizon: horizonCycles, Tasks: make(map[string]*TaskStats)}
 
 	tasks := make(map[string]*runnerTask, len(specs))
 	bySlot := make(map[int]*runnerTask, len(specs))
 	for _, sp := range specs {
-		if sp.Prog == nil {
-			return nil, fmt.Errorf("sched: task %q has no program", sp.Name)
+		sp := sp
+		if err := validateSpec(&sp); err != nil {
+			return nil, err
 		}
 		if _, dup := tasks[sp.Name]; dup {
 			return nil, fmt.Errorf("sched: duplicate task name %q", sp.Name)
@@ -191,6 +297,15 @@ func RunTraced(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon ti
 		tasks[sp.Name] = rt
 		bySlot[sp.Slot] = rt
 		res.Tasks[sp.Name] = rt.stats
+	}
+	if opt.Faults != nil && u.WatchdogCycles == 0 {
+		// A hang with no watchdog is fatal; derive a safe bound so injected
+		// hangs become recoverable slot resets instead.
+		progs := make([]*isa.Program, 0, len(specs))
+		for _, sp := range specs {
+			progs = append(progs, sp.Prog)
+		}
+		u.WatchdogCycles = iau.WatchdogBound(cfg, progs...)
 	}
 
 	submit := func(rt *runnerTask, cycle uint64) error {
@@ -209,6 +324,34 @@ func RunTraced(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon ti
 			rt.inFlight--
 			rt.stats.Submitted--
 			rt.stats.Dropped++
+		}
+	}
+	// Bounded retry with linear backoff; exhausted retries shed the
+	// iteration (graceful degradation) and, for continuous tasks, start the
+	// next one so background work keeps flowing.
+	u.OnFail = func(c iau.Completion, failErr error) {
+		rt := bySlot[c.Slot]
+		if rt == nil {
+			return
+		}
+		st := rt.stats
+		backoff := cfg.SecondsToCycles(rt.spec.RetryBackoff.Seconds())
+		if c.Req.Retries < rt.spec.MaxRetries {
+			at := u.Now + uint64(c.Req.Retries+1)*backoff
+			if err := u.Resubmit(c.Slot, c.Req, at); err == nil {
+				st.Retried++
+				return
+			}
+		}
+		rt.inFlight--
+		// The request is gone for good; OnComplete never runs for it, so
+		// fold its corruption count in here.
+		st.Corrupted += c.Req.Corrupted
+		st.Shed++
+		if rt.spec.Continuous && u.Now < horizonCycles {
+			if err := submit(rt, u.Now); err != nil {
+				st.Dropped++
+			}
 		}
 	}
 
@@ -257,6 +400,8 @@ func RunTraced(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon ti
 		st.FetchCycles += c.Req.FetchCycles
 		st.InterruptCost += c.Req.InterruptCost
 		st.Preempted += c.Req.Preemptions
+		st.Corrupted += c.Req.Corrupted
+		st.Recovered += c.Req.Restarts
 		if prev, ok := lastDone[rt.spec.Name]; ok {
 			st.addGap(c.Req.DoneCycle - prev)
 		}
@@ -288,5 +433,21 @@ func RunTraced(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon ti
 	sort.Slice(res.Preemptions, func(i, j int) bool {
 		return res.Preemptions[i].RequestCycle < res.Preemptions[j].RequestCycle
 	})
+	if opt.Faults != nil {
+		fr := &FaultReport{
+			Injected:          opt.Faults.Report(),
+			WatchdogKills:     u.Fault.WatchdogKills,
+			CorruptedRestores: u.Fault.CorruptedRestores,
+			LostIRQs:          u.Fault.LostIRQs,
+			Stalls:            u.Fault.Stalls,
+			StallCycles:       u.Fault.StallCycles,
+			Resets:            u.Resets,
+		}
+		for _, st := range res.Tasks {
+			fr.Retries += st.Retried
+			fr.Shed += st.Shed
+		}
+		res.Faults = fr
+	}
 	return res, nil
 }

@@ -1,0 +1,132 @@
+package slam_test
+
+import (
+	"testing"
+	"time"
+
+	"inca/internal/fault"
+	"inca/internal/slam"
+)
+
+// TestChaosDSLAM is the robustness acceptance run: two agents under
+// deterministic fault injection — snapshot corruption, accelerator stalls
+// and hangs, lost IRQs, lossy transport — must finish the mission. FE keeps
+// its per-frame deadline, every corrupted backup is caught at restore (no
+// silent divergence), and the maps still merge.
+func TestChaosDSLAM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second co-simulation")
+	}
+	cfg := slam.DefaultDSLAMConfig()
+	cfg.Duration = 25 * time.Second
+	cfg.Chaos = slam.DefaultChaosConfig()
+	cfg.Chaos.CorruptRate = 0.05 // well above the 1% acceptance floor
+	cfg.Chaos.StallRate = 0.02
+
+	res, err := slam.RunDSLAM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var corrupted, kills, stalls, shed int
+	for i, a := range res.Agents {
+		if a.FEDone == 0 {
+			t.Errorf("agent %d completed no FE inferences under chaos", i)
+		}
+		if a.FEMisses != 0 {
+			t.Errorf("agent %d missed %d FE deadlines under chaos, want 0", i, a.FEMisses)
+		}
+		if a.PRDone == 0 {
+			t.Errorf("agent %d completed no PR inferences under chaos", i)
+		}
+		corrupted += a.CorruptedRestores
+		kills += a.WatchdogKills
+		stalls += a.Stalls
+		shed += a.Shed
+	}
+	if corrupted == 0 {
+		t.Error("5% corruption rate injected no detected corrupt restores")
+	}
+	if stalls == 0 {
+		t.Error("2% stall rate injected no stalls")
+	}
+	if !res.Merged() {
+		t.Error("maps never merged under chaos")
+	}
+
+	// Every backup bit-flip that was restored must have been detected: the
+	// only legitimate gap is backups still parked (or killed) when the run
+	// ended — at most one per interruptible slot per agent, plus kills.
+	var backupHits int
+	for _, s := range res.Injected.Sites {
+		if s.Site == fault.SiteBackup {
+			backupHits = int(s.Hits)
+		}
+	}
+	if corrupted > backupHits {
+		t.Errorf("detected %d corrupt restores but only %d were injected", corrupted, backupHits)
+	}
+	if slack := backupHits - corrupted; slack > 2+kills {
+		t.Errorf("%d of %d injected corruptions never detected (allow %d in-flight)",
+			slack, backupHits, 2+kills)
+	}
+	t.Logf("chaos: %d corrupt restores detected, %d stalls, %d watchdog kills, %d shed; msg %+v",
+		corrupted, stalls, kills, shed, res.MsgFaults)
+}
+
+// TestChaosDeterminism: the fault-injected co-simulation is as much a pure
+// function of its seeds as the fault-free one.
+func TestChaosDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second co-simulation")
+	}
+	run := func() *slam.DSLAMResult {
+		cfg := slam.DefaultDSLAMConfig()
+		cfg.Duration = 6 * time.Second
+		cfg.Chaos = slam.DefaultChaosConfig()
+		res, err := slam.RunDSLAM(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a.Agents {
+		if a.Agents[i] != b.Agents[i] {
+			t.Fatalf("agent %d stats differ across identical chaos runs:\n%+v\nvs\n%+v",
+				i, a.Agents[i], b.Agents[i])
+		}
+	}
+	if a.MsgFaults != b.MsgFaults {
+		t.Fatalf("transport faults differ: %+v vs %+v", a.MsgFaults, b.MsgFaults)
+	}
+}
+
+// TestChaosZeroRatesMatchesBaseline: arming the injector with all rates at
+// zero must not perturb the simulation — same completions, same latencies,
+// same preemptions as a run with no injector at all.
+func TestChaosZeroRatesMatchesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second co-simulation")
+	}
+	base := slam.DefaultDSLAMConfig()
+	base.Duration = 6 * time.Second
+	ref, err := slam.RunDSLAM(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	quiet := slam.DefaultDSLAMConfig()
+	quiet.Duration = 6 * time.Second
+	quiet.Chaos = &slam.ChaosConfig{Seed: 99} // armed, every rate zero
+	got, err := slam.RunDSLAM(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Agents {
+		if ref.Agents[i] != got.Agents[i] {
+			t.Fatalf("agent %d stats differ with a zero-rate injector:\n%+v\nvs\n%+v",
+				i, ref.Agents[i], got.Agents[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"inca/internal/accel"
 	"inca/internal/core"
+	"inca/internal/fault"
 	"inca/internal/iau"
 	"inca/internal/model"
 	"inca/internal/ros"
@@ -38,6 +39,56 @@ type DSLAMConfig struct {
 
 	Extractor  Extractor
 	Recognizer Recognizer
+
+	// Chaos, when non-nil, runs the experiment under deterministic fault
+	// injection (snapshot corruption, accelerator stalls/hangs, lost IRQs,
+	// lossy transport) with the recovery stack armed.
+	Chaos *ChaosConfig
+}
+
+// ChaosConfig parameterises fault injection for a DSLAM run. Rates are
+// per-opportunity probabilities in [0,1]; zero rates leave that site quiet.
+type ChaosConfig struct {
+	Seed uint64
+
+	CorruptRate  float64 // backup bit-flips, checked at restore (CRC)
+	StallRate    float64 // transient per-instruction stalls
+	HangRate     float64 // instruction hangs; the watchdog converts to resets
+	IRQLostRate  float64 // lost preemption interrupts
+	MsgDropRate  float64 // ROS transport: deliveries dropped
+	MsgDelayRate float64 // ROS transport: deliveries delayed
+	MsgDupRate   float64 // ROS transport: deliveries duplicated
+
+	// StallCycles is the injected stall length (0: injector default).
+	StallCycles uint64
+	// WatchdogCycles bounds per-instruction cycles (0: derived from the
+	// deployed programs via iau.WatchdogBound).
+	WatchdogCycles uint64
+	// MaxRetries bounds resubmission of watchdog-killed requests before the
+	// inference is shed; RetryBackoff spaces the attempts.
+	MaxRetries   int
+	RetryBackoff time.Duration
+}
+
+// DefaultChaosConfig returns the acceptance-level chaos mix: 2% snapshot
+// corruption, 2% stalls, a sprinkle of hangs, lost IRQs and lossy
+// transport — survivable with zero FE deadline misses on the default rig.
+func DefaultChaosConfig() *ChaosConfig {
+	return &ChaosConfig{
+		Seed:        7,
+		CorruptRate: 0.02,
+		StallRate:   0.02,
+		// Hangs are drawn per instruction; backbone programs run thousands
+		// of instructions per inference, so even 1e-5 yields regular
+		// watchdog kills without starving restart-from-scratch retries.
+		HangRate:     1e-5,
+		IRQLostRate:  0.01,
+		MsgDropRate:  0.002,
+		MsgDelayRate: 0.005,
+		MsgDupRate:   0.002,
+		MaxRetries:   3,
+		RetryBackoff: 50 * time.Microsecond,
+	}
 }
 
 // DefaultDSLAMConfig returns a reduced-scale configuration that runs in
@@ -73,6 +124,14 @@ type AgentStats struct {
 	Preempts        int
 	Degradation     float64 // interrupt-support overhead / busy cycles
 	Utilization     float64
+
+	// Fault/recovery accounting (zero in fault-free runs).
+	WatchdogKills     int
+	CorruptedRestores int // corrupt backups detected at restore (recovered)
+	LostIRQs          int
+	Stalls            int
+	Retries           int // watchdog-killed inferences resubmitted
+	Shed              int // inferences abandoned after the retry budget
 }
 
 // DSLAMResult is the outcome of one two-agent run.
@@ -89,6 +148,11 @@ type DSLAMResult struct {
 	// orientation as the first into a robust transform (RefineMerge).
 	RefinedTAB   world.Pose
 	RefinedError float64
+
+	// Injected/MsgFaults report chaos activity (zero-valued when the run
+	// had no ChaosConfig).
+	Injected  fault.Report
+	MsgFaults ros.MsgFaultStats
 
 	kfReg map[int][]KeyFrame
 }
@@ -147,6 +211,25 @@ func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
 	db := &Database{}
 	res := &DSLAMResult{Config: cfg, MergedError: math.NaN()}
 
+	// One injector drives every fault site across both agents and the
+	// middleware — the single-threaded event loop keeps its draw sequence,
+	// and therefore the whole chaos run, deterministic.
+	var inj *fault.Injector
+	if ch := cfg.Chaos; ch != nil {
+		inj = fault.New(ch.Seed)
+		inj.SetRate(fault.SiteBackup, ch.CorruptRate)
+		inj.SetRate(fault.SiteStall, ch.StallRate)
+		inj.SetRate(fault.SiteHang, ch.HangRate)
+		inj.SetRate(fault.SiteIRQLost, ch.IRQLostRate)
+		inj.SetRate(fault.SiteMsgDrop, ch.MsgDropRate)
+		inj.SetRate(fault.SiteMsgDelay, ch.MsgDelayRate)
+		inj.SetRate(fault.SiteMsgDup, ch.MsgDupRate)
+		if ch.StallCycles > 0 {
+			inj.StallCycles = ch.StallCycles
+		}
+		rc.Faults = inj
+	}
+
 	agents := [2]*agentState{}
 	for i, ag := range []*world.Agent{a0, a1} {
 		rt, err := core.NewRuntime(cfg.Accel, cfg.Policy)
@@ -160,6 +243,9 @@ func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
 		pr, err := rt.Deploy(1, cfg.PRNet, cfg.Seed+100+uint64(i))
 		if err != nil {
 			return nil, err
+		}
+		if ch := cfg.Chaos; ch != nil {
+			rt.EnableFaults(inj, ch.WatchdogCycles, ch.MaxRetries, ch.RetryBackoff)
 		}
 		rt.AttachROS(rc, 200*time.Microsecond)
 		agents[i] = &agentState{
@@ -183,7 +269,7 @@ func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
 		featPub := feNode.Advertise(featTopic)
 
 		// Camera: 20 fps observations.
-		camNode.Timer(period, func() {
+		if _, err := camNode.Timer(period, func() {
 			now := rc.Now()
 			pose := st.agent.PoseAt(now)
 			obs := cam.Observe(w, st.id, pose, now, cfg.Seed^0xCA11)
@@ -194,7 +280,9 @@ func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
 			}
 			st.lastTrue = pose
 			camPub.Publish(obs)
-		})
+		}); err != nil {
+			return nil, err
+		}
 
 		// FE: every frame through the accelerator at top priority.
 		feNode.Subscribe(camTopic, func(m ros.Message) {
@@ -206,7 +294,7 @@ func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
 				return
 			}
 			st.feBusy = true
-			err := st.fe.InferAsync(func(done ros.Time) {
+			err := st.fe.InferAsyncFail(func(done ros.Time) {
 				rc.After(cfg.FECPUPost, func() {
 					st.feBusy = false
 					frame := cfg.Extractor.Extract(obs, cfg.Seed^0xFE)
@@ -221,6 +309,11 @@ func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
 					}
 					featPub.Publish(frame)
 				})
+			}, func(error) {
+				// Retry budget exhausted: shed this frame so the pipeline
+				// keeps flowing instead of wedging on feBusy.
+				st.feBusy = false
+				st.stats.Shed++
 			})
 			if err != nil {
 				panic(err)
@@ -246,12 +339,17 @@ func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
 			}
 			obs := *st.latestObs
 			st.prBusy = true
-			err := st.pr.InferAsync(func(done ros.Time) {
+			err := st.pr.InferAsyncFail(func(done ros.Time) {
 				rc.After(cfg.PRCPUPost, func() {
 					st.prBusy = false
 					st.completePR(rc, cfg, intr, db, obs, res)
 					firePR()
 				})
+			}, func(error) {
+				// Shed the descriptor and move on: PR is best-effort.
+				st.prBusy = false
+				st.stats.Shed++
+				firePR()
 			})
 			if err != nil {
 				panic(err)
@@ -298,7 +396,17 @@ func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
 		if horizon > 0 {
 			st.stats.Utilization = float64(st.rt.U.BusyCycles) / float64(horizon)
 		}
+		st.stats.WatchdogKills = st.rt.U.Fault.WatchdogKills
+		st.stats.CorruptedRestores = st.rt.U.Fault.CorruptedRestores
+		st.stats.LostIRQs = st.rt.U.Fault.LostIRQs
+		st.stats.Stalls = st.rt.U.Fault.Stalls
+		// Every watchdog kill is followed by either a resubmission or a shed.
+		st.stats.Retries = st.stats.WatchdogKills - st.stats.Shed
 		res.Agents[i] = st.stats
+	}
+	if inj != nil {
+		res.Injected = inj.Report()
+		res.MsgFaults = rc.Fault
 	}
 	if len(res.Matches) > 0 {
 		m := res.Matches[0]
