@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build test bench race refconv vet chaos
+.PHONY: tier1 build test bench race refconv vet chaos fuzz-smoke cover
 
 # tier1 is the gate every change must keep green.
-tier1: build vet test race
+tier1: build vet test race fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,27 @@ refconv:
 
 vet:
 	$(GO) vet ./...
+
+# Short native-fuzzing pass over the three verification targets: golden
+# differential (FuzzCompileRun), full preemption harness (FuzzPreemptResume)
+# and codec robustness (FuzzEncodeDecode). Checked-in seeds live under
+# internal/verify/testdata/fuzz/.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/verify -run xxx -fuzz FuzzCompileRun -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verify -run xxx -fuzz FuzzPreemptResume -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verify -run xxx -fuzz FuzzEncodeDecode -fuzztime $(FUZZTIME)
+
+# Total-statement-coverage gate with a ratcheted floor: raise COVER_FLOOR
+# when coverage grows, never lower it to dodge a regression.
+COVER_FLOOR ?= 72.0
+COVERPROFILE ?= cover.out
+cover:
+	$(GO) test ./... -count 1 -coverprofile=$(COVERPROFILE)
+	@total=$$($(GO) tool cover -func=$(COVERPROFILE) | awk '/^total:/ { gsub("%","",$$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+	  { echo "FAIL: coverage $$total% below ratchet floor $(COVER_FLOOR)%"; exit 1; }
 
 # Chaos gate: the two-agent DSLAM mission under injected snapshot
 # corruption, stalls, hangs, lost IRQs and message faults must keep a

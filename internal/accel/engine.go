@@ -51,6 +51,7 @@ type Engine struct {
 	pool     *workerPool // lazily created when workers > 1
 	useRef   bool        // run the scalar reference datapath instead
 	snapFree []*Snapshot // released snapshots awaiting reuse
+	snapLive int         // snapshots handed out and not yet released
 }
 
 type rowWindow struct {
@@ -133,6 +134,7 @@ type Snapshot struct {
 // ReleaseSnapshot) are recycled, so steady-state CPU-like backup performs no
 // heap allocation.
 func (e *Engine) Snapshot() *Snapshot {
+	e.snapLive++
 	var s *Snapshot
 	if n := len(e.snapFree); n > 0 {
 		s = e.snapFree[n-1]
@@ -182,12 +184,25 @@ func (e *Engine) Restore(s *Snapshot) {
 // snapshot has been restored (or abandoned); the snapshot must not be used
 // afterwards.
 func (e *Engine) ReleaseSnapshot(s *Snapshot) {
-	if s == nil || len(e.snapFree) >= 4 {
+	if s == nil {
+		return
+	}
+	e.snapLive--
+	if len(e.snapFree) >= 4 {
 		return
 	}
 	s.curProg = nil
 	s.wdata = nil
 	e.snapFree = append(e.snapFree, s)
+}
+
+// SnapshotBalance reports the engine's snapshot accounting: how many
+// snapshots are live (handed out by Snapshot and not yet released) and how
+// many sit on the free list. A quiesced IAU must end every run with zero
+// live snapshots — the verification harness asserts this after each case to
+// catch leaked CPU-like backups.
+func (e *Engine) SnapshotBalance() (live, free int) {
+	return e.snapLive, len(e.snapFree)
 }
 
 // Exec runs one instruction. arena is the task's DDR image (nil for
@@ -320,6 +335,12 @@ func (e *Engine) needWindow(which int, l *isa.LayerInfo, row0, rows int) error {
 	}
 	if hi > l.InH {
 		hi = l.InH
+	}
+	if hi <= lo {
+		// The whole window falls in padding (Pad >= KH on the last stride
+		// step): no input rows are required, so an empty or freshly restored
+		// window is fine.
+		return nil
 	}
 	w := &e.win[which]
 	if !w.valid || lo < w.lo || hi > w.hi {

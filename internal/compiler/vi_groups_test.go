@@ -1,0 +1,81 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"inca/internal/compiler"
+	"inca/internal/isa"
+	"inca/internal/model"
+)
+
+// TestVIGroupsWellFormed pins the backup/restore group structure the IAU's
+// park-point rule depends on: every Vir_SAVE is immediately followed by one
+// or two Vir_LOAD_D (two only for Add layers, which restore both inputs),
+// and InterruptPoints returns exactly the group leaders — never a mid-group
+// restore. This is the compiler-side contract behind the mid-group park
+// regression (see internal/iau's TestNoParkOnMidGroupRestore).
+func TestVIGroupsWellFormed(t *testing.T) {
+	residual := func() *model.Network {
+		g := model.New("resgroups", 1, 15, 16)
+		a := g.Conv("a", 0, 5, 3, 1, 1, true)
+		b := g.Conv("b", 0, 5, 1, 1, 0, false)
+		g.Residual("res", a, b, true)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	sawTwoRestoreGroup := false
+	for _, g := range []*model.Network{
+		residual(),
+		model.NewTinyCNN(3, 24, 32),
+		model.NewResNetTiny(),
+		model.NewPoolNet(),
+	} {
+		// Narrow parallelism so layers split into multiple tiles and the VI
+		// pass has to emit mid-tile backup/restore groups.
+		opt := compiler.Options{ParaIn: 4, ParaOut: 4, ParaHeight: 3}
+		opt.InsertVirtual = true
+		opt.BlobsPerSave = 2
+		p := compile(t, g, opt)
+		ins := p.Instrs
+
+		for i, in := range ins {
+			if in.Op != isa.OpVirSave {
+				continue
+			}
+			restores := 0
+			for j := i + 1; j < len(ins) && ins[j].Op == isa.OpVirLoadD; j++ {
+				restores++
+			}
+			if restores < 1 || restores > 2 {
+				t.Fatalf("%s: Vir_SAVE at %d followed by %d Vir_LOAD_D, want 1 or 2", g.Name, i, restores)
+			}
+			if restores == 2 {
+				sawTwoRestoreGroup = true
+			}
+		}
+
+		points := map[int]bool{}
+		for _, pt := range p.InterruptPoints() {
+			points[pt] = true
+		}
+		for i, in := range ins {
+			if in.Op != isa.OpVirLoadD {
+				continue
+			}
+			mid := i > 0 && (ins[i-1].Op == isa.OpVirSave || ins[i-1].Op == isa.OpVirLoadD)
+			if mid && points[i] {
+				t.Errorf("%s: mid-group Vir_LOAD_D at %d (prev %s) listed as interrupt point",
+					g.Name, i, ins[i-1].Op)
+			}
+			if !mid && !points[i] {
+				t.Errorf("%s: group-leader Vir_LOAD_D at %d missing from interrupt points", g.Name, i)
+			}
+		}
+	}
+	if !sawTwoRestoreGroup {
+		t.Fatal("no two-restore (Add) group emitted — the residual fixture no longer covers the regression shape")
+	}
+}

@@ -452,10 +452,13 @@ func (u *IAU) canSwitch(t *task) bool {
 			return true
 		}
 		if in.Op == isa.OpVirLoadD {
-			// A lone Vir_LOAD_D (post-SAVE point). A Vir_LOAD_D right after
-			// a Vir_SAVE is mid-group: switching there would lose the
-			// unsaved results whose backup was already skipped.
-			return t.pc == 0 || ins[t.pc-1].Op != isa.OpVirSave
+			// A lone Vir_LOAD_D (post-SAVE point) — but only the group
+			// leader. One right after a Vir_SAVE is mid-group (switching
+			// there would lose the unsaved results whose backup was already
+			// skipped), and one right after another Vir_LOAD_D (Add layers
+			// restore two inputs) is mid-group too: resuming from it would
+			// skip the first input's restore.
+			return t.pc == 0 || (ins[t.pc-1].Op != isa.OpVirSave && ins[t.pc-1].Op != isa.OpVirLoadD)
 		}
 		return false
 	case PolicyLayerByLayer:

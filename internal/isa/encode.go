@@ -185,19 +185,24 @@ func Decode(r io.Reader) (*Program, error) {
 	if err := binary.Read(br, binary.LittleEndian, &counts); err != nil {
 		return nil, fmt.Errorf("isa: reading counts: %w", err)
 	}
+	// The count fields are untrusted input: allocate incrementally while
+	// records keep arriving rather than trusting them for one up-front
+	// make(), so a corrupted header can only cost memory proportional to the
+	// bytes actually supplied.
+	const prealloc = 1 << 12
 	p := &Program{
 		Name:       string(name),
 		ParaIn:     int(hdr.ParaIn),
 		ParaOut:    int(hdr.ParaOut),
 		ParaHeight: int(hdr.ParaHeight),
-		Layers:     make([]LayerInfo, counts.NLayers),
-		Instrs:     make([]Instruction, counts.NInstrs),
+		Layers:     make([]LayerInfo, 0, min(int(counts.NLayers), prealloc)),
+		Instrs:     make([]Instruction, 0, min(int(counts.NInstrs), prealloc)),
 		DDRBytes:   counts.DDRBytes,
 		InputAddr:  counts.InputAddr, InputBytes: counts.InputBytes,
 		OutputAddr: counts.OutputAddr, OutputBytes: counts.OutputBytes,
 		WeightsAddr: counts.WeightsAddr,
 	}
-	for i := range p.Layers {
+	for i := 0; i < int(counts.NLayers); i++ {
 		var fl fixedLayer
 		if err := binary.Read(br, binary.LittleEndian, &fl); err != nil {
 			return nil, fmt.Errorf("isa: reading layer %d: %w", i, err)
@@ -210,7 +215,7 @@ func Decode(r io.Reader) (*Program, error) {
 		if _, err := io.ReadFull(br, ln); err != nil {
 			return nil, fmt.Errorf("isa: reading layer %d name: %w", i, err)
 		}
-		p.Layers[i] = LayerInfo{
+		p.Layers = append(p.Layers, LayerInfo{
 			Op: LayerOp(fl.Op), Name: string(ln),
 			InC: int(fl.InC), InH: int(fl.InH), InW: int(fl.InW),
 			OutC: int(fl.OutC), OutH: int(fl.OutH), OutW: int(fl.OutW),
@@ -218,27 +223,31 @@ func Decode(r io.Reader) (*Program, error) {
 			Groups: int(fl.Groups), Shift: fl.Shift, ReLU: fl.ReLU != 0, FusedPool: int(fl.FusedPool),
 			InAddr: fl.InAddr, In2Addr: fl.In2Addr, OutAddr: fl.OutAddr, WAddr: fl.WAddr,
 			NIn: int(fl.NIn), NOut: int(fl.NOut), NTiles: int(fl.NTiles),
-		}
+		})
 	}
-	for i := range p.Instrs {
+	for i := 0; i < int(counts.NInstrs); i++ {
 		var fi fixedInstr
 		if err := binary.Read(br, binary.LittleEndian, &fi); err != nil {
 			return nil, fmt.Errorf("isa: reading instr %d: %w", i, err)
 		}
-		p.Instrs[i] = Instruction{
+		p.Instrs = append(p.Instrs, Instruction{
 			Op: Op(fi.Op), Which: fi.Which, Layer: fi.Layer,
 			InG: fi.InG, OutG: fi.OutG, Row0: fi.Row0, Rows: fi.Rows, Tile: fi.Tile,
 			SaveID: fi.SaveID, Addr: fi.Addr, Len: fi.Len,
-		}
+		})
 	}
 	if counts.WeightsLen > 0 {
-		raw := make([]byte, counts.WeightsLen)
-		if _, err := io.ReadFull(br, raw); err != nil {
-			return nil, fmt.Errorf("isa: reading weights: %w", err)
-		}
-		p.Weights = make([]int8, len(raw))
-		for i, b := range raw {
-			p.Weights[i] = int8(b)
+		p.Weights = make([]int8, 0, min(int(counts.WeightsLen), prealloc))
+		var chunk [4096]byte
+		for remaining := int(counts.WeightsLen); remaining > 0; {
+			n := min(remaining, len(chunk))
+			if _, err := io.ReadFull(br, chunk[:n]); err != nil {
+				return nil, fmt.Errorf("isa: reading weights: %w", err)
+			}
+			for _, b := range chunk[:n] {
+				p.Weights = append(p.Weights, int8(b))
+			}
+			remaining -= n
 		}
 	}
 	return p, nil

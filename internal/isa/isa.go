@@ -272,7 +272,11 @@ func (p *Program) InterruptPoints() []int {
 		case OpVirSave:
 			pts = append(pts, i)
 		case OpVirLoadD:
-			if i == 0 || p.Instrs[i-1].Op != OpVirSave {
+			// Only the leader of a restore group is a take-point: a
+			// Vir_LOAD_D after a Vir_SAVE belongs to that backup's group, and
+			// one after another Vir_LOAD_D (Add layers restore two inputs) is
+			// mid-group — parking there would skip the earlier restores.
+			if i == 0 || (p.Instrs[i-1].Op != OpVirSave && p.Instrs[i-1].Op != OpVirLoadD) {
 				pts = append(pts, i)
 			}
 		}

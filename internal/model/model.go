@@ -158,7 +158,7 @@ func (n *Network) Validate() error {
 				return fmt.Errorf("model %q: add %s needs exactly two inputs", n.Name, l.Name)
 			}
 		case KindMaxPool:
-			if len(l.Inputs) != 1 || l.KH <= 0 || l.Stride <= 0 {
+			if len(l.Inputs) != 1 || l.KH <= 0 || l.KW <= 0 || l.Stride <= 0 {
 				return fmt.Errorf("model %q: pool %s invalid", n.Name, l.Name)
 			}
 		case KindGlobalPool, KindGeMPool, KindFC:
@@ -216,9 +216,14 @@ func (n *Network) InferShapes() ([]Shape, error) {
 			}
 			shapes[i] = in
 		case KindMaxPool:
-			h := (in.H - l.KH) / l.Stride
-			w := (in.W - l.KW) / l.Stride
-			shapes[i] = Shape{C: in.C, H: h + 1, W: w + 1}
+			// Note integer division truncates toward zero: a kernel larger
+			// than the input would still yield h/w of 1, so check fit first.
+			if in.H < l.KH || in.W < l.KW {
+				return nil, fmt.Errorf("model %q: pool %s kernel %dx%d exceeds input %dx%d", n.Name, l.Name, l.KH, l.KW, in.H, in.W)
+			}
+			h := (in.H-l.KH)/l.Stride + 1
+			w := (in.W-l.KW)/l.Stride + 1
+			shapes[i] = Shape{C: in.C, H: h, W: w}
 		case KindGlobalPool, KindGeMPool:
 			shapes[i] = Shape{C: in.C, H: 1, W: 1}
 		case KindFC:

@@ -235,3 +235,27 @@ func TestMACsComputation(t *testing.T) {
 		t.Fatalf("depthwise MACs = %d", got)
 	}
 }
+
+// TestCollapsingPoolRejected is the minimized regression for a crash the
+// verification fuzzer surfaced: a max pool whose kernel exceeds the input
+// resolution used to infer a 0-height/width output shape (conv already
+// errored on this), which downstream divided by the per-channel tile size —
+// a divide by zero in the engine's SAVE path. Shape inference must reject
+// the layer instead.
+func TestCollapsingPoolRejected(t *testing.T) {
+	n := model.New("poolcollapse", 1, 2, 8)
+	n.MaxPool("p", 0, 3, 2) // 3x3 kernel over 2 input rows
+	if _, err := n.InferShapes(); err == nil {
+		t.Fatal("pool collapsing the spatial dims accepted")
+	}
+	// One output row is the boundary case and must still be legal.
+	n2 := model.New("poolexact", 1, 3, 8)
+	n2.MaxPool("p", 0, 3, 2)
+	shapes, err := n2.InferShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shapes[1]; got.H != 1 || got.W != 3 {
+		t.Fatalf("exact-fit pool shape %v, want H=1 W=3", got)
+	}
+}

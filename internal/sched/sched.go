@@ -70,6 +70,14 @@ type TaskSpec struct {
 	Slot int
 	Prog *isa.Program
 
+	// Arena, when non-nil, is the task's DDR image: every request of the
+	// task executes the datapath functionally against it (bit-exact outputs,
+	// same cycle model). Nil runs timing-only. Successive iterations of a
+	// task rewrite the same deterministic bytes, so the arena after a run
+	// equals a single golden execution — the property the verification
+	// harness checks through the whole sched+IAU+accel stack.
+	Arena []byte
+
 	// Period schedules arrivals every Period of simulated time. Zero with
 	// Continuous unset means a single arrival at Offset.
 	Period time.Duration
@@ -312,6 +320,7 @@ func RunOpt(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.
 		req := &iau.Request{
 			Label:      fmt.Sprintf("%s#%d", rt.spec.Name, rt.nextSeq),
 			Prog:       rt.spec.Prog,
+			Arena:      rt.spec.Arena,
 			DropIfBusy: rt.spec.DropIfBusy,
 		}
 		rt.nextSeq++

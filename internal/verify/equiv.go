@@ -1,0 +1,325 @@
+package verify
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/fault"
+	"inca/internal/golden"
+	"inca/internal/iau"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+	"inca/internal/tensor"
+)
+
+// errSkip marks a generated case that cannot run (the random recipe shrank a
+// featuremap below a kernel, exceeded a buffer, ...). The sweep draws again;
+// a skip is never a failure.
+var errSkip = errors.New("verify: case not runnable")
+
+// IsSkip reports whether RunCase rejected the case as not runnable.
+func IsSkip(err error) bool { return errors.Is(err, errSkip) }
+
+// RunStats summarises what one case actually exercised.
+type RunStats struct {
+	Runs        int // IAU runs performed (sweeps run once per interrupt point)
+	Preemptions int // total preemptions observed across those runs
+}
+
+// probeRecipe is the small fixed network interfering requests run: two
+// layers (so layer-by-layer switching has a boundary) and virtual
+// instructions (so probes themselves are preemptible under VI).
+func probeRecipe() Recipe {
+	return Recipe{C: 2, H: 8, W: 10, Ops: []OpSpec{
+		{Kind: 0, K: 3, Stride: 1, Pad: 1, OutC: 3, ReLU: true},
+		{Kind: 5, K: 1, Stride: 1, Pad: 0, OutC: 2},
+	}}
+}
+
+// compileRecipe lowers a recipe for functional execution on cfg.
+func compileRecipe(r Recipe, cfg accel.Config, paramSeed uint64) (*isa.Program, *model.Network, error) {
+	g := r.Build()
+	if err := g.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errSkip, err)
+	}
+	q, err := quant.Synthesize(g, paramSeed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errSkip, err)
+	}
+	opt := cfg.CompilerOptions()
+	opt.InsertVirtual = true
+	opt.EmitWeights = true
+	p, err := compiler.Compile(q, opt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errSkip, err)
+	}
+	if len(p.Weights) == 0 {
+		// A network with no conv layers carries no weight image and cannot
+		// execute functionally (NewArena rejects it) — not a stack bug.
+		return nil, nil, fmt.Errorf("%w: weight-free network", errSkip)
+	}
+	return p, g, nil
+}
+
+// soloStarts replays the stream's exact IAU timing for an uninterrupted run
+// and returns the cycle at which each instruction would begin, plus the
+// completion cycle. Virtual instructions cost FetchCycles (discarded), real
+// ones their engine cycle count including the prefetch-hiding pipeline.
+func soloStarts(cfg accel.Config, p *isa.Program) ([]uint64, uint64) {
+	eng := accel.NewEngine(cfg)
+	defer eng.Close()
+	starts := make([]uint64, len(p.Instrs))
+	var now uint64
+	for i, in := range p.Instrs {
+		starts[i] = now
+		if in.Op == isa.OpEnd {
+			break
+		}
+		if in.Op.Virtual() {
+			now += uint64(cfg.FetchCycles)
+			continue
+		}
+		c, _ := eng.Exec(nil, p, in, 0)
+		now += c
+	}
+	return starts, now
+}
+
+// RunCase executes one generated case end to end: compile the victim, run
+// the golden interpreter for the expected arena, then run the real IAU stack
+// under the case's schedule and policy and check bit-exact equivalence plus
+// the architectural invariants. A sweep case performs one full run per
+// interrupt point.
+func RunCase(c Case) (RunStats, error) {
+	var stats RunStats
+	cfg := Configs()[c.CfgIdx]
+	paramSeed := mix(c.Seed, c.Index) ^ 0xDDC0FFEE
+
+	victim, vg, err := compileRecipe(c.Recipe, cfg, paramSeed)
+	if err != nil {
+		return stats, err
+	}
+	probe, _, err := compileRecipe(probeRecipe(), cfg, 2)
+	if err != nil {
+		return stats, fmt.Errorf("probe network must always compile: %v", err)
+	}
+
+	in := tensor.NewInt8(vg.InC, vg.InH, vg.InW)
+	tensor.FillPattern(in, paramSeed^0x51)
+
+	// The executable spec's verdict: what DDR must hold afterwards.
+	want, err := golden.RunNet(victim, in)
+	if err != nil {
+		return stats, fmt.Errorf("golden rejects the compiled stream: %v", err)
+	}
+
+	starts, soloTotal := soloStarts(cfg, victim)
+
+	// One (probes, faults) plan per IAU run.
+	type plan struct {
+		label  string
+		cycles []uint64 // probe submit cycles, index-aligned with slots
+		slots  []int
+	}
+	var plans []plan
+	if c.Sched.Kind == KindSweep {
+		pts := victim.InterruptPoints()
+		if len(pts) == 0 {
+			return stats, fmt.Errorf("%w: no interrupt points to sweep", errSkip)
+		}
+		stride := (len(pts) + 23) / 24 // cap sweeps on big streams
+		for i := 0; i < len(pts); i += stride {
+			plans = append(plans, plan{
+				label:  fmt.Sprintf("sweep@pc%d", pts[i]),
+				cycles: []uint64{starts[pts[i]]},
+				slots:  []int{c.Sched.VictimSlot - 1},
+			})
+		}
+	} else {
+		p := plan{label: c.Sched.Kind}
+		for _, pr := range c.Sched.Probes {
+			p.cycles = append(p.cycles, uint64(pr.Frac*float64(soloTotal)))
+			p.slots = append(p.slots, pr.Slot)
+		}
+		plans = append(plans, plan{label: p.label, cycles: p.cycles, slots: p.slots})
+	}
+
+	for _, pl := range plans {
+		n, err := runOnce(c, cfg, victim, probe, in, want, pl.slots, pl.cycles)
+		stats.Runs++
+		stats.Preemptions += n
+		if err != nil {
+			return stats, fmt.Errorf("run %q: %w", pl.label, err)
+		}
+	}
+	return stats, nil
+}
+
+// runOnce performs a single IAU run of the victim under one probe plan and
+// checks equivalence and invariants.
+func runOnce(c Case, cfg accel.Config, victim, probe *isa.Program, in *tensor.Int8,
+	want []byte, slots []int, cycles []uint64) (preempts int, err error) {
+
+	arena, err := accel.NewArena(victim)
+	if err != nil {
+		return 0, err
+	}
+	if err := accel.WriteInput(arena, victim, in); err != nil {
+		return 0, err
+	}
+
+	u := iau.New(cfg, c.Policy)
+	defer u.Eng.Close()
+	if c.Sched.FaultSeed != 0 {
+		inj := fault.New(c.Sched.FaultSeed)
+		inj.SetRate(fault.SiteBackup, c.Sched.BackupRate)
+		inj.SetRate(fault.SiteStall, c.Sched.StallRate)
+		inj.SetRate(fault.SiteIRQLost, c.Sched.IRQRate)
+		u.Faults = inj
+		u.WatchdogCycles = iau.WatchdogBound(cfg, victim, probe)
+	}
+
+	progOn := func(slot int) *isa.Program {
+		if slot == c.Sched.VictimSlot {
+			return victim
+		}
+		return probe
+	}
+
+	// Invariant: after every preemption event the victim slot's registers
+	// must describe a legal boundary for the active policy.
+	var violations []string
+	u.OnPreempt = func(pr *iau.Preemption) {
+		regs := u.Registers(pr.Victim)
+		ins := progOn(pr.Victim).Instrs
+		pc := regs.InstrAddr
+		bad := func(f string, a ...interface{}) {
+			violations = append(violations, fmt.Sprintf("@%d victim slot%d pc%d: %s", u.Now, pr.Victim, pc, fmt.Sprintf(f, a...)))
+		}
+		if regs.State != iau.Preempted {
+			bad("state %v after preemption, want Preempted", regs.State)
+		}
+		if pc < 0 || pc >= len(ins) {
+			bad("pc out of stream [0,%d)", len(ins))
+			return
+		}
+		switch c.Policy {
+		case iau.PolicyVI:
+			// Legal parks: first Vir_LOAD_D of a post-Vir_SAVE group, or the
+			// leader of a lone restore group. Mid-group Vir_LOAD_D (second
+			// input restore of an Add layer) is illegal: resume would skip
+			// the earlier restores.
+			if ins[pc].Op != isa.OpVirLoadD || (pc > 0 && ins[pc-1].Op == isa.OpVirLoadD) {
+				bad("parked at %s (prev %s), not the leader of a restore group",
+					ins[pc].Op, ins[max(pc-1, 0)].Op)
+			}
+		case iau.PolicyLayerByLayer:
+			if pc == 0 || ins[pc].Op == isa.OpEnd || ins[pc].Layer == ins[pc-1].Layer {
+				bad("parked mid-layer (op %s, layer %d)", ins[pc].Op, ins[pc].Layer)
+			}
+		}
+		if pr.BoundaryCycle < pr.RequestCycle || pr.BackupDoneCycle < pr.BoundaryCycle {
+			bad("preemption timeline not monotonic: req=%d boundary=%d backup=%d",
+				pr.RequestCycle, pr.BoundaryCycle, pr.BackupDoneCycle)
+		}
+	}
+
+	reqs := []*iau.Request{{Label: "victim", Prog: victim, Arena: arena}}
+	if err := u.Submit(c.Sched.VictimSlot, reqs[0]); err != nil {
+		return 0, err
+	}
+	for i, slot := range slots {
+		r := &iau.Request{Label: fmt.Sprintf("probe%d", i), Prog: probe}
+		reqs = append(reqs, r)
+		if err := u.SubmitAt(slot, r, cycles[i]); err != nil {
+			return 0, err
+		}
+	}
+
+	if err := u.RunAll(); err != nil {
+		return len(u.Preemptions), fmt.Errorf("IAU run failed: %v", err)
+	}
+	preempts = len(u.Preemptions)
+
+	// 1. Bit-exact equivalence with the golden interpreter, whole arena:
+	// input and weights untouched, every layer's output identical.
+	if !bytes.Equal(want, arena) {
+		n, first := 0, -1
+		for i := range want {
+			if want[i] != arena[i] {
+				n++
+				if first < 0 {
+					first = i
+				}
+			}
+		}
+		region := "featuremap"
+		for li := range victim.Layers {
+			l := &victim.Layers[li]
+			if first >= int(l.OutAddr) && first < int(l.OutAddr)+l.OutC*l.OutH*l.OutW {
+				region = fmt.Sprintf("layer %d (%s) output", li, l.Name)
+				break
+			}
+		}
+		return preempts, fmt.Errorf("arena differs from golden at %d bytes (first at %d, in %s) after %d preemptions",
+			n, first, region, preempts)
+	}
+
+	// 2. Register/slot-state legality collected after every event.
+	if len(violations) > 0 {
+		return preempts, fmt.Errorf("register legality violated (%d):\n  %s", len(violations), violations[0])
+	}
+
+	// 3. Quiescence: every slot idle and drained, no failed requests, every
+	// submitted request completed exactly once.
+	for slot := 0; slot < iau.NumSlots; slot++ {
+		regs := u.Registers(slot)
+		if regs.State != iau.Idle || regs.QueueDepth != 0 || regs.Label != "" {
+			return preempts, fmt.Errorf("slot %d not quiesced after RunAll: %+v", slot, regs)
+		}
+	}
+	if len(u.Completions) != len(reqs) {
+		return preempts, fmt.Errorf("%d completions for %d requests", len(u.Completions), len(reqs))
+	}
+	for _, r := range reqs {
+		if r.Failed {
+			return preempts, fmt.Errorf("request %q left failed", r.Label)
+		}
+	}
+
+	// 4. Cycle-accounting conservation: simulated time decomposes exactly
+	// into busy + idle + per-request virtual fetches and injected stalls.
+	var fetch, stall uint64
+	for _, r := range reqs {
+		fetch += r.FetchCycles
+		stall += r.StallCycles
+	}
+	if u.Now != u.BusyCycles+u.IdleCycles+fetch+stall {
+		return preempts, fmt.Errorf("cycle conservation broken: now=%d busy=%d idle=%d fetch=%d stall=%d (sum %d)",
+			u.Now, u.BusyCycles, u.IdleCycles, fetch, stall, u.BusyCycles+u.IdleCycles+fetch+stall)
+	}
+
+	// 5. Snapshot free-list balance: no CPU-like backup may leak.
+	live, free := u.Eng.SnapshotBalance()
+	if live != 0 {
+		return preempts, fmt.Errorf("%d snapshots still live after RunAll", live)
+	}
+	if free > 4 {
+		return preempts, fmt.Errorf("snapshot free list overgrew: %d entries", free)
+	}
+
+	// 6. Fault-free preemptions must all have resumed (with faults armed a
+	// corrupt backup legitimately restarts instead).
+	if c.Sched.FaultSeed == 0 {
+		for i, pr := range u.Preemptions {
+			if !pr.Resumed {
+				return preempts, fmt.Errorf("preemption %d (victim slot%d at pc%d) never resumed", i, pr.Victim, pr.VictimPC)
+			}
+		}
+	}
+	return preempts, nil
+}

@@ -1,0 +1,286 @@
+// Package verify is the preemption-equivalence harness: it generates random
+// CNN specs and adversarial interrupt schedules, runs each through the real
+// accel+IAU stack under every interrupt method, and asserts the result is
+// bit-exact with the golden sequential interpreter (internal/golden) while a
+// set of architectural invariants holds after every event.
+//
+// Everything is deterministic from a (seed, index) pair, and a failing case
+// is automatically minimized — first the network, then the schedule — down
+// to a one-line repro printed in the failure message:
+//
+//	INCA_VERIFY_REPLAY=<seed>:<index> go test ./internal/verify -run TestEquivalence
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"inca/internal/accel"
+	"inca/internal/iau"
+	"inca/internal/model"
+)
+
+// OpSpec is one shrinkable layer of a generated network. Kinds mirror the
+// shapes the compiler lowers: dense conv, depthwise conv, conv with fused
+// 2x2 pooling, standalone max-pool, a residual block (two conv branches plus
+// an add), and pointwise conv.
+type OpSpec struct {
+	Kind   int // 0 dense, 1 depthwise, 2 fused-pool conv, 3 maxpool, 4 residual, 5 pointwise
+	K      int
+	Stride int
+	Pad    int
+	OutC   int
+	ReLU   bool
+}
+
+// Recipe is the DNA of a generated network: enough to rebuild it exactly,
+// small enough to shrink structurally.
+type Recipe struct {
+	C, H, W int
+	Ops     []OpSpec
+}
+
+// Build replays the recipe into a model graph.
+func (r Recipe) Build() *model.Network {
+	n := model.New("gen", r.C, r.H, r.W)
+	cur := 0
+	for i, op := range r.Ops {
+		switch op.Kind {
+		case 0:
+			cur = n.Conv(fmt.Sprintf("conv%d", i), cur, op.OutC, op.K, op.Stride, op.Pad, op.ReLU)
+		case 1:
+			cur = n.DWConv(fmt.Sprintf("dw%d", i), cur, 3, op.Stride, 1, op.ReLU)
+		case 2:
+			cur = n.Add(model.Layer{
+				Name: fmt.Sprintf("convp%d", i), Kind: model.KindConv, Inputs: []int{cur},
+				OutC: op.OutC, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1,
+				ReLU: op.ReLU, FusedPool: 2,
+			})
+		case 3:
+			cur = n.MaxPool(fmt.Sprintf("pool%d", i), cur, op.K, 2)
+		case 4:
+			a := n.Conv(fmt.Sprintf("res%da", i), cur, op.OutC, 3, 1, 1, true)
+			b := n.Conv(fmt.Sprintf("res%db", i), cur, op.OutC, 1, 1, 0, false)
+			cur = n.Residual(fmt.Sprintf("res%d", i), a, b, op.ReLU)
+		case 5:
+			cur = n.Conv(fmt.Sprintf("pw%d", i), cur, op.OutC, 1, 1, 0, op.ReLU)
+		}
+	}
+	return n
+}
+
+func (r Recipe) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%dx%d", r.C, r.H, r.W)
+	for _, op := range r.Ops {
+		kind := [...]string{"conv", "dw", "convpool", "pool", "res", "pw"}[op.Kind]
+		fmt.Fprintf(&b, " %s(k%d s%d p%d oc%d relu=%v)", kind, op.K, op.Stride, op.Pad, op.OutC, op.ReLU)
+	}
+	return b.String()
+}
+
+// Probe is one interfering request: a small fixed network submitted on a
+// higher-priority slot at a fraction of the victim's uninterrupted runtime.
+type Probe struct {
+	Slot int
+	Frac float64
+}
+
+// Schedule kinds.
+const (
+	KindSolo       = "solo"       // no interference: stream + skip-cost sanity
+	KindRandom     = "random"     // 1-4 probes at random times and priorities
+	KindNested     = "nested"     // probes preempting probes across all 4 slots
+	KindBackToBack = "backtoback" // immediate re-preemption after each resume
+	KindSweep      = "sweep"      // one run per VI interrupt point, probe timed exactly there
+	KindFaults     = "faults"     // random probes with backup/stall/IRQ faults armed
+)
+
+// Kinds lists every schedule kind the generator draws from.
+func Kinds() []string {
+	return []string{KindSolo, KindRandom, KindNested, KindBackToBack, KindSweep, KindFaults}
+}
+
+// Schedule is an adversarial preemption plan against one victim.
+type Schedule struct {
+	Kind       string
+	VictimSlot int
+	Probes     []Probe
+
+	// FaultSeed != 0 arms the deterministic injector with the rates below.
+	FaultSeed  uint64
+	BackupRate float64
+	StallRate  float64
+	IRQRate    float64
+}
+
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s victim@%d", s.Kind, s.VictimSlot)
+	for _, p := range s.Probes {
+		fmt.Fprintf(&b, " probe(slot%d@%.3f)", p.Slot, p.Frac)
+	}
+	if s.FaultSeed != 0 {
+		fmt.Fprintf(&b, " faults(seed=%d backup=%g stall=%g irq=%g)", s.FaultSeed, s.BackupRate, s.StallRate, s.IRQRate)
+	}
+	return b.String()
+}
+
+// Case is one fully determined (spec, schedule, method) verification unit.
+type Case struct {
+	Seed   uint64
+	Index  int
+	Recipe Recipe
+	CfgIdx int
+	Policy iau.Policy
+	Sched  Schedule
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("case %d:%d policy=%v cfg=%d net[%s] sched[%s]",
+		c.Seed, c.Index, c.Policy, c.CfgIdx, c.Recipe, c.Sched)
+}
+
+// Repro returns the one-line environment repro for the case.
+func (c Case) Repro() string {
+	return fmt.Sprintf("INCA_VERIFY_REPLAY=%d:%d go test ./internal/verify -run TestEquivalence", c.Seed, c.Index)
+}
+
+// Configs returns the accelerator configurations cases draw from: small
+// parallelism variants that force plenty of edge tiles (partial channel
+// groups, partial height tiles) on the generator's odd shapes.
+func Configs() []accel.Config {
+	a := accel.Big()
+	a.ParaIn, a.ParaOut, a.ParaHeight = 4, 4, 3
+	b := accel.Big()
+	b.ParaIn, b.ParaOut, b.ParaHeight = 8, 8, 4
+	return []accel.Config{a, b}
+}
+
+// entropy is the randomness the generators consume. *rand.Rand satisfies it
+// for the seeded sweep; the fuzz targets satisfy it with a byte-string DNA
+// consumer so `go test -fuzz` mutates structurally valid cases.
+type entropy interface {
+	Intn(n int) int
+	Float64() float64
+	Uint64() uint64
+}
+
+// mix derives a per-case rng seed from (seed, index) with splitmix64.
+func mix(seed uint64, index int) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*uint64(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewCase deterministically generates the index-th case of a seed.
+func NewCase(seed uint64, index int) Case {
+	rng := rand.New(rand.NewSource(int64(mix(seed, index))))
+	c := Case{Seed: seed, Index: index}
+	c.Recipe = randomRecipe(rng)
+	c.CfgIdx = rng.Intn(len(Configs()))
+	// Round-robin the schedule kind so every kind appears with certainty in
+	// any contiguous run of cases; the rest of the case stays random.
+	kinds := Kinds()
+	kind := kinds[index%len(kinds)]
+	policies := []iau.Policy{iau.PolicyVI, iau.PolicyCPULike, iau.PolicyLayerByLayer}
+	c.Policy = policies[rng.Intn(len(policies))]
+	if kind == KindSweep {
+		// The sweep enumerates Vir_SAVE interrupt points — a VI-method notion.
+		c.Policy = iau.PolicyVI
+	}
+	c.Sched = randomSchedule(rng, kind)
+	return c
+}
+
+// randomRecipe draws a small network with odd shapes: non-multiple channel
+// counts and heights that leave partial tiles at every level.
+func randomRecipe(rng entropy) Recipe {
+	r := Recipe{
+		C: 1 + rng.Intn(6),
+		H: 7 + rng.Intn(14),
+		W: 7 + rng.Intn(14),
+	}
+	nOps := 1 + rng.Intn(3)
+	for i := 0; i < nOps; i++ {
+		op := OpSpec{ReLU: rng.Intn(2) == 0, Stride: 1, K: 3, Pad: 1, OutC: 1 + rng.Intn(10)}
+		kind := rng.Intn(6)
+		if i == 0 && kind == 3 {
+			// A weight-free network (pools only) has no weight image and
+			// cannot run functionally; anchor every recipe with a conv.
+			kind = 0
+		}
+		switch kind {
+		case 0:
+			op.Kind = 0
+			op.K = []int{1, 3, 5}[rng.Intn(3)]
+			op.Stride = 1 + rng.Intn(2)
+			op.Pad = rng.Intn(op.K/2 + 2)
+		case 1:
+			op.Kind = 1
+			op.Stride = 1 + rng.Intn(2)
+		case 2:
+			op.Kind = 2
+			op.OutC = 1 + rng.Intn(8)
+		case 3:
+			op.Kind = 3
+			op.K = 2 + rng.Intn(2)
+		case 4:
+			op.Kind = 4
+			op.OutC = 1 + rng.Intn(8)
+		case 5:
+			op.Kind = 5
+			op.OutC = 1 + rng.Intn(12)
+		}
+		r.Ops = append(r.Ops, op)
+	}
+	return r
+}
+
+// randomSchedule draws the adversarial plan for one kind.
+func randomSchedule(rng entropy, kind string) Schedule {
+	s := Schedule{Kind: kind, VictimSlot: 2 + rng.Intn(2)}
+	frac := func() float64 { return 0.05 + 0.9*rng.Float64() }
+	switch kind {
+	case KindSolo:
+		// no probes
+	case KindRandom:
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			s.Probes = append(s.Probes, Probe{Slot: rng.Intn(s.VictimSlot), Frac: frac()})
+		}
+	case KindNested:
+		// Victim on the lowest-priority slot; staggered probes on every
+		// higher slot so probes preempt probes (nested interrupts across all
+		// four IAU slots).
+		s.VictimSlot = 3
+		f := frac() * 0.5
+		for slot := 2; slot >= 0; slot-- {
+			s.Probes = append(s.Probes, Probe{Slot: slot, Frac: f})
+			f += 0.02 + 0.1*rng.Float64()
+		}
+	case KindBackToBack:
+		// Three probes in quick succession on the same high-priority slot:
+		// the victim is re-preempted almost immediately after each resume.
+		f := frac() * 0.7
+		slot := rng.Intn(s.VictimSlot)
+		for i := 0; i < 3; i++ {
+			s.Probes = append(s.Probes, Probe{Slot: slot, Frac: f})
+			f += 0.01 + 0.03*rng.Float64()
+		}
+	case KindSweep:
+		// Probes are derived from the victim's interrupt points at run time.
+	case KindFaults:
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			s.Probes = append(s.Probes, Probe{Slot: rng.Intn(s.VictimSlot), Frac: frac()})
+		}
+		s.FaultSeed = rng.Uint64() | 1
+		s.BackupRate = 1.0 // corrupt every backup: detection must be certain
+		s.StallRate = 0.05
+		s.IRQRate = 0.1
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+package verify
+
+// Failure minimization: shrink the network first (fewer layers, smaller
+// featuremaps, fewer channels), then the schedule (fewer probes, no faults,
+// simpler kind). Each candidate must still compile, still run under the
+// golden interpreter, and still FAIL the same harness — only then is the
+// shrink accepted. The result is the smallest case the greedy pass reaches
+// within its budget, reported alongside the original repro seed.
+
+// stillFails re-runs the harness on a candidate and reports whether it
+// reproduces a failure. Skipped (non-compiling) candidates do not count.
+func stillFails(c Case) bool {
+	_, err := RunCase(c)
+	return err != nil && !IsSkip(err)
+}
+
+// size is the metric minimization descends: layer count dominates, then
+// featuremap area, channel widths, probes, and fault machinery.
+func size(c Case) int {
+	s := len(c.Recipe.Ops) * 1000000
+	s += c.Recipe.H * c.Recipe.W * 100
+	s += c.Recipe.C * 100
+	for _, op := range c.Recipe.Ops {
+		s += op.OutC * 10
+	}
+	s += len(c.Sched.Probes) * 5
+	if c.Sched.FaultSeed != 0 {
+		s += 50
+	}
+	return s
+}
+
+// Minimize greedily shrinks a failing case, spending at most budget harness
+// re-runs. The input case must fail; the returned case also fails and is no
+// larger.
+func Minimize(c Case, budget int) Case {
+	best := c
+	tries := 0
+	attempt := func(cand Case) bool {
+		if tries >= budget || size(cand) >= size(best) {
+			return false
+		}
+		tries++
+		if stillFails(cand) {
+			best = cand
+			return true
+		}
+		return false
+	}
+
+	for improved := true; improved && tries < budget; {
+		improved = false
+
+		// Drop whole ops, preferring the tail (indices stay the layer order).
+		for i := len(best.Recipe.Ops) - 1; i >= 0; i-- {
+			cand := best
+			cand.Recipe.Ops = append(append([]OpSpec{}, best.Recipe.Ops[:i]...), best.Recipe.Ops[i+1:]...)
+			if len(cand.Recipe.Ops) == 0 {
+				continue
+			}
+			if attempt(cand) {
+				improved = true
+			}
+		}
+
+		// Shrink the input featuremap and channel widths.
+		for _, mut := range []func(*Recipe){
+			func(r *Recipe) { r.H = r.H/2 + r.H%2 },
+			func(r *Recipe) { r.W = r.W/2 + r.W%2 },
+			func(r *Recipe) { r.C = r.C/2 + r.C%2 },
+		} {
+			cand := best
+			cand.Recipe.Ops = append([]OpSpec{}, best.Recipe.Ops...)
+			mut(&cand.Recipe)
+			if cand.Recipe.H >= 6 && cand.Recipe.W >= 6 && attempt(cand) {
+				improved = true
+			}
+		}
+		for i := range best.Recipe.Ops {
+			if best.Recipe.Ops[i].OutC <= 1 {
+				continue
+			}
+			cand := best
+			cand.Recipe.Ops = append([]OpSpec{}, best.Recipe.Ops...)
+			cand.Recipe.Ops[i].OutC = cand.Recipe.Ops[i].OutC / 2
+			if attempt(cand) {
+				improved = true
+			}
+		}
+
+		// Shrink the schedule: drop fault injection, then probes, then try
+		// the degenerate solo schedule.
+		if best.Sched.FaultSeed != 0 {
+			cand := best
+			cand.Sched.FaultSeed = 0
+			cand.Sched.BackupRate, cand.Sched.StallRate, cand.Sched.IRQRate = 0, 0, 0
+			if attempt(cand) {
+				improved = true
+			}
+		}
+		for i := len(best.Sched.Probes) - 1; i >= 0; i-- {
+			cand := best
+			cand.Sched.Probes = append(append([]Probe{}, best.Sched.Probes[:i]...), best.Sched.Probes[i+1:]...)
+			if attempt(cand) {
+				improved = true
+			}
+		}
+		if best.Sched.Kind != KindSolo && len(best.Sched.Probes) == 0 && best.Sched.Kind != KindSweep {
+			cand := best
+			cand.Sched.Kind = KindSolo
+			if attempt(cand) {
+				improved = true
+			}
+		}
+	}
+	return best
+}
