@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build test bench race refconv vet chaos fuzz-smoke cover
+.PHONY: tier1 build test bench race refconv vet chaos fuzz-smoke cover trace
 
 # tier1 is the gate every change must keep green.
-tier1: build vet test race fuzz-smoke cover
+tier1: build vet test race fuzz-smoke cover trace
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,15 @@ cover:
 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 	  { echo "FAIL: coverage $$total% below ratchet floor $(COVER_FLOOR)%"; exit 1; }
+
+# Trace smoke: the seeded two-task preemption workload must produce a
+# Perfetto-loadable trace (WriteFiles re-parses it through the validator
+# before anything reaches disk) plus a metrics snapshot beside it.
+TRACEOUT ?= trace.json
+trace:
+	$(GO) run ./cmd/inca-bench -trace $(TRACEOUT) -trace-cap 4096
+	@test -s $(TRACEOUT) && test -s $(basename $(TRACEOUT)).metrics.json && \
+	  echo "trace smoke ok: $(TRACEOUT)"
 
 # Chaos gate: the two-agent DSLAM mission under injected snapshot
 # corruption, stalls, hangs, lost IRQs and message faults must keep a

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"inca/internal/bench"
+	"inca/internal/trace"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 		benchJSON  = flag.String("benchjson", "", "write all result tables as a JSON array to this file")
+		traceOut   = flag.String("trace", "", "run the two-task preemption workload with tracing and write Perfetto JSON here (metrics beside it)")
+		traceCap   = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,30 @@ func main() {
 			fatalf("start cpu profile: %v", err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *traceOut != "" {
+		tr, t, err := bench.TraceRun(scale, *traceCap)
+		if err != nil {
+			fatalf("trace run: %v", err)
+		}
+		printTable(out, t, *formatMD)
+		if err := trace.WriteFiles(tr, *traceOut, "inca-bench trace"); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(out, "wrote %s (%d events, %d dropped) and %s\n",
+			*traceOut, len(tr.Events()), tr.Dropped(), trace.MetricsPath(*traceOut))
+		if *benchJSON != "" {
+			f, jerr := os.Create(*benchJSON)
+			if jerr != nil {
+				fatalf("create %s: %v", *benchJSON, jerr)
+			}
+			if jerr := bench.WriteJSON(f, []*bench.Table{t}); jerr != nil {
+				fatalf("write %s: %v", *benchJSON, jerr)
+			}
+			f.Close()
+		}
+		return
 	}
 
 	tables, err := run(*exps, scale)

@@ -14,6 +14,7 @@ import (
 
 	"inca/internal/iau"
 	"inca/internal/slam"
+	"inca/internal/trace"
 	"inca/internal/world"
 )
 
@@ -28,6 +29,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "print every accepted PR match")
 		showMap  = flag.Bool("map", false, "render the arena and trajectories as ASCII")
 		frames   = flag.String("frames", "", "write sample rendered camera frames (PNG) to this directory")
+		traceOut = flag.String("trace", "", "write per-agent Perfetto traces to <prefix>.agentN.json (metrics beside each)")
+		traceCap = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default)")
 
 		chaos       = flag.Bool("chaos", false, "run under deterministic fault injection with the recovery stack armed")
 		chaosSeed   = flag.Uint64("chaos-seed", 7, "fault injector seed")
@@ -45,6 +48,12 @@ func main() {
 	cfg.FPS = *fps
 	cfg.CameraW, cfg.CameraH = *camW, *camH
 	cfg.Seed = *seed
+	if *traceOut != "" {
+		cfg.TraceCapacity = *traceCap
+		if cfg.TraceCapacity == 0 {
+			cfg.TraceCapacity = -1 // default ring size
+		}
+	}
 	if *chaos {
 		ch := slam.DefaultChaosConfig()
 		ch.Seed = *chaosSeed
@@ -99,6 +108,21 @@ func main() {
 		fmt.Printf("\n%s\n", res.Injected)
 		fmt.Printf("ros transport: %d dropped, %d delayed, %d duplicated\n",
 			res.MsgFaults.Dropped, res.MsgFaults.Delayed, res.MsgFaults.Duplicated)
+	}
+
+	if *traceOut != "" {
+		for i, tr := range res.Tracers {
+			if tr == nil {
+				continue
+			}
+			path := fmt.Sprintf("%s.agent%d.json", *traceOut, i)
+			if err := trace.WriteFiles(tr, path, fmt.Sprintf("inca-dslam agent %d", i)); err != nil {
+				fmt.Fprintf(os.Stderr, "inca-dslam: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nagent %d trace: %s (%d events, %d dropped), metrics %s\n",
+				i, path, len(tr.Events()), tr.Dropped(), trace.MetricsPath(path))
+		}
 	}
 
 	fmt.Printf("\nplace recognition: %d accepted cross-agent matches\n", len(res.Matches))

@@ -28,6 +28,7 @@ import (
 	"inca/internal/model"
 	"inca/internal/quant"
 	"inca/internal/sched"
+	"inca/internal/trace"
 )
 
 type taskFlags []string
@@ -44,6 +45,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "print every preemption record")
 		timeline = flag.Bool("timeline", false, "print the execution timeline (start/preempt/resume/complete)")
 		gantt    = flag.Bool("gantt", false, "render the timeline as a per-slot Gantt chart")
+		traceOut = flag.String("trace", "", "write a Perfetto (Chrome trace_event) JSON trace to this file")
+		traceCap = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default)")
 
 		faults      = flag.Bool("faults", false, "arm the deterministic fault injector")
 		faultSeed   = flag.Uint64("fault-seed", 7, "fault injector seed")
@@ -85,19 +88,33 @@ func main() {
 		specs = append(specs, spec)
 	}
 
-	opt := sched.Options{Trace: *timeline || *gantt}
+	var opts []sched.Option
+	if *timeline || *gantt {
+		opts = append(opts, sched.WithTimeline())
+	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(*traceCap)
+		opts = append(opts, sched.WithTracer(tracer))
+	}
 	if *faults {
 		inj := fault.New(*faultSeed)
 		inj.SetRate(fault.SiteBackup, *corruptRate)
 		inj.SetRate(fault.SiteStall, *stallRate)
 		inj.SetRate(fault.SiteHang, *hangRate)
 		inj.SetRate(fault.SiteIRQLost, *irqLostRate)
-		opt.Faults = inj
-		opt.WatchdogCycles = *watchdog
+		opts = append(opts, sched.WithFaults(inj), sched.WithWatchdog(*watchdog))
 	}
-	res, err := sched.RunOpt(cfg, pol, specs, *duration, opt)
+	res, err := sched.Run(cfg, pol, specs, *duration, opts...)
 	if err != nil {
 		fatalf("run: %v", err)
+	}
+	if tracer != nil {
+		if err := trace.WriteFiles(tracer, *traceOut, "inca-sim "+pol.String()); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote Perfetto trace to %s (%d events, %d dropped) and metrics to %s\n",
+			*traceOut, tracer.Total(), tracer.Dropped(), trace.MetricsPath(*traceOut))
 	}
 
 	fmt.Printf("policy=%v accel=%s horizon=%v utilization=%.1f%% degradation=%.3f%%\n",

@@ -71,14 +71,14 @@ func main() {
 		node := rc.Node(deploys[p.slot].name)
 		_, err := node.Timer(p.period, func() {
 			start := rc.Now()
-			err := handles[p.slot].InferAsync(func(done ros.Time) {
+			err := handles[p.slot].InferAsync(core.InferCallbacks{OnDone: func(done ros.Time) {
 				lat := done - start
 				results[p.slot].done++
 				results[p.slot].latency += lat
 				if lat > p.deadline {
 					results[p.slot].missed++
 				}
-			})
+			}})
 			check(err)
 		})
 		check(err)
@@ -90,11 +90,11 @@ func main() {
 		var fire func()
 		fire = func() {
 			start := rc.Now()
-			err := handles[slot].InferAsync(func(done ros.Time) {
+			err := handles[slot].InferAsync(core.InferCallbacks{OnDone: func(done ros.Time) {
 				results[slot].done++
 				results[slot].latency += done - start
 				fire()
-			})
+			}})
 			check(err)
 		}
 		rc.After(time.Millisecond, fire)

@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"inca/internal/isa"
+	"inca/internal/trace"
 )
 
 // Engine executes instructions against a task's DDR arena. It always
@@ -23,6 +24,13 @@ import (
 // accounting never depends on which path (or how many host workers) ran.
 type Engine struct {
 	Cfg Config
+
+	// Trace, when non-nil, receives a KindHidden span whenever the prefetch
+	// pipeline hides transfer cycles under compute — detail only the engine
+	// knows. The IAU owns simulated time and keeps Trace.Now current; the
+	// engine never emits the instruction spans themselves (the IAU does, so
+	// cycles are counted exactly once).
+	Trace *trace.Tracer
 
 	// credit is the accumulated load/compute overlap (cycles of DMA work
 	// hideable under compute already issued), capped by PrefetchBytes.
@@ -237,6 +245,9 @@ func (e *Engine) Exec(arena []byte, p *isa.Program, in isa.Instruction, skipByte
 			e.credit -= hidden
 			cycles -= hidden
 			e.hiddenCycles += hidden
+			if e.Trace != nil && hidden > 0 {
+				e.Trace.Span(trace.KindHidden, -1, e.Trace.Now, hidden, 0, in.Op.String())
+			}
 		}
 		e.xferCycles += cycles
 	default:

@@ -78,7 +78,7 @@ func E14FaultRecovery(scale Scale) (*Table, error) {
 		inj.SetRate(fault.SiteStall, ld.stall)
 		inj.SetRate(fault.SiteHang, ld.hang)
 		inj.SetRate(fault.SiteIRQLost, ld.irq)
-		r, err := sched.RunOpt(cfg, iau.PolicyVI, specs, horizon, sched.Options{Faults: inj})
+		r, err := sched.Run(cfg, iau.PolicyVI, specs, horizon, sched.WithFaults(inj))
 		if err != nil {
 			return nil, fmt.Errorf("E14 %s: %w", ld.label, err)
 		}

@@ -17,6 +17,7 @@ import (
 	"inca/internal/model"
 	"inca/internal/quant"
 	"inca/internal/ros"
+	"inca/internal/trace"
 )
 
 // Runtime owns one accelerator (through its IAU) and the deployments bound
@@ -68,13 +69,27 @@ func NewRuntime(cfg accel.Config, policy iau.Policy) (*Runtime, error) {
 	}, nil
 }
 
-// EnableFaults arms the runtime's accelerator with the injector plus a
-// watchdog and bounded retry. watchdogCycles 0 derives a safe bound from
-// the programs deployed so far (so call this after Deploy); maxRetries
-// and backoff configure the runtime's resubmission policy for requests
-// the watchdog kills.
-func (rt *Runtime) EnableFaults(inj *fault.Injector, watchdogCycles uint64, maxRetries int, backoff time.Duration) {
-	rt.U.Faults = inj
+// FaultConfig arms a runtime's fault injection and recovery policy in one
+// struct (EnableFaults).
+type FaultConfig struct {
+	// Injector drives the deterministic fault sites (backup bit-flips,
+	// stalls, hangs, lost IRQs).
+	Injector *fault.Injector
+	// WatchdogCycles bounds per-instruction cycles; 0 derives a safe bound
+	// from the programs deployed so far (so enable faults after Deploy).
+	WatchdogCycles uint64
+	// MaxRetries bounds how many times the runtime resubmits a request the
+	// watchdog killed.
+	MaxRetries int
+	// RetryBackoff spaces the attempts (attempt k waits k+1 backoffs).
+	RetryBackoff time.Duration
+}
+
+// EnableFaults arms the runtime's accelerator with the config's injector
+// plus a watchdog and bounded retry.
+func (rt *Runtime) EnableFaults(fc FaultConfig) {
+	rt.U.Faults = fc.Injector
+	watchdogCycles := fc.WatchdogCycles
 	if watchdogCycles == 0 {
 		progs := make([]*isa.Program, 0, iau.NumSlots)
 		for _, d := range rt.deployments {
@@ -85,9 +100,20 @@ func (rt *Runtime) EnableFaults(inj *fault.Injector, watchdogCycles uint64, maxR
 		watchdogCycles = iau.WatchdogBound(rt.Cfg, progs...)
 	}
 	rt.U.WatchdogCycles = watchdogCycles
-	rt.MaxRetries = maxRetries
-	rt.RetryBackoff = backoff
+	rt.MaxRetries = fc.MaxRetries
+	rt.RetryBackoff = fc.RetryBackoff
 	rt.U.OnFail = rt.onFail
+}
+
+// AttachTracer wires a cycle-accurate tracer through the runtime's whole
+// stack (IAU, engine, and the runtime's own infer/poll lifecycle marks).
+func (rt *Runtime) AttachTracer(tr *trace.Tracer) {
+	rt.U.AttachTracer(tr)
+	for _, d := range rt.deployments {
+		if d != nil {
+			tr.SetTaskLabel(d.Slot, d.Name)
+		}
+	}
 }
 
 // onFail retries a watchdog-killed request within the budget; once
@@ -104,6 +130,7 @@ func (rt *Runtime) onFail(c iau.Completion, failErr error) {
 	cb := rt.failbacks[c.Req]
 	delete(rt.failbacks, c.Req)
 	delete(rt.callbacks, c.Req)
+	rt.U.Tracer.Mark(trace.KindInferFail, c.Slot, rt.U.Now, uint64(c.Req.Retries), c.Req.Label)
 	if cb != nil {
 		cb(failErr)
 	}
@@ -146,6 +173,7 @@ func (rt *Runtime) deployQuantized(slot int, name string, q *quant.Network) (*De
 	}
 	d := &Deployment{Name: name, Slot: slot, Prog: p, rt: rt}
 	rt.deployments[slot] = d
+	rt.U.Tracer.SetTaskLabel(slot, name)
 	return d, nil
 }
 
@@ -174,6 +202,7 @@ func (rt *Runtime) DetachROS() {
 // completion callbacks.
 func (rt *Runtime) poll(now ros.Time) {
 	horizon := rt.Cfg.SecondsToCycles(now.Seconds())
+	rt.U.Tracer.Mark(trace.KindPoll, -1, horizon, 0, "")
 	if err := rt.U.Run(horizon); err != nil {
 		panic(fmt.Sprintf("core: accelerator error: %v", err))
 	}
@@ -187,22 +216,27 @@ func (rt *Runtime) poll(now ros.Time) {
 		if cb, ok := rt.callbacks[comp.Req]; ok {
 			delete(rt.callbacks, comp.Req)
 			done := ros.Time(rt.Cfg.CyclesToSeconds(comp.Req.DoneCycle) * float64(time.Second))
+			rt.U.Tracer.Mark(trace.KindInferDone, comp.Slot, comp.Req.DoneCycle, 0, comp.Req.Label)
 			cb(done)
 		}
 	}
 }
 
-// InferAsync submits one inference at the current virtual time; onDone fires
-// (from the driver's poll) with the completion timestamp.
-func (d *Deployment) InferAsync(onDone func(ros.Time)) error {
-	return d.InferAsyncFail(onDone, nil)
+// InferCallbacks carries the completion handlers for one InferAsync
+// request. Both fields are optional.
+type InferCallbacks struct {
+	// OnDone fires (from the driver's poll) with the completion timestamp.
+	OnDone func(ros.Time)
+	// OnFail fires when the request is abandoned after the runtime's retry
+	// budget (watchdog kills under fault injection), so the caller can shed
+	// the iteration instead of waiting on a completion that will never come.
+	OnFail func(error)
 }
 
-// InferAsyncFail is InferAsync with a failure callback: onFail fires when
-// the request is abandoned after the runtime's retry budget (watchdog
-// kills under fault injection), so the caller can shed the iteration
-// instead of waiting on a completion that will never come.
-func (d *Deployment) InferAsyncFail(onDone func(ros.Time), onFail func(error)) error {
+// InferAsync submits one inference at the current virtual time; the
+// callbacks fire from the driver's poll as the request completes or is
+// abandoned.
+func (d *Deployment) InferAsync(cb InferCallbacks) error {
 	rt := d.rt
 	if rt.rosCore == nil {
 		return fmt.Errorf("core: runtime not attached to a ros core")
@@ -215,13 +249,21 @@ func (d *Deployment) InferAsyncFail(onDone func(ros.Time), onFail func(error)) e
 	if err := rt.U.SubmitAt(d.Slot, req, at); err != nil {
 		return err
 	}
-	if onDone != nil {
-		rt.callbacks[req] = onDone
+	rt.U.Tracer.Mark(trace.KindInfer, d.Slot, at, 0, d.Name)
+	if cb.OnDone != nil {
+		rt.callbacks[req] = cb.OnDone
 	}
-	if onFail != nil {
-		rt.failbacks[req] = onFail
+	if cb.OnFail != nil {
+		rt.failbacks[req] = cb.OnFail
 	}
 	return nil
+}
+
+// InferAsyncFail is InferAsync with positional callbacks.
+//
+// Deprecated: use InferAsync with InferCallbacks.
+func (d *Deployment) InferAsyncFail(onDone func(ros.Time), onFail func(error)) error {
+	return d.InferAsync(InferCallbacks{OnDone: onDone, OnFail: onFail})
 }
 
 // InferSync runs one inference to completion outside any middleware,

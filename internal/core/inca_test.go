@@ -123,11 +123,15 @@ func TestAttachROSAndInferAsync(t *testing.T) {
 
 	var fastDone, slowDone []ros.Time
 	// Start the slow network, then fire the fast one while it runs.
-	if err := slow.InferAsync(func(at ros.Time) { slowDone = append(slowDone, at) }); err != nil {
+	if err := slow.InferAsync(core.InferCallbacks{
+		OnDone: func(at ros.Time) { slowDone = append(slowDone, at) },
+	}); err != nil {
 		t.Fatal(err)
 	}
 	_ = rc.At(2*time.Millisecond, func() {
-		if err := fast.InferAsync(func(at ros.Time) { fastDone = append(fastDone, at) }); err != nil {
+		if err := fast.InferAsync(core.InferCallbacks{
+			OnDone: func(at ros.Time) { fastDone = append(fastDone, at) },
+		}); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -165,7 +169,7 @@ func TestInferAsyncWithoutROS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.InferAsync(nil); err == nil {
+	if err := d.InferAsync(core.InferCallbacks{}); err == nil {
 		t.Error("InferAsync without AttachROS accepted")
 	}
 }

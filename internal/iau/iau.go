@@ -26,6 +26,7 @@ import (
 	"inca/internal/accel"
 	"inca/internal/fault"
 	"inca/internal/isa"
+	"inca/internal/trace"
 )
 
 // NumSlots is the number of priority task slots (paper: four).
@@ -293,6 +294,13 @@ type IAU struct {
 	EnableTrace bool
 	Trace       []TraceEvent
 
+	// Tracer, when non-nil, receives the cycle-accurate event stream (spans
+	// for every instruction class, marks for every scheduling action) that
+	// feeds the Perfetto timeline and metrics snapshot. Attach it with
+	// AttachTracer so the engine shares it. Nil — the default — costs one
+	// pointer comparison per site.
+	Tracer *trace.Tracer
+
 	BusyCycles uint64 // cycles the accelerator executed instructions
 	IdleCycles uint64
 
@@ -309,6 +317,22 @@ func New(cfg accel.Config, policy Policy) *IAU {
 		u.slots[i] = &task{slot: i, state: Idle}
 	}
 	return u
+}
+
+// AttachTracer wires a cycle-accurate tracer into the IAU and its engine.
+// Pass nil to detach. The IAU owns simulated time, so it keeps tr.Now
+// current for the engine's clock-less emissions.
+func (u *IAU) AttachTracer(tr *trace.Tracer) {
+	u.Tracer = tr
+	u.Eng.Trace = tr
+}
+
+// syncTrace publishes the current cycle to the shared tracer so engine
+// emissions during the next Exec are timestamped correctly.
+func (u *IAU) syncTrace() {
+	if u.Tracer != nil {
+		u.Tracer.Now = u.Now
+	}
 }
 
 // Submit enqueues a request on a priority slot at the current cycle.
@@ -352,11 +376,13 @@ func (u *IAU) admit() {
 		t := u.slots[a.slot]
 		if a.req.DropIfBusy && (t.cur != nil || len(t.queue) > 0) {
 			u.trace(TraceDrop, a.slot, a.req.Label, 0)
+			u.Tracer.Mark(trace.KindDrop, a.slot, a.cycle, 0, a.req.Label)
 			if u.OnDrop != nil {
 				u.OnDrop(a.slot, a.req)
 			}
 			continue
 		}
+		u.Tracer.Mark(trace.KindSubmit, a.slot, a.cycle, 0, a.req.Label)
 		t.queue = append(t.queue, a.req)
 		if t.state == Idle {
 			t.state = Ready
@@ -484,6 +510,7 @@ func (u *IAU) dispatch(slot int) error {
 		t.saveValid = false
 		u.Eng.Invalidate()
 		u.trace(TraceStart, slot, t.cur.Label, 0)
+		u.Tracer.Mark(trace.KindStart, slot, u.Now, 0, t.cur.Label)
 	case Preempted:
 		if u.restoreCorrupt(t) {
 			// The backup blob failed its checksum: the parked state is
@@ -497,7 +524,12 @@ func (u *IAU) dispatch(slot int) error {
 			t.cur.Restarts++
 			u.restartVictim(t)
 			u.trace(TraceRestart, slot, t.cur.Label, 0)
+			u.Tracer.Mark(trace.KindRestart, slot, u.Now, 0, t.cur.Label)
 		} else {
+			// The resume mark lands before the restore transfers, so the
+			// metrics' preempted-wait window excludes restore work (counted
+			// separately as RestoreCycles).
+			u.Tracer.Mark(trace.KindResume, slot, u.Now, 0, t.cur.Label)
 			if err := u.resume(t); err != nil {
 				return err
 			}
@@ -553,6 +585,7 @@ func (u *IAU) resume(t *task) error {
 		u.Eng.ReleaseSnapshot(t.snapshot)
 		t.snapshot = nil
 		c := u.Cfg.XferCycles(uint32(u.Cfg.TotalBufferBytes()))
+		u.Tracer.Span(trace.KindRestore, t.slot, u.Now, c, uint64(u.Cfg.TotalBufferBytes()), "cache-refill")
 		u.advance(t.cur, c)
 		t.cur.InterruptCost += c
 		if t.lastPre != nil {
@@ -565,10 +598,12 @@ func (u *IAU) resume(t *task) error {
 		ins := t.cur.Prog.Instrs
 		for t.pc < len(ins) && ins[t.pc].Op == isa.OpVirLoadD {
 			in := ins[t.pc]
+			u.syncTrace()
 			c, err := u.Eng.Exec(t.cur.Arena, t.cur.Prog, in, 0)
 			if err != nil {
 				return fmt.Errorf("iau: slot %d resume pc %d: %w", t.slot, t.pc, err)
 			}
+			u.Tracer.Span(trace.KindRestore, t.slot, u.Now, c, uint64(in.Len), "vir_load_d")
 			u.advance(t.cur, c)
 			t.cur.InterruptCost += c
 			if t.lastPre != nil {
@@ -608,6 +643,7 @@ func (u *IAU) preempt(victim, preemptor int) error {
 	case PolicyCPULike:
 		vt.snapshot = u.Eng.Snapshot()
 		c := u.Cfg.XferCycles(uint32(u.Cfg.TotalBufferBytes()))
+		u.Tracer.Span(trace.KindBackup, victim, u.Now, c, uint64(u.Cfg.TotalBufferBytes()), "cache-spill")
 		u.advance(vt.cur, c)
 		vt.cur.InterruptCost += c
 		rec.BackupBytes = uint64(u.Cfg.TotalBufferBytes())
@@ -632,10 +668,15 @@ func (u *IAU) preempt(victim, preemptor int) error {
 			if vt.saveValid && vt.saveID == in.SaveID {
 				skip = vt.saveBytes
 			}
+			u.syncTrace()
 			c, err := u.Eng.Exec(vt.cur.Arena, vt.cur.Prog, in, skip)
 			if err != nil {
 				return fmt.Errorf("iau: slot %d backup pc %d: %w", victim, vt.pc, err)
 			}
+			if skip > 0 {
+				u.Tracer.Mark(trace.KindSaveRewrite, victim, u.Now, uint64(skip), vt.cur.Label)
+			}
+			u.Tracer.Span(trace.KindBackup, victim, u.Now, c, uint64(in.Len-skip), "vir_save")
 			u.advance(vt.cur, c)
 			vt.cur.InterruptCost += c
 			rec.BackupBytes = uint64(in.Len - skip)
@@ -657,6 +698,9 @@ func (u *IAU) preempt(victim, preemptor int) error {
 	vt.cur.Preemptions++
 	vt.lastPre = rec
 	u.trace(TracePreempt, victim, vt.cur.Label, vt.pc)
+	// Arg carries the backup bytes; the preempted-wait window opens here
+	// (backup done) and closes at the matching resume mark.
+	u.Tracer.Mark(trace.KindPreempt, victim, u.Now, rec.BackupBytes, vt.cur.Label)
 	u.Preemptions = append(u.Preemptions, rec)
 	u.Eng.Invalidate()
 	u.running = -1
@@ -893,6 +937,7 @@ func (u *IAU) execOne(t *task) error {
 	if in.Op.Virtual() {
 		// Discarded by the IAU: costs only the fetch.
 		c := uint64(u.Cfg.FetchCycles)
+		u.Tracer.Span(trace.KindFetch, t.slot, u.Now, c, 0, in.Op.String())
 		u.Now += c
 		t.cur.FetchCycles += c
 		t.pc++
@@ -902,6 +947,7 @@ func (u *IAU) execOne(t *task) error {
 	if in.Op == isa.OpSave && t.saveValid && t.saveID == in.SaveID {
 		skip = t.saveBytes
 	}
+	u.syncTrace()
 	c, err := u.Eng.Exec(t.cur.Arena, t.cur.Prog, in, skip)
 	if err != nil {
 		return fmt.Errorf("iau: slot %d pc %d: %w", t.slot, t.pc, err)
@@ -909,6 +955,7 @@ func (u *IAU) execOne(t *task) error {
 	if u.Faults != nil {
 		if u.Faults.Hit(fault.SiteStall) {
 			s := u.Faults.StallCycles
+			u.Tracer.Span(trace.KindStall, t.slot, u.Now, s, 0, in.Op.String())
 			u.Now += s
 			t.cur.StallCycles += s
 			u.Fault.Stalls++
@@ -929,6 +976,17 @@ func (u *IAU) execOne(t *task) error {
 	if in.Op == isa.OpSave {
 		t.saveValid = false
 	}
+	if u.Tracer != nil {
+		kind := trace.KindCalc
+		switch in.Op {
+		case isa.OpLoadW, isa.OpLoadD, isa.OpSave:
+			kind = trace.KindXfer
+		}
+		if skip > 0 {
+			u.Tracer.Mark(trace.KindSaveRewrite, t.slot, u.Now, uint64(skip), t.cur.Label)
+		}
+		u.Tracer.Span(kind, t.slot, u.Now, c, uint64(skip), in.Op.String())
+	}
 	u.advance(t.cur, c)
 	t.pc++
 	return nil
@@ -946,6 +1004,7 @@ func (u *IAU) watchdogKill(t *task) error {
 	u.Fault.WatchdogKills++
 	u.Resets = append(u.Resets, SlotReset{Cycle: u.Now, Slot: t.slot, Label: req.Label, PC: t.pc})
 	u.trace(TraceKill, t.slot, req.Label, t.pc)
+	u.Tracer.Mark(trace.KindKill, t.slot, u.Now, uint64(t.pc), req.Label)
 	if t.snapshot != nil {
 		u.Eng.ReleaseSnapshot(t.snapshot)
 		t.snapshot = nil
@@ -1037,6 +1096,7 @@ func (u *IAU) trace(kind TraceKind, slot int, label string, pc int) {
 func (u *IAU) complete(t *task) {
 	t.cur.DoneCycle = u.Now
 	u.trace(TraceComplete, t.slot, t.cur.Label, t.pc)
+	u.Tracer.Mark(trace.KindComplete, t.slot, u.Now, u.Now-t.cur.SubmitCycle, t.cur.Label)
 	comp := Completion{Slot: t.slot, Req: t.cur}
 	u.Completions = append(u.Completions, comp)
 	t.cur = nil

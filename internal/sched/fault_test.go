@@ -60,8 +60,7 @@ func TestRetryAndShed(t *testing.T) {
 	// VGG16 runs ~8k instructions per inference: 2e-5/instruction hangs
 	// roughly one attempt in six without starving the retry path.
 	inj.SetRate(fault.SiteHang, 2e-5)
-	res, err := sched.RunOpt(cfg, iau.PolicyVI, specs, 100*time.Millisecond,
-		sched.Options{Faults: inj})
+	res, err := sched.Run(cfg, iau.PolicyVI, specs, 100*time.Millisecond, sched.WithFaults(inj))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,8 +98,7 @@ func TestZeroRateInjectorIsInvisible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := sched.RunOpt(cfg, iau.PolicyVI, specs, horizon,
-		sched.Options{Faults: fault.New(123)})
+	got, err := sched.Run(cfg, iau.PolicyVI, specs, horizon, sched.WithFaults(fault.New(123)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,8 +148,7 @@ func TestChaosScheduling(t *testing.T) {
 	inj.SetRate(fault.SiteStall, 0.02)
 	inj.SetRate(fault.SiteHang, 1e-5)
 	inj.SetRate(fault.SiteIRQLost, 0.01)
-	res, err := sched.RunOpt(cfg, iau.PolicyVI, specs, 500*time.Millisecond,
-		sched.Options{Faults: inj})
+	res, err := sched.Run(cfg, iau.PolicyVI, specs, 500*time.Millisecond, sched.WithFaults(inj))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,7 +10,7 @@ import (
 
 // Gantt renders an execution timeline as text: one row per priority slot,
 // one column per time bin, '#' where the slot's task held the accelerator.
-// Built from the IAU trace (RunTraced), it makes the paper's Fig. 2(a)
+// Built from the IAU timeline (Run with WithTimeline), it makes the paper's Fig. 2(a)
 // scheduling diagram reproducible for any workload:
 //
 //	slot0 |      ####      ####      ####     | FE

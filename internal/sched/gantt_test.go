@@ -20,7 +20,7 @@ func TestGanttRendering(t *testing.T) {
 			Continuous: true},
 	}
 	horizon := 300 * time.Millisecond
-	res, err := sched.RunTraced(cfg, iau.PolicyVI, specs, horizon, true)
+	res, err := sched.Run(cfg, iau.PolicyVI, specs, horizon, sched.WithTimeline())
 	if err != nil {
 		t.Fatal(err)
 	}

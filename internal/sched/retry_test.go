@@ -26,8 +26,7 @@ func TestShedAfterRetriesExhausted(t *testing.T) {
 			Name: "T", Slot: 1, Prog: p,
 			MaxRetries: retries, RetryBackoff: 5 * time.Microsecond,
 		}}
-		res, err := sched.RunOpt(cfg, iau.PolicyVI, specs, 50*time.Millisecond,
-			sched.Options{Faults: inj})
+		res, err := sched.Run(cfg, iau.PolicyVI, specs, 50*time.Millisecond, sched.WithFaults(inj))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,8 +65,7 @@ func TestRetryBackoffOrdering(t *testing.T) {
 		Name: "T", Slot: 1, Prog: p,
 		MaxRetries: 3, RetryBackoff: backoff,
 	}}
-	res, err := sched.RunOpt(cfg, iau.PolicyVI, specs, 100*time.Millisecond,
-		sched.Options{Faults: inj})
+	res, err := sched.Run(cfg, iau.PolicyVI, specs, 100*time.Millisecond, sched.WithFaults(inj))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"inca/internal/fault"
 	"inca/internal/iau"
 	"inca/internal/isa"
+	"inca/internal/trace"
 )
 
 // SpecError is a typed validation failure for one TaskSpec field.
@@ -172,9 +173,14 @@ type Result struct {
 
 	Tasks       map[string]*TaskStats
 	Preemptions []*iau.Preemption
-	Timeline    []iau.TraceEvent // populated by RunTraced
+	Timeline    []iau.TraceEvent // populated by WithTimeline
 	BusyCycles  uint64
 	IdleCycles  uint64
+
+	// Tracer is the cycle-accurate tracer the run emitted into (nil unless
+	// WithTracer was passed). Flush it with Tracer.WritePerfetto and
+	// Tracer.Metrics after the run.
+	Tracer *trace.Tracer
 
 	// Cycle accounting by class from the accelerator engine.
 	CalcCycles   uint64
@@ -210,16 +216,39 @@ func (f *FaultReport) String() string {
 }
 
 // Options tunes a scheduling run beyond the base (cfg, policy, specs,
-// horizon) tuple.
+// horizon) tuple. Construct it through Run's functional options.
 type Options struct {
 	// Trace records the IAU timeline into Result.Timeline.
 	Trace bool
+	// Tracer, when non-nil, receives the cycle-accurate event stream
+	// (Perfetto timeline + metrics snapshot) from the IAU, the engine, and
+	// the scheduler itself.
+	Tracer *trace.Tracer
 	// Faults arms the IAU's fault sites with this injector.
 	Faults *fault.Injector
 	// WatchdogCycles bounds per-instruction cycles (0 with Faults set:
 	// derived automatically from the task programs via iau.WatchdogBound).
 	WatchdogCycles uint64
 }
+
+// Option configures one aspect of a scheduling run.
+type Option func(*Options)
+
+// WithTimeline records the IAU start/preempt/resume/complete timeline into
+// Result.Timeline (feeds the Gantt renderer).
+func WithTimeline() Option { return func(o *Options) { o.Trace = true } }
+
+// WithTracer attaches a cycle-accurate tracer to the run: instruction spans
+// and scheduling marks from every layer land in tr, and Result.Tracer
+// exposes it for post-run Perfetto/metrics flushing.
+func WithTracer(tr *trace.Tracer) Option { return func(o *Options) { o.Tracer = tr } }
+
+// WithFaults arms deterministic fault injection with the given injector.
+func WithFaults(inj *fault.Injector) Option { return func(o *Options) { o.Faults = inj } }
+
+// WithWatchdog bounds the cycles any single instruction may take before the
+// IAU kills and resets the slot.
+func WithWatchdog(cycles uint64) Option { return func(o *Options) { o.WatchdogCycles = cycles } }
 
 // Utilization is the fraction of simulated time the accelerator was busy.
 func (r *Result) Utilization() float64 {
@@ -266,18 +295,31 @@ type runnerTask struct {
 func (s *TaskStats) addGap(g uint64) { s.gaps = append(s.gaps, g) }
 
 // Run executes the task set under the policy for the given horizon of
-// simulated time.
-func Run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration) (*Result, error) {
-	return RunOpt(cfg, policy, specs, horizon, Options{})
+// simulated time. Behaviour beyond the base tuple is selected with
+// functional options: WithTimeline, WithTracer, WithFaults, WithWatchdog.
+func Run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, opts ...Option) (*Result, error) {
+	var opt Options
+	for _, fn := range opts {
+		fn(&opt)
+	}
+	return run(cfg, policy, specs, horizon, opt)
 }
 
 // RunTraced is Run with the IAU timeline recorded into Result.Timeline.
-func RunTraced(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, trace bool) (*Result, error) {
-	return RunOpt(cfg, policy, specs, horizon, Options{Trace: trace})
+//
+// Deprecated: use Run with WithTimeline.
+func RunTraced(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, enable bool) (*Result, error) {
+	return run(cfg, policy, specs, horizon, Options{Trace: enable})
 }
 
-// RunOpt is Run with explicit Options (tracing, fault injection, watchdog).
+// RunOpt is Run with an explicit Options struct.
+//
+// Deprecated: use Run with functional options.
 func RunOpt(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, opt Options) (*Result, error) {
+	return run(cfg, policy, specs, horizon, opt)
+}
+
+func run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, opt Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -286,7 +328,10 @@ func RunOpt(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.
 	u.EnableTrace = opt.Trace
 	u.Faults = opt.Faults
 	u.WatchdogCycles = opt.WatchdogCycles
-	res := &Result{Config: cfg, Policy: policy, Horizon: horizonCycles, Tasks: make(map[string]*TaskStats)}
+	if opt.Tracer != nil {
+		u.AttachTracer(opt.Tracer)
+	}
+	res := &Result{Config: cfg, Policy: policy, Horizon: horizonCycles, Tasks: make(map[string]*TaskStats), Tracer: opt.Tracer}
 
 	tasks := make(map[string]*runnerTask, len(specs))
 	bySlot := make(map[int]*runnerTask, len(specs))
@@ -305,6 +350,7 @@ func RunOpt(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.
 		tasks[sp.Name] = rt
 		bySlot[sp.Slot] = rt
 		res.Tasks[sp.Name] = rt.stats
+		opt.Tracer.SetTaskLabel(sp.Slot, sp.Name)
 	}
 	if opt.Faults != nil && u.WatchdogCycles == 0 {
 		// A hang with no watchdog is fatal; derive a safe bound so injected
@@ -349,6 +395,7 @@ func RunOpt(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.
 			at := u.Now + uint64(c.Req.Retries+1)*backoff
 			if err := u.Resubmit(c.Slot, c.Req, at); err == nil {
 				st.Retried++
+				opt.Tracer.Mark(trace.KindRetry, c.Slot, u.Now, uint64(c.Req.Retries), c.Req.Label)
 				return
 			}
 		}
@@ -357,6 +404,7 @@ func RunOpt(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.
 		// fold its corruption count in here.
 		st.Corrupted += c.Req.Corrupted
 		st.Shed++
+		opt.Tracer.Mark(trace.KindShed, c.Slot, u.Now, uint64(c.Req.Retries), c.Req.Label)
 		if rt.spec.Continuous && u.Now < horizonCycles {
 			if err := submit(rt, u.Now); err != nil {
 				st.Dropped++
@@ -418,6 +466,8 @@ func RunOpt(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.
 		if rt.spec.Deadline > 0 &&
 			c.Req.DoneCycle-c.Req.SubmitCycle > cfg.SecondsToCycles(rt.spec.Deadline.Seconds()) {
 			st.DeadlineMisses++
+			opt.Tracer.Mark(trace.KindDeadlineMiss, c.Slot, c.Req.DoneCycle,
+				c.Req.DoneCycle-c.Req.SubmitCycle, c.Req.Label)
 		}
 		if rt.spec.Continuous && c.Req.DoneCycle < horizonCycles {
 			if err := submit(rt, c.Req.DoneCycle); err != nil {

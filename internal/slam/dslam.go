@@ -11,6 +11,7 @@ import (
 	"inca/internal/iau"
 	"inca/internal/model"
 	"inca/internal/ros"
+	"inca/internal/trace"
 	"inca/internal/world"
 )
 
@@ -44,6 +45,11 @@ type DSLAMConfig struct {
 	// injection (snapshot corruption, accelerator stalls/hangs, lost IRQs,
 	// lossy transport) with the recovery stack armed.
 	Chaos *ChaosConfig
+
+	// TraceCapacity, when non-zero, attaches a cycle-accurate tracer to
+	// each agent's accelerator with a ring of that many events (negative:
+	// the default capacity). The tracers land in DSLAMResult.Tracers.
+	TraceCapacity int
 }
 
 // ChaosConfig parameterises fault injection for a DSLAM run. Rates are
@@ -154,6 +160,10 @@ type DSLAMResult struct {
 	Injected  fault.Report
 	MsgFaults ros.MsgFaultStats
 
+	// Tracers holds each agent's cycle-accurate tracer (nil entries unless
+	// DSLAMConfig.TraceCapacity was set).
+	Tracers [2]*trace.Tracer
+
 	kfReg map[int][]KeyFrame
 }
 
@@ -245,7 +255,20 @@ func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
 			return nil, err
 		}
 		if ch := cfg.Chaos; ch != nil {
-			rt.EnableFaults(inj, ch.WatchdogCycles, ch.MaxRetries, ch.RetryBackoff)
+			rt.EnableFaults(core.FaultConfig{
+				Injector:       inj,
+				WatchdogCycles: ch.WatchdogCycles,
+				MaxRetries:     ch.MaxRetries,
+				RetryBackoff:   ch.RetryBackoff,
+			})
+		}
+		if cfg.TraceCapacity != 0 {
+			capEvents := cfg.TraceCapacity
+			if capEvents < 0 {
+				capEvents = 0 // trace.New picks the default
+			}
+			res.Tracers[i] = trace.New(capEvents)
+			rt.AttachTracer(res.Tracers[i])
 		}
 		rt.AttachROS(rc, 200*time.Microsecond)
 		agents[i] = &agentState{
@@ -294,26 +317,29 @@ func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
 				return
 			}
 			st.feBusy = true
-			err := st.fe.InferAsyncFail(func(done ros.Time) {
-				rc.After(cfg.FECPUPost, func() {
+			err := st.fe.InferAsync(core.InferCallbacks{
+				OnDone: func(done ros.Time) {
+					rc.After(cfg.FECPUPost, func() {
+						st.feBusy = false
+						frame := cfg.Extractor.Extract(obs, cfg.Seed^0xFE)
+						lat := rc.Now() - obs.Stamp
+						st.stats.FEDone++
+						st.feLatSum += lat
+						if lat > st.stats.FEMaxLat {
+							st.stats.FEMaxLat = lat
+						}
+						if lat > period {
+							st.stats.FEMisses++
+						}
+						featPub.Publish(frame)
+					})
+				},
+				OnFail: func(error) {
+					// Retry budget exhausted: shed this frame so the pipeline
+					// keeps flowing instead of wedging on feBusy.
 					st.feBusy = false
-					frame := cfg.Extractor.Extract(obs, cfg.Seed^0xFE)
-					lat := rc.Now() - obs.Stamp
-					st.stats.FEDone++
-					st.feLatSum += lat
-					if lat > st.stats.FEMaxLat {
-						st.stats.FEMaxLat = lat
-					}
-					if lat > period {
-						st.stats.FEMisses++
-					}
-					featPub.Publish(frame)
-				})
-			}, func(error) {
-				// Retry budget exhausted: shed this frame so the pipeline
-				// keeps flowing instead of wedging on feBusy.
-				st.feBusy = false
-				st.stats.Shed++
+					st.stats.Shed++
+				},
 			})
 			if err != nil {
 				panic(err)
@@ -339,17 +365,20 @@ func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
 			}
 			obs := *st.latestObs
 			st.prBusy = true
-			err := st.pr.InferAsyncFail(func(done ros.Time) {
-				rc.After(cfg.PRCPUPost, func() {
+			err := st.pr.InferAsync(core.InferCallbacks{
+				OnDone: func(done ros.Time) {
+					rc.After(cfg.PRCPUPost, func() {
+						st.prBusy = false
+						st.completePR(rc, cfg, intr, db, obs, res)
+						firePR()
+					})
+				},
+				OnFail: func(error) {
+					// Shed the descriptor and move on: PR is best-effort.
 					st.prBusy = false
-					st.completePR(rc, cfg, intr, db, obs, res)
+					st.stats.Shed++
 					firePR()
-				})
-			}, func(error) {
-				// Shed the descriptor and move on: PR is best-effort.
-				st.prBusy = false
-				st.stats.Shed++
-				firePR()
+				},
 			})
 			if err != nil {
 				panic(err)

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// MetricsPath derives the metrics-snapshot filename written next to a
+// Perfetto trace: out.json → out.metrics.json.
+func MetricsPath(path string) string {
+	if strings.HasSuffix(path, ".json") {
+		return strings.TrimSuffix(path, ".json") + ".metrics.json"
+	}
+	return path + ".metrics.json"
+}
+
+// WriteFiles flushes a tracer to disk: the Perfetto timeline at path and
+// the aggregated metrics snapshot at MetricsPath(path). The serialised
+// trace is passed back through Validate before anything touches disk, so a
+// schema regression fails the write instead of surfacing as a blank
+// Perfetto screen.
+func WriteFiles(t *Tracer, path, process string) error {
+	var buf bytes.Buffer
+	if err := t.WritePerfettoNamed(&buf, process); err != nil {
+		return fmt.Errorf("trace: serialising %s: %w", path, err)
+	}
+	if err := Validate(bytes.NewReader(buf.Bytes())); err != nil {
+		return fmt.Errorf("trace: self-check of %s failed: %w", path, err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	mf, err := os.Create(MetricsPath(path))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	if err := t.Metrics().WriteJSON(mf); err != nil {
+		return fmt.Errorf("trace: writing %s: %w", MetricsPath(path), err)
+	}
+	return mf.Close()
+}

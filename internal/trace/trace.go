@@ -1,0 +1,331 @@
+// Package trace is the cycle-accurate observability layer of the stack: a
+// flight recorder the IAU, engine, scheduler and runtime emit timestamped
+// events into, plus the two consumers those events feed — a Perfetto
+// (Chrome trace_event) timeline and an aggregated per-slot metrics
+// snapshot with latency histograms.
+//
+// Design constraints, in order:
+//
+//   - Zero overhead when disabled. Every emit method is nil-receiver safe,
+//     so instrumented code holds a possibly-nil *Tracer and pays a single
+//     pointer comparison per event site when tracing is off.
+//   - Deterministic. Events carry cycle timestamps (never wall-clock), are
+//     appended in simulation order, and both serialisers write
+//     field-ordered JSON — the same seed produces byte-identical output,
+//     which is what lets the verification harness assert over traces.
+//   - Bounded. Events land in a fixed-capacity ring: when it wraps, the
+//     oldest events are overwritten (flight-recorder semantics) and
+//     Dropped() counts the loss — never silent. The aggregated metrics are
+//     updated at emit time, so counters and cycle sums stay exact even
+//     after the ring has wrapped.
+//
+// The package is a leaf: it imports nothing from the rest of the
+// repository, so every layer (accel, iau, sched, core, slam) can emit.
+package trace
+
+// Kind classifies an event. Span kinds carry a duration (where the cycles
+// went); mark kinds are instants (what happened).
+type Kind uint8
+
+// Span kinds: engine/IAU activity with a cycle duration.
+const (
+	// KindCalc is a MAC-array compute instruction (CALC_I / CALC_F).
+	KindCalc Kind = iota
+	// KindXfer is an ordinary DMA transfer (LOAD_W, LOAD_D, SAVE).
+	KindXfer
+	// KindFetch is a virtual instruction fetched and discarded by the IAU
+	// on the uninterrupted path — the paper's degradation source.
+	KindFetch
+	// KindBackup is an interrupt backup: a materialised Vir_SAVE or a
+	// CPU-like full-cache spill. Arg carries the bytes stored.
+	KindBackup
+	// KindRestore is an interrupt restore: a materialised Vir_LOAD_D or a
+	// CPU-like refill. Arg carries the bytes reloaded.
+	KindRestore
+	// KindStall is an injected (or modelled) instruction stall.
+	KindStall
+	// KindHidden records DMA cycles hidden under compute by the prefetch
+	// pipeline (emitted by the engine; informational, not busy time).
+	KindHidden
+
+	markStart // internal fence: kinds below are instants
+
+	// KindSubmit marks a request admitted to a slot's queue.
+	KindSubmit
+	// KindStart marks a request beginning execution.
+	KindStart
+	// KindPreempt marks a slot switch: the victim parked at a boundary.
+	KindPreempt
+	// KindResume marks a preempted request resuming.
+	KindResume
+	// KindComplete marks a request finishing. Arg carries the response
+	// latency in cycles (submit → done), which feeds the histogram.
+	KindComplete
+	// KindDrop marks a DropIfBusy request discarded at admission.
+	KindDrop
+	// KindKill marks a watchdog kill of a hung slot.
+	KindKill
+	// KindRestart marks a corrupt-backup detection and re-execution.
+	KindRestart
+	// KindRetry marks a killed request resubmitted by the scheduler.
+	KindRetry
+	// KindShed marks an iteration abandoned after the retry budget.
+	KindShed
+	// KindDeadlineMiss marks a completion past its relative deadline.
+	KindDeadlineMiss
+	// KindSaveRewrite marks a SAVE shortened because a Vir_SAVE already
+	// stored a prefix. Arg carries the bytes skipped.
+	KindSaveRewrite
+	// KindInfer marks an InferAsync submission through the runtime.
+	KindInfer
+	// KindInferDone marks an InferAsync completion callback delivery.
+	KindInferDone
+	// KindInferFail marks an InferAsync failure callback delivery.
+	KindInferFail
+	// KindPoll marks one driver poll tick (runtime ↔ middleware boundary).
+	KindPoll
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindCalc:         "calc",
+	KindXfer:         "xfer",
+	KindFetch:        "fetch",
+	KindBackup:       "backup",
+	KindRestore:      "restore",
+	KindStall:        "stall",
+	KindHidden:       "dma-hidden",
+	markStart:        "?",
+	KindSubmit:       "submit",
+	KindStart:        "start",
+	KindPreempt:      "preempt",
+	KindResume:       "resume",
+	KindComplete:     "complete",
+	KindDrop:         "drop",
+	KindKill:         "kill",
+	KindRestart:      "restart",
+	KindRetry:        "retry",
+	KindShed:         "shed",
+	KindDeadlineMiss: "deadline-miss",
+	KindSaveRewrite:  "save-rewrite",
+	KindInfer:        "infer",
+	KindInferDone:    "infer-done",
+	KindInferFail:    "infer-fail",
+	KindPoll:         "poll",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "Kind(?)"
+}
+
+// IsSpan reports whether the kind carries a duration.
+func (k Kind) IsSpan() bool { return k < markStart }
+
+// Event is one recorded occurrence. Slot is -1 for events not attributable
+// to a task slot (engine-internal detail such as DMA hiding).
+type Event struct {
+	Cycle uint64
+	Dur   uint64 // zero for marks
+	Kind  Kind
+	Slot  int32
+	Arg   uint64 // kind-specific payload (bytes, latency cycles, ...)
+	Label string
+}
+
+// DefaultCapacity is the ring size New(0) selects: large enough to hold a
+// full small-scale run, small enough (~3 MB) to leave on by default.
+const DefaultCapacity = 1 << 16
+
+// Tracer is the recorder. All emit methods are safe on a nil receiver, so
+// a disabled site costs one pointer comparison.
+//
+// Now is the current simulation cycle; the component that owns time (the
+// IAU) keeps it updated so emitters without their own clock (the engine)
+// can timestamp correctly. Single-threaded simulation makes this safe —
+// the tracer is not concurrency-safe and does not need to be.
+type Tracer struct {
+	Now uint64
+
+	ring    []Event
+	next    int    // ring slot the next event lands in
+	filled  bool   // ring has wrapped at least once
+	dropped uint64 // events overwritten after wrap
+
+	slots     []TaskMetrics
+	preemptAt []uint64 // per-slot cycle of the last un-resumed preemption
+	hidden    uint64   // global DMA-hidden cycles
+	total     uint64   // events ever emitted
+}
+
+// New creates a tracer with the given ring capacity (0 = DefaultCapacity).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Enabled reports whether events will be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Span records an event with a duration starting at cycle.
+func (t *Tracer) Span(kind Kind, slot int, cycle, dur uint64, arg uint64, label string) {
+	if t == nil {
+		return
+	}
+	t.aggregate(kind, slot, cycle, dur, arg)
+	t.push(Event{Cycle: cycle, Dur: dur, Kind: kind, Slot: int32(slot), Arg: arg, Label: label})
+}
+
+// Mark records an instantaneous event.
+func (t *Tracer) Mark(kind Kind, slot int, cycle uint64, arg uint64, label string) {
+	if t == nil {
+		return
+	}
+	t.aggregate(kind, slot, cycle, 0, arg)
+	t.push(Event{Cycle: cycle, Kind: kind, Slot: int32(slot), Arg: arg, Label: label})
+}
+
+func (t *Tracer) push(e Event) {
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	// Flight-recorder wrap: overwrite the oldest event.
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+	}
+	t.filled = true
+	t.dropped++
+}
+
+// slot returns the metrics bucket for a slot, growing the table on demand.
+func (t *Tracer) slot(s int) *TaskMetrics {
+	if s < 0 {
+		return nil
+	}
+	for len(t.slots) <= s {
+		t.slots = append(t.slots, TaskMetrics{Slot: len(t.slots)})
+		t.preemptAt = append(t.preemptAt, 0)
+	}
+	return &t.slots[s]
+}
+
+func (t *Tracer) aggregate(kind Kind, slot int, cycle, dur, arg uint64) {
+	if kind == KindHidden {
+		t.hidden += dur
+		return
+	}
+	m := t.slot(slot)
+	if m == nil {
+		return
+	}
+	switch kind {
+	case KindCalc:
+		m.CalcCycles += dur
+	case KindXfer:
+		m.XferCycles += dur
+	case KindFetch:
+		m.FetchCycles += dur
+	case KindBackup:
+		m.BackupCycles += dur
+		m.BackupBytes += arg
+	case KindRestore:
+		m.RestoreCycles += dur
+		m.RestoreBytes += arg
+	case KindStall:
+		m.StallCycles += dur
+	case KindSubmit:
+		m.Submitted++
+	case KindStart:
+		m.Started++
+	case KindPreempt:
+		m.Preemptions++
+		t.preemptAt[slot] = cycle
+	case KindResume, KindRestart:
+		if kind == KindResume {
+			m.Resumes++
+		} else {
+			m.Restarts++
+		}
+		if at := t.preemptAt[slot]; at > 0 && cycle >= at {
+			m.WaitCycles += cycle - at
+			t.preemptAt[slot] = 0
+		}
+	case KindComplete:
+		m.Completed++
+		m.Latency.Observe(arg)
+	case KindDrop:
+		m.Drops++
+	case KindKill:
+		m.Kills++
+	case KindRetry:
+		m.Retries++
+	case KindShed:
+		m.Sheds++
+	case KindDeadlineMiss:
+		m.DeadlineMisses++
+	case KindSaveRewrite:
+		m.SaveRewrites++
+		m.SaveSkippedBytes += arg
+	case KindInfer:
+		m.Infers++
+	case KindInferDone:
+		m.InferDones++
+	case KindInferFail:
+		m.InferFails++
+	case KindPoll:
+		m.Polls++
+	}
+}
+
+// SetTaskLabel names a slot in the metrics snapshot and the Perfetto
+// thread track (e.g. "FE"). Safe on a nil receiver.
+func (t *Tracer) SetTaskLabel(slot int, label string) {
+	if t == nil {
+		return
+	}
+	if m := t.slot(slot); m != nil {
+		m.Label = label
+	}
+}
+
+// Events returns the recorded events in chronological (emission) order.
+// After a wrap, only the most recent capacity events remain.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.filled {
+		out := make([]Event, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten after the ring wrapped.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Total returns how many events were ever emitted.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}

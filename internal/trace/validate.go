@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Validate checks a JSON document against the Chrome trace_event schema
+// subset this package emits (and Perfetto accepts): a top-level object
+// with a traceEvents array whose entries carry a string name, a known
+// phase, numeric ts/pid/tid, a dur on complete events, and args.name on
+// metadata events. It is the check `make trace` runs over the files the
+// CLIs write, so a schema regression fails tier-1 instead of surfacing as
+// a blank Perfetto screen.
+func Validate(r io.Reader) error {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("trace: not a JSON object: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	for i, raw := range doc.TraceEvents {
+		var ev struct {
+			Name *string        `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  *float64       `json:"pid"`
+			Tid  *float64       `json:"tid"`
+			Args map[string]any `json:"args"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		bad := func(f string, a ...any) error {
+			return fmt.Errorf("trace: event %d (ph=%q): %s", i, ev.Ph, fmt.Sprintf(f, a...))
+		}
+		switch ev.Ph {
+		case "X", "B", "E", "i", "I", "M", "b", "e", "n", "C":
+		case "":
+			return bad("missing ph")
+		default:
+			return bad("unknown phase")
+		}
+		if ev.Name == nil && ev.Ph != "E" {
+			return bad("missing name")
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return bad("missing pid/tid")
+		}
+		if ev.Ph != "M" {
+			if ev.Ts == nil {
+				return bad("missing ts")
+			}
+			if *ev.Ts < 0 {
+				return bad("negative ts %v", *ev.Ts)
+			}
+		}
+		if ev.Ph == "X" {
+			if ev.Dur == nil {
+				return bad("complete event without dur")
+			}
+			if *ev.Dur < 0 {
+				return bad("negative dur %v", *ev.Dur)
+			}
+		}
+		if ev.Ph == "M" {
+			name, _ := ev.Args["name"].(string)
+			if name == "" {
+				return bad("metadata event without args.name")
+			}
+		}
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"inca/internal/model"
 	"inca/internal/quant"
 	"inca/internal/tensor"
+	"inca/internal/trace"
 )
 
 // errSkip marks a generated case that cannot run (the random recipe shrank a
@@ -174,6 +175,11 @@ func runOnce(c Case, cfg accel.Config, victim, probe *isa.Program, in *tensor.In
 
 	u := iau.New(cfg, c.Policy)
 	defer u.Eng.Close()
+	// A small tracer rides along on every run: its aggregates are exact even
+	// after the timeline ring wraps, so invariant 7 can cross-check the
+	// IAU's own cycle counters against the independently-emitted trace.
+	tr := trace.New(1024)
+	u.AttachTracer(tr)
 	if c.Sched.FaultSeed != 0 {
 		inj := fault.New(c.Sched.FaultSeed)
 		inj.SetRate(fault.SiteBackup, c.Sched.BackupRate)
@@ -320,6 +326,27 @@ func runOnce(c Case, cfg accel.Config, victim, probe *isa.Program, in *tensor.In
 				return preempts, fmt.Errorf("preemption %d (victim slot%d at pc%d) never resumed", i, pr.Victim, pr.VictimPC)
 			}
 		}
+	}
+
+	// 7. Trace conservation: the tracer aggregates cycles independently at
+	// each emission site, so its per-kind sums must reproduce the IAU's own
+	// accounting exactly — busy time from calc/xfer/backup/restore spans,
+	// and fetch/stall from the virtual-instruction and injected-stall spans.
+	m := tr.Metrics()
+	var traceBusy, traceFetch, traceStall uint64
+	for i := range m.Tasks {
+		t := &m.Tasks[i]
+		traceBusy += t.BusyCycles()
+		traceFetch += t.FetchCycles
+		traceStall += t.StallCycles
+	}
+	if traceBusy != u.BusyCycles {
+		return preempts, fmt.Errorf("trace conservation broken: span cycles calc+xfer+backup+restore=%d, IAU busy=%d",
+			traceBusy, u.BusyCycles)
+	}
+	if traceFetch != fetch || traceStall != stall {
+		return preempts, fmt.Errorf("trace conservation broken: trace fetch=%d stall=%d, requests fetch=%d stall=%d",
+			traceFetch, traceStall, fetch, stall)
 	}
 	return preempts, nil
 }
