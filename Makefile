@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build test bench race refconv vet chaos fuzz-smoke cover trace
+.PHONY: tier1 build test bench race refconv vet lint lint-report chaos fuzz-smoke cover trace
 
 # tier1 is the gate every change must keep green.
-tier1: build vet test race fuzz-smoke cover trace
+tier1: build vet lint test race fuzz-smoke cover trace
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,14 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem ./internal/accel
 	$(GO) test -run xxx -bench 'BenchmarkFunctionalInference' .
 
-# Differential bit-exactness tests (optimized vs reference datapath, worker
-# sharding, preemption replay) under the race detector.
+# Race-detector pass: the accel differential tests plus bounded slices of
+# the sched, slam, and trace suites (-run filters keep tier1 time sane; the
+# full suites run race-free under `make test`).
 race:
 	$(GO) test -race -run 'TestDatapathDifferential|TestSnapshotRoundTrip' -count 1 ./internal/accel
+	$(GO) test -race -run 'TestTraceDeterministicAndConserved|TestMultiCoreMatchesSingleCoreReference|TestRunWithoutTracerMatchesTraced' -count 1 ./internal/sched
+	$(GO) test -race -run 'TestCameraFrameThroughAccelerator|TestRefineMerge|TestAlignKeyFramesRecoversTransform|TestOdometryTracksStraightLine' -count 1 ./internal/slam
+	$(GO) test -race -count 1 ./internal/trace
 
 # Verify the build-tag pin that forces the scalar reference datapath.
 refconv:
@@ -29,6 +33,16 @@ refconv:
 
 vet:
 	$(GO) vet ./...
+
+# Custom static-analysis suite (determinism, traceguard, clockowner,
+# pairing, nodeprecated); see DESIGN.md §12 for the invariant each analyzer
+# front-runs. lint fails the build on findings; lint-report prints the same
+# findings but always exits 0 (survey mode while fixing a violation sweep).
+lint:
+	$(GO) run ./cmd/inca-lint -dir .
+
+lint-report:
+	$(GO) run ./cmd/inca-lint -dir . -report
 
 # Short native-fuzzing pass over the three verification targets: golden
 # differential (FuzzCompileRun), full preemption harness (FuzzPreemptResume)
@@ -42,7 +56,7 @@ fuzz-smoke:
 
 # Total-statement-coverage gate with a ratcheted floor: raise COVER_FLOOR
 # when coverage grows, never lower it to dodge a regression.
-COVER_FLOOR ?= 72.0
+COVER_FLOOR ?= 73.0
 COVERPROFILE ?= cover.out
 cover:
 	$(GO) test ./... -count 1 -coverprofile=$(COVERPROFILE)

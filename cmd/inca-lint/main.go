@@ -1,0 +1,75 @@
+// Command inca-lint is the repository's multichecker: it runs the custom
+// static-analysis suite (determinism, traceguard, clockowner, pairing,
+// nodeprecated) over every package in the module and prints findings in a
+// deterministic file:line order.
+//
+// Usage:
+//
+//	inca-lint [-dir .] [-only determinism,pairing] [-report]
+//
+// Exit status is 1 when findings exist, unless -report is set (report mode
+// prints the same findings but always exits 0 — the `make lint-report` hook
+// for surveying violations without failing the build).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"inca/internal/lint"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "module root to lint (directory containing go.mod)")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	report := flag.Bool("report", false, "print findings but exit 0 (survey mode)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: inca-lint [flags]\n\nanalyzers:\n")
+		for _, sa := range lint.Suite {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", sa.Name, sa.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var filter map[string]bool
+	if *only != "" {
+		filter = make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			known := false
+			for _, sa := range lint.Suite {
+				if sa.Name == name {
+					known = true
+					break
+				}
+			}
+			if !known {
+				fmt.Fprintf(os.Stderr, "inca-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			filter[name] = true
+		}
+	}
+
+	diags, err := lint.RunSuite(*dir, filter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inca-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "inca-lint: %d finding(s)\n", len(diags))
+		if !*report {
+			os.Exit(1)
+		}
+	}
+}

@@ -585,8 +585,9 @@ func (u *IAU) resume(t *task) error {
 		u.Eng.ReleaseSnapshot(t.snapshot)
 		t.snapshot = nil
 		c := u.Cfg.XferCycles(uint32(u.Cfg.TotalBufferBytes()))
-		u.Tracer.Span(trace.KindRestore, t.slot, u.Now, c, uint64(u.Cfg.TotalBufferBytes()), "cache-refill")
+		reg := u.Tracer.BeginAt(trace.KindRestore, t.slot, u.Now, uint64(u.Cfg.TotalBufferBytes()), "cache-refill")
 		u.advance(t.cur, c)
+		reg.EndAt(u.Now)
 		t.cur.InterruptCost += c
 		if t.lastPre != nil {
 			t.lastPre.ResumeCycles += c
@@ -603,8 +604,9 @@ func (u *IAU) resume(t *task) error {
 			if err != nil {
 				return fmt.Errorf("iau: slot %d resume pc %d: %w", t.slot, t.pc, err)
 			}
-			u.Tracer.Span(trace.KindRestore, t.slot, u.Now, c, uint64(in.Len), "vir_load_d")
+			reg := u.Tracer.BeginAt(trace.KindRestore, t.slot, u.Now, uint64(in.Len), "vir_load_d")
 			u.advance(t.cur, c)
+			reg.EndAt(u.Now)
 			t.cur.InterruptCost += c
 			if t.lastPre != nil {
 				t.lastPre.ResumeCycles += c
@@ -892,7 +894,7 @@ func (u *IAU) armBackupCheck(vt *task, in isa.Instruction) {
 			vt.crcValid = true
 		}
 	}
-	if u.Faults.Hit(fault.SiteBackup) {
+	if u.Faults != nil && u.Faults.Hit(fault.SiteBackup) {
 		if vt.crcValid {
 			bit := u.Faults.Pick(fault.SiteBackup, uint64(vt.bkHi-vt.bkLo)*8)
 			vt.cur.Arena[vt.bkLo+int(bit/8)] ^= 1 << (bit % 8)

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ClockOwner enforces single ownership of simulated time: only the IAU (the
+// interruptible accelerator unit, which models the hardware clock) may
+// advance cycle counters or refresh Tracer.Now. If the engine or the
+// scheduler wrote these fields too, cycle conservation — checked dynamically
+// by the equivalence fuzzer's cycle-accounting invariant — would depend on
+// call order instead of a single authority.
+var ClockOwner = &Analyzer{
+	Name: "clockowner",
+	Doc:  "only internal/iau may mutate cycle counters or Tracer.Now",
+	Run:  runClockOwner,
+}
+
+// clockFields maps an owning type (by "pkg.Type") to the set of fields that
+// represent simulated time.
+var clockFields = map[string]map[string]bool{
+	"trace.Tracer": {"Now": true},
+	"iau.IAU":      {"Now": true, "BusyCycles": true, "IdleCycles": true},
+}
+
+// clockOwnerPkg is the package (by name) allowed to write clock fields.
+const clockOwnerPkg = "iau"
+
+func runClockOwner(pass *Pass) error {
+	if pass.Pkg.Info == nil || pass.Pkg.Name == clockOwnerPkg {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkClockWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkClockWrite(pass, n.X)
+			case *ast.UnaryExpr:
+				// Taking a clock field's address hands out a mutable alias.
+				if n.Op == token.AND {
+					checkClockWrite(pass, n.X)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkClockWrite reports lhs when it denotes a clock-owned field.
+func checkClockWrite(pass *Pass, lhs ast.Expr) {
+	sel, ok := unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	key := namedTypeKey(pass.TypeOf(sel.X))
+	fields, owned := clockFields[key]
+	if !owned || !fields[sel.Sel.Name] {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "%s.%s is owned by the %s clock; only package %s may advance simulated time",
+		key, sel.Sel.Name, clockOwnerPkg, clockOwnerPkg)
+}
+
+// namedTypeKey returns "pkg.Type" for a named type or pointer to one, else "".
+func namedTypeKey(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Name() + "." + n.Obj().Name()
+}

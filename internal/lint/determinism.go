@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism forbids the three ambient-nondeterminism sources that would
+// break bit-exact replay in the simulation core: wall-clock reads
+// (time.Now/Since/Until), the process-global math/rand generator, and
+// ranging over a map (Go randomises iteration order per run). The dynamic
+// counterpart is the preemption-equivalence fuzzer, which compares two runs
+// event-for-event — any of these three would make its baseline unstable.
+//
+// Seeded local generators (rand.New(rand.NewSource(seed))) are the
+// sanctioned idiom and stay allowed. The driver scopes this analyzer to the
+// simulation-core packages; CLI front-ends may still read the clock.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, global math/rand, and map iteration in the simulation core",
+	Run:  runDeterminism,
+}
+
+// forbiddenClockFuncs are the wall-clock reads in package time.
+var forbiddenClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// allowedRandFuncs are the package-level math/rand functions that construct
+// an explicitly-seeded local generator instead of using the global one.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkForbiddenFunc(pass, n)
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "map iteration order is nondeterministic; iterate a sorted key slice instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkForbiddenFunc flags time.Now-style wall-clock reads and global
+// math/rand calls, resolved through the type checker so aliased imports and
+// same-named local functions are classified correctly.
+func checkForbiddenFunc(pass *Pass, sel *ast.SelectorExpr) {
+	obj := pass.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are the sanctioned local-generator API
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if forbiddenClockFuncs[fn.Name()] {
+			pass.Reportf(sel.Pos(), "wall-clock read time.%s breaks deterministic replay; thread simulated cycles instead", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRandFuncs[fn.Name()] {
+			pass.Reportf(sel.Pos(), "global rand.%s is seeded per-process; use an explicit rand.New(rand.NewSource(seed))", fn.Name())
+		}
+	}
+}

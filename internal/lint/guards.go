@@ -1,0 +1,356 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file implements the nil-guard region analysis shared by the
+// traceguard analyzer and the nil-safety fixpoint: given a function body, it
+// answers "at this position, is this expression provably non-nil?".
+//
+// The analysis is syntactic and flow-insensitive within a region, which
+// matches how the repo actually writes guards:
+//
+//	if u.Tracer != nil { u.Tracer.Now = u.Now }      // then-branch region
+//	if c.Faults == nil { continue }                  // rest-of-block region
+//	if e.Trace != nil && hidden > 0 { ... }          // && chain
+//	tr := trace.New(1024); tr.Span(...)              // provably non-nil local
+//
+// Guard keys are dotted selector chains rooted at an identifier ("u.Tracer",
+// "opt.Faults"); anything else (map/index lookups, call results) is not
+// trackable and therefore never considered guarded.
+
+// region is a span of source in which key is known non-nil.
+type region struct {
+	key        string
+	start, end token.Pos
+}
+
+// guardInfo holds the non-nilness facts for one top-level function
+// declaration (including any function literals nested inside it — regions
+// are positional, so they cover closures too).
+type guardInfo struct {
+	regions []region
+	// nonNil holds local variables that are provably non-nil: initialised
+	// from &composite, a New* constructor, or another non-nil local, and
+	// never assigned anything weaker.
+	nonNil map[types.Object]bool
+	info   *types.Info
+}
+
+// exprKey renders a guardable expression to its canonical dotted form, or ""
+// if the expression is not trackable.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.SelectorExpr:
+		if base := exprKey(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// computeGuards builds the guard facts for one function declaration body.
+func computeGuards(info *types.Info, body *ast.BlockStmt) *guardInfo {
+	g := &guardInfo{info: info, nonNil: make(map[types.Object]bool)}
+	if body == nil {
+		return g
+	}
+	g.walkBlock(body)
+	g.collectNonNilLocals(body)
+	return g
+}
+
+// guarded reports whether e is provably non-nil at pos.
+func (g *guardInfo) guarded(e ast.Expr, pos token.Pos) bool {
+	e = unparen(e)
+	if key := exprKey(e); key != "" {
+		for _, r := range g.regions {
+			if r.key == key && r.start <= pos && pos < r.end {
+				return true
+			}
+		}
+	}
+	if id, ok := e.(*ast.Ident); ok && g.info != nil {
+		if obj := g.info.ObjectOf(id); obj != nil && g.nonNil[obj] {
+			return true
+		}
+	}
+	// A constructor or address-of result used directly is trivially non-nil:
+	// trace.New(64).Span(...) never dereferences nil.
+	return isProvablyNonNilExpr(e)
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// walkBlock records guard regions contributed by the statements of b,
+// recursing into every nested statement list.
+func (g *guardInfo) walkBlock(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		g.walkStmt(s, b)
+	}
+}
+
+func (g *guardInfo) walkStmt(s ast.Stmt, encl *ast.BlockStmt) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		g.recordIf(s, encl)
+		if s.Body != nil {
+			g.walkBlock(s.Body)
+		}
+		switch el := s.Else.(type) {
+		case *ast.BlockStmt:
+			g.walkBlock(el)
+		case *ast.IfStmt:
+			g.walkStmt(el, encl)
+		}
+	case *ast.ForStmt:
+		if s.Body != nil {
+			g.walkBlock(s.Body)
+		}
+	case *ast.RangeStmt:
+		if s.Body != nil {
+			g.walkBlock(s.Body)
+		}
+	case *ast.BlockStmt:
+		g.walkBlock(s)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, cs := range cc.Body {
+					g.walkStmt(cs, s.Body)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, cs := range cc.Body {
+					g.walkStmt(cs, s.Body)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				for _, cs := range cc.Body {
+					g.walkStmt(cs, s.Body)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		g.walkStmt(s.Stmt, encl)
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.BranchStmt, *ast.EmptyStmt:
+		// Function literals inside expressions get their regions from the
+		// positional scan below — visit them for their bodies.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				g.walkBlock(fl.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// recordIf derives guard regions from one if statement.
+func (g *guardInfo) recordIf(s *ast.IfStmt, encl *ast.BlockStmt) {
+	// Keys asserted non-nil when the condition is true ("X != nil" conjuncts
+	// through &&) guard the then-branch and the remainder of the condition.
+	for _, c := range landConjuncts(s.Cond) {
+		if key, pos := nonNilComparison(c, token.NEQ); key != "" {
+			if s.Body != nil {
+				g.regions = append(g.regions, region{key, s.Body.Lbrace, s.Body.Rbrace + 1})
+			}
+			g.regions = append(g.regions, region{key, pos, s.Cond.End()})
+		}
+	}
+	// Keys asserted nil when the condition is true ("X == nil" disjuncts
+	// through ||) are non-nil in the else branch, in the remainder of the
+	// condition, and — when the then-branch terminates — in the rest of the
+	// enclosing block.
+	for _, c := range lorDisjuncts(s.Cond) {
+		if key, pos := nonNilComparison(c, token.EQL); key != "" {
+			g.regions = append(g.regions, region{key, pos, s.Cond.End()})
+			if el, ok := s.Else.(*ast.BlockStmt); ok {
+				g.regions = append(g.regions, region{key, el.Lbrace, el.Rbrace + 1})
+			}
+			if s.Body != nil && terminates(s.Body) && encl != nil {
+				g.regions = append(g.regions, region{key, s.End(), encl.Rbrace + 1})
+			}
+		}
+	}
+}
+
+// landConjuncts flattens a && chain; a non-&& expression is its own
+// single-element chain.
+func landConjuncts(e ast.Expr) []ast.Expr {
+	e = unparen(e)
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.LAND {
+		return append(landConjuncts(b.X), landConjuncts(b.Y)...)
+	}
+	return []ast.Expr{e}
+}
+
+// lorDisjuncts flattens a || chain.
+func lorDisjuncts(e ast.Expr) []ast.Expr {
+	e = unparen(e)
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.LOR {
+		return append(lorDisjuncts(b.X), lorDisjuncts(b.Y)...)
+	}
+	return []ast.Expr{e}
+}
+
+// nonNilComparison matches "KEY op nil" / "nil op KEY" for the given
+// operator and returns the guard key plus the position where the fact takes
+// effect (the end of the comparison).
+func nonNilComparison(e ast.Expr, op token.Token) (string, token.Pos) {
+	b, ok := unparen(e).(*ast.BinaryExpr)
+	if !ok || b.Op != op {
+		return "", token.NoPos
+	}
+	if isNilIdent(b.Y) {
+		if key := exprKey(b.X); key != "" {
+			return key, b.End()
+		}
+	}
+	if isNilIdent(b.X) {
+		if key := exprKey(b.Y); key != "" {
+			return key, b.End()
+		}
+	}
+	return "", token.NoPos
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block always transfers control away from the
+// statement after it: it ends in return, break/continue/goto, or a call to
+// panic / os.Exit / log.Fatal*.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			switch fn := unparen(call.Fun).(type) {
+			case *ast.Ident:
+				return fn.Name == "panic"
+			case *ast.SelectorExpr:
+				name := fn.Sel.Name
+				return name == "Exit" || strings.HasPrefix(name, "Fatal")
+			}
+		}
+	}
+	return false
+}
+
+// collectNonNilLocals finds locals whose every assignment is provably
+// non-nil. A variable declared without an initialiser, assigned from a
+// field, parameter, or unknown call, or written through a multi-value
+// assignment is excluded.
+func (g *guardInfo) collectNonNilLocals(body *ast.BlockStmt) {
+	if g.info == nil {
+		return
+	}
+	// provable[obj] stays true only while every observed write is non-nil.
+	provable := make(map[types.Object]bool)
+	demote := func(id *ast.Ident) {
+		if obj := g.info.ObjectOf(id); obj != nil {
+			provable[obj] = false
+		}
+	}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := g.info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if seen, ok := provable[obj]; ok && !seen {
+			return // already demoted
+		}
+		provable[obj] = isProvablyNonNilExpr(rhs)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, n.Rhs[i])
+					}
+				}
+			} else {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						demote(id)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == len(n.Names) {
+				for i, id := range n.Names {
+					record(id, n.Values[i])
+				}
+			} else {
+				for _, id := range n.Names {
+					demote(id) // zero value or multi-value init
+				}
+			}
+		case *ast.UnaryExpr:
+			// Taking a local's address lets aliased writes escape the scan.
+			if n.Op == token.AND {
+				if id, ok := unparen(n.X).(*ast.Ident); ok {
+					demote(id)
+				}
+			}
+		}
+		return true
+	})
+	for obj, ok := range provable {
+		if ok {
+			g.nonNil[obj] = true
+		}
+	}
+}
+
+// isProvablyNonNilExpr reports whether evaluating e always yields a non-nil
+// value: address-of, composite literal, or a New* constructor call.
+func isProvablyNonNilExpr(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.UnaryExpr:
+		return e.Op == token.AND
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		switch fn := unparen(e.Fun).(type) {
+		case *ast.Ident:
+			return strings.HasPrefix(fn.Name, "New") || fn.Name == "make" || fn.Name == "new"
+		case *ast.SelectorExpr:
+			return strings.HasPrefix(fn.Sel.Name, "New")
+		}
+	}
+	return false
+}

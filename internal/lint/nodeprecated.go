@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoDeprecated forbids in-repo callers of anything whose doc comment carries
+// a "Deprecated:" marker — concretely the RunTraced / RunOpt /
+// InferAsyncFail compatibility shims, but the check is generic so future
+// deprecations are enforced the day the marker lands. Uses in the file that
+// declares the deprecated symbol are exempt (the shim's own body and its
+// siblings may reference it).
+var NoDeprecated = &Analyzer{
+	Name: "nodeprecated",
+	Doc:  "no in-repo callers of symbols marked Deprecated:",
+	Run:  runNoDeprecated,
+}
+
+func runNoDeprecated(pass *Pass) error {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	deprecated := collectDeprecated(pass)
+	if len(deprecated) == 0 {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		file := pass.Pkg.Fset.Position(f.Pos()).Filename
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			declFile, isDep := deprecated[obj]
+			if !isDep || declFile == file {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s is deprecated; migrate off the shim (see its doc comment)", obj.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// collectDeprecated scans every analyzed package for declarations whose doc
+// comment contains "Deprecated:", returning the objects mapped to the file
+// that declares them.
+func collectDeprecated(pass *Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, pkg := range pass.All {
+		if !pkg.Analyzed || pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			file := pkg.Fset.Position(f.Pos()).Filename
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if hasDeprecatedMarker(d.Doc) {
+						if obj := pkg.Info.ObjectOf(d.Name); obj != nil {
+							out[obj] = file
+						}
+					}
+				case *ast.GenDecl:
+					declDoc := hasDeprecatedMarker(d.Doc)
+					for _, spec := range d.Specs {
+						switch sp := spec.(type) {
+						case *ast.ValueSpec:
+							if declDoc || hasDeprecatedMarker(sp.Doc) {
+								for _, name := range sp.Names {
+									if obj := pkg.Info.ObjectOf(name); obj != nil {
+										out[obj] = file
+									}
+								}
+							}
+						case *ast.TypeSpec:
+							if declDoc || hasDeprecatedMarker(sp.Doc) {
+								if obj := pkg.Info.ObjectOf(sp.Name); obj != nil {
+									out[obj] = file
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasDeprecatedMarker follows the godoc convention: the marker is a
+// paragraph (here: any line) beginning with "Deprecated:", so prose that
+// merely mentions the word — like this analyzer's own documentation — does
+// not deprecate the symbol it is attached to.
+func hasDeprecatedMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Pairing enforces acquire/release discipline on the two paired resources in
+// the pipeline: engine snapshots (Snapshot must reach ReleaseSnapshot, or
+// the free-list drains — the invariant SnapshotBalance checks at runtime)
+// and trace regions (BeginAt must reach EndAt, or the span never closes and
+// the Perfetto timeline self-validation rejects the file).
+//
+// The analysis is per function scope and deliberately conservative about
+// ownership: a resource that escapes — stored in a field or container,
+// returned, passed to another function, or captured by a closure — is
+// assumed transferred and is not checked further. Within a scope, a tracked
+// resource must be released on every return path after the acquire, with
+// `defer` counting as all paths.
+var Pairing = &Analyzer{
+	Name: "pairing",
+	Doc:  "Snapshot/ReleaseSnapshot and BeginAt/EndAt must pair on all return paths",
+	Run:  runPairing,
+}
+
+// pairSpec describes one acquire/release protocol, matched by receiver type
+// key ("pkg.Type") and method name so the harness's fake packages exercise
+// the same code path as the real repo.
+type pairSpec struct {
+	typeKey    string // receiver type of the acquire method
+	acquire    string
+	relTypeKey string // receiver type of the release method
+	release    string
+	viaArg     bool // release takes the resource as first argument (vs receiver)
+}
+
+var pairSpecs = []pairSpec{
+	{typeKey: "accel.Engine", acquire: "Snapshot", relTypeKey: "accel.Engine", release: "ReleaseSnapshot", viaArg: true},
+	{typeKey: "trace.Tracer", acquire: "BeginAt", relTypeKey: "trace.Region", release: "EndAt", viaArg: false},
+}
+
+func runPairing(pass *Pass) error {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPairingScopes(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkPairingScopes analyzes body as one scope, then recurses into each
+// nested function literal as its own scope.
+func checkPairingScopes(pass *Pass, body *ast.BlockStmt) {
+	checkPairingScope(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkPairingScopes(pass, fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func checkPairingScope(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	// Pass 1: find acquires directly in this scope and classify their
+	// immediate context.
+	type tracked struct {
+		spec    pairSpec
+		obj     types.Object // the local holding the resource
+		acquire token.Pos
+		end     token.Pos // end of the acquire statement
+	}
+	var acquires []tracked
+	scopeWalk(body, func(n ast.Node, parent ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		spec, ok := matchPairCall(pass, call, true)
+		if !ok {
+			return
+		}
+		switch p := parent.(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "result of %s.%s discarded; the resource can never be released", spec.typeKey, spec.acquire)
+		case *ast.AssignStmt:
+			// Only the single-value `v := acquire()` form is tracked; a store
+			// into a field or container is an ownership transfer.
+			if len(p.Rhs) == 1 && p.Rhs[0] == ast.Expr(call) && len(p.Lhs) == 1 {
+				if id, isIdent := p.Lhs[0].(*ast.Ident); isIdent && id.Name != "_" {
+					if obj := info.ObjectOf(id); obj != nil {
+						acquires = append(acquires, tracked{spec, obj, call.Pos(), p.End()})
+					}
+					return
+				}
+			}
+			// Escapes (field/index LHS, multi-assign): ownership transferred.
+		default:
+			// Return value, call argument, composite literal: escapes.
+		}
+	})
+
+	for _, t := range acquires {
+		analyzeTracked(pass, body, t.spec, t.obj, t.acquire, t.end)
+	}
+}
+
+// analyzeTracked verifies one tracked resource variable within its scope.
+func analyzeTracked(pass *Pass, body *ast.BlockStmt, spec pairSpec, obj types.Object, acqPos, acqEnd token.Pos) {
+	info := pass.Pkg.Info
+	var (
+		releases []token.Pos
+		deferred bool
+		escaped  bool
+		returns  []token.Pos
+	)
+	isObj := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && info.ObjectOf(id) == obj
+	}
+	releaseCall := func(call *ast.CallExpr) bool {
+		s, ok := matchPairCall(pass, call, false)
+		if !ok || s.release != spec.release {
+			return false
+		}
+		if s.viaArg {
+			return len(call.Args) > 0 && isObj(call.Args[0])
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		return ok && isObj(sel.X)
+	}
+	// Uses inside nested function literals count as captures (escapes); the
+	// closure may release on a path this scope cannot see.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			ast.Inspect(fl, func(m ast.Node) bool {
+				if e, isExpr := m.(ast.Expr); isExpr && isObj(e) {
+					escaped = true
+				}
+				return true
+			})
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if releaseCall(n.Call) {
+				deferred = true
+				return false
+			}
+		case *ast.CallExpr:
+			if n.Pos() <= acqPos {
+				return true
+			}
+			if releaseCall(n) {
+				releases = append(releases, n.End())
+				return true
+			}
+			for _, a := range n.Args {
+				if isObj(a) {
+					escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			if n.Pos() > acqEnd {
+				returns = append(returns, n.Pos())
+			}
+			for _, r := range n.Results {
+				if isObj(r) {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			// `_ = v` discards rather than aliases; it neither releases nor
+			// transfers ownership.
+			allBlank := true
+			for _, l := range n.Lhs {
+				if id, isIdent := l.(*ast.Ident); !isIdent || id.Name != "_" {
+					allBlank = false
+					break
+				}
+			}
+			if allBlank {
+				break
+			}
+			for _, r := range n.Rhs {
+				if n.Pos() > acqEnd && isObj(r) {
+					escaped = true // aliased; the alias may carry the release
+				}
+			}
+		}
+		return true
+	})
+	if escaped || deferred {
+		return
+	}
+	if len(releases) == 0 {
+		pass.Reportf(acqPos, "%s.%s result is never passed to %s in this scope", spec.typeKey, spec.acquire, spec.release)
+		return
+	}
+	for _, ret := range returns {
+		ok := false
+		for _, rel := range releases {
+			if rel > acqEnd && rel < ret {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(ret, "return path reached without releasing the %s.%s acquired at %s",
+				spec.typeKey, spec.acquire, pass.Pkg.Fset.Position(acqPos))
+		}
+	}
+}
+
+// matchPairCall resolves a call to one of the pair protocols' acquire
+// (wantAcquire) or release methods.
+func matchPairCall(pass *Pass, call *ast.CallExpr, wantAcquire bool) (pairSpec, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return pairSpec{}, false
+	}
+	selection := pass.Pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return pairSpec{}, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return pairSpec{}, false
+	}
+	recvKey := namedTypeKey(selection.Recv())
+	for _, s := range pairSpecs {
+		if wantAcquire && recvKey == s.typeKey && fn.Name() == s.acquire {
+			return s, true
+		}
+		if !wantAcquire && recvKey == s.relTypeKey && fn.Name() == s.release {
+			return s, true
+		}
+	}
+	return pairSpec{}, false
+}
+
+// scopeWalk visits every node in body (excluding nested function literals)
+// together with its immediate parent.
+func scopeWalk(body *ast.BlockStmt, visit func(n, parent ast.Node)) {
+	var walk func(parent, n ast.Node)
+	walk = func(parent, n ast.Node) {
+		if n == nil {
+			return
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return
+		}
+		visit(n, parent)
+		// Children are visited with n as parent.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return true
+			}
+			walk(n, c)
+			return false
+		})
+	}
+	for _, s := range body.List {
+		walk(body, s)
+	}
+}

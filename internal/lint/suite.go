@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ScopedAnalyzer binds an analyzer to the part of the module it patrols.
+type ScopedAnalyzer struct {
+	*Analyzer
+	// Scope lists import-path prefixes the analyzer runs on; empty means
+	// every module package. Scoping lives here — not in Analyzer.Run — so
+	// the analysistest harness can aim an analyzer at arbitrary testdata.
+	Scope []string
+}
+
+// Suite is the repo's analyzer lineup, in the order the driver runs and
+// documents them (DESIGN.md §12).
+var Suite = []ScopedAnalyzer{
+	// Determinism patrols the simulation core: every package whose output
+	// feeds the encoders, the trace ring, or the DDR image. CLI front-ends
+	// and the benchmark harness may still read the wall clock.
+	{Determinism, []string{
+		"inca/internal/golden",
+		"inca/internal/verify",
+		"inca/internal/trace",
+		"inca/internal/isa",
+		"inca/internal/iau",
+		"inca/internal/accel",
+		"inca/internal/sched",
+	}},
+	{TraceGuard, nil},
+	{ClockOwner, nil},
+	{Pairing, nil},
+	{NoDeprecated, nil},
+}
+
+// inScope reports whether path falls under any of the prefixes.
+func inScope(path string, scope []string) bool {
+	if len(scope) == 0 {
+		return true
+	}
+	for _, p := range scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSuite loads every package in the module rooted at moduleDir and runs
+// the full analyzer suite, returning all findings sorted by position.
+func RunSuite(moduleDir string, only map[string]bool) ([]Diagnostic, error) {
+	l, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := l.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			// A half-typed package would be half-linted; the build target
+			// runs first in tier1, so this only fires on real breakage.
+			return nil, fmt.Errorf("lint: %s does not type-check: %v", p, pkg.TypeErrors[0])
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	var all []Diagnostic
+	for _, sa := range Suite {
+		if only != nil && !only[sa.Name] {
+			continue
+		}
+		var scoped []*Package
+		for _, pkg := range pkgs {
+			if inScope(pkg.Path, sa.Scope) {
+				scoped = append(scoped, pkg)
+			}
+		}
+		diags, err := Run(sa.Analyzer, scoped, l.Index())
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	SortDiagnostics(all)
+	return all, nil
+}

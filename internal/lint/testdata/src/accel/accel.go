@@ -1,0 +1,36 @@
+// Package accel is a miniature double of the engine's snapshot free-list,
+// for the pairing analyzer: Snapshot acquires, ReleaseSnapshot retires.
+package accel
+
+type Snapshot struct {
+	data []byte
+}
+
+func (s *Snapshot) Bytes() int { return len(s.data) }
+
+type Engine struct {
+	free []*Snapshot
+	live int
+}
+
+func NewEngine() *Engine { return &Engine{} }
+
+// Snapshot checks a buffer set out of the free list.
+func (e *Engine) Snapshot() *Snapshot {
+	e.live++
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	return &Snapshot{}
+}
+
+// ReleaseSnapshot returns a buffer set to the free list.
+func (e *Engine) ReleaseSnapshot(s *Snapshot) {
+	e.live--
+	e.free = append(e.free, s)
+}
+
+// Balance reports outstanding snapshots; the dynamic invariant wants zero.
+func (e *Engine) Balance() int { return e.live }

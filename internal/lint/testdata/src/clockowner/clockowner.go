@@ -1,0 +1,27 @@
+// Package clockowner exercises the clockowner analyzer from outside the
+// owning package: cycle-counter writes and Tracer.Now refreshes must fire;
+// reads and writes to unrelated same-named fields must stay quiet.
+package clockowner
+
+import (
+	"iau"
+	"trace"
+)
+
+func refresh(u *iau.IAU, tr *trace.Tracer, c uint64) {
+	tr.Now = c        // want `trace\.Tracer\.Now is owned by the iau clock`
+	u.Now += c        // want `iau\.IAU\.Now is owned by the iau clock`
+	u.BusyCycles++    // want `iau\.IAU\.BusyCycles is owned by the iau clock`
+	_ = &u.IdleCycles // want `iau\.IAU\.IdleCycles is owned by the iau clock`
+}
+
+type localClock struct {
+	Now uint64
+}
+
+// ok reads the shared clock and writes its own: both quiet.
+func ok(u *iau.IAU, lc *localClock, c uint64) uint64 {
+	lc.Now = c
+	u.Step(c) // mutation through the owner's API: ok
+	return u.Now + u.BusyCycles + u.IdleCycles
+}

@@ -1,0 +1,26 @@
+// Package dep declares symbols in various states of deprecation for the
+// nodeprecated analyzer's testdata.
+package dep
+
+// Old is the legacy entry point.
+//
+// Deprecated: use Current instead.
+func Old() int { return oldImpl() }
+
+func oldImpl() int { return 1 }
+
+// Current replaces Old.
+func Current() int { return 2 }
+
+// LegacyKnob is a v0 tuning knob.
+//
+// Deprecated: configure through Options.
+var LegacyKnob = 3
+
+// Mentioning the word Deprecated: mid-prose must not mark a symbol — only a
+// line-anchored marker does.
+func NotActuallyDeprecated() int { return 4 }
+
+// Same-file references to a deprecated symbol are exempt (the shim's own
+// neighbourhood may keep wiring it up).
+var _ = Old

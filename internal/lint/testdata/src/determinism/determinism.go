@@ -1,0 +1,50 @@
+// Package determinism exercises the determinism analyzer: wall-clock reads,
+// the global math/rand generator, and map iteration must fire; the seeded
+// local-generator and sorted-slice idioms must stay quiet.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `wall-clock read time\.Now breaks deterministic replay`
+	return time.Since(start) // want `wall-clock read time\.Since breaks deterministic replay`
+}
+
+func globalRand() int {
+	rand.Shuffle(4, func(i, j int) {}) // want `global rand\.Shuffle is seeded per-process`
+	return rand.Intn(8)                // want `global rand\.Intn is seeded per-process`
+}
+
+func mapOrder(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+// seeded is the sanctioned idiom: an explicit local generator.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// sortedWalk shows the quiet form: iteration happens over a slice, and the
+// map is only indexed. (The analyzer is deliberately strict — even a
+// collect-keys range fires, so core packages keep ordered slices alongside
+// any map they need to walk.)
+func sortedWalk(m map[string]int, keys []string) int {
+	sort.Strings(keys)
+	sum := 0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// elapsed uses time's arithmetic without reading the clock: quiet.
+func elapsed(a, b time.Duration) time.Duration { return b - a }

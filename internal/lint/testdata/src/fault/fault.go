@@ -1,0 +1,28 @@
+// Package fault is a miniature double of the real injector. None of its
+// methods are nil-safe: fault injection is opt-in, so callers own the guard.
+package fault
+
+type Site uint8
+
+const (
+	SiteBackup Site = iota
+	SiteStall
+)
+
+type Injector struct {
+	seed uint64
+	hits [8]uint64
+}
+
+func New(seed uint64) *Injector { return &Injector{seed: seed} }
+
+// Hit draws the fault decision for a site. NOT nil-safe.
+func (j *Injector) Hit(s Site) bool {
+	j.hits[s]++
+	return j.seed&1 == 0
+}
+
+// SetRate configures a site. NOT nil-safe.
+func (j *Injector) SetRate(s Site, rate float64) {
+	j.hits[s] = uint64(rate * 100)
+}

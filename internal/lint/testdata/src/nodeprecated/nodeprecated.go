@@ -1,0 +1,13 @@
+// Package nodeprecated exercises the nodeprecated analyzer: cross-file uses
+// of Deprecated: symbols must fire; the replacements must stay quiet.
+package nodeprecated
+
+import "dep"
+
+func caller() int {
+	return dep.Old() + dep.Current() // want `Old is deprecated`
+}
+
+func knob() int {
+	return dep.LegacyKnob + dep.NotActuallyDeprecated() // want `LegacyKnob is deprecated`
+}

@@ -1,0 +1,71 @@
+// Package pairing exercises the pairing analyzer: snapshot and region
+// acquires must reach their release on every return path; deferred releases
+// and ownership transfers must stay quiet.
+package pairing
+
+import (
+	"accel"
+	"trace"
+)
+
+func leakNoRelease(e *accel.Engine) int {
+	s := e.Snapshot() // want `accel\.Engine\.Snapshot result is never passed to ReleaseSnapshot`
+	return s.Bytes()
+}
+
+func discard(e *accel.Engine) {
+	e.Snapshot() // want `result of accel\.Engine\.Snapshot discarded`
+}
+
+func leakOnErrorPath(e *accel.Engine, fail bool) int {
+	s := e.Snapshot()
+	if fail {
+		return -1 // want `return path reached without releasing the accel\.Engine\.Snapshot`
+	}
+	e.ReleaseSnapshot(s)
+	return 0
+}
+
+func spanLeak(tr *trace.Tracer, c uint64) {
+	r := tr.BeginAt(trace.KindRestore, 0, c) // want `trace\.Tracer\.BeginAt result is never passed to EndAt`
+	_ = r
+}
+
+// --- quiet forms ---
+
+func released(e *accel.Engine) {
+	s := e.Snapshot()
+	e.ReleaseSnapshot(s)
+}
+
+func deferred(e *accel.Engine, fail bool) int {
+	s := e.Snapshot()
+	defer e.ReleaseSnapshot(s)
+	if fail {
+		return -1 // covered by the defer
+	}
+	return s.Bytes()
+}
+
+type holder struct {
+	parked *accel.Snapshot
+}
+
+// fieldStore transfers ownership to the holder: the release happens on the
+// holder's lifecycle, outside this scope.
+func fieldStore(e *accel.Engine, h *holder) {
+	h.parked = e.Snapshot()
+}
+
+func park(s *accel.Snapshot) {}
+
+// handoff passes the resource on: ownership transferred.
+func handoff(e *accel.Engine) {
+	s := e.Snapshot()
+	park(s)
+}
+
+func spanClosed(tr *trace.Tracer, c uint64) {
+	r := tr.BeginAt(trace.KindRestore, 0, c)
+	r.EndAt(c + 4)
+}

@@ -1,0 +1,82 @@
+// Package trace is a miniature double of the real tracer, shaped so the
+// analyzers exercise every nil-safety class: leading-guard methods,
+// transitively nil-safe wrappers, raw unsafe methods, and the Region
+// begin/end pair.
+package trace
+
+type Kind uint8
+
+const (
+	KindRestore Kind = iota
+	KindBackup
+)
+
+type Event struct {
+	Cycle, Dur uint64
+	Kind       Kind
+	Slot       int32
+}
+
+type Tracer struct {
+	Now   uint64
+	ring  []Event
+	total int
+}
+
+func New(capacity int) *Tracer { return &Tracer{ring: make([]Event, 0, capacity)} }
+
+// push is the raw emitter; it is NOT nil-safe.
+func (t *Tracer) push(e Event) {
+	t.ring = append(t.ring, e)
+	t.total++
+}
+
+// Mark is nil-safe via the leading guard.
+func (t *Tracer) Mark(kind Kind, slot int, cycle uint64) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Cycle: cycle, Kind: kind, Slot: int32(slot)})
+}
+
+// Total is nil-safe.
+func (t *Tracer) Total() int {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Summary is transitively nil-safe: it only calls nil-safe methods.
+func (t *Tracer) Summary() int { return t.Total() * 2 }
+
+// Flush dereferences its receiver unguarded; callers must nil-check.
+func (t *Tracer) Flush() []Event {
+	out := t.ring
+	t.ring = t.ring[:0]
+	return out
+}
+
+// Region pairs BeginAt with EndAt; see the pairing analyzer.
+type Region struct {
+	t     *Tracer
+	start uint64
+	kind  Kind
+	slot  int32
+}
+
+// BeginAt opens a span; nil-safe (the region from a nil tracer is inert).
+func (t *Tracer) BeginAt(kind Kind, slot int, cycle uint64) Region {
+	if t == nil {
+		return Region{}
+	}
+	return Region{t: t, start: cycle, kind: kind, slot: int32(slot)}
+}
+
+// EndAt closes the region and emits the span.
+func (r Region) EndAt(cycle uint64) {
+	if r.t == nil {
+		return
+	}
+	r.t.push(Event{Cycle: r.start, Dur: cycle - r.start, Kind: r.kind, Slot: r.slot})
+}

@@ -1,0 +1,52 @@
+// Package traceguard exercises the traceguard analyzer: unguarded
+// dereferences of the optional tracer/injector must fire; nil-safe methods,
+// guarded regions, and provably non-nil locals must stay quiet.
+package traceguard
+
+import (
+	"fault"
+	"trace"
+)
+
+type engine struct {
+	tr *trace.Tracer
+	fj *fault.Injector
+}
+
+func (e *engine) bad(cycle uint64) int {
+	e.tr.Flush()                   // want `call to trace\.Tracer\.Flush on possibly-nil e\.tr`
+	n := int(e.tr.Now)             // want `field access trace\.Tracer\.Now on possibly-nil e\.tr`
+	if e.fj.Hit(fault.SiteStall) { // want `call to fault\.Injector\.Hit on possibly-nil e\.fj`
+		n++
+	}
+	return n
+}
+
+// nilSafeCalls goes through the nil-safe API: quiet even with no guard.
+func (e *engine) nilSafeCalls(cycle uint64) int {
+	e.tr.Mark(trace.KindRestore, 0, cycle) // leading-guard method: ok
+	return e.tr.Summary()                  // transitively nil-safe: ok
+}
+
+// guarded shows the three guard shapes the analyzer understands.
+func (e *engine) guarded(cycle uint64) {
+	if e.tr != nil {
+		e.tr.Flush() // then-branch region: ok
+	}
+	if e.tr != nil && e.tr.Now > cycle { // && chain guards the rest of the condition
+		_ = e.tr.Now // ok
+	}
+	if e.fj == nil {
+		return
+	}
+	e.fj.Hit(fault.SiteBackup) // early-exit guard covers the rest of the block: ok
+}
+
+// locals contrasts a provably non-nil constructor result with a zero-valued
+// pointer declaration.
+func locals(cycle uint64) {
+	tr := trace.New(16)
+	tr.Flush() // constructor result: ok
+	var lazy *trace.Tracer
+	lazy.Flush() // want `call to trace\.Tracer\.Flush on possibly-nil lazy`
+}

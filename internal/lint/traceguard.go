@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TraceGuard enforces the zero-overhead-off guarantee: tracing and fault
+// injection are optional subsystems, so every *trace.Tracer / *fault.Injector
+// dereference must be nil-guarded or routed through a method that is itself
+// nil-safe. The dynamic counterpart is the "tracing disabled changes
+// behaviour" class of fuzzer findings; this front-runs them at compile time.
+//
+// Nil-safety of a method is computed from the declaring package's source by
+// fixed-point iteration, not by syntax: a method is nil-safe if every use of
+// its receiver is a nil comparison, a guarded dereference, or a call to
+// another nil-safe method. That covers both the `if t == nil { return }`
+// idiom and transitively-safe wrappers like WritePerfettoNamed.
+var TraceGuard = &Analyzer{
+	Name: "traceguard",
+	Doc:  "Tracer/Faults dereferences must be nil-guarded or use the nil-safe API",
+	Run:  runTraceGuard,
+}
+
+// guardedTraceTypes names the optional-subsystem types, keyed by
+// "package-name.TypeName" so the analyzer works identically on the real repo
+// and on the harness's fake testdata packages.
+var guardedTraceTypes = map[string]bool{
+	"trace.Tracer":   true,
+	"fault.Injector": true,
+}
+
+// guardedTypeName returns the "pkg.Type" key when t is a pointer to one of
+// the guarded optional-subsystem types, or "".
+func guardedTypeName(t types.Type) string {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	key := obj.Pkg().Name() + "." + obj.Name()
+	if guardedTraceTypes[key] {
+		return key
+	}
+	return ""
+}
+
+func runTraceGuard(pass *Pass) error {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	// The declaring packages dereference their own receivers by design;
+	// their discipline is captured by the nil-safety fixpoint instead.
+	if pass.Pkg.Name == "trace" || pass.Pkg.Name == "fault" {
+		return nil
+	}
+	safety := newNilSafety(pass)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g := computeGuards(pass.Pkg.Info, fd.Body)
+			checkGuardedUses(pass, safety, g, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkGuardedUses reports every unguarded dereference of a guarded-typed
+// expression inside body.
+func checkGuardedUses(pass *Pass, safety *nilSafety, g *guardInfo, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			base := unparen(n.X)
+			key := guardedTypeName(pass.TypeOf(base))
+			if key == "" {
+				return true
+			}
+			sel := pass.Pkg.Info.Selections[n]
+			if sel == nil {
+				return true // qualified identifier, not a selection
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok && sel.Kind() == types.MethodVal {
+				if safety.isNilSafe(fn) {
+					return true
+				}
+				if !g.guarded(base, n.Pos()) {
+					pass.Reportf(n.Pos(), "call to %s.%s on possibly-nil %s without a nil guard (method is not nil-safe)",
+						key, fn.Name(), describeExpr(base))
+				}
+				return true
+			}
+			if !g.guarded(base, n.Pos()) {
+				pass.Reportf(n.Pos(), "field access %s.%s on possibly-nil %s without a nil guard",
+					key, sel.Obj().Name(), describeExpr(base))
+			}
+		case *ast.StarExpr:
+			base := unparen(n.X)
+			if key := guardedTypeName(pass.TypeOf(base)); key != "" && !g.guarded(base, n.Pos()) {
+				pass.Reportf(n.Pos(), "dereference of possibly-nil *%s without a nil guard", key)
+			}
+		}
+		return true
+	})
+}
+
+func describeExpr(e ast.Expr) string {
+	if key := exprKey(e); key != "" {
+		return key
+	}
+	return "expression"
+}
+
+// nilSafety lazily computes, per declaring type, which methods tolerate a
+// nil receiver.
+type nilSafety struct {
+	pass *Pass
+	// byType caches the computed method-name sets keyed by "pkg.Type".
+	byType map[string]map[string]bool
+}
+
+func newNilSafety(pass *Pass) *nilSafety {
+	return &nilSafety{pass: pass, byType: make(map[string]map[string]bool)}
+}
+
+// isNilSafe reports whether calling fn on a nil receiver is safe.
+func (s *nilSafety) isNilSafe(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	key := guardedTypeName(sig.Recv().Type())
+	if key == "" {
+		return false // value receiver: the call itself dereferences
+	}
+	set, ok := s.byType[key]
+	if !ok {
+		set = s.computeFor(fn.Pkg())
+		s.byType[key] = set
+	}
+	return set[fn.Name()]
+}
+
+// computeFor runs the fixpoint over the declaring package's pointer-receiver
+// methods on guarded types. It starts optimistic (every pointer-receiver
+// method assumed safe) and removes methods with an unguarded receiver
+// dereference until nothing changes; mutual recursion between otherwise-safe
+// methods therefore stays safe, and a single raw dereference poisons every
+// transitive caller.
+func (s *nilSafety) computeFor(declTypes *types.Package) map[string]bool {
+	safe := make(map[string]bool)
+	if declTypes == nil {
+		return safe
+	}
+	decl := s.pass.packageFor(declTypes)
+	if decl == nil || decl.Info == nil {
+		return safe // no source view: pessimistically nothing is safe
+	}
+	type method struct {
+		name string
+		recv types.Object // receiver variable, nil if unnamed
+		body *ast.BlockStmt
+		g    *guardInfo
+	}
+	var methods []method
+	for _, f := range decl.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvField := fd.Recv.List[0]
+			if guardedTypeName(decl.Info.TypeOf(recvField.Type)) == "" {
+				continue // value receiver or a different type
+			}
+			m := method{name: fd.Name.Name, body: fd.Body}
+			if len(recvField.Names) > 0 {
+				m.recv = decl.Info.ObjectOf(recvField.Names[0])
+			}
+			m.g = computeGuards(decl.Info, fd.Body)
+			methods = append(methods, m)
+			safe[m.name] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if !safe[m.name] {
+				continue
+			}
+			if !receiverUsesSafe(decl.Info, m.recv, m.body, m.g, safe) {
+				safe[m.name] = false
+				changed = true
+			}
+		}
+	}
+	for name, ok := range safe {
+		if !ok {
+			delete(safe, name)
+		}
+	}
+	return safe
+}
+
+// receiverUsesSafe reports whether every dereference of the receiver object
+// in body is guarded or goes through a currently-assumed-safe method.
+func receiverUsesSafe(info *types.Info, recv types.Object, body *ast.BlockStmt, g *guardInfo, safe map[string]bool) bool {
+	if recv == nil {
+		return true // unnamed receiver cannot be dereferenced
+	}
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			base := unparen(n.X)
+			id, isIdent := base.(*ast.Ident)
+			if !isIdent || info.ObjectOf(id) != recv {
+				return true
+			}
+			sel := info.Selections[n]
+			if sel == nil {
+				return true
+			}
+			if fn, isFn := sel.Obj().(*types.Func); isFn && sel.Kind() == types.MethodVal && safe[fn.Name()] {
+				return true
+			}
+			if !g.guarded(base, n.Pos()) {
+				ok = false
+			}
+		case *ast.StarExpr:
+			if id, isIdent := unparen(n.X).(*ast.Ident); isIdent && info.ObjectOf(id) == recv {
+				if !g.guarded(n.X, n.Pos()) {
+					ok = false
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// packageFor maps a *types.Package back to its loaded source Package.
+func (p *Pass) packageFor(tp *types.Package) *Package {
+	for _, pkg := range p.All {
+		if pkg.Types == tp {
+			return pkg
+		}
+	}
+	return nil
+}

@@ -44,8 +44,8 @@ func Gantt(cfg accel.Config, events []iau.TraceEvent, horizon uint64, cols int) 
 			}
 		}
 	}
-	for slot, on := range active {
-		if on {
+	for slot := 0; slot < iau.NumSlots; slot++ {
+		if active[slot] {
 			busy[slot] = append(busy[slot], interval{open[slot], horizon})
 		}
 	}

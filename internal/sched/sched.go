@@ -412,9 +412,11 @@ func run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Dur
 		}
 	}
 
-	// Pre-register periodic arrivals; closed-loop tasks are fed by the
-	// completion callback.
-	for _, rt := range tasks {
+	// Pre-register periodic arrivals in spec order (ranging over the tasks
+	// map would randomise arrival-heap tie-break seq numbers across runs);
+	// closed-loop tasks are fed by the completion callback.
+	for _, reg := range specs {
+		rt := tasks[reg.Name]
 		sp := rt.spec
 		if sp.Continuous {
 			if err := submit(rt, cfg.SecondsToCycles(sp.Offset.Seconds())); err != nil {
@@ -486,7 +488,8 @@ func run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Dur
 	res.BusyCycles = u.BusyCycles
 	res.IdleCycles = u.IdleCycles
 	res.CalcCycles, res.XferCycles, res.HiddenCycles = u.Eng.CycleStats()
-	for _, st := range res.Tasks {
+	for _, sp := range specs {
+		st := res.Tasks[sp.Name]
 		res.OverheadCycles += st.FetchCycles + st.InterruptCost
 	}
 	sort.Slice(res.Preemptions, func(i, j int) bool {
@@ -502,7 +505,8 @@ func run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Dur
 			StallCycles:       u.Fault.StallCycles,
 			Resets:            u.Resets,
 		}
-		for _, st := range res.Tasks {
+		for _, sp := range specs {
+			st := res.Tasks[sp.Name]
 			fr.Retries += st.Retried
 			fr.Shed += st.Shed
 		}

@@ -226,18 +226,19 @@ func RunDSLAM(cfg DSLAMConfig) (*DSLAMResult, error) {
 	// and therefore the whole chaos run, deterministic.
 	var inj *fault.Injector
 	if ch := cfg.Chaos; ch != nil {
-		inj = fault.New(ch.Seed)
-		inj.SetRate(fault.SiteBackup, ch.CorruptRate)
-		inj.SetRate(fault.SiteStall, ch.StallRate)
-		inj.SetRate(fault.SiteHang, ch.HangRate)
-		inj.SetRate(fault.SiteIRQLost, ch.IRQLostRate)
-		inj.SetRate(fault.SiteMsgDrop, ch.MsgDropRate)
-		inj.SetRate(fault.SiteMsgDelay, ch.MsgDelayRate)
-		inj.SetRate(fault.SiteMsgDup, ch.MsgDupRate)
+		j := fault.New(ch.Seed)
+		j.SetRate(fault.SiteBackup, ch.CorruptRate)
+		j.SetRate(fault.SiteStall, ch.StallRate)
+		j.SetRate(fault.SiteHang, ch.HangRate)
+		j.SetRate(fault.SiteIRQLost, ch.IRQLostRate)
+		j.SetRate(fault.SiteMsgDrop, ch.MsgDropRate)
+		j.SetRate(fault.SiteMsgDelay, ch.MsgDelayRate)
+		j.SetRate(fault.SiteMsgDup, ch.MsgDupRate)
 		if ch.StallCycles > 0 {
-			inj.StallCycles = ch.StallCycles
+			j.StallCycles = ch.StallCycles
 		}
-		rc.Faults = inj
+		rc.Faults = j
+		inj = j
 	}
 
 	agents := [2]*agentState{}

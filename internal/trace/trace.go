@@ -181,6 +181,41 @@ func (t *Tracer) Span(kind Kind, slot int, cycle, dur uint64, arg uint64, label 
 	t.push(Event{Cycle: cycle, Dur: dur, Kind: kind, Slot: int32(slot), Arg: arg, Label: label})
 }
 
+// Region is an open span minted by BeginAt and closed by EndAt. It exists
+// for call sites that only learn a span's duration after advancing the
+// simulated clock: the begin site pins the start cycle and the metadata, the
+// end site supplies the final cycle, and the event is emitted exactly once
+// at EndAt. The emitted Event is identical to a direct Span call with the
+// same start cycle and duration.
+//
+// A Region from a nil Tracer is inert; EndAt on it is a no-op, preserving
+// the zero-overhead-off guarantee. The pairing analyzer statically checks
+// that every BeginAt reaches an EndAt on all return paths.
+type Region struct {
+	t     *Tracer
+	start uint64
+	arg   uint64
+	kind  Kind
+	slot  int32
+	label string
+}
+
+// BeginAt opens a span at the given cycle. Nil-safe.
+func (t *Tracer) BeginAt(kind Kind, slot int, cycle, arg uint64, label string) Region {
+	if t == nil {
+		return Region{}
+	}
+	return Region{t: t, kind: kind, slot: int32(slot), start: cycle, arg: arg, label: label}
+}
+
+// EndAt closes the region at the given cycle and emits the span event.
+func (r Region) EndAt(cycle uint64) {
+	if r.t == nil {
+		return
+	}
+	r.t.Span(r.kind, int(r.slot), r.start, cycle-r.start, r.arg, r.label)
+}
+
 // Mark records an instantaneous event.
 func (t *Tracer) Mark(kind Kind, slot int, cycle uint64, arg uint64, label string) {
 	if t == nil {
