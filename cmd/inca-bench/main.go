@@ -6,6 +6,8 @@
 //	inca-bench -e all -scale full
 //	inca-bench -e E1,E3 -scale quick
 //	inca-bench -e E2 -cpuprofile cpu.pprof -benchjson results.json
+//	inca-bench -datapath BENCH_datapath.json   (refresh the serving baseline)
+//	inca-bench -gate BENCH_datapath.json       (fail on modeled MACs/s regression)
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -32,8 +35,16 @@ func main() {
 		benchJSON  = flag.String("benchjson", "", "write all result tables as a JSON array to this file")
 		traceOut   = flag.String("trace", "", "run the two-task preemption workload with tracing and write Perfetto JSON here (metrics beside it)")
 		traceCap   = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default)")
+		datapath   = flag.String("datapath", "", "measure the batched serving datapath and write the schema-versioned snapshot here (e.g. BENCH_datapath.json)")
+		gate       = flag.String("gate", "", "measure the datapath and fail if modeled MACs/s regressed vs this baseline snapshot")
+		reps       = flag.Int("reps", 3, "wall-clock best-of repetitions for -datapath/-gate")
 	)
 	flag.Parse()
+
+	if *datapath != "" || *gate != "" {
+		runDatapath(*datapath, *gate, *reps, *formatMD)
+		return
+	}
 
 	scale := bench.Quick
 	switch *scaleStr {
@@ -187,6 +198,59 @@ func run(exps string, scale bench.Scale) ([]*bench.Table, error) {
 		}
 	}
 	return tables, nil
+}
+
+// runDatapath handles -datapath (write a fresh snapshot) and -gate (compare
+// against a checked-in baseline). INCA_BENCH_GATE=off skips the comparison,
+// INCA_BENCH_GATE_TOL widens the allowed drop for noisy boxes.
+func runDatapath(outPath, gatePath string, reps int, md bool) {
+	if gatePath != "" && os.Getenv("INCA_BENCH_GATE") == "off" {
+		fmt.Println("bench-gate: skipped (INCA_BENCH_GATE=off)")
+		return
+	}
+	snap, t, err := bench.Datapath(reps)
+	if err != nil {
+		fatalf("datapath: %v", err)
+	}
+	snap.GitRev = gitRev()
+	printTable(os.Stdout, t, md)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatalf("create %s: %v", outPath, err)
+		}
+		if err := bench.WriteDatapath(f, snap); err != nil {
+			fatalf("write %s: %v", outPath, err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (schema v%d, rev %s)\n", outPath, snap.Schema, snap.GitRev)
+	}
+	if gatePath != "" {
+		baseline, err := bench.ReadDatapath(gatePath)
+		if err != nil {
+			fatalf("gate baseline: %v", err)
+		}
+		tol := bench.GateTolerancePct()
+		if fails := bench.Gate(baseline, snap, tol); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "bench-gate: %s\n", f)
+			}
+			fatalf("modeled throughput regressed vs %s (baseline rev %s, tolerance %.1f%%)",
+				gatePath, baseline.GitRev, tol)
+		}
+		fmt.Printf("bench-gate: ok vs %s (baseline rev %s, tolerance %.1f%%)\n",
+			gatePath, baseline.GitRev, tol)
+	}
+}
+
+// gitRev best-effort resolves the working tree's short revision for the
+// snapshot header; "unknown" outside a git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -29,29 +29,51 @@ func NewArena(p *isa.Program) ([]byte, error) {
 }
 
 // WriteInput copies an input activation (CHW int8) into the arena's input
-// region.
+// region (batch element 0).
 func WriteInput(arena []byte, p *isa.Program, in *tensor.Int8) error {
+	return WriteInputAt(arena, p, in, 0)
+}
+
+// WriteInputAt copies an input activation (CHW int8) into batch element
+// bat's plane of the arena's input region; InputBytes is per-element, so
+// element b lives at InputAddr + b*InputBytes.
+func WriteInputAt(arena []byte, p *isa.Program, in *tensor.Int8, bat int) error {
 	if uint32(len(in.Data)) != p.InputBytes {
 		return fmt.Errorf("accel: input has %d bytes, program expects %d", len(in.Data), p.InputBytes)
 	}
+	if bat < 0 || bat >= p.BatchN() {
+		return fmt.Errorf("accel: batch element %d outside program batch %d", bat, p.BatchN())
+	}
+	base := int(p.InputAddr) + bat*int(p.InputBytes)
 	for i, v := range in.Data {
-		arena[int(p.InputAddr)+i] = byte(v)
+		arena[base+i] = byte(v)
 	}
 	return nil
 }
 
-// ReadOutput extracts the final featuremap from the arena as a CHW tensor.
+// ReadOutput extracts the final featuremap from the arena as a CHW tensor
+// (batch element 0).
 func ReadOutput(arena []byte, p *isa.Program) (*tensor.Int8, error) {
+	return ReadOutputAt(arena, p, 0)
+}
+
+// ReadOutputAt extracts batch element bat's final featuremap; OutputBytes is
+// per-element, so element b lives at OutputAddr + b*OutputBytes.
+func ReadOutputAt(arena []byte, p *isa.Program, bat int) (*tensor.Int8, error) {
 	if len(p.Layers) == 0 {
 		return nil, fmt.Errorf("accel: program %q has no layers", p.Name)
+	}
+	if bat < 0 || bat >= p.BatchN() {
+		return nil, fmt.Errorf("accel: batch element %d outside program batch %d", bat, p.BatchN())
 	}
 	last := &p.Layers[len(p.Layers)-1]
 	out := tensor.NewInt8(last.OutC, last.OutH, last.OutW)
 	if uint32(len(out.Data)) != p.OutputBytes {
 		return nil, fmt.Errorf("accel: output region %d bytes, shape wants %d", p.OutputBytes, len(out.Data))
 	}
+	base := int(p.OutputAddr) + bat*int(p.OutputBytes)
 	for i := range out.Data {
-		out.Data[i] = int8(arena[int(p.OutputAddr)+i])
+		out.Data[i] = int8(arena[base+i])
 	}
 	return out, nil
 }

@@ -95,6 +95,18 @@ func Small() Config {
 	return c
 }
 
+// Serving returns the small configuration on a bandwidth-starved memory
+// system (shared LPDDR on a busy MPSoC, ~1.6 GB/s effective): the regime
+// batched plans target, where weight traffic dominates small featuremaps and
+// the per-tile LOAD_W amortization across the batch pays off directly.
+func Serving() Config {
+	c := Small()
+	c.Name = "angel-eye-serving"
+	c.DDRBandwidthGBps = 1.6
+	c.PrefetchBytes = 96 << 10
+	return c
+}
+
 // Validate checks the configuration for usable values.
 func (c Config) Validate() error {
 	if c.ParaIn <= 0 || c.ParaOut <= 0 || c.ParaHeight <= 0 {

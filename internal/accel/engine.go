@@ -45,7 +45,10 @@ type Engine struct {
 	curProg  *isa.Program
 	curLayer int
 
-	win [2]rowWindow // resident input rows per input selector
+	// Resident input rows per (input selector, batch element). Batched plans
+	// keep one window per element so a single LOAD_W serves every element's
+	// CALC; single-image plans only ever touch index 0.
+	win [2][]rowWindow
 
 	wLayer, wOG int // identity of the loaded weight blob
 	bias        []int32
@@ -68,18 +71,18 @@ type rowWindow struct {
 }
 
 type accTile struct {
-	layer, tile, og int
-	row0, rows      int
-	valid           bool
-	data            []int32 // oCnt x rows x OutW
+	layer, tile, og, bat int
+	row0, rows           int
+	valid                bool
+	data                 []int32 // oCnt x rows x OutW
 }
 
 type finalTile struct {
-	layer, tile int
-	row0, rows  int
-	valid       bool
-	data        []int8 // OutC x rows x OutW
-	ogDone      []bool
+	layer, tile, bat int
+	row0, rows       int
+	valid            bool
+	data             []int8 // OutC x rows x OutW
+	ogDone           []bool
 }
 
 // NewEngine returns an engine for the given configuration.
@@ -118,18 +121,28 @@ func (e *Engine) Invalidate() {
 	e.DrainPipeline()
 	e.curProg = nil
 	e.curLayer = -1
-	e.win[0] = rowWindow{}
-	e.win[1] = rowWindow{}
+	e.win[0] = e.win[0][:0]
+	e.win[1] = e.win[1][:0]
 	e.wLayer, e.wOG = -1, -1
 	e.acc.valid = false
 	e.finals.valid = false
+}
+
+// window returns the resident-row window for one (input selector, batch
+// element), growing the per-selector slice on first touch.
+func (e *Engine) window(which, bat int) *rowWindow {
+	w := &e.win[which]
+	for len(*w) <= bat {
+		*w = append(*w, rowWindow{})
+	}
+	return &(*w)[bat]
 }
 
 // Snapshot captures the full on-chip state (CPU-like interrupt backup).
 type Snapshot struct {
 	curProg  *isa.Program
 	curLayer int
-	win      [2]rowWindow
+	win      [2][]rowWindow
 	wLayer   int
 	wOG      int
 	bias     []int32
@@ -151,7 +164,9 @@ func (e *Engine) Snapshot() *Snapshot {
 	} else {
 		s = new(Snapshot)
 	}
-	s.curProg, s.curLayer, s.win = e.curProg, e.curLayer, e.win
+	s.curProg, s.curLayer = e.curProg, e.curLayer
+	s.win[0] = append(s.win[0][:0], e.win[0]...)
+	s.win[1] = append(s.win[1][:0], e.win[1]...)
 	s.wLayer, s.wOG = e.wLayer, e.wOG
 	s.bias = append(s.bias[:0], e.bias...)
 	// wdata references the read-only weight region of the arena.
@@ -172,7 +187,9 @@ func (e *Engine) Snapshot() *Snapshot {
 // existing tile buffers are reused, so recovery allocates only when the
 // snapshot is larger than anything the engine has held before.
 func (e *Engine) Restore(s *Snapshot) {
-	e.curProg, e.curLayer, e.win = s.curProg, s.curLayer, s.win
+	e.curProg, e.curLayer = s.curProg, s.curLayer
+	e.win[0] = append(e.win[0][:0], s.win[0]...)
+	e.win[1] = append(e.win[1][:0], s.win[1]...)
 	e.wLayer, e.wOG = s.wLayer, s.wOG
 	e.bias = append(e.bias[:0], s.bias...)
 	e.wdata = s.wdata
@@ -280,9 +297,14 @@ func (e *Engine) execFunctional(arena []byte, p *isa.Program, in isa.Instruction
 	l := &p.Layers[in.Layer]
 	switch in.Op {
 	case isa.OpLoadD:
-		return e.loadRows(&e.win[in.Which], in, false)
+		return e.loadRows(e.window(int(in.Which), int(in.Bat)), in, false)
 	case isa.OpVirLoadD:
-		return e.loadRows(&e.win[in.Which], in, true)
+		if in.Which == 2 {
+			// Weight restore: mid-batch interrupt points refetch the current
+			// out-group's weight blob (no LOAD_W lies ahead of the resume pc).
+			return e.loadWeights(arena, l, in)
+		}
+		return e.loadRows(e.window(int(in.Which), int(in.Bat)), in, true)
 	case isa.OpLoadW:
 		return e.loadWeights(arena, l, in)
 	case isa.OpCalcI, isa.OpCalcF:
@@ -337,7 +359,7 @@ func (e *Engine) loadWeights(arena []byte, l *isa.LayerInfo, in isa.Instruction)
 }
 
 // needWindow checks that the input rows a CALC consumes are resident.
-func (e *Engine) needWindow(which int, l *isa.LayerInfo, row0, rows int) error {
+func (e *Engine) needWindow(which, bat int, l *isa.LayerInfo, row0, rows int) error {
 	c0, cn := l.ConvRows(row0, rows)
 	lo := c0*l.Stride - l.Pad
 	hi := (c0+cn-1)*l.Stride - l.Pad + l.KH
@@ -353,10 +375,23 @@ func (e *Engine) needWindow(which int, l *isa.LayerInfo, row0, rows int) error {
 		// window is fine.
 		return nil
 	}
-	w := &e.win[which]
+	return e.checkResident(which, bat, lo, hi)
+}
+
+// needResidual checks that a fused-residual window (OUTPUT geometry: the
+// residual operand has the conv's output shape) is resident.
+func (e *Engine) needResidual(bat int, row0, rows int) error {
+	if rows == 0 {
+		return nil
+	}
+	return e.checkResident(1, bat, row0, row0+rows)
+}
+
+func (e *Engine) checkResident(which, bat, lo, hi int) error {
+	w := e.window(which, bat)
 	if !w.valid || lo < w.lo || hi > w.hi {
-		return fmt.Errorf("input rows [%d,%d) not resident (window valid=%v [%d,%d)) — missing restore after preemption?",
-			lo, hi, w.valid, w.lo, w.hi)
+		return fmt.Errorf("input rows [%d,%d) of element %d not resident (window valid=%v [%d,%d)) — missing restore after preemption?",
+			lo, hi, bat, w.valid, w.lo, w.hi)
 	}
 	return nil
 }
@@ -365,12 +400,18 @@ func (e *Engine) calc(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Ins
 	oc0 := int(in.OutG) * e.Cfg.ParaOut
 	oc1 := min(oc0+e.Cfg.ParaOut, l.OutC)
 	row0, rows := int(in.Row0), int(in.Rows)
-	if err := e.needWindow(0, l, row0, rows); err != nil {
+	bat := int(in.Bat)
+	if err := e.needWindow(0, bat, l, row0, rows); err != nil {
 		return err
 	}
 	ref := forceReferenceConv || e.useRef
 	switch l.Op {
 	case isa.LayerConv:
+		if l.FusedAdd && in.Op == isa.OpCalcF {
+			if err := e.needResidual(bat, row0, rows); err != nil {
+				return err
+			}
+		}
 		if ref {
 			return e.referenceCalcConv(arena, p, l, in, oc0, oc1, row0, rows)
 		}
@@ -381,7 +422,7 @@ func (e *Engine) calc(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Ins
 		}
 		return e.calcPool(arena, p, l, in, oc0, oc1, row0, rows)
 	case isa.LayerAdd:
-		if err := e.needWindow(1, l, row0, rows); err != nil {
+		if err := e.needWindow(1, bat, l, row0, rows); err != nil {
 			return err
 		}
 		if ref {
@@ -397,6 +438,7 @@ func (e *Engine) calcConv(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa
 		return fmt.Errorf("weights for layer %d og %d not loaded (have %d/%d)", in.Layer, in.OutG, e.wLayer, e.wOG)
 	}
 	oCnt := oc1 - oc0
+	bat := int(in.Bat)
 	depthwise := l.Groups == l.InC && l.Groups > 1
 	// Work happens at convolution resolution; fused pooling shrinks it only
 	// at requantization time.
@@ -405,7 +447,7 @@ func (e *Engine) calcConv(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa
 	// Establish / verify the accumulator tile.
 	if in.InG == 0 {
 		e.acc = accTile{
-			layer: int(in.Layer), tile: int(in.Tile), og: int(in.OutG),
+			layer: int(in.Layer), tile: int(in.Tile), og: int(in.OutG), bat: bat,
 			row0: row0, rows: rows, valid: true,
 			data: resizeI32(e.acc.data, oCnt*crows*convW),
 		}
@@ -413,9 +455,9 @@ func (e *Engine) calcConv(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa
 			e.acc.data[i] = 0
 		}
 	} else {
-		if !e.acc.valid || e.acc.layer != int(in.Layer) || e.acc.tile != int(in.Tile) || e.acc.og != int(in.OutG) {
-			return fmt.Errorf("accumulator tile mismatch: have l%d t%d og%d valid=%v, want l%d t%d og%d",
-				e.acc.layer, e.acc.tile, e.acc.og, e.acc.valid, in.Layer, in.Tile, in.OutG)
+		if !e.acc.valid || e.acc.layer != int(in.Layer) || e.acc.tile != int(in.Tile) || e.acc.og != int(in.OutG) || e.acc.bat != bat {
+			return fmt.Errorf("accumulator tile mismatch: have l%d t%d og%d b%d valid=%v, want l%d t%d og%d b%d",
+				e.acc.layer, e.acc.tile, e.acc.og, e.acc.bat, e.acc.valid, in.Layer, in.Tile, in.OutG, bat)
 		}
 	}
 	ic0, ic1 := 0, 0
@@ -431,7 +473,7 @@ func (e *Engine) calcConv(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa
 		blockSz: crows * convW, depthwise: depthwise,
 		ic0: ic0, ic1: ic1,
 		wpo: weightsPerOC(l), khkw: l.KH * l.KW,
-		planeSz: l.InH * l.InW, inBase: int(l.InAddr),
+		planeSz: l.InH * l.InW, inBase: int(l.InAddr) + bat*l.InPlane(),
 	}
 	if shards := e.shardsFor(oCnt, c.blockSz*c.khkw*icCnt); shards > 1 {
 		// The closure gets its own copy so the serial path below keeps the
@@ -450,6 +492,10 @@ func (e *Engine) calcConv(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa
 		q := requantCall{
 			l: l, oc0: oc0, rows: rows, convW: convW, fp: fp,
 			perChan: rows * l.OutW, blockSz: c.blockSz,
+		}
+		if l.FusedAdd {
+			q.arena = arena
+			q.resBase = int(l.In2Addr) + bat*l.OutPlane() + row0*l.OutW
 		}
 		if shards := e.shardsFor(oCnt, q.perChan*fp*fp); shards > 1 {
 			qq := q
@@ -503,14 +549,24 @@ type requantCall struct {
 	oc0              int
 	rows, convW, fp  int
 	perChan, blockSz int
+	// Fused-residual epilogue: when arena is non-nil the residual operand of
+	// channel oc streams from arena[resBase + oc*OutH*OutW : +perChan].
+	arena   []byte
+	resBase int
 }
 
-// requantShard requantizes (and fused-pools) output channels [a,b).
+// requantShard requantizes (and fused-pools, and fused-residual-adds) output
+// channels [a,b).
 func (e *Engine) requantShard(q *requantCall, a, b int) {
+	l := q.l
 	for oc := a; oc < b; oc++ {
 		dst := e.finals.data[oc*q.perChan : (oc+1)*q.perChan]
 		acc := e.acc.data[(oc-q.oc0)*q.blockSz : (oc-q.oc0+1)*q.blockSz]
-		requantChannel(dst, acc, e.bias[oc-q.oc0], q.l, q.rows, q.convW, q.fp)
+		requantChannel(dst, acc, e.bias[oc-q.oc0], l, q.rows, q.convW, q.fp)
+		if q.arena != nil {
+			res := q.arena[q.resBase+oc*l.OutH*l.OutW:]
+			fusedAddChannel(dst, res[:len(dst)], l.AddShift, l.AddReLU)
+		}
 	}
 }
 
@@ -523,20 +579,21 @@ func weightsPerOC(l *isa.LayerInfo) int {
 
 func (e *Engine) calcPool(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, oc0, oc1, row0, rows int) error {
 	e.ensureFinals(l, in, row0, rows)
+	bat := int(in.Bat)
 	perChan := rows * l.OutW
 	if shards := e.shardsFor(oc1-oc0, perChan*l.KH*l.KW); shards > 1 {
-		e.runShards(shards, oc0, oc1, func(a, b int) { e.poolShard(arena, l, row0, rows, a, b) })
+		e.runShards(shards, oc0, oc1, func(a, b int) { e.poolShard(arena, l, row0, rows, bat, a, b) })
 	} else {
-		e.poolShard(arena, l, row0, rows, oc0, oc1)
+		e.poolShard(arena, l, row0, rows, bat, oc0, oc1)
 	}
 	e.finals.ogDone[in.OutG] = true
 	return nil
 }
 
 // poolShard evaluates output channels [a,b) of a standalone pool CALC.
-func (e *Engine) poolShard(arena []byte, l *isa.LayerInfo, row0, rows, a, b int) {
+func (e *Engine) poolShard(arena []byte, l *isa.LayerInfo, row0, rows, bat, a, b int) {
 	planeSz := l.InH * l.InW
-	inBase := int(l.InAddr)
+	inBase := int(l.InAddr) + bat*l.InPlane()
 	perChan := rows * l.OutW
 	for oc := a; oc < b; oc++ {
 		plane := arena[inBase+oc*planeSz : inBase+(oc+1)*planeSz]
@@ -547,37 +604,41 @@ func (e *Engine) poolShard(arena []byte, l *isa.LayerInfo, row0, rows, a, b int)
 
 func (e *Engine) calcAdd(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, oc0, oc1, row0, rows int) error {
 	e.ensureFinals(l, in, row0, rows)
+	bat := int(in.Bat)
 	perChan := rows * l.OutW
 	if shards := e.shardsFor(oc1-oc0, perChan); shards > 1 {
-		e.runShards(shards, oc0, oc1, func(a, b int) { e.addShard(arena, l, row0, rows, a, b) })
+		e.runShards(shards, oc0, oc1, func(a, b int) { e.addShard(arena, l, row0, rows, bat, a, b) })
 	} else {
-		e.addShard(arena, l, row0, rows, oc0, oc1)
+		e.addShard(arena, l, row0, rows, bat, oc0, oc1)
 	}
 	e.finals.ogDone[in.OutG] = true
 	return nil
 }
 
 // addShard evaluates output channels [a,b) of a residual-add CALC.
-func (e *Engine) addShard(arena []byte, l *isa.LayerInfo, row0, rows, a, b int) {
+func (e *Engine) addShard(arena []byte, l *isa.LayerInfo, row0, rows, bat, a, b int) {
 	perChan := rows * l.OutW
 	span := (rows-1)*l.InW + l.OutW
+	batOff := bat * l.InPlane()
 	for oc := a; oc < b; oc++ {
-		aBase := int(l.InAddr) + (oc*l.InH+row0)*l.InW
-		bBase := int(l.In2Addr) + (oc*l.InH+row0)*l.InW
+		aBase := int(l.InAddr) + batOff + (oc*l.InH+row0)*l.InW
+		bBase := int(l.In2Addr) + batOff + (oc*l.InH+row0)*l.InW
 		dst := e.finals.data[oc*perChan : (oc+1)*perChan]
 		addChannel(dst, arena[aBase:aBase+span], arena[bBase:bBase+span], l, rows)
 	}
 }
 
 // ensureFinals (re)establishes the final-results tile buffer for the
-// instruction's (layer, tile).
+// instruction's (layer, tile, batch element). The tile holds one element:
+// batched plans save each element's window before moving to the next, so
+// switching elements may recycle the buffer.
 func (e *Engine) ensureFinals(l *isa.LayerInfo, in isa.Instruction, row0, rows int) {
-	if e.finals.valid && e.finals.layer == int(in.Layer) && e.finals.tile == int(in.Tile) {
+	if e.finals.valid && e.finals.layer == int(in.Layer) && e.finals.tile == int(in.Tile) && e.finals.bat == int(in.Bat) {
 		return
 	}
 	nOut := l.NOut
 	e.finals = finalTile{
-		layer: int(in.Layer), tile: int(in.Tile),
+		layer: int(in.Layer), tile: int(in.Tile), bat: int(in.Bat),
 		row0: row0, rows: rows, valid: true,
 		data:   resizeI8(e.finals.data, l.OutC*rows*l.OutW),
 		ogDone: resizeBool(e.finals.ogDone, nOut),
@@ -609,10 +670,11 @@ func (e *Engine) save(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Ins
 	if skipC >= endC {
 		return nil // everything already stored
 	}
-	if !e.finals.valid || e.finals.layer != int(in.Layer) || e.finals.tile != int(in.Tile) {
-		return fmt.Errorf("save of tile l%d t%d but finals hold l%d t%d (valid=%v)",
-			in.Layer, in.Tile, e.finals.layer, e.finals.tile, e.finals.valid)
+	if !e.finals.valid || e.finals.layer != int(in.Layer) || e.finals.tile != int(in.Tile) || e.finals.bat != int(in.Bat) {
+		return fmt.Errorf("save of tile l%d t%d b%d but finals hold l%d t%d b%d (valid=%v)",
+			in.Layer, in.Tile, in.Bat, e.finals.layer, e.finals.tile, e.finals.bat, e.finals.valid)
 	}
+	batOff := int(in.Bat) * l.OutPlane()
 	for oc := skipC; oc < endC; oc++ {
 		if oc < 0 || oc >= l.OutC {
 			return fmt.Errorf("save channel %d outside layer channels %d", oc, l.OutC)
@@ -621,7 +683,7 @@ func (e *Engine) save(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Ins
 		if !e.finals.ogDone[og] {
 			return fmt.Errorf("save of channel %d (group %d) before CALC_F finished it", oc, og)
 		}
-		dst := arena[int(l.OutAddr)+(oc*l.OutH+row0)*l.OutW:]
+		dst := arena[int(l.OutAddr)+batOff+(oc*l.OutH+row0)*l.OutW:]
 		src := e.finals.data[oc*perChan : (oc+1)*perChan]
 		for i, v := range src {
 			dst[i] = byte(v)

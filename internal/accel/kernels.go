@@ -197,32 +197,76 @@ func convRowGeneric(dst []int32, rows []byte, inW int, wRows []byte, kw, nky, st
 
 // requantChannel flattens the CALC_F epilogue for one output channel:
 // requantize the accumulator block and max-pool the fp x fp window when
-// pooling is fused (requantization is monotonic, so pooling after requant
-// matches the reference's per-window order exactly).
+// pooling is fused. The requant constants (bias, shift, ReLU) are hoisted
+// once per channel; the pooled path maxes the raw int32 accumulators first
+// and requantizes each window's winner once — requantization is monotonic
+// non-decreasing, so max-then-requant is bit-identical to the reference's
+// requant-then-max while doing fp² fewer requant ops per output pixel.
 func requantChannel(dst []int8, acc []int32, bias int32, l *isa.LayerInfo, rows, convW, fp int) {
 	if fp == 1 {
 		quant.RequantizeRow(dst, acc, bias, l.Shift, l.ReLU)
 		return
 	}
 	outW := l.OutW
+	shift, relu := l.Shift, l.ReLU
 	for r := 0; r < rows; r++ {
 		dstRow := dst[r*outW : (r+1)*outW]
-		for i := range dstRow {
-			dstRow[i] = -128
-		}
-		for py := 0; py < fp; py++ {
-			src := acc[(r*fp+py)*convW : (r*fp+py+1)*convW]
-			for ox := range dstRow {
-				m := dstRow[ox]
-				base := ox * fp
-				for px := 0; px < fp; px++ {
-					if v := quant.Requantize(src[base+px], bias, l.Shift, l.ReLU); v > m {
+		for ox := range dstRow {
+			base := ox * fp
+			m := int32(-1 << 31)
+			for py := 0; py < fp; py++ {
+				win := acc[(r*fp+py)*convW+base : (r*fp+py)*convW+base+fp : (r*fp+py)*convW+base+fp]
+				for _, v := range win {
+					if v > m {
 						m = v
 					}
 				}
-				dstRow[ox] = m
 			}
+			v := (m + bias) >> shift
+			if relu && v < 0 {
+				v = 0
+			}
+			if v > 127 {
+				v = 127
+			} else if v < -128 {
+				v = -128
+			}
+			dstRow[ox] = int8(v)
 		}
+	}
+}
+
+// fusedAddChannel applies a fused residual epilogue in place: dst holds the
+// freshly requantized (and possibly pooled) int8 outputs of one channel, res
+// the matching span of the residual featuremap as it sits in DDR. Each
+// element becomes SaturateAdd(dst, res>>shift, relu) — bit-identical to the
+// standalone Add layer, which reads the same requantized bytes back from the
+// arena. The alignment-shift and ReLU branches are hoisted out of the loop.
+func fusedAddChannel(dst []int8, res []byte, shift uint8, relu bool) {
+	if len(res) == 0 {
+		return
+	}
+	res = res[:len(dst)]
+	if relu {
+		for i, rv := range res {
+			v := int16(dst[i]) + int16(int8(rv)>>shift)
+			if v < 0 {
+				v = 0
+			} else if v > 127 {
+				v = 127
+			}
+			dst[i] = int8(v)
+		}
+		return
+	}
+	for i, rv := range res {
+		v := int16(dst[i]) + int16(int8(rv)>>shift)
+		if v > 127 {
+			v = 127
+		} else if v < -128 {
+			v = -128
+		}
+		dst[i] = int8(v)
 	}
 }
 
@@ -278,16 +322,39 @@ func poolChannel(dst []int8, plane []byte, l *isa.LayerInfo, row0, rows int) {
 }
 
 // addChannel evaluates one channel of a residual-add layer as flat row
-// traversals; the second input carries the branch-alignment shift.
+// traversals; the second input carries the branch-alignment shift. All three
+// row slices share one length so the per-element bounds checks vanish, and
+// the shift/ReLU branches are hoisted out of the inner loop (bit-identical
+// to quant.SaturateAdd per element).
 func addChannel(dst []int8, a, b []byte, l *isa.LayerInfo, rows int) {
 	inW, outW := l.InW, l.OutW
 	shift, relu := l.Shift, l.ReLU
 	for r := 0; r < rows; r++ {
+		aRow := a[r*inW : r*inW+outW : r*inW+outW]
+		bRow := b[r*inW : r*inW+outW : r*inW+outW]
 		dstRow := dst[r*outW : (r+1)*outW]
-		aRow := a[r*inW : r*inW+outW]
-		bRow := b[r*inW : r*inW+outW]
-		for i := range dstRow {
-			dstRow[i] = quant.SaturateAdd(int8(aRow[i]), int8(bRow[i])>>shift, relu)
+		dstRow = dstRow[:len(aRow)]
+		bRow = bRow[:len(aRow)]
+		if relu {
+			for i, av := range aRow {
+				v := int16(int8(av)) + int16(int8(bRow[i])>>shift)
+				if v < 0 {
+					v = 0
+				} else if v > 127 {
+					v = 127
+				}
+				dstRow[i] = int8(v)
+			}
+			continue
+		}
+		for i, av := range aRow {
+			v := int16(int8(av)) + int16(int8(bRow[i])>>shift)
+			if v > 127 {
+				v = 127
+			} else if v < -128 {
+				v = -128
+			}
+			dstRow[i] = int8(v)
 		}
 	}
 }

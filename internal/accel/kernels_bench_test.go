@@ -1,0 +1,66 @@
+package accel
+
+// Micro-benchmarks for the CALC_F epilogue kernels. requantChannel hoists
+// the per-channel requant constants (bias/shift/ReLU) out of the row loop;
+// these benchmarks make that win measurable in isolation:
+//
+//	go test -bench 'RequantChannel|FusedAddChannel' -benchmem ./internal/accel
+//
+// The geometry (convW 64, 16 rows) matches a typical tile slice of the
+// serving configs, so ns/op here maps directly onto the per-SAVE epilogue
+// cost seen in the datapath benchmark.
+
+import (
+	"testing"
+
+	"inca/internal/isa"
+)
+
+func epilogueFixture(fp int) (dst []int8, acc []int32, l *isa.LayerInfo, rows, convW int) {
+	rows, convW = 16, 64
+	acc = make([]int32, rows*fp*convW)
+	for i := range acc {
+		acc[i] = int32(i*2654435761) >> 12 // spread across the saturation range
+	}
+	dst = make([]int8, rows*(convW/fp))
+	l = &isa.LayerInfo{OutW: convW / fp, Shift: 7, ReLU: true, FusedPool: fp}
+	return dst, acc, l, rows, convW
+}
+
+func BenchmarkRequantChannel(b *testing.B) {
+	for _, fp := range []int{1, 2} {
+		dst, acc, l, rows, convW := epilogueFixture(fp)
+		name := "fp1"
+		if fp == 2 {
+			name = "fp2-pooled"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(acc) * 4))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				requantChannel(dst, acc, 513, l, rows, convW, fp)
+			}
+		})
+	}
+}
+
+func BenchmarkFusedAddChannel(b *testing.B) {
+	dst := make([]int8, 16*64)
+	res := make([]byte, len(dst))
+	for i := range res {
+		res[i] = byte(i * 73)
+	}
+	for _, relu := range []bool{false, true} {
+		name := "linear"
+		if relu {
+			name = "relu"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(dst)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fusedAddChannel(dst, res, 1, relu)
+			}
+		})
+	}
+}

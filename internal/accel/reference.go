@@ -22,10 +22,11 @@ func (e *Engine) referenceCalcConv(arena []byte, p *isa.Program, l *isa.LayerInf
 	// at requantization time.
 	crow0, crows := l.ConvRows(row0, rows)
 	convW := l.ConvW()
+	bat := int(in.Bat)
 	// Establish / verify the accumulator tile.
 	if in.InG == 0 {
 		e.acc = accTile{
-			layer: int(in.Layer), tile: int(in.Tile), og: int(in.OutG),
+			layer: int(in.Layer), tile: int(in.Tile), og: int(in.OutG), bat: bat,
 			row0: row0, rows: rows, valid: true,
 			data: resizeI32(e.acc.data, oCnt*crows*convW),
 		}
@@ -33,9 +34,9 @@ func (e *Engine) referenceCalcConv(arena []byte, p *isa.Program, l *isa.LayerInf
 			e.acc.data[i] = 0
 		}
 	} else {
-		if !e.acc.valid || e.acc.layer != int(in.Layer) || e.acc.tile != int(in.Tile) || e.acc.og != int(in.OutG) {
-			return fmt.Errorf("accumulator tile mismatch: have l%d t%d og%d valid=%v, want l%d t%d og%d",
-				e.acc.layer, e.acc.tile, e.acc.og, e.acc.valid, in.Layer, in.Tile, in.OutG)
+		if !e.acc.valid || e.acc.layer != int(in.Layer) || e.acc.tile != int(in.Tile) || e.acc.og != int(in.OutG) || e.acc.bat != bat {
+			return fmt.Errorf("accumulator tile mismatch: have l%d t%d og%d b%d valid=%v, want l%d t%d og%d b%d",
+				e.acc.layer, e.acc.tile, e.acc.og, e.acc.bat, e.acc.valid, in.Layer, in.Tile, in.OutG, bat)
 		}
 	}
 	ic0, ic1 := 0, 0
@@ -53,10 +54,10 @@ func (e *Engine) referenceCalcConv(arena []byte, p *isa.Program, l *isa.LayerInf
 			for ox := 0; ox < convW; ox++ {
 				var sum int32
 				if depthwise {
-					sum = e.convPoint(arena, l, oc, oy, ox, wBase)
+					sum = e.convPoint(arena, l, bat, oc, oy, ox, wBase)
 				} else {
 					for ic := ic0; ic < ic1; ic++ {
-						sum += e.convPoint(arena, l, ic, oy, ox, wBase+ic*l.KH*l.KW)
+						sum += e.convPoint(arena, l, bat, ic, oy, ox, wBase+ic*l.KH*l.KW)
 					}
 				}
 				e.acc.data[outRow+ox] += sum
@@ -68,6 +69,10 @@ func (e *Engine) referenceCalcConv(arena []byte, p *isa.Program, l *isa.LayerInf
 		fp := l.FusedPool
 		if fp <= 1 {
 			fp = 1
+		}
+		resBase := -1
+		if l.FusedAdd {
+			resBase = int(l.In2Addr) + bat*l.OutPlane()
 		}
 		for oc := oc0; oc < oc1; oc++ {
 			for r := 0; r < rows; r++ {
@@ -86,6 +91,12 @@ func (e *Engine) referenceCalcConv(arena []byte, p *isa.Program, l *isa.LayerInf
 							}
 						}
 					}
+					if resBase >= 0 {
+						// Fused residual epilogue: add the aligned residual pixel
+						// exactly as the standalone Add layer would.
+						res := int8(arena[resBase+(oc*l.OutH+row0+r)*l.OutW+ox]) >> l.AddShift
+						m = quant.SaturateAdd(m, res, l.AddReLU)
+					}
 					e.finals.data[dst+ox] = m
 				}
 			}
@@ -97,11 +108,11 @@ func (e *Engine) referenceCalcConv(arena []byte, p *isa.Program, l *isa.LayerInf
 }
 
 // convPoint accumulates one (input-channel, output-pixel) kernel window.
-// ch is the input channel; wOff locates that channel's KHxKW weights in the
-// loaded blob.
-func (e *Engine) convPoint(arena []byte, l *isa.LayerInfo, ch, oy, ox, wOff int) int32 {
+// ch is the input channel of batch element bat; wOff locates that channel's
+// KHxKW weights in the loaded blob.
+func (e *Engine) convPoint(arena []byte, l *isa.LayerInfo, bat, ch, oy, ox, wOff int) int32 {
 	var sum int32
-	inBase := int(l.InAddr) + ch*l.InH*l.InW
+	inBase := int(l.InAddr) + bat*l.InPlane() + ch*l.InH*l.InW
 	for ky := 0; ky < l.KH; ky++ {
 		iy := oy*l.Stride + ky - l.Pad
 		if iy < 0 || iy >= l.InH {
@@ -122,8 +133,9 @@ func (e *Engine) convPoint(arena []byte, l *isa.LayerInfo, ch, oy, ox, wOff int)
 
 func (e *Engine) referenceCalcPool(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, oc0, oc1, row0, rows int) error {
 	e.ensureFinals(l, in, row0, rows)
+	batOff := int(in.Bat) * l.InPlane()
 	for oc := oc0; oc < oc1; oc++ {
-		inBase := int(l.InAddr) + oc*l.InH*l.InW
+		inBase := int(l.InAddr) + batOff + oc*l.InH*l.InW
 		for r := 0; r < rows; r++ {
 			oy := row0 + r
 			dst := (oc*rows + r) * l.OutW
@@ -155,9 +167,10 @@ func (e *Engine) referenceCalcPool(arena []byte, p *isa.Program, l *isa.LayerInf
 
 func (e *Engine) referenceCalcAdd(arena []byte, p *isa.Program, l *isa.LayerInfo, in isa.Instruction, oc0, oc1, row0, rows int) error {
 	e.ensureFinals(l, in, row0, rows)
+	batOff := int(in.Bat) * l.InPlane()
 	for oc := oc0; oc < oc1; oc++ {
-		aBase := int(l.InAddr) + (oc*l.InH+row0)*l.InW
-		bBase := int(l.In2Addr) + (oc*l.InH+row0)*l.InW
+		aBase := int(l.InAddr) + batOff + (oc*l.InH+row0)*l.InW
+		bBase := int(l.In2Addr) + batOff + (oc*l.InH+row0)*l.InW
 		for r := 0; r < rows; r++ {
 			dst := (oc*rows + r) * l.OutW
 			for ox := 0; ox < l.OutW; ox++ {

@@ -32,9 +32,14 @@ func (s *Snapshot) Checksum() uint32 {
 	}
 	word(uint64(int64(s.curLayer)))
 	for i := range s.win {
-		word(uint64(int64(s.win[i].lo)))
-		word(uint64(int64(s.win[i].hi)))
-		word(b(s.win[i].valid))
+		// One row-window register file per batch element; the length word
+		// keeps structurally different window sets from colliding.
+		word(uint64(len(s.win[i])))
+		for j := range s.win[i] {
+			word(uint64(int64(s.win[i][j].lo)))
+			word(uint64(int64(s.win[i][j].hi)))
+			word(b(s.win[i][j].valid))
+		}
 	}
 	word(uint64(int64(s.wLayer)))
 	word(uint64(int64(s.wOG)))
@@ -44,6 +49,7 @@ func (s *Snapshot) Checksum() uint32 {
 	word(uint64(int64(s.acc.layer)))
 	word(uint64(int64(s.acc.tile)))
 	word(uint64(int64(s.acc.og)))
+	word(uint64(int64(s.acc.bat)))
 	word(uint64(int64(s.acc.row0)))
 	word(uint64(int64(s.acc.rows)))
 	word(b(s.acc.valid))
@@ -52,6 +58,7 @@ func (s *Snapshot) Checksum() uint32 {
 	}
 	word(uint64(int64(s.finals.layer)))
 	word(uint64(int64(s.finals.tile)))
+	word(uint64(int64(s.finals.bat)))
 	word(uint64(int64(s.finals.row0)))
 	word(uint64(int64(s.finals.rows)))
 	word(b(s.finals.valid))

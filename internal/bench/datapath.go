@@ -1,0 +1,333 @@
+package bench
+
+// The datapath benchmark behind `inca-bench -datapath` and `make bench-gate`:
+// it measures the batched serving datapath (PR "batched inference" tentpole)
+// on a fixed kernel suite and emits a schema-versioned snapshot that is
+// checked in as BENCH_datapath.json. The regression gate compares the
+// *modeled* MACs/s (deterministic cycle model — safe to gate in CI) between
+// the current tree and the checked-in baseline; the wall-clock GMACs/s
+// columns are informational, because host throughput depends on the box.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+	"inca/internal/tensor"
+)
+
+// DatapathSchema is the snapshot format version. Bump it whenever the JSON
+// layout or the measurement methodology changes; the gate refuses to compare
+// across schema versions.
+const DatapathSchema = 1
+
+// DatapathBatch is the batched operating point the snapshot records next to
+// the single-image baseline.
+const DatapathBatch = 8
+
+// DatapathKernel is one kernel's measurements at B=1 and B=8.
+type DatapathKernel struct {
+	Kernel string `json:"kernel"`
+
+	// Wall-clock throughput of the functional engine on this host
+	// (single-worker, best of several runs). Informational only.
+	WallGMACsB1 float64 `json:"wall_gmacs_b1"`
+	WallGMACsB8 float64 `json:"wall_gmacs_b8"`
+
+	// Modeled throughput from the cycle model under the serving
+	// configuration. Deterministic; the gate compares these.
+	ModelGMACsB1 float64 `json:"model_gmacs_b1"`
+	ModelGMACsB8 float64 `json:"model_gmacs_b8"`
+
+	// Modeled transfer (fetch) cycles per batch element: the weight-traffic
+	// amortization the batched plans exist for.
+	FetchCyclesPerElemB1 float64 `json:"fetch_cycles_per_elem_b1"`
+	FetchCyclesPerElemB8 float64 `json:"fetch_cycles_per_elem_b8"`
+
+	// ModelSpeedup is ModelGMACsB8 / ModelGMACsB1.
+	ModelSpeedup float64 `json:"model_speedup"`
+}
+
+// DatapathSnapshot is the checked-in benchmark baseline.
+type DatapathSnapshot struct {
+	Schema  int              `json:"schema"`
+	GitRev  string           `json:"git_rev"`
+	Config  string           `json:"config"`
+	Batch   int              `json:"batch"`
+	Kernels []DatapathKernel `json:"kernels"`
+}
+
+// datapathCase is one kernel in the fixed suite. Shapes are chosen so the
+// dense 3x3 case is weight-bound (large InC*OutC, tiny featuremap): exactly
+// the serving regime where LOAD_W amortization dominates.
+type datapathCase struct {
+	name  string
+	build func() *model.Network
+}
+
+func datapathCases() []datapathCase {
+	return []datapathCase{
+		{"dense3x3", func() *model.Network {
+			n := model.New("dense3x3", 128, 4, 4)
+			n.Conv("c", 0, 128, 3, 1, 1, true)
+			return n
+		}},
+		{"pointwise1x1", func() *model.Network {
+			n := model.New("pointwise1x1", 128, 8, 8)
+			n.Conv("c", 0, 128, 1, 1, 0, true)
+			return n
+		}},
+		{"generic5x5", func() *model.Network {
+			n := model.New("generic5x5", 32, 8, 8)
+			n.Conv("c", 0, 32, 5, 1, 2, true)
+			return n
+		}},
+		{"resfused", func() *model.Network {
+			n := model.New("resfused", 64, 8, 8)
+			a := n.Conv("a", 0, 64, 3, 1, 1, true)
+			b := n.Conv("b", 0, 64, 1, 1, 0, false)
+			// Primary operand first (the immediately preceding conv b), so
+			// the Add fuses into b's epilogue — the path this kernel measures.
+			n.Residual("r", b, a, true)
+			return n
+		}},
+	}
+}
+
+// macsPerElement counts multiply-accumulates of one batch element from the
+// compiled plan's conv layers (pool/add layers contribute none).
+func macsPerElement(p *isa.Program) float64 {
+	var macs float64
+	for i := range p.Layers {
+		l := &p.Layers[i]
+		if l.Op != isa.LayerConv {
+			continue
+		}
+		ch, cw := l.OutH, l.OutW
+		if l.FusedPool > 1 {
+			ch, cw = l.OutH*l.FusedPool, l.OutW*l.FusedPool
+		}
+		macs += float64(l.OutC) * float64(ch) * float64(cw) *
+			float64(l.InC/l.Groups) * float64(l.KH) * float64(l.KW)
+	}
+	return macs
+}
+
+// compileDatapath lowers a kernel net for the serving config at one batch.
+func compileDatapath(g *model.Network, cfg accel.Config, batch int) (*isa.Program, error) {
+	q, err := quant.Synthesize(g, 7)
+	if err != nil {
+		return nil, err
+	}
+	opt := cfg.CompilerOptions()
+	opt.InsertVirtual = true
+	opt.EmitWeights = true
+	opt.Batch = batch
+	return compiler.Compile(q, opt)
+}
+
+// runStream executes the program's real instructions once against a fresh
+// arena and returns (total modeled cycles, transfer cycles).
+func runStream(cfg accel.Config, p *isa.Program, inputs []*tensor.Int8) (uint64, uint64, error) {
+	arena, err := accel.NewArena(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	for b, in := range inputs {
+		if err := accel.WriteInputAt(arena, p, in, b); err != nil {
+			return 0, 0, err
+		}
+	}
+	eng := accel.NewEngine(cfg)
+	defer eng.Close()
+	var total uint64
+	for _, in := range p.Instrs {
+		if in.Op == isa.OpEnd {
+			break
+		}
+		if in.Op.Virtual() {
+			continue
+		}
+		c, err := eng.Exec(arena, p, in, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += c
+	}
+	_, xfer, _ := eng.CycleStats()
+	return total, xfer, nil
+}
+
+// measureWall times repeated full serving passes (arena build + stream) and
+// returns the best-of-reps seconds per pass. Arena construction is part of
+// the measurement on purpose: a B=1 serving loop rebuilds it per image.
+func measureWall(cfg accel.Config, p *isa.Program, inputs []*tensor.Int8, reps int) (float64, error) {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if _, _, err := runStream(cfg, p, inputs); err != nil {
+			return 0, err
+		}
+		d := time.Since(start).Seconds()
+		if r == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func datapathInputs(g *model.Network, n int) []*tensor.Int8 {
+	inputs := make([]*tensor.Int8, n)
+	for b := range inputs {
+		inputs[b] = tensor.NewInt8(g.InC, g.InH, g.InW)
+		tensor.FillPattern(inputs[b], 0xDA7A^(uint64(b)*0xB5EED))
+	}
+	return inputs
+}
+
+// Datapath measures the kernel suite under the serving configuration at B=1
+// and B=8. reps controls the wall-clock best-of loop (>=1; more reps, less
+// noise).
+func Datapath(reps int) (*DatapathSnapshot, *Table, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	cfg := accel.Serving()
+	cfg.Workers = 1 // single host thread: comparable wall numbers across runs
+	snap := &DatapathSnapshot{Schema: DatapathSchema, Config: cfg.Name, Batch: DatapathBatch}
+	t := &Table{
+		ID:    "DATAPATH",
+		Title: fmt.Sprintf("batched serving datapath (%s, B=1 vs B=%d)", cfg.Name, DatapathBatch),
+		Columns: []string{"kernel", "model GMACs/s B1", "model GMACs/s B8", "model speedup",
+			"fetch cyc/elem B1", "fetch cyc/elem B8", "wall GMACs/s B1", "wall GMACs/s B8"},
+	}
+	for _, kc := range datapathCases() {
+		g := kc.build()
+		k := DatapathKernel{Kernel: kc.name}
+		var perElem [2]float64 // modeled seconds per element at B=1, B=8
+		for i, batch := range []int{1, DatapathBatch} {
+			p, err := compileDatapath(g, cfg, batch)
+			if err != nil {
+				return nil, nil, fmt.Errorf("datapath %s B=%d: %v", kc.name, batch, err)
+			}
+			if kc.name == "resfused" {
+				if st := compiler.Analyze(p); st.FusedAdds == 0 {
+					return nil, nil, fmt.Errorf("datapath %s B=%d: residual Add did not fuse — kernel would measure the unfused path", kc.name, batch)
+				}
+			}
+			inputs := datapathInputs(g, batch)
+			macs := macsPerElement(p) * float64(batch)
+			cycles, xfer, err := runStream(cfg, p, inputs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("datapath %s B=%d: %v", kc.name, batch, err)
+			}
+			wall, err := measureWall(cfg, p, inputs, reps)
+			if err != nil {
+				return nil, nil, fmt.Errorf("datapath %s B=%d: %v", kc.name, batch, err)
+			}
+			modelGMACs := macs / cfg.CyclesToSeconds(cycles) / 1e9
+			wallGMACs := macs / wall / 1e9
+			perElem[i] = cfg.CyclesToSeconds(cycles) / float64(batch)
+			if batch == 1 {
+				k.ModelGMACsB1, k.WallGMACsB1 = modelGMACs, wallGMACs
+				k.FetchCyclesPerElemB1 = float64(xfer)
+			} else {
+				k.ModelGMACsB8, k.WallGMACsB8 = modelGMACs, wallGMACs
+				k.FetchCyclesPerElemB8 = float64(xfer) / float64(batch)
+			}
+		}
+		k.ModelSpeedup = perElem[0] / perElem[1]
+		snap.Kernels = append(snap.Kernels, k)
+		t.AddRow(k.Kernel,
+			fmt.Sprintf("%.3f", k.ModelGMACsB1), fmt.Sprintf("%.3f", k.ModelGMACsB8),
+			fmt.Sprintf("%.2fx", k.ModelSpeedup),
+			fmt.Sprintf("%.0f", k.FetchCyclesPerElemB1), fmt.Sprintf("%.0f", k.FetchCyclesPerElemB8),
+			fmt.Sprintf("%.3f", k.WallGMACsB1), fmt.Sprintf("%.3f", k.WallGMACsB8))
+	}
+	t.AddNote("modeled columns are deterministic (cycle model, %s); wall columns depend on the host", cfg.Name)
+	t.AddNote("fetch cyc/elem counts all LOAD/SAVE transfer cycles after prefetch hiding, per batch element")
+	return snap, t, nil
+}
+
+// WriteDatapath serialises a snapshot as indented JSON.
+func WriteDatapath(w io.Writer, s *DatapathSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadDatapath loads a snapshot from a baseline file.
+func ReadDatapath(path string) (*DatapathSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s DatapathSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// GateTolerancePct returns the allowed relative drop in modeled MACs/s
+// before the gate fails: 10% by default, overridable for noisy boxes via
+// INCA_BENCH_GATE_TOL (a percentage).
+func GateTolerancePct() float64 {
+	if v := os.Getenv("INCA_BENCH_GATE_TOL"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 10
+}
+
+// Gate compares current modeled throughput against the baseline and returns
+// one error line per regression beyond tol percent. Kernels present only on
+// one side are reported too: a silently vanished kernel would otherwise make
+// the gate vacuous.
+func Gate(baseline, current *DatapathSnapshot, tolPct float64) []string {
+	var fails []string
+	if baseline.Schema != current.Schema {
+		return []string{fmt.Sprintf("schema mismatch: baseline v%d vs current v%d (regenerate BENCH_datapath.json)",
+			baseline.Schema, current.Schema)}
+	}
+	base := map[string]DatapathKernel{}
+	for _, k := range baseline.Kernels {
+		base[k.Kernel] = k
+	}
+	seen := map[string]bool{}
+	check := func(kernel, col string, was, now float64) {
+		if was <= 0 {
+			return
+		}
+		drop := (was - now) / was * 100
+		if drop > tolPct {
+			fails = append(fails, fmt.Sprintf("%s %s: %.3f -> %.3f GMACs/s (-%.1f%% > %.1f%% tolerance)",
+				kernel, col, was, now, drop, tolPct))
+		}
+	}
+	for _, k := range current.Kernels {
+		b, ok := base[k.Kernel]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: not in baseline (regenerate BENCH_datapath.json)", k.Kernel))
+			continue
+		}
+		seen[k.Kernel] = true
+		check(k.Kernel, "model B=1", b.ModelGMACsB1, k.ModelGMACsB1)
+		check(k.Kernel, "model B=8", b.ModelGMACsB8, k.ModelGMACsB8)
+	}
+	for _, k := range baseline.Kernels {
+		if !seen[k.Kernel] {
+			fails = append(fails, fmt.Sprintf("%s: in baseline but not measured", k.Kernel))
+		}
+	}
+	return fails
+}

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDatapathMeasuresSuite runs the real measurement once (reps=1) and
+// checks the invariants the snapshot is supposed to certify: every kernel in
+// the fixed suite is present, the modeled numbers are positive and
+// deterministic-speedup-consistent, and the weight-bound dense3x3 kernel
+// clears the 2.5x amortization target the batched scheduler exists for.
+func TestDatapathMeasuresSuite(t *testing.T) {
+	snap, table, err := Datapath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != DatapathSchema || snap.Batch != DatapathBatch {
+		t.Fatalf("snapshot header schema=%d batch=%d", snap.Schema, snap.Batch)
+	}
+	want := map[string]bool{"dense3x3": false, "pointwise1x1": false, "generic5x5": false, "resfused": false}
+	for _, k := range snap.Kernels {
+		if _, ok := want[k.Kernel]; !ok {
+			t.Errorf("unexpected kernel %q", k.Kernel)
+			continue
+		}
+		want[k.Kernel] = true
+		if k.ModelGMACsB1 <= 0 || k.ModelGMACsB8 <= 0 || k.WallGMACsB1 <= 0 || k.WallGMACsB8 <= 0 {
+			t.Errorf("%s: non-positive throughput %+v", k.Kernel, k)
+		}
+		if ratio := k.ModelGMACsB8 / k.ModelGMACsB1; math.Abs(ratio-k.ModelSpeedup) > 1e-9 {
+			t.Errorf("%s: speedup %.6f inconsistent with ratio %.6f", k.Kernel, k.ModelSpeedup, ratio)
+		}
+		if k.FetchCyclesPerElemB8 >= k.FetchCyclesPerElemB1 {
+			t.Errorf("%s: fetch cycles/elem did not drop (%.0f -> %.0f)",
+				k.Kernel, k.FetchCyclesPerElemB1, k.FetchCyclesPerElemB8)
+		}
+		if k.Kernel == "dense3x3" && k.ModelSpeedup < 2.5 {
+			t.Errorf("dense3x3 modeled speedup %.2fx, want >= 2.5x", k.ModelSpeedup)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("kernel %q missing from snapshot", name)
+		}
+	}
+	if table == nil || len(table.Rows) != len(snap.Kernels) {
+		t.Fatalf("table rows do not match snapshot kernels")
+	}
+}
+
+// TestDatapathModeledDeterministic: the gated columns must be identical
+// across runs — that is the whole argument for gating on them in CI.
+func TestDatapathModeledDeterministic(t *testing.T) {
+	a, _, err := Datapath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Datapath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Kernels {
+		ka, kb := a.Kernels[i], b.Kernels[i]
+		if ka.ModelGMACsB1 != kb.ModelGMACsB1 || ka.ModelGMACsB8 != kb.ModelGMACsB8 ||
+			ka.FetchCyclesPerElemB1 != kb.FetchCyclesPerElemB1 ||
+			ka.FetchCyclesPerElemB8 != kb.FetchCyclesPerElemB8 {
+			t.Errorf("%s: modeled columns differ across runs", ka.Kernel)
+		}
+	}
+}
+
+func snapFixture() *DatapathSnapshot {
+	return &DatapathSnapshot{
+		Schema: DatapathSchema, GitRev: "test", Config: "angel-eye-serving", Batch: DatapathBatch,
+		Kernels: []DatapathKernel{
+			{Kernel: "dense3x3", ModelGMACsB1: 24, ModelGMACsB8: 64},
+			{Kernel: "resfused", ModelGMACsB1: 38, ModelGMACsB8: 57},
+		},
+	}
+}
+
+func TestDatapathSnapshotRoundTrip(t *testing.T) {
+	s := snapFixture()
+	var buf bytes.Buffer
+	if err := WriteDatapath(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatapath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != s.Schema || got.GitRev != s.GitRev || len(got.Kernels) != len(s.Kernels) {
+		t.Fatalf("round trip mangled snapshot: %+v", got)
+	}
+	if got.Kernels[0] != s.Kernels[0] || got.Kernels[1] != s.Kernels[1] {
+		t.Fatalf("kernel rows differ after round trip")
+	}
+	if _, err := ReadDatapath(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("reading a missing baseline succeeded")
+	}
+}
+
+func TestGateDecisions(t *testing.T) {
+	base := snapFixture()
+
+	t.Run("identical passes", func(t *testing.T) {
+		if fails := Gate(base, snapFixture(), 10); len(fails) != 0 {
+			t.Fatalf("identical snapshots failed gate: %v", fails)
+		}
+	})
+	t.Run("drop within tolerance passes", func(t *testing.T) {
+		cur := snapFixture()
+		cur.Kernels[0].ModelGMACsB1 *= 0.95
+		if fails := Gate(base, cur, 10); len(fails) != 0 {
+			t.Fatalf("5%% drop failed a 10%% gate: %v", fails)
+		}
+	})
+	t.Run("regression fails", func(t *testing.T) {
+		cur := snapFixture()
+		cur.Kernels[1].ModelGMACsB8 *= 0.8
+		fails := Gate(base, cur, 10)
+		if len(fails) != 1 || !strings.Contains(fails[0], "resfused model B=8") {
+			t.Fatalf("20%% drop produced %v", fails)
+		}
+	})
+	t.Run("improvement passes", func(t *testing.T) {
+		cur := snapFixture()
+		cur.Kernels[0].ModelGMACsB8 *= 1.5
+		if fails := Gate(base, cur, 10); len(fails) != 0 {
+			t.Fatalf("improvement failed gate: %v", fails)
+		}
+	})
+	t.Run("schema mismatch fails", func(t *testing.T) {
+		cur := snapFixture()
+		cur.Schema++
+		fails := Gate(base, cur, 10)
+		if len(fails) != 1 || !strings.Contains(fails[0], "schema mismatch") {
+			t.Fatalf("schema mismatch produced %v", fails)
+		}
+	})
+	t.Run("missing kernel fails both directions", func(t *testing.T) {
+		cur := snapFixture()
+		cur.Kernels = cur.Kernels[:1]
+		cur.Kernels = append(cur.Kernels, DatapathKernel{Kernel: "brandnew", ModelGMACsB1: 1, ModelGMACsB8: 2})
+		fails := Gate(base, cur, 10)
+		if len(fails) != 2 {
+			t.Fatalf("want vanished + unknown kernel findings, got %v", fails)
+		}
+	})
+	t.Run("wider tolerance forgives", func(t *testing.T) {
+		cur := snapFixture()
+		cur.Kernels[1].ModelGMACsB8 *= 0.8
+		if fails := Gate(base, cur, 25); len(fails) != 0 {
+			t.Fatalf("20%% drop failed a 25%% gate: %v", fails)
+		}
+	})
+}
+
+func TestGateTolerancePctEnv(t *testing.T) {
+	t.Setenv("INCA_BENCH_GATE_TOL", "")
+	if got := GateTolerancePct(); got != 10 {
+		t.Fatalf("default tolerance %v, want 10", got)
+	}
+	t.Setenv("INCA_BENCH_GATE_TOL", "17.5")
+	if got := GateTolerancePct(); got != 17.5 {
+		t.Fatalf("tolerance %v, want 17.5", got)
+	}
+	t.Setenv("INCA_BENCH_GATE_TOL", "bogus")
+	if got := GateTolerancePct(); got != 10 {
+		t.Fatalf("bogus override gave %v, want default 10", got)
+	}
+	t.Setenv("INCA_BENCH_GATE_TOL", "-3")
+	if got := GateTolerancePct(); got != 10 {
+		t.Fatalf("negative override gave %v, want default 10", got)
+	}
+}
+
+// TestGateAgainstCheckedInBaseline replays exactly what `make bench-gate`
+// does in tier1, so a stale BENCH_datapath.json is caught by `go test` too.
+func TestGateAgainstCheckedInBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	baseline, err := ReadDatapath("../../BENCH_datapath.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _, err := Datapath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := Gate(baseline, cur, GateTolerancePct()); len(fails) != 0 {
+		t.Fatalf("checked-in baseline would fail the gate:\n%s", strings.Join(fails, "\n"))
+	}
+}

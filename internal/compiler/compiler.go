@@ -23,6 +23,18 @@ type Options struct {
 	// InsertVirtual enables the VI pass, producing an interruptible stream.
 	InsertVirtual bool
 
+	// Batch compiles a multi-image plan: every featuremap region holds Batch
+	// consecutive planes, each LOAD_W is issued once per tile and its weights
+	// stay resident while CALC/SAVE iterate over the Batch input planes
+	// (weight-fetch traffic amortized Batch-fold). 0 and 1 both mean a
+	// single-image plan, which emits exactly the same stream as before.
+	Batch int
+
+	// DisableFusion turns off the residual-epilogue fusion pass (conv
+	// followed by an Add of its output folds the Add into the conv's
+	// requantize pass). Fusion is on by default because it is bit-exact.
+	DisableFusion bool
+
 	// BlobsPerSave sets how many CalcBlobs share one SAVE window: 1 stores
 	// each out-channel group as soon as CALC_F finishes it (minimal backup
 	// on interrupt), larger values batch stores (Fig. 4 of the paper shows
@@ -63,15 +75,22 @@ func Compile(q *quant.Network, opt Options) (*isa.Program, error) {
 	if opt.ParaIn <= 0 || opt.ParaOut <= 0 || opt.ParaHeight <= 0 {
 		return nil, fmt.Errorf("compiler: invalid parallelism (%d,%d,%d)", opt.ParaIn, opt.ParaOut, opt.ParaHeight)
 	}
+	if opt.Batch < 0 {
+		return nil, fmt.Errorf("compiler: invalid batch %d", opt.Batch)
+	}
 	lowered, err := lower(q)
 	if err != nil {
 		return nil, err
+	}
+	if !opt.DisableFusion {
+		lowered = fuseResiduals(lowered)
 	}
 	prog := &isa.Program{
 		Name:       q.Graph.Name,
 		ParaIn:     opt.ParaIn,
 		ParaOut:    opt.ParaOut,
 		ParaHeight: opt.ParaHeight,
+		Batch:      max(opt.Batch, 1),
 	}
 	if err := layout(prog, lowered, q, opt); err != nil {
 		return nil, err
@@ -234,6 +253,66 @@ func lower(q *quant.Network) ([]loweredLayer, error) {
 		return nil, fmt.Errorf("compiler: network %q has no accelerator-resident layers", g.Name)
 	}
 	return out, nil
+}
+
+// fuseResiduals folds residual Add layers into the convolution producing
+// their primary operand: when layer j = i+1 is an Add whose unshifted operand
+// (post-AddSwap) is conv i's output, conv i is the Add's sole consumer of
+// that output, and the shifted operand comes from elsewhere, the Add
+// disappears into conv i's requantize pass —
+//
+//	out = SaturateAdd(Requantize(acc, bias, Shift, ReLU), res>>AddShift, AddReLU)
+//
+// — which is arithmetically identical to the unfused two-layer sequence but
+// eliminates the Add layer's full featuremap DDR round-trip (write by the
+// conv, two reads and a write by the Add). The residual operand is streamed
+// at output resolution through Which=1 LOAD_D. Compatible with FusedPool:
+// the addition applies to the pooled pixel, exactly as the standalone Add
+// consumed the pooled featuremap.
+func fuseResiduals(lowered []loweredLayer) []loweredLayer {
+	consumers := make([]int, len(lowered)) // uses of each lowered layer's output
+	for i := range lowered {
+		if f := lowered[i].inFrom; f >= 0 {
+			consumers[f]++
+		}
+		if f := lowered[i].in2From; f >= 0 {
+			consumers[f]++
+		}
+	}
+	out := make([]loweredLayer, 0, len(lowered))
+	remap := make([]int, len(lowered))
+	for i := 0; i < len(lowered); i++ {
+		ll := lowered[i]
+		// Remap input links to post-fusion indices.
+		if ll.inFrom >= 0 {
+			ll.inFrom = remap[ll.inFrom]
+		}
+		if ll.in2From >= 0 {
+			ll.in2From = remap[ll.in2From]
+		}
+		if ll.info.Op == isa.LayerConv && !ll.info.FusedAdd && i+1 < len(lowered) {
+			add := &lowered[i+1]
+			if add.info.Op == isa.LayerAdd && add.inFrom == i && add.in2From != i &&
+				consumers[i] == 1 &&
+				add.info.OutC == ll.info.OutC && add.info.OutH == ll.info.OutH && add.info.OutW == ll.info.OutW {
+				ll.info.FusedAdd = true
+				ll.info.AddShift = add.info.Shift
+				ll.info.AddReLU = add.info.ReLU
+				ll.in2From = add.in2From
+				if ll.in2From >= 0 {
+					ll.in2From = remap[ll.in2From]
+				}
+				out = append(out, ll)
+				remap[i] = len(out) - 1
+				remap[i+1] = len(out) - 1 // Add consumers read the fused conv
+				i++
+				continue
+			}
+		}
+		out = append(out, ll)
+		remap[i] = len(out) - 1
+	}
+	return out
 }
 
 const regionAlign = 64

@@ -14,15 +14,19 @@ import (
 // loads into the arena.
 func layout(prog *isa.Program, lowered []loweredLayer, q *quant.Network, opt Options) error {
 	g := q.Graph
+	// Every featuremap region holds BatchN consecutive planes; InputBytes /
+	// OutputBytes stay per-element (callers address element b at
+	// base + b*bytes).
+	batch := uint32(prog.BatchN())
 	inputBytes := uint32(g.InC * g.InH * g.InW)
-	cursor := alignUp(inputBytes)
+	cursor := alignUp(inputBytes * batch)
 	prog.InputAddr = 0
 	prog.InputBytes = inputBytes
 
 	outAddr := make([]uint32, len(lowered))
 	for i := range lowered {
 		ll := &lowered[i]
-		sz := uint32(ll.info.OutC * ll.info.OutH * ll.info.OutW)
+		sz := uint32(ll.info.OutC*ll.info.OutH*ll.info.OutW) * batch
 		outAddr[i] = cursor
 		cursor = alignUp(cursor + sz)
 	}
@@ -157,7 +161,7 @@ func min(a, b int) int {
 func checkBuffers(prog *isa.Program, opt Options) error {
 	for i := range prog.Layers {
 		l := &prog.Layers[i]
-		inNeed, outNeed, wNeed := LayerBufferNeeds(l, prog.ParaOut, prog.ParaHeight)
+		inNeed, outNeed, wNeed := LayerBufferNeedsBatch(l, prog.ParaOut, prog.ParaHeight, prog.BatchN())
 		if opt.InputBufBytes > 0 && inNeed > opt.InputBufBytes {
 			return fmt.Errorf("compiler: layer %s input window %d B exceeds input buffer %d B", l.Name, inNeed, opt.InputBufBytes)
 		}
@@ -172,8 +176,19 @@ func checkBuffers(prog *isa.Program, opt Options) error {
 }
 
 // LayerBufferNeeds returns the worst-case on-chip bytes a layer needs in the
-// input, output, and weight buffers.
+// input, output, and weight buffers for a single-image plan.
 func LayerBufferNeeds(l *isa.LayerInfo, paraOut, paraHeight int) (in, out, weights int) {
+	return LayerBufferNeedsBatch(l, paraOut, paraHeight, 1)
+}
+
+// LayerBufferNeedsBatch is LayerBufferNeeds for a batched plan: the input
+// buffer holds one resident row window per batch element (so weights loaded
+// once per tile serve all of them), while the output tile and weight blob
+// are per-element/per-group and do not scale with the batch.
+func LayerBufferNeedsBatch(l *isa.LayerInfo, paraOut, paraHeight, batch int) (in, out, weights int) {
+	if batch < 1 {
+		batch = 1
+	}
 	rows := min(paraHeight, l.OutH)
 	_, crows := l.ConvRows(0, rows)
 	window := (crows-1)*l.Stride + l.KH
@@ -184,8 +199,13 @@ func LayerBufferNeeds(l *isa.LayerInfo, paraOut, paraHeight int) (in, out, weigh
 	if l.Op == isa.LayerAdd {
 		in *= 2
 	}
-	// Final int8 results for the whole tile plus int32 accumulators (at
-	// convolution resolution) for one out-channel group.
+	if l.FusedAdd {
+		// The residual operand streams in at output resolution.
+		in += l.OutC * rows * l.OutW
+	}
+	in *= batch
+	// Final int8 results for one tile of one element plus int32 accumulators
+	// (at convolution resolution) for one out-channel group.
 	out = l.OutC*rows*l.OutW + min(paraOut, l.OutC)*crows*l.ConvW()*4
 	if l.Op == isa.LayerConv {
 		_, length := WeightBlob(l, paraOut, 0)

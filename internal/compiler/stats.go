@@ -22,20 +22,40 @@ type Stats struct {
 	InterruptPoints int
 	Layers          int
 	Tiles           int
+	// Batch is the plan's batch size; WeightBytes is the LOAD_W subset of
+	// LoadBytes, the traffic a batched plan amortizes across elements.
+	Batch       int
+	WeightBytes uint64
+	// FusedAdds counts conv layers with a residual Add folded into their
+	// requantize pass (each one eliminates a full featuremap round-trip).
+	FusedAdds int
 }
 
 // Analyze computes stream statistics.
 func Analyze(p *isa.Program) Stats {
-	s := Stats{PerOp: make(map[isa.Op]int), Layers: len(p.Layers)}
+	s := Stats{PerOp: make(map[isa.Op]int), Layers: len(p.Layers), Batch: p.BatchN()}
+	for i := range p.Layers {
+		if p.Layers[i].FusedAdd {
+			s.FusedAdds++
+		}
+	}
 	for _, in := range p.Instrs {
 		s.Instrs++
 		s.PerOp[in.Op]++
 		switch in.Op {
-		case isa.OpLoadW, isa.OpLoadD:
+		case isa.OpLoadW:
+			s.LoadBytes += uint64(in.Len)
+			s.WeightBytes += uint64(in.Len)
+		case isa.OpLoadD:
 			s.LoadBytes += uint64(in.Len)
 		case isa.OpSave:
 			s.SaveBytes += uint64(in.Len)
-			s.Tiles++
+			// Every tile's first save window starts at group 0 of element 0,
+			// so this counts tiles once in both single-image and batched
+			// plans (which emit one SAVE per group per element).
+			if in.InG == 0 && in.Bat == 0 {
+				s.Tiles++
+			}
 		case isa.OpVirSave, isa.OpVirLoadD:
 			s.VirtualInstrs++
 			s.VirtualBytes += uint64(in.Len)
@@ -49,6 +69,10 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d instrs (%d layers, %d tiles, %d interrupt points)\n",
 		s.Instrs, s.Layers, s.Tiles, s.InterruptPoints)
+	if s.Batch > 1 || s.FusedAdds > 0 {
+		fmt.Fprintf(&b, "  batch %d, %d fused residual epilogues, %.2f MB weight traffic\n",
+			s.Batch, s.FusedAdds, float64(s.WeightBytes)/1e6)
+	}
 	for op := isa.OpLoadW; op <= isa.OpEnd; op++ {
 		if n := s.PerOp[op]; n > 0 {
 			fmt.Fprintf(&b, "  %-10s %8d\n", op, n)

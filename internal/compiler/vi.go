@@ -10,13 +10,22 @@ import "inca/internal/isa"
 //     CalcBlobs share the pending save window), it inserts
 //     Vir_SAVE  — back up the window's finished output-channel groups
 //     Vir_LOAD_D — restore the tile's full input-row window on resume
-//     (plus the residual input for Add layers).
+//     (plus the residual input for Add layers and fused-residual convs).
 //   - After a mid-tile SAVE it inserts Vir_LOAD_D restoring the current
 //     tile's input window (later CalcBlobs of the tile still consume it).
-//   - After a tile's final SAVE it inserts Vir_LOAD_D restoring the rows the
-//     next tile's delta LOAD_D assumes resident (line-buffer overlap); at a
-//     layer's final tile the restore is empty but the interrupt point
-//     remains.
+//     In a batched plan the remaining CalcBlobs span every batch element, so
+//     the restore group covers all Batch resident windows — the batch
+//     iteration changes how many Vir_LOAD_D a group holds, never where a
+//     group may start.
+//   - After a tile's final SAVE (its last element's SAVE in a batched plan)
+//     it inserts Vir_LOAD_D restoring the rows the next tile's delta LOAD_D
+//     assumes resident (line-buffer overlap) for every element; at a layer's
+//     final tile the restore is empty but the interrupt point remains.
+//
+// Batched plans follow every CALC_F with that element's SAVE (the output
+// tile holds one element), so Vir_SAVE never fires in them: every interrupt
+// point is a post-SAVE restore group and the backup cost of parking
+// mid-batch is zero.
 //
 // Interrupting anywhere else would strand intermediate accumulator state
 // (CALC_I) or waste the just-loaded data (LOAD), exactly the cases Table 1
@@ -24,6 +33,7 @@ import "inca/internal/isa"
 func insertVirtual(p *isa.Program) []isa.Instruction {
 	out := make([]isa.Instruction, 0, len(p.Instrs)*3/2)
 	ins := p.Instrs
+	batch := p.BatchN()
 	windowStart := 0 // first out-group of the pending save window
 	for i, in := range ins {
 		out = append(out, in)
@@ -41,27 +51,31 @@ func insertVirtual(p *isa.Program) []isa.Instruction {
 			l := &p.Layers[in.Layer]
 			row0, rows := int(in.Row0), int(in.Rows)
 			out = append(out, isa.Instruction{
-				Op: isa.OpVirSave, Layer: in.Layer, Tile: in.Tile,
+				Op: isa.OpVirSave, Layer: in.Layer, Tile: in.Tile, Bat: in.Bat,
 				InG: uint16(windowStart), OutG: in.OutG,
 				Row0: in.Row0, Rows: in.Rows,
 				SaveID: in.SaveID, Addr: l.OutAddr,
 				Len: saveWindowBytes(l, p.ParaOut, windowStart, int(in.OutG), rows),
 			})
-			lo, hi := inputWindow(l, row0, rows)
-			out = append(out, virLoad(in, 0, l.InAddr, l.InC, lo, hi, l.InW))
-			if l.Op == isa.LayerAdd {
-				out = append(out, virLoad(in, 1, l.In2Addr, l.InC, lo, hi, l.InW))
-			}
+			out = appendTileRestores(out, p, in, l, row0, rows)
 		case isa.OpSave:
 			l := &p.Layers[in.Layer]
-			lastOfTile := int(in.OutG) == l.NOut-1
+			lastOfTile := int(in.OutG) == l.NOut-1 && int(in.Bat) == batch-1
 			if !lastOfTile {
 				windowStart = int(in.OutG) + 1
-				// Remaining CalcBlobs of this tile still need its window.
-				lo, hi := inputWindow(l, int(in.Row0), int(in.Rows))
-				out = append(out, virLoad(in, 0, l.InAddr, l.InC, lo, hi, l.InW))
-				if l.Op == isa.LayerAdd {
-					out = append(out, virLoad(in, 1, l.In2Addr, l.InC, lo, hi, l.InW))
+				// Remaining CalcBlobs of this tile still need its windows.
+				out = appendTileRestores(out, p, in, l, int(in.Row0), int(in.Rows))
+				if batch > 1 && l.Op == isa.LayerConv && int(in.Bat) < batch-1 {
+					// Later elements of this out-group reuse the weights loaded
+					// at element 0; a resume here has no LOAD_W ahead of it, so
+					// the restore group refetches the group's weight blob
+					// (Which=2 marks a weight restore).
+					addr, length := WeightBlob(l, p.ParaOut, int(in.OutG))
+					out = append(out, isa.Instruction{
+						Op: isa.OpVirLoadD, Layer: in.Layer, Which: 2,
+						Tile: in.Tile, Bat: in.Bat, OutG: in.OutG,
+						Addr: addr, Len: length,
+					})
 				}
 				continue
 			}
@@ -73,9 +87,13 @@ func insertVirtual(p *isa.Program) []isa.Instruction {
 				nlo, _ := inputWindow(l, nextRow0, nextRows)
 				_, hiCur := inputWindow(l, int(in.Row0), int(in.Rows))
 				if nlo < hiCur {
-					out = append(out, virLoad(in, 0, l.InAddr, l.InC, nlo, hiCur, l.InW))
-					if l.Op == isa.LayerAdd {
-						out = append(out, virLoad(in, 1, l.In2Addr, l.InC, nlo, hiCur, l.InW))
+					for b := 0; b < batch; b++ {
+						out = append(out, virLoad(in, 0, l.InAddr, l, nlo, hiCur, b))
+						if l.Op == isa.LayerAdd {
+							out = append(out, virLoad(in, 1, l.In2Addr, l, nlo, hiCur, b))
+						}
+						// A fused residual window never carries over: the next
+						// tile's Which=1 LOAD_D fetches its full range.
 					}
 					continue
 				}
@@ -93,10 +111,34 @@ func insertVirtual(p *isa.Program) []isa.Instruction {
 	return out
 }
 
-func virLoad(ref isa.Instruction, which uint8, addr uint32, inC, lo, hi, inW int) isa.Instruction {
+// appendTileRestores emits the Vir_LOAD_D group that rebuilds every resident
+// window the rest of the tile consumes: the primary input window of all
+// batch elements, plus the residual windows of Add layers (input geometry)
+// or fused-residual convs (output geometry).
+func appendTileRestores(out []isa.Instruction, p *isa.Program, in isa.Instruction, l *isa.LayerInfo, row0, rows int) []isa.Instruction {
+	lo, hi := inputWindow(l, row0, rows)
+	for b := 0; b < p.BatchN(); b++ {
+		out = append(out, virLoad(in, 0, l.InAddr, l, lo, hi, b))
+		if l.Op == isa.LayerAdd {
+			out = append(out, virLoad(in, 1, l.In2Addr, l, lo, hi, b))
+		}
+		if l.FusedAdd {
+			out = append(out, isa.Instruction{
+				Op: isa.OpVirLoadD, Layer: in.Layer, Which: 1, Tile: in.Tile, Bat: uint16(b),
+				Row0: uint16(row0), Rows: uint16(rows),
+				Addr: l.In2Addr + uint32(b*l.OutPlane()),
+				Len:  uint32(l.OutC * rows * l.OutW),
+			})
+		}
+	}
+	return out
+}
+
+func virLoad(ref isa.Instruction, which uint8, addr uint32, l *isa.LayerInfo, lo, hi, bat int) isa.Instruction {
 	return isa.Instruction{
-		Op: isa.OpVirLoadD, Layer: ref.Layer, Which: which, Tile: ref.Tile,
+		Op: isa.OpVirLoadD, Layer: ref.Layer, Which: which, Tile: ref.Tile, Bat: uint16(bat),
 		Row0: uint16(lo), Rows: uint16(hi - lo),
-		Addr: addr, Len: uint32(inC * (hi - lo) * inW),
+		Addr: addr + uint32(bat*l.InPlane()),
+		Len:  uint32(l.InC * (hi - lo) * l.InW),
 	}
 }

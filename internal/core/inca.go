@@ -17,6 +17,7 @@ import (
 	"inca/internal/model"
 	"inca/internal/quant"
 	"inca/internal/ros"
+	"inca/internal/tensor"
 	"inca/internal/trace"
 )
 
@@ -140,6 +141,14 @@ func (rt *Runtime) onFail(c iau.Completion, failErr error) {
 // Slot 0 is the highest priority and never preempted; higher slot numbers
 // are interruptible and receive virtual instructions.
 func (rt *Runtime) Deploy(slot int, g *model.Network, seed uint64) (*Deployment, error) {
+	return rt.DeployBatched(slot, g, seed, 1)
+}
+
+// DeployBatched is Deploy with a batch dimension: the compiled plan carries
+// batch input/output planes per featuremap and amortizes every weight load
+// across the batch (serving-style throughput mode). InferBatch runs such a
+// deployment on a full batch of inputs; batch 1 is identical to Deploy.
+func (rt *Runtime) DeployBatched(slot int, g *model.Network, seed uint64, batch int) (*Deployment, error) {
 	if slot < 0 || slot >= iau.NumSlots {
 		return nil, fmt.Errorf("core: slot %d out of range [0,%d)", slot, iau.NumSlots)
 	}
@@ -150,7 +159,7 @@ func (rt *Runtime) Deploy(slot int, g *model.Network, seed uint64) (*Deployment,
 	if err != nil {
 		return nil, err
 	}
-	return rt.deployQuantized(slot, g.Name, q)
+	return rt.deployQuantizedBatch(slot, g.Name, q, batch)
 }
 
 // DeployQuantized compiles an already-quantized network for the slot.
@@ -165,8 +174,17 @@ func (rt *Runtime) DeployQuantized(slot int, q *quant.Network) (*Deployment, err
 }
 
 func (rt *Runtime) deployQuantized(slot int, name string, q *quant.Network) (*Deployment, error) {
+	return rt.deployQuantizedBatch(slot, name, q, 1)
+}
+
+func (rt *Runtime) deployQuantizedBatch(slot int, name string, q *quant.Network, batch int) (*Deployment, error) {
 	opt := rt.Cfg.CompilerOptions()
 	opt.InsertVirtual = rt.Policy == iau.PolicyVI && slot > 0
+	opt.Batch = batch
+	// Embed the weight image so InferBatch (and any caller handing InferSync
+	// a fresh accel.NewArena) can run functionally; timing-only callers just
+	// pass a nil arena as before.
+	opt.EmitWeights = true
 	p, err := compiler.Compile(q, opt)
 	if err != nil {
 		return nil, fmt.Errorf("core: compiling %q: %w", name, err)
@@ -282,4 +300,36 @@ func (d *Deployment) InferSync(arena []byte) (*iau.Request, error) {
 	}
 	d.Inferences++
 	return req, nil
+}
+
+// InferBatch runs one functional inference over a full batch of inputs on a
+// DeployBatched deployment: every input is written to its element's plane of
+// a fresh arena, the batched plan executes once (weights stream in once per
+// tile for all elements), and the per-element outputs come back in input
+// order. len(inputs) must equal the deployment's compiled batch size.
+func (d *Deployment) InferBatch(inputs []*tensor.Int8) ([]*tensor.Int8, *iau.Request, error) {
+	p := d.Prog
+	if len(inputs) != p.BatchN() {
+		return nil, nil, fmt.Errorf("core: %q compiled for batch %d, got %d inputs", d.Name, p.BatchN(), len(inputs))
+	}
+	arena, err := accel.NewArena(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, in := range inputs {
+		if err := accel.WriteInputAt(arena, p, in, i); err != nil {
+			return nil, nil, err
+		}
+	}
+	req, err := d.InferSync(arena)
+	if err != nil {
+		return nil, req, err
+	}
+	outs := make([]*tensor.Int8, len(inputs))
+	for i := range outs {
+		if outs[i], err = accel.ReadOutputAt(arena, p, i); err != nil {
+			return nil, req, err
+		}
+	}
+	return outs, req, nil
 }

@@ -36,27 +36,41 @@ type interp struct {
 
 	layer int // layer of the instruction last executed (-1 = none)
 
-	// Resident input-row windows per LOAD_D selector (0 primary, 1 residual).
-	winLo, winHi [2]int
-	winOK        [2]bool
+	// Resident input-row windows per LOAD_D selector (0 primary, 1 residual)
+	// per batch element — a batched plan keeps one window register file per
+	// element so the shared weights can sweep all of them.
+	winLo, winHi [2][]int
+	winOK        [2][]bool
 
 	// Loaded weight blob.
 	wLayer, wOG int
 	bias        []int32
 	weights     []int8
 
-	// Accumulator tile: one out-channel group at convolution resolution.
-	accLayer, accTile, accOG int
-	accRow0, accRows         int
-	accOK                    bool
-	acc                      []int32
+	// Accumulator tile: one out-channel group of one batch element at
+	// convolution resolution.
+	accLayer, accTile, accOG, accBat int
+	accRow0, accRows                 int
+	accOK                            bool
+	acc                              []int32
 
-	// Final-results tile: all out channels of one (layer, tile).
-	finLayer, finTile  int
-	finRow0, finRows   int
-	finOK              bool
-	fin                []int8
-	finDone            []bool
+	// Final-results tile: all out channels of one (layer, tile, element).
+	finLayer, finTile, finBat int
+	finRow0, finRows          int
+	finOK                     bool
+	fin                       []int8
+	finDone                   []bool
+}
+
+// win grows the per-element window registers to cover bat and returns the
+// index (identity); callers then address winLo[w][bat] etc.
+func (g *interp) win(w, bat int) int {
+	for len(g.winOK[w]) <= bat {
+		g.winLo[w] = append(g.winLo[w], 0)
+		g.winHi[w] = append(g.winHi[w], 0)
+		g.winOK[w] = append(g.winOK[w], false)
+	}
+	return bat
 }
 
 // Run executes the program's instruction stream sequentially against the
@@ -102,7 +116,11 @@ func (g *interp) exec(in isa.Instruction) error {
 	if int(in.Layer) != g.layer {
 		// A new layer reuses every on-chip buffer: windows, weights,
 		// accumulators, and finals all become invalid.
-		g.winOK[0], g.winOK[1] = false, false
+		for w := 0; w < 2; w++ {
+			for b := range g.winOK[w] {
+				g.winOK[w][b] = false
+			}
+		}
 		g.wLayer, g.wOG = -1, -1
 		g.accOK, g.finOK = false, false
 		g.layer = int(in.Layer)
@@ -132,16 +150,17 @@ func (g *interp) loadD(in isa.Instruction) error {
 	if w > 1 {
 		return fmt.Errorf("load_d selector %d out of range", in.Which)
 	}
+	b := g.win(w, int(in.Bat))
 	lo, hi := int(in.Row0), int(in.Row0)+int(in.Rows)
-	if !g.winOK[w] || lo > g.winHi[w] || hi < g.winLo[w] {
-		g.winLo[w], g.winHi[w], g.winOK[w] = lo, hi, true
+	if !g.winOK[w][b] || lo > g.winHi[w][b] || hi < g.winLo[w][b] {
+		g.winLo[w][b], g.winHi[w][b], g.winOK[w][b] = lo, hi, true
 		return nil
 	}
-	if hi > g.winHi[w] {
-		g.winHi[w] = hi
+	if hi > g.winHi[w][b] {
+		g.winHi[w][b] = hi
 	}
-	if lo < g.winLo[w] {
-		g.winLo[w] = lo
+	if lo < g.winLo[w][b] {
+		g.winLo[w][b] = lo
 	}
 	return nil
 }
@@ -174,8 +193,8 @@ func (g *interp) loadW(l *isa.LayerInfo, in isa.Instruction) error {
 }
 
 // needRows checks that the input rows a CALC consumes are resident in the
-// given window.
-func (g *interp) needRows(which int, l *isa.LayerInfo, row0, rows int) error {
+// given selector's window for batch element bat.
+func (g *interp) needRows(which, bat int, l *isa.LayerInfo, row0, rows int) error {
 	c0, cn := l.ConvRows(row0, rows)
 	lo := c0*l.Stride - l.Pad
 	hi := (c0+cn-1)*l.Stride - l.Pad + l.KH
@@ -190,20 +209,33 @@ func (g *interp) needRows(which int, l *isa.LayerInfo, row0, rows int) error {
 		// last stride step); no input rows are required.
 		return nil
 	}
-	if !g.winOK[which] || lo < g.winLo[which] || hi > g.winHi[which] {
-		return fmt.Errorf("input rows [%d,%d) not resident (window valid=%v [%d,%d))",
-			lo, hi, g.winOK[which], g.winLo[which], g.winHi[which])
+	return g.needSpan(which, bat, lo, hi)
+}
+
+// needSpan checks residency of rows [lo,hi) in window (which, bat).
+func (g *interp) needSpan(which, bat, lo, hi int) error {
+	b := g.win(which, bat)
+	if !g.winOK[which][b] || lo < g.winLo[which][b] || hi > g.winHi[which][b] {
+		return fmt.Errorf("input rows [%d,%d) of element %d not resident (window valid=%v [%d,%d))",
+			lo, hi, bat, g.winOK[which][b], g.winLo[which][b], g.winHi[which][b])
 	}
 	return nil
 }
 
 func (g *interp) calc(l *isa.LayerInfo, in isa.Instruction) error {
 	row0, rows := int(in.Row0), int(in.Rows)
-	if err := g.needRows(0, l, row0, rows); err != nil {
+	bat := int(in.Bat)
+	if err := g.needRows(0, bat, l, row0, rows); err != nil {
 		return err
 	}
 	switch l.Op {
 	case isa.LayerConv:
+		if l.FusedAdd && in.Op == isa.OpCalcF {
+			// The fused residual streams in at output geometry.
+			if err := g.needSpan(1, bat, row0, row0+rows); err != nil {
+				return err
+			}
+		}
 		return g.calcConv(l, in, row0, rows)
 	case isa.LayerPool:
 		if in.Op != isa.OpCalcF {
@@ -215,7 +247,7 @@ func (g *interp) calc(l *isa.LayerInfo, in isa.Instruction) error {
 		if in.Op != isa.OpCalcF {
 			return fmt.Errorf("add layers use a single CALC_F per blob")
 		}
-		if err := g.needRows(1, l, row0, rows); err != nil {
+		if err := g.needRows(1, bat, l, row0, rows); err != nil {
 			return err
 		}
 		g.calcAdd(l, in, row0, rows)
@@ -247,15 +279,17 @@ func (g *interp) calcConv(l *isa.LayerInfo, in isa.Instruction, row0, rows int) 
 	depthwise := l.Groups == l.InC && l.Groups > 1
 	crow0, crows := l.ConvRows(row0, rows)
 	convW := l.ConvW()
+	bat := int(in.Bat)
+	inAddr := l.InAddr + uint32(bat*l.InPlane())
 
 	if in.InG == 0 {
-		g.accLayer, g.accTile, g.accOG = int(in.Layer), int(in.Tile), int(in.OutG)
+		g.accLayer, g.accTile, g.accOG, g.accBat = int(in.Layer), int(in.Tile), int(in.OutG), bat
 		g.accRow0, g.accRows = row0, rows
 		g.acc = make([]int32, oCnt*crows*convW)
 		g.accOK = true
-	} else if !g.accOK || g.accLayer != int(in.Layer) || g.accTile != int(in.Tile) || g.accOG != int(in.OutG) {
-		return fmt.Errorf("accumulator tile mismatch: have l%d t%d og%d valid=%v, want l%d t%d og%d",
-			g.accLayer, g.accTile, g.accOG, g.accOK, in.Layer, in.Tile, in.OutG)
+	} else if !g.accOK || g.accLayer != int(in.Layer) || g.accTile != int(in.Tile) || g.accOG != int(in.OutG) || g.accBat != bat {
+		return fmt.Errorf("accumulator tile mismatch: have l%d t%d og%d b%d valid=%v, want l%d t%d og%d b%d",
+			g.accLayer, g.accTile, g.accOG, g.accBat, g.accOK, in.Layer, in.Tile, in.OutG, bat)
 	}
 
 	// Input channels this CALC covers.
@@ -283,7 +317,7 @@ func (g *interp) calcConv(l *isa.LayerInfo, in isa.Instruction, row0, rows int) 
 				if depthwise {
 					for ky := 0; ky < l.KH; ky++ {
 						for kx := 0; kx < l.KW; kx++ {
-							sum += g.in8(l.InAddr, oc, oy*l.Stride+ky-l.Pad, ox*l.Stride+kx-l.Pad, l.InH, l.InW) *
+							sum += g.in8(inAddr, oc, oy*l.Stride+ky-l.Pad, ox*l.Stride+kx-l.Pad, l.InH, l.InW) *
 								int32(g.weights[o*wpo+ky*l.KW+kx])
 						}
 					}
@@ -291,7 +325,7 @@ func (g *interp) calcConv(l *isa.LayerInfo, in isa.Instruction, row0, rows int) 
 					for ic := ic0; ic < ic1; ic++ {
 						for ky := 0; ky < l.KH; ky++ {
 							for kx := 0; kx < l.KW; kx++ {
-								sum += g.in8(l.InAddr, ic, oy*l.Stride+ky-l.Pad, ox*l.Stride+kx-l.Pad, l.InH, l.InW) *
+								sum += g.in8(inAddr, ic, oy*l.Stride+ky-l.Pad, ox*l.Stride+kx-l.Pad, l.InH, l.InW) *
 									int32(g.weights[o*wpo+(ic*l.KH+ky)*l.KW+kx])
 							}
 						}
@@ -325,6 +359,13 @@ func (g *interp) calcConv(l *isa.LayerInfo, in isa.Instruction, row0, rows int) 
 						}
 					}
 				}
+				if l.FusedAdd {
+					// Fused residual epilogue: add the aligned residual pixel
+					// exactly as a standalone Add layer reading this layer's
+					// requantized output back from DDR would.
+					resAddr := int(l.In2Addr) + bat*l.OutPlane() + (oc*l.OutH+row0+r)*l.OutW + ox
+					m = quant.SaturateAdd(m, int8(g.arena[resAddr])>>l.AddShift, l.AddReLU)
+				}
 				g.fin[(oc*rows+r)*l.OutW+ox] = m
 			}
 		}
@@ -336,6 +377,7 @@ func (g *interp) calcConv(l *isa.LayerInfo, in isa.Instruction, row0, rows int) 
 
 func (g *interp) calcPool(l *isa.LayerInfo, in isa.Instruction, row0, rows int) {
 	g.ensureFinals(l, in, row0, rows)
+	batOff := int(in.Bat) * l.InPlane()
 	oc0 := int(in.OutG) * g.p.ParaOut
 	oc1 := oc0 + groupChannels(l.OutC, g.p.ParaOut, int(in.OutG))
 	for oc := oc0; oc < oc1; oc++ {
@@ -349,7 +391,7 @@ func (g *interp) calcPool(l *isa.LayerInfo, in isa.Instruction, row0, rows int) 
 						if iy >= l.InH || ix >= l.InW {
 							continue
 						}
-						if v := int8(g.arena[int(l.InAddr)+(oc*l.InH+iy)*l.InW+ix]); v > m {
+						if v := int8(g.arena[int(l.InAddr)+batOff+(oc*l.InH+iy)*l.InW+ix]); v > m {
 							m = v
 						}
 					}
@@ -363,14 +405,15 @@ func (g *interp) calcPool(l *isa.LayerInfo, in isa.Instruction, row0, rows int) 
 
 func (g *interp) calcAdd(l *isa.LayerInfo, in isa.Instruction, row0, rows int) {
 	g.ensureFinals(l, in, row0, rows)
+	batOff := int(in.Bat) * l.InPlane()
 	oc0 := int(in.OutG) * g.p.ParaOut
 	oc1 := oc0 + groupChannels(l.OutC, g.p.ParaOut, int(in.OutG))
 	for oc := oc0; oc < oc1; oc++ {
 		for r := 0; r < rows; r++ {
 			y := row0 + r
 			for x := 0; x < l.OutW; x++ {
-				a := int8(g.arena[int(l.InAddr)+(oc*l.InH+y)*l.InW+x])
-				b := int8(g.arena[int(l.In2Addr)+(oc*l.InH+y)*l.InW+x])
+				a := int8(g.arena[int(l.InAddr)+batOff+(oc*l.InH+y)*l.InW+x])
+				b := int8(g.arena[int(l.In2Addr)+batOff+(oc*l.InH+y)*l.InW+x])
 				g.fin[(oc*rows+r)*l.OutW+x] = quant.SaturateAdd(a, b>>l.Shift, l.ReLU)
 			}
 		}
@@ -379,27 +422,28 @@ func (g *interp) calcAdd(l *isa.LayerInfo, in isa.Instruction, row0, rows int) {
 }
 
 // ensureFinals (re)establishes the finals tile for the instruction's
-// (layer, tile).
+// (layer, tile, batch element).
 func (g *interp) ensureFinals(l *isa.LayerInfo, in isa.Instruction, row0, rows int) {
-	if g.finOK && g.finLayer == int(in.Layer) && g.finTile == int(in.Tile) {
+	if g.finOK && g.finLayer == int(in.Layer) && g.finTile == int(in.Tile) && g.finBat == int(in.Bat) {
 		return
 	}
-	g.finLayer, g.finTile = int(in.Layer), int(in.Tile)
+	g.finLayer, g.finTile, g.finBat = int(in.Layer), int(in.Tile), int(in.Bat)
 	g.finRow0, g.finRows = row0, rows
 	g.fin = make([]int8, l.OutC*rows*l.OutW)
 	g.finDone = make([]bool, l.NOut)
 	g.finOK = true
 }
 
-// save commits the finals tile's out-channel groups [InG, OutG] to DDR.
+// save commits the finals tile's out-channel groups [InG, OutG] to DDR at
+// the instruction's batch element's output plane.
 func (g *interp) save(l *isa.LayerInfo, in isa.Instruction) error {
 	row0, rows := int(in.Row0), int(in.Rows)
 	if rows == 0 {
 		return nil
 	}
-	if !g.finOK || g.finLayer != int(in.Layer) || g.finTile != int(in.Tile) {
-		return fmt.Errorf("save of tile l%d t%d but finals hold l%d t%d (valid=%v)",
-			in.Layer, in.Tile, g.finLayer, g.finTile, g.finOK)
+	if !g.finOK || g.finLayer != int(in.Layer) || g.finTile != int(in.Tile) || g.finBat != int(in.Bat) {
+		return fmt.Errorf("save of tile l%d t%d b%d but finals hold l%d t%d b%d (valid=%v)",
+			in.Layer, in.Tile, in.Bat, g.finLayer, g.finTile, g.finBat, g.finOK)
 	}
 	c0 := int(in.InG) * g.p.ParaOut
 	endC := (int(in.OutG) + 1) * g.p.ParaOut
@@ -409,6 +453,7 @@ func (g *interp) save(l *isa.LayerInfo, in isa.Instruction) error {
 	if got, want := int(in.Len), (endC-c0)*rows*l.OutW; got != want {
 		return fmt.Errorf("save window [%d,%d) length %d, instruction says %d", c0, endC, want, got)
 	}
+	batOff := int(in.Bat) * l.OutPlane()
 	for oc := c0; oc < endC; oc++ {
 		if oc < 0 || oc >= l.OutC {
 			return fmt.Errorf("save channel %d outside layer channels %d", oc, l.OutC)
@@ -418,7 +463,7 @@ func (g *interp) save(l *isa.LayerInfo, in isa.Instruction) error {
 		}
 		for r := 0; r < rows; r++ {
 			for x := 0; x < l.OutW; x++ {
-				g.arena[int(l.OutAddr)+(oc*l.OutH+row0+r)*l.OutW+x] = byte(g.fin[(oc*rows+r)*l.OutW+x])
+				g.arena[int(l.OutAddr)+batOff+(oc*l.OutH+row0+r)*l.OutW+x] = byte(g.fin[(oc*rows+r)*l.OutW+x])
 			}
 		}
 	}

@@ -228,7 +228,13 @@ func randomNet(rng *rand.Rand, idx int) *model.Network {
 			outC := 1 + rng.Intn(8)
 			a := n.Conv(fmt.Sprintf("res%da", i), cur, outC, 3, 1, 1, true)
 			b := n.Conv(fmt.Sprintf("res%db", i), cur, outC, 1, 1, 0, false)
-			cur = n.Residual(fmt.Sprintf("res%d", i), a, b, relu)
+			// (b, a) fuses the Add into conv b's epilogue; the reverse keeps
+			// the standalone Add — both must track the golden interpreter.
+			if rng.Intn(2) == 0 {
+				cur = n.Residual(fmt.Sprintf("res%d", i), b, a, relu)
+			} else {
+				cur = n.Residual(fmt.Sprintf("res%d", i), a, b, relu)
+			}
 		case 5:
 			cur = n.Conv(fmt.Sprintf("pw%d", i), cur, 1+rng.Intn(12), 1, 1, 0, relu)
 		}

@@ -743,6 +743,28 @@ type ResumeToken struct {
 // computed (fault injection armed and a data-bearing backup existed).
 func (tok *ResumeToken) Checksum() (uint32, bool) { return tok.backupCRC, tok.crcValid }
 
+// BatchIndex returns the batch element the parked request will resume on:
+// the Bat field of the first real (non-virtual) instruction at or after the
+// token's resume PC. Zero for single-image plans; for batched plans it
+// exposes where inside the batch iteration the preemption parked the task
+// (schedulers migrating work can use it to estimate remaining per-element
+// progress).
+func (tok *ResumeToken) BatchIndex() int {
+	if tok.Req == nil || tok.Req.Prog == nil {
+		return 0
+	}
+	ins := tok.Req.Prog.Instrs
+	for pc := tok.pc; pc >= 0 && pc < len(ins); pc++ {
+		if ins[pc].Op == isa.OpEnd {
+			return 0
+		}
+		if !ins[pc].Op.Virtual() {
+			return int(ins[pc].Bat)
+		}
+	}
+	return 0
+}
+
 // Registers is the architectural per-slot register view of Fig. 3: the
 // instruction pointer, the SAVE-rewrite status registers, and the slot's
 // scheduling state. Exposed for debugging and the inca-sim inspector.
@@ -906,9 +928,10 @@ func (u *IAU) armBackupCheck(vt *task, in isa.Instruction) {
 
 // backupSpan returns the contiguous arena byte range covering a
 // (Vir_)SAVE's output window: channels [InG*ParaOut, (OutG+1)*ParaOut) of
-// rows [Row0, Row0+Rows). The per-channel writes are strided, so the span
-// also contains untouched gap bytes — harmless, since the whole span is
-// stable while the victim is parked.
+// rows [Row0, Row0+Rows) in the instruction's batch element's output plane.
+// The per-channel writes are strided, so the span also contains untouched
+// gap bytes — harmless, since the whole span is stable while the victim is
+// parked.
 func (u *IAU) backupSpan(p *isa.Program, in isa.Instruction) (lo, hi int) {
 	l := &p.Layers[in.Layer]
 	rows := int(in.Rows)
@@ -923,8 +946,9 @@ func (u *IAU) backupSpan(p *isa.Program, in isa.Instruction) (lo, hi int) {
 	if endC <= c0 {
 		return 0, 0
 	}
-	lo = int(l.OutAddr) + (c0*l.OutH+int(in.Row0))*l.OutW
-	hi = int(l.OutAddr) + ((endC-1)*l.OutH+int(in.Row0))*l.OutW + rows*l.OutW
+	base := int(l.OutAddr) + int(in.Bat)*l.OutPlane()
+	lo = base + (c0*l.OutH+int(in.Row0))*l.OutW
+	hi = base + ((endC-1)*l.OutH+int(in.Row0))*l.OutW + rows*l.OutW
 	return lo, hi
 }
 

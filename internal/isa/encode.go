@@ -10,17 +10,22 @@ import (
 // Binary format of instruction.bin:
 //
 //	header:  magic "INCA" | u16 version | u16 flags
-//	         u16 paraIn | u16 paraOut | u16 paraHeight | u16 nameLen | name
+//	         u16 paraIn | u16 paraOut | u16 paraHeight | u16 batch
+//	         u16 nameLen | name
 //	         u32 nLayers | u32 nInstrs | u32 ddrBytes
 //	         u32 inputAddr | u32 inputBytes | u32 outputAddr | u32 outputBytes
 //	         u32 weightsAddr | u32 weightsLen
-//	layers:  fixed 64-byte records + u16-prefixed name
+//	layers:  fixed 72-byte records + u16-prefixed name
 //	instrs:  fixed 24-byte records
 //	weights: raw int8 image (weightsLen bytes)
+//
+// Version history: v1 had no batch field, no fused-residual layer fields and
+// a 68-byte layer record. v2 (current) adds the batch dimension and the
+// FusedAdd/AddShift/AddReLU epilogue fields; v1 streams are rejected.
 
 const (
 	magic   = "INCA"
-	version = 1
+	version = 2
 )
 
 type fixedHeader struct {
@@ -29,6 +34,7 @@ type fixedHeader struct {
 	ParaIn     uint16
 	ParaOut    uint16
 	ParaHeight uint16
+	Batch      uint16
 	NameLen    uint16
 }
 
@@ -49,6 +55,10 @@ type fixedLayer struct {
 	Shift     uint8
 	ReLU      uint8
 	FusedPool uint8
+	FusedAdd  uint8
+	AddShift  uint8
+	AddReLU   uint8
+	_         uint8 // pad
 	InC       uint32
 	InH       uint32
 	InW       uint32
@@ -78,7 +88,7 @@ type fixedInstr struct {
 	Row0   uint16
 	Rows   uint16
 	Tile   uint16
-	_      uint16 // pad
+	Bat    uint16
 	SaveID uint32
 	Addr   uint32
 	Len    uint32
@@ -95,6 +105,7 @@ func Encode(w io.Writer, p *Program) error {
 		ParaIn:     uint16(p.ParaIn),
 		ParaOut:    uint16(p.ParaOut),
 		ParaHeight: uint16(p.ParaHeight),
+		Batch:      uint16(p.Batch),
 		NameLen:    uint16(len(p.Name)),
 	}
 	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
@@ -121,6 +132,7 @@ func Encode(w io.Writer, p *Program) error {
 		l := &p.Layers[i]
 		fl := fixedLayer{
 			Op: uint8(l.Op), Shift: l.Shift, ReLU: b2u(l.ReLU), FusedPool: uint8(l.FusedPool),
+			FusedAdd: b2u(l.FusedAdd), AddShift: l.AddShift, AddReLU: b2u(l.AddReLU),
 			InC: uint32(l.InC), InH: uint32(l.InH), InW: uint32(l.InW),
 			OutC: uint32(l.OutC), OutH: uint32(l.OutH), OutW: uint32(l.OutW),
 			KH: uint16(l.KH), KW: uint16(l.KW), Stride: uint16(l.Stride), Pad: uint16(l.Pad),
@@ -142,7 +154,7 @@ func Encode(w io.Writer, p *Program) error {
 		fi := fixedInstr{
 			Op: uint8(in.Op), Which: in.Which, Layer: in.Layer,
 			InG: in.InG, OutG: in.OutG, Row0: in.Row0, Rows: in.Rows, Tile: in.Tile,
-			SaveID: in.SaveID, Addr: in.Addr, Len: in.Len,
+			Bat: in.Bat, SaveID: in.SaveID, Addr: in.Addr, Len: in.Len,
 		}
 		if err := binary.Write(bw, binary.LittleEndian, fi); err != nil {
 			return err
@@ -195,6 +207,7 @@ func Decode(r io.Reader) (*Program, error) {
 		ParaIn:     int(hdr.ParaIn),
 		ParaOut:    int(hdr.ParaOut),
 		ParaHeight: int(hdr.ParaHeight),
+		Batch:      int(hdr.Batch),
 		Layers:     make([]LayerInfo, 0, min(int(counts.NLayers), prealloc)),
 		Instrs:     make([]Instruction, 0, min(int(counts.NInstrs), prealloc)),
 		DDRBytes:   counts.DDRBytes,
@@ -221,6 +234,7 @@ func Decode(r io.Reader) (*Program, error) {
 			OutC: int(fl.OutC), OutH: int(fl.OutH), OutW: int(fl.OutW),
 			KH: int(fl.KH), KW: int(fl.KW), Stride: int(fl.Stride), Pad: int(fl.Pad),
 			Groups: int(fl.Groups), Shift: fl.Shift, ReLU: fl.ReLU != 0, FusedPool: int(fl.FusedPool),
+			FusedAdd: fl.FusedAdd != 0, AddShift: fl.AddShift, AddReLU: fl.AddReLU != 0,
 			InAddr: fl.InAddr, In2Addr: fl.In2Addr, OutAddr: fl.OutAddr, WAddr: fl.WAddr,
 			NIn: int(fl.NIn), NOut: int(fl.NOut), NTiles: int(fl.NTiles),
 		})
@@ -233,7 +247,7 @@ func Decode(r io.Reader) (*Program, error) {
 		p.Instrs = append(p.Instrs, Instruction{
 			Op: Op(fi.Op), Which: fi.Which, Layer: fi.Layer,
 			InG: fi.InG, OutG: fi.OutG, Row0: fi.Row0, Rows: fi.Rows, Tile: fi.Tile,
-			SaveID: fi.SaveID, Addr: fi.Addr, Len: fi.Len,
+			Bat: fi.Bat, SaveID: fi.SaveID, Addr: fi.Addr, Len: fi.Len,
 		})
 	}
 	if counts.WeightsLen > 0 {

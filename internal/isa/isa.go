@@ -84,21 +84,26 @@ type Instruction struct {
 	Row0   uint16 // first row of the affected row range
 	Rows   uint16 // number of rows (0 ⇒ no-op transfer)
 	Tile   uint16 // height-tile ordinal within the layer
+	Bat    uint16 // batch element the instruction operates on (0 for LOAD_W)
 	SaveID uint32 // correlates Vir_SAVE with the SAVE it pre-empts
 	Addr   uint32 // DDR byte address (task-relative)
 	Len    uint32 // transfer length in bytes
 }
 
 func (in Instruction) String() string {
+	bat := ""
+	if in.Bat > 0 {
+		bat = fmt.Sprintf(" b%d", in.Bat)
+	}
 	switch in.Op {
 	case OpLoadW:
 		return fmt.Sprintf("%s l%d og%d addr=%d len=%d", in.Op, in.Layer, in.OutG, in.Addr, in.Len)
 	case OpLoadD, OpVirLoadD:
-		return fmt.Sprintf("%s l%d in%d rows[%d+%d) len=%d", in.Op, in.Layer, in.Which, in.Row0, in.Rows, in.Len)
+		return fmt.Sprintf("%s l%d%s in%d rows[%d+%d) len=%d", in.Op, in.Layer, bat, in.Which, in.Row0, in.Rows, in.Len)
 	case OpCalcI, OpCalcF:
-		return fmt.Sprintf("%s l%d ig%d og%d tile%d rows[%d+%d)", in.Op, in.Layer, in.InG, in.OutG, in.Tile, in.Row0, in.Rows)
+		return fmt.Sprintf("%s l%d%s ig%d og%d tile%d rows[%d+%d)", in.Op, in.Layer, bat, in.InG, in.OutG, in.Tile, in.Row0, in.Rows)
 	case OpSave, OpVirSave:
-		return fmt.Sprintf("%s l%d tile%d rows[%d+%d) save=%d len=%d", in.Op, in.Layer, in.Tile, in.Row0, in.Rows, in.SaveID, in.Len)
+		return fmt.Sprintf("%s l%d%s tile%d rows[%d+%d) save=%d len=%d", in.Op, in.Layer, bat, in.Tile, in.Row0, in.Rows, in.SaveID, in.Len)
 	default:
 		return in.Op.String()
 	}
@@ -147,6 +152,19 @@ type LayerInfo struct {
 	// during SAVE (OutH/OutW already reflect the pooled size).
 	FusedPool int
 
+	// FusedAdd, on a conv layer, folds a following residual Add into the
+	// requantize pass: each output pixel becomes
+	// SaturateAdd(Requantize(acc), residual>>AddShift, AddReLU), with the
+	// residual featuremap (same OutC/OutH/OutW geometry) streamed from
+	// In2Addr via Which=1 LOAD_D. The Add layer itself is deleted from the
+	// program, eliminating its DDR round-trip.
+	FusedAdd bool
+	// AddShift is the arithmetic right shift applied to the residual operand
+	// before the saturating add (the deleted Add layer's Shift).
+	AddShift uint8
+	// AddReLU applies ReLU after the fused residual addition.
+	AddReLU bool
+
 	// DDR layout (task-relative byte addresses).
 	InAddr  uint32 // input featuremap region (int8, CHW)
 	In2Addr uint32 // second input for LayerAdd
@@ -176,12 +194,24 @@ func (l *LayerInfo) ConvW() int {
 	return l.OutW
 }
 
+// InPlane returns the byte size of one batch element's input featuremap.
+func (l *LayerInfo) InPlane() int { return l.InC * l.InH * l.InW }
+
+// OutPlane returns the byte size of one batch element's output featuremap.
+func (l *LayerInfo) OutPlane() int { return l.OutC * l.OutH * l.OutW }
+
 // Program is a compiled, loadable instruction stream plus its layer table.
 type Program struct {
 	Name string
 
 	// Parallelism the stream was scheduled for.
 	ParaIn, ParaOut, ParaHeight int
+
+	// Batch is the number of input planes the stream processes per run
+	// (0 and 1 both mean a single-image plan). Every featuremap region in
+	// the arena holds Batch consecutive planes; weights are shared, so each
+	// LOAD_W is issued once and amortized across the whole batch.
+	Batch int
 
 	Layers []LayerInfo
 	Instrs []Instruction
@@ -203,8 +233,16 @@ type Program struct {
 	OutputBytes uint32
 }
 
+// BatchN returns the effective batch size of the program (at least 1).
+func (p *Program) BatchN() int {
+	if p.Batch < 1 {
+		return 1
+	}
+	return p.Batch
+}
+
 // Validate performs structural checks on the program: opcode validity, layer
-// references, row ranges, and stream termination.
+// references, row ranges, batch bounds, and stream termination.
 func (p *Program) Validate() error {
 	if p.ParaIn <= 0 || p.ParaOut <= 0 || p.ParaHeight <= 0 {
 		return fmt.Errorf("isa: program %q has invalid parallelism (%d,%d,%d)", p.Name, p.ParaIn, p.ParaOut, p.ParaHeight)
@@ -225,6 +263,9 @@ func (p *Program) Validate() error {
 		if int(in.Layer) >= len(p.Layers) {
 			return fmt.Errorf("isa: program %q instr %d references layer %d of %d", p.Name, i, in.Layer, len(p.Layers))
 		}
+		if int(in.Bat) >= p.BatchN() {
+			return fmt.Errorf("isa: program %q instr %d batch %d out of range [0,%d)", p.Name, i, in.Bat, p.BatchN())
+		}
 		l := &p.Layers[in.Layer]
 		switch in.Op {
 		case OpCalcI, OpCalcF, OpSave, OpVirSave:
@@ -232,7 +273,13 @@ func (p *Program) Validate() error {
 				return fmt.Errorf("isa: program %q instr %d rows [%d,%d) exceed OutH=%d", p.Name, i, in.Row0, int(in.Row0)+int(in.Rows), l.OutH)
 			}
 		case OpLoadD, OpVirLoadD:
-			if int(in.Row0)+int(in.Rows) > l.InH {
+			if l.FusedAdd && in.Which == 1 {
+				// The residual operand of a fused Add has the conv's OUTPUT
+				// geometry, not its input geometry.
+				if int(in.Row0)+int(in.Rows) > l.OutH {
+					return fmt.Errorf("isa: program %q instr %d residual rows [%d,%d) exceed OutH=%d", p.Name, i, in.Row0, int(in.Row0)+int(in.Rows), l.OutH)
+				}
+			} else if int(in.Row0)+int(in.Rows) > l.InH {
 				return fmt.Errorf("isa: program %q instr %d rows [%d,%d) exceed InH=%d", p.Name, i, in.Row0, int(in.Row0)+int(in.Rows), l.InH)
 			}
 		}

@@ -144,11 +144,11 @@ func TestStripVirtualEdgeCases(t *testing.T) {
 // gigabytes before the first record read could fail. Decoding must now fail
 // fast with memory proportional to the input actually supplied.
 func TestDecodeHostileCounts(t *testing.T) {
-	// magic + version-1 header with zero name, then counts claiming 2^32-1
+	// magic + version-2 header with zero name, then counts claiming 2^32-1
 	// layers, instructions and weight bytes — and no body at all.
 	var buf bytes.Buffer
 	buf.WriteString("INCA")
-	hdr := []uint16{1, 0, 4, 4, 3, 0} // version, flags, paraIn/Out/Height, nameLen
+	hdr := []uint16{2, 0, 4, 4, 3, 1, 0} // version, flags, paraIn/Out/Height, batch, nameLen
 	for _, v := range hdr {
 		buf.WriteByte(byte(v))
 		buf.WriteByte(byte(v >> 8))

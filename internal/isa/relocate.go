@@ -20,6 +20,7 @@ func Relocate(p *Program, base uint32) (*Program, error) {
 		ParaIn:      p.ParaIn,
 		ParaOut:     p.ParaOut,
 		ParaHeight:  p.ParaHeight,
+		Batch:       p.Batch,
 		Layers:      make([]LayerInfo, len(p.Layers)),
 		Instrs:      make([]Instruction, len(p.Instrs)),
 		DDRBytes:    base + p.DDRBytes,
@@ -35,7 +36,7 @@ func Relocate(p *Program, base uint32) (*Program, error) {
 		l := &q.Layers[i]
 		l.InAddr += base
 		l.OutAddr += base
-		if l.Op == LayerAdd {
+		if l.Op == LayerAdd || l.FusedAdd {
 			l.In2Addr += base
 		}
 		if l.Op == LayerConv {

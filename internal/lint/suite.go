@@ -28,6 +28,12 @@ var Suite = []ScopedAnalyzer{
 		"inca/internal/iau",
 		"inca/internal/accel",
 		"inca/internal/sched",
+		// The batched datapath made these stream-shaping too: the compiler's
+		// batch scheduler decides LOAD_W amortization and VI placement, and
+		// core.InferBatch owns per-element arena layout. Both must replay
+		// bit-exactly, so they patrol with the sim core.
+		"inca/internal/compiler",
+		"inca/internal/core",
 	}},
 	{TraceGuard, nil},
 	{ClockOwner, nil},

@@ -62,6 +62,13 @@ func validateSpec(sp *TaskSpec) error {
 	if sp.RetryBackoff < 0 {
 		return &SpecError{Task: sp.Name, Field: "RetryBackoff", Reason: fmt.Sprintf("%v is negative", sp.RetryBackoff)}
 	}
+	if sp.Batch < 0 {
+		return &SpecError{Task: sp.Name, Field: "Batch", Reason: fmt.Sprintf("%d is negative", sp.Batch)}
+	}
+	if sp.Batch > 0 && sp.Batch != sp.Prog.BatchN() {
+		return &SpecError{Task: sp.Name, Field: "Batch",
+			Reason: fmt.Sprintf("%d does not match program batch %d", sp.Batch, sp.Prog.BatchN())}
+	}
 	return nil
 }
 
@@ -78,6 +85,13 @@ type TaskSpec struct {
 	// equals a single golden execution — the property the verification
 	// harness checks through the whole sched+IAU+accel stack.
 	Arena []byte
+
+	// Batch declares the batch size the task's requests operate on. Zero
+	// means "whatever the program was compiled for"; a non-zero value must
+	// match Prog's compiled batch (it exists to catch a spec wired to a
+	// program compiled for a different batch, which would otherwise fail
+	// deep inside the stream as an addressing error).
+	Batch int
 
 	// Period schedules arrivals every Period of simulated time. Zero with
 	// Continuous unset means a single arrival at Offset.

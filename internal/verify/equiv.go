@@ -43,6 +43,11 @@ func probeRecipe() Recipe {
 
 // compileRecipe lowers a recipe for functional execution on cfg.
 func compileRecipe(r Recipe, cfg accel.Config, paramSeed uint64) (*isa.Program, *model.Network, error) {
+	return compileRecipeBatch(r, cfg, paramSeed, 1)
+}
+
+// compileRecipeBatch is compileRecipe with a batch dimension on the plan.
+func compileRecipeBatch(r Recipe, cfg accel.Config, paramSeed uint64, batch int) (*isa.Program, *model.Network, error) {
 	g := r.Build()
 	if err := g.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", errSkip, err)
@@ -54,6 +59,7 @@ func compileRecipe(r Recipe, cfg accel.Config, paramSeed uint64) (*isa.Program, 
 	opt := cfg.CompilerOptions()
 	opt.InsertVirtual = true
 	opt.EmitWeights = true
+	opt.Batch = batch
 	p, err := compiler.Compile(q, opt)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", errSkip, err)
@@ -100,7 +106,7 @@ func RunCase(c Case) (RunStats, error) {
 	cfg := Configs()[c.CfgIdx]
 	paramSeed := mix(c.Seed, c.Index) ^ 0xDDC0FFEE
 
-	victim, vg, err := compileRecipe(c.Recipe, cfg, paramSeed)
+	victim, vg, err := compileRecipeBatch(c.Recipe, cfg, paramSeed, c.BatchN())
 	if err != nil {
 		return stats, err
 	}
@@ -109,11 +115,16 @@ func RunCase(c Case) (RunStats, error) {
 		return stats, fmt.Errorf("probe network must always compile: %v", err)
 	}
 
-	in := tensor.NewInt8(vg.InC, vg.InH, vg.InW)
-	tensor.FillPattern(in, paramSeed^0x51)
+	// One distinct input per batch element (element 0 keeps the historical
+	// single-image pattern so old repro seeds stay meaningful).
+	inputs := make([]*tensor.Int8, victim.BatchN())
+	for b := range inputs {
+		inputs[b] = tensor.NewInt8(vg.InC, vg.InH, vg.InW)
+		tensor.FillPattern(inputs[b], paramSeed^0x51^(uint64(b)*0xB5EED))
+	}
 
 	// The executable spec's verdict: what DDR must hold afterwards.
-	want, err := golden.RunNet(victim, in)
+	want, err := goldenArena(victim, inputs)
 	if err != nil {
 		return stats, fmt.Errorf("golden rejects the compiled stream: %v", err)
 	}
@@ -150,7 +161,7 @@ func RunCase(c Case) (RunStats, error) {
 	}
 
 	for _, pl := range plans {
-		n, err := runOnce(c, cfg, victim, probe, in, want, pl.slots, pl.cycles)
+		n, err := runOnce(c, cfg, victim, probe, inputs, want, pl.slots, pl.cycles)
 		stats.Runs++
 		stats.Preemptions += n
 		if err != nil {
@@ -160,17 +171,37 @@ func RunCase(c Case) (RunStats, error) {
 	return stats, nil
 }
 
+// goldenArena builds a fresh arena holding every batch element's input and
+// runs the golden interpreter over it, returning the expected DDR image.
+func goldenArena(p *isa.Program, inputs []*tensor.Int8) ([]byte, error) {
+	arena, err := accel.NewArena(p)
+	if err != nil {
+		return nil, err
+	}
+	for b, in := range inputs {
+		if err := accel.WriteInputAt(arena, p, in, b); err != nil {
+			return nil, err
+		}
+	}
+	if err := golden.Run(p, arena); err != nil {
+		return nil, err
+	}
+	return arena, nil
+}
+
 // runOnce performs a single IAU run of the victim under one probe plan and
 // checks equivalence and invariants.
-func runOnce(c Case, cfg accel.Config, victim, probe *isa.Program, in *tensor.Int8,
+func runOnce(c Case, cfg accel.Config, victim, probe *isa.Program, inputs []*tensor.Int8,
 	want []byte, slots []int, cycles []uint64) (preempts int, err error) {
 
 	arena, err := accel.NewArena(victim)
 	if err != nil {
 		return 0, err
 	}
-	if err := accel.WriteInput(arena, victim, in); err != nil {
-		return 0, err
+	for b, in := range inputs {
+		if err := accel.WriteInputAt(arena, victim, in, b); err != nil {
+			return 0, err
+		}
 	}
 
 	u := iau.New(cfg, c.Policy)

@@ -58,22 +58,37 @@ func FuzzCompileRun(f *testing.F) {
 		d := &dna{b: data}
 		r := randomRecipe(d)
 		cfg := Configs()[d.Intn(len(Configs()))]
-		p, g, err := compileRecipe(r, cfg, d.Uint64()|1)
+		batch := []int{1, 1, 2, 4, 8}[d.Intn(5)]
+		p, g, err := compileRecipeBatch(r, cfg, d.Uint64()|1, batch)
 		if err != nil {
 			t.Skip(err)
 		}
-		in := tensor.NewInt8(g.InC, g.InH, g.InW)
-		tensor.FillPattern(in, d.Uint64())
-		want, err := golden.RunNet(p, in)
+		inSeed := d.Uint64()
+		inputs := make([]*tensor.Int8, p.BatchN())
+		for b := range inputs {
+			inputs[b] = tensor.NewInt8(g.InC, g.InH, g.InW)
+			tensor.FillPattern(inputs[b], inSeed^(uint64(b)*0xB5EED))
+		}
+		want, err := accel.NewArena(p)
 		if err != nil {
+			t.Fatalf("arena: %v", err)
+		}
+		for b, in := range inputs {
+			if err := accel.WriteInputAt(want, p, in, b); err != nil {
+				t.Fatalf("input: %v", err)
+			}
+		}
+		if err := golden.Run(p, want); err != nil {
 			t.Fatalf("golden rejects a compiled stream: %v\nnet: %s", err, r)
 		}
 		arena, err := accel.NewArena(p)
 		if err != nil {
 			t.Fatalf("arena: %v", err)
 		}
-		if err := accel.WriteInput(arena, p, in); err != nil {
-			t.Fatalf("input: %v", err)
+		for b, in := range inputs {
+			if err := accel.WriteInputAt(arena, p, in, b); err != nil {
+				t.Fatalf("input: %v", err)
+			}
 		}
 		eng := accel.NewEngine(cfg)
 		defer eng.Close()
@@ -106,6 +121,7 @@ func FuzzPreemptResume(f *testing.F) {
 		c := Case{Seed: 0xF022, Index: 0}
 		c.Recipe = randomRecipe(d)
 		c.CfgIdx = d.Intn(len(Configs()))
+		c.Batch = []int{1, 1, 2, 4, 8}[d.Intn(5)]
 		kind := Kinds()[d.Intn(len(Kinds()))]
 		policies := []iau.Policy{iau.PolicyVI, iau.PolicyCPULike, iau.PolicyLayerByLayer}
 		c.Policy = policies[d.Intn(len(policies))]

@@ -32,6 +32,7 @@ type OpSpec struct {
 	Pad    int
 	OutC   int
 	ReLU   bool
+	Swap   bool // residual only: reverse the Add's operand order (blocks epilogue fusion)
 }
 
 // Recipe is the DNA of a generated network: enough to rebuild it exactly,
@@ -62,7 +63,14 @@ func (r Recipe) Build() *model.Network {
 		case 4:
 			a := n.Conv(fmt.Sprintf("res%da", i), cur, op.OutC, 3, 1, 1, true)
 			b := n.Conv(fmt.Sprintf("res%db", i), cur, op.OutC, 1, 1, 0, false)
-			cur = n.Residual(fmt.Sprintf("res%d", i), a, b, op.ReLU)
+			// With the preceding conv (b) as primary operand the Add fuses
+			// into b's epilogue; Swap reverses the order, which keeps the
+			// standalone Add layer. Both paths must stay bit-exact.
+			if op.Swap {
+				cur = n.Residual(fmt.Sprintf("res%d", i), a, b, op.ReLU)
+			} else {
+				cur = n.Residual(fmt.Sprintf("res%d", i), b, a, op.ReLU)
+			}
 		case 5:
 			cur = n.Conv(fmt.Sprintf("pw%d", i), cur, op.OutC, 1, 1, 0, op.ReLU)
 		}
@@ -75,7 +83,11 @@ func (r Recipe) String() string {
 	fmt.Fprintf(&b, "%dx%dx%d", r.C, r.H, r.W)
 	for _, op := range r.Ops {
 		kind := [...]string{"conv", "dw", "convpool", "pool", "res", "pw"}[op.Kind]
-		fmt.Fprintf(&b, " %s(k%d s%d p%d oc%d relu=%v)", kind, op.K, op.Stride, op.Pad, op.OutC, op.ReLU)
+		fmt.Fprintf(&b, " %s(k%d s%d p%d oc%d relu=%v", kind, op.K, op.Stride, op.Pad, op.OutC, op.ReLU)
+		if op.Kind == 4 && op.Swap {
+			b.WriteString(" swap")
+		}
+		b.WriteString(")")
 	}
 	return b.String()
 }
@@ -135,11 +147,23 @@ type Case struct {
 	CfgIdx int
 	Policy iau.Policy
 	Sched  Schedule
+	// Batch is the victim plan's batch size (0 and 1 both mean single-image).
+	// Batched victims put every interrupt point between per-element SAVEs, so
+	// adversarial schedules routinely park tasks mid-batch.
+	Batch int
+}
+
+// BatchN returns the case's batch size, never less than 1.
+func (c Case) BatchN() int {
+	if c.Batch < 1 {
+		return 1
+	}
+	return c.Batch
 }
 
 func (c Case) String() string {
-	return fmt.Sprintf("case %d:%d policy=%v cfg=%d net[%s] sched[%s]",
-		c.Seed, c.Index, c.Policy, c.CfgIdx, c.Recipe, c.Sched)
+	return fmt.Sprintf("case %d:%d policy=%v cfg=%d batch=%d net[%s] sched[%s]",
+		c.Seed, c.Index, c.Policy, c.CfgIdx, c.BatchN(), c.Recipe, c.Sched)
 }
 
 // Repro returns the one-line environment repro for the case.
@@ -181,6 +205,9 @@ func NewCase(seed uint64, index int) Case {
 	c := Case{Seed: seed, Index: index}
 	c.Recipe = randomRecipe(rng)
 	c.CfgIdx = rng.Intn(len(Configs()))
+	// Batch axis: half the cases stay single-image (the historical corpus),
+	// the rest run batched plans so preemption lands between batch elements.
+	c.Batch = []int{1, 1, 2, 4, 8}[rng.Intn(5)]
 	// Round-robin the schedule kind so every kind appears with certainty in
 	// any contiguous run of cases; the rest of the case stays random.
 	kinds := Kinds()
@@ -230,6 +257,7 @@ func randomRecipe(rng entropy) Recipe {
 		case 4:
 			op.Kind = 4
 			op.OutC = 1 + rng.Intn(8)
+			op.Swap = rng.Intn(2) == 0
 		case 5:
 			op.Kind = 5
 			op.OutC = 1 + rng.Intn(12)

@@ -27,6 +27,9 @@ func size(c Case) int {
 	if c.Sched.FaultSeed != 0 {
 		s += 50
 	}
+	if c.BatchN() > 1 {
+		s += c.BatchN() * 20
+	}
 	return s
 }
 
@@ -83,6 +86,15 @@ func Minimize(c Case, budget int) Case {
 			cand := best
 			cand.Recipe.Ops = append([]OpSpec{}, best.Recipe.Ops...)
 			cand.Recipe.Ops[i].OutC = cand.Recipe.Ops[i].OutC / 2
+			if attempt(cand) {
+				improved = true
+			}
+		}
+
+		// Shrink the batch axis toward a single image.
+		if best.BatchN() > 1 {
+			cand := best
+			cand.Batch = best.BatchN() / 2
 			if attempt(cand) {
 				improved = true
 			}
