@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build test bench bench-gate bench-baseline race refconv vet lint lint-report chaos fuzz-smoke cover trace
+.PHONY: tier1 build test bench bench-gate bench-baseline race refconv vet lint lint-report chaos chaos-cluster fuzz-smoke cover trace
 
 # tier1 is the gate every change must keep green.
-tier1: build vet lint test race fuzz-smoke cover trace bench-gate
+tier1: build vet lint test race fuzz-smoke cover trace bench-gate chaos-cluster
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,13 @@ bench:
 # INCA_BENCH_GATE_TOL=<pct> widens the tolerance on noisy boxes.
 bench-gate:
 	$(GO) run ./cmd/inca-bench -gate BENCH_datapath.json
+	$(GO) run ./cmd/inca-bench -cluster-gate BENCH_cluster.json
 
-# Refresh the checked-in datapath baseline (run after intentional perf or
-# cycle-model changes, and commit the result).
+# Refresh the checked-in baselines (run after intentional perf, cycle-model,
+# or scheduler changes, and commit the result).
 bench-baseline:
 	$(GO) run ./cmd/inca-bench -datapath BENCH_datapath.json
+	$(GO) run ./cmd/inca-bench -cluster BENCH_cluster.json
 
 # Race-detector pass: the accel differential tests plus bounded slices of
 # the sched, slam, and trace suites (-run filters keep tier1 time sane; the
@@ -92,3 +94,13 @@ trace:
 # merge the maps — plus determinism and zero-rate-invisibility checks.
 chaos:
 	$(GO) test -count 1 -run 'TestChaos' -v ./internal/slam ./internal/sched
+
+# Cluster chaos gate: the 4-engine serving chaos scenario (forced watchdog
+# kills, 5% backup corruption, 5% stalls, quarantine at the first kill)
+# must complete every task bit-exactly with zero losses and a byte-identical
+# same-seed report, then the serving CLI replays the ISSUE operating point
+# (5% per-attempt hangs + 5% corruption on 4 engines) end to end with
+# functional golden verification.
+chaos-cluster:
+	$(GO) test -count 1 -run 'TestClusterChaos' -v ./internal/cluster
+	$(GO) run ./cmd/inca-serve -engines 4 -tasks 48 -hang 0.05 -corrupt 0.05 -stall 0.05 -functional

@@ -38,11 +38,17 @@ func main() {
 		datapath   = flag.String("datapath", "", "measure the batched serving datapath and write the schema-versioned snapshot here (e.g. BENCH_datapath.json)")
 		gate       = flag.String("gate", "", "measure the datapath and fail if modeled MACs/s regressed vs this baseline snapshot")
 		reps       = flag.Int("reps", 3, "wall-clock best-of repetitions for -datapath/-gate")
+		clusterOut = flag.String("cluster", "", "run the fault-tolerant serving sweep and write the snapshot here (e.g. BENCH_cluster.json)")
+		clusterGt  = flag.String("cluster-gate", "", "run the serving sweep and fail if goodput/p99/SLA regressed vs this baseline snapshot")
 	)
 	flag.Parse()
 
 	if *datapath != "" || *gate != "" {
 		runDatapath(*datapath, *gate, *reps, *formatMD)
+		return
+	}
+	if *clusterOut != "" || *clusterGt != "" {
+		runClusterBench(*clusterOut, *clusterGt, *formatMD)
 		return
 	}
 
@@ -239,6 +245,50 @@ func runDatapath(outPath, gatePath string, reps int, md bool) {
 				gatePath, baseline.GitRev, tol)
 		}
 		fmt.Printf("bench-gate: ok vs %s (baseline rev %s, tolerance %.1f%%)\n",
+			gatePath, baseline.GitRev, tol)
+	}
+}
+
+// runClusterBench handles -cluster (write a fresh serving snapshot) and
+// -cluster-gate (compare against the checked-in baseline). The sweep is
+// fully deterministic (cycle model), so the same INCA_BENCH_GATE switch and
+// tolerance knob apply.
+func runClusterBench(outPath, gatePath string, md bool) {
+	if gatePath != "" && os.Getenv("INCA_BENCH_GATE") == "off" {
+		fmt.Println("cluster-gate: skipped (INCA_BENCH_GATE=off)")
+		return
+	}
+	snap, t, err := bench.ClusterBench()
+	if err != nil {
+		fatalf("cluster: %v", err)
+	}
+	snap.GitRev = gitRev()
+	printTable(os.Stdout, t, md)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatalf("create %s: %v", outPath, err)
+		}
+		if err := bench.WriteCluster(f, snap); err != nil {
+			fatalf("write %s: %v", outPath, err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (schema v%d, rev %s)\n", outPath, snap.Schema, snap.GitRev)
+	}
+	if gatePath != "" {
+		baseline, err := bench.ReadCluster(gatePath)
+		if err != nil {
+			fatalf("cluster-gate baseline: %v", err)
+		}
+		tol := bench.GateTolerancePct()
+		if fails := bench.GateCluster(baseline, snap, tol); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "cluster-gate: %s\n", f)
+			}
+			fatalf("serving quality regressed vs %s (baseline rev %s, tolerance %.1f%%)",
+				gatePath, baseline.GitRev, tol)
+		}
+		fmt.Printf("cluster-gate: ok vs %s (baseline rev %s, tolerance %.1f%%)\n",
 			gatePath, baseline.GitRev, tol)
 	}
 }

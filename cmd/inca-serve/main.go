@@ -1,0 +1,136 @@
+// inca-serve is the overload-graceful serving front-end: it generates a
+// seeded open-loop stream of inference requests with heavy-tailed
+// priorities and drives it through a fault-tolerant EngineCluster
+// (internal/cluster) — least-loaded placement, cross-engine migration of
+// preempted and watchdog-killed tasks, engine quarantine with
+// probe-and-readmit, and admission control that sheds the lowest-priority
+// work first. It reports throughput, latency percentiles, and SLA
+// attainment, and can verify every completed inference bit-exactly against
+// the golden interpreter.
+//
+// Usage:
+//
+//	inca-serve -engines 4 -tasks 64
+//	inca-serve -engines 4 -hang 0.05 -corrupt 0.05 -functional
+//	inca-serve -engines 2 -json stats.json -trace serve.trace.json
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"inca/internal/accel"
+	"inca/internal/cluster"
+	"inca/internal/iau"
+	"inca/internal/trace"
+)
+
+func main() {
+	var (
+		engines    = flag.Int("engines", 4, "cluster size")
+		tasks      = flag.Int("tasks", 64, "requests in the arrival stream")
+		seed       = flag.Uint64("seed", 1, "master seed (workload and fault streams)")
+		hang       = flag.Float64("hang", 0, "per-attempt probability an inference hangs (watchdog kill)")
+		stall      = flag.Float64("stall", 0, "per-instruction transient stall probability")
+		corrupt    = flag.Float64("corrupt", 0, "per-preemption DDR backup corruption probability")
+		meanGap    = flag.Uint64("mean-gap", 0, "mean inter-arrival gap in cycles (0 = moderate overload)")
+		dlFactor   = flag.Float64("deadline-factor", 16, "deadline = factor x solo runtime for priority 0/1 tasks (0 = none)")
+		quarantine = flag.Int("quarantine-k", cluster.DefaultQuarantineAfter, "consecutive kills before an engine is quarantined")
+		maxMig     = flag.Int("max-migrations", cluster.DefaultMaxMigrations, "placements per task before it is shed")
+		maxQueue   = flag.Int("max-queue", cluster.DefaultMaxQueue, "dispatch backlog bound (admission control)")
+		functional = flag.Bool("functional", false, "run with real arenas and verify completions against the golden interpreter")
+		jsonOut    = flag.String("json", "", "write the deterministic stats report to this file")
+		traceOut   = flag.String("trace", "", "write the cluster-level Perfetto trace (migrate/quarantine/readmit marks) here")
+		outcomes   = flag.Bool("outcomes", false, "print one line per task outcome")
+	)
+	flag.Parse()
+
+	cfg := accel.Big()
+	cfg.ParaIn, cfg.ParaOut, cfg.ParaHeight = 8, 8, 4
+
+	w, err := cluster.NewWorkload(cfg, cluster.WorkloadConfig{
+		Tasks: *tasks, Seed: *seed, MeanGapCycles: *meanGap,
+		Functional: *functional, DeadlineFactor: *dlFactor,
+	})
+	if err != nil {
+		fatalf("workload: %v", err)
+	}
+
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New(1 << 16)
+	}
+	res, err := cluster.Run(cluster.Config{
+		Engines: *engines, Accel: cfg, Policy: iau.PolicyVI,
+		Seed:            *seed,
+		HangRate:        cluster.HangRatePerAttempt(w.Progs, *hang),
+		StallRate:       *stall,
+		BackupRate:      *corrupt,
+		QuarantineAfter: *quarantine,
+		MaxMigrations:   *maxMig,
+		MaxQueue:        *maxQueue,
+		Tracer:          tr,
+	}, w.Tasks)
+	if err != nil {
+		fatalf("cluster: %v", err)
+	}
+
+	fmt.Print(res.Stats.String())
+	cps := float64(cfg.FreqMHz) * 1e6
+	fmt.Printf("goodput: %.1f inferences/s at %d MHz\n", res.Stats.Goodput(cps), cfg.FreqMHz)
+
+	if *outcomes {
+		for i := range res.Outcomes {
+			o := &res.Outcomes[i]
+			switch {
+			case o.Completed:
+				fmt.Printf("  task %-3d %-16s done @%d on engine%d (latency %d, %d migrations, %d salvages)\n",
+					o.TaskID, o.Name, o.DoneCycle, o.Engine, o.Latency, o.Migrations, o.Salvaged)
+			default:
+				fmt.Printf("  task %-3d %-16s shed (%s) @%d after %d attempts\n",
+					o.TaskID, o.Name, o.Shed, o.DoneCycle, o.Attempts)
+			}
+		}
+	}
+
+	if *functional {
+		bad := 0
+		for i := range res.Outcomes {
+			o := &res.Outcomes[i]
+			if o.Completed && !bytes.Equal(w.Tasks[o.TaskID].Arena, w.Golden[o.TaskID]) {
+				fmt.Fprintf(os.Stderr, "inca-serve: task %d (%s) output differs from golden\n", o.TaskID, o.Name)
+				bad++
+			}
+		}
+		if bad > 0 {
+			fatalf("%d of %d completed inferences diverged from the golden interpreter", bad, res.Stats.Completed)
+		}
+		fmt.Printf("functional: %d completed inferences bit-exact vs golden\n", res.Stats.Completed)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatalf("create %s: %v", *jsonOut, err)
+		}
+		if err := res.Stats.WriteJSON(f); err != nil {
+			fatalf("write %s: %v", *jsonOut, err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if *traceOut != "" {
+		if err := trace.WriteFiles(tr, *traceOut, "inca-serve"); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s (%d events, %d dropped) and %s\n",
+			*traceOut, len(tr.Events()), tr.Dropped(), trace.MetricsPath(*traceOut))
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "inca-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

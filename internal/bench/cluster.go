@@ -1,0 +1,235 @@
+package bench
+
+// The cluster serving benchmark behind `inca-bench -cluster` and the
+// cluster half of `make bench-gate`: it replays a fixed seeded request
+// stream through the fault-tolerant EngineCluster at N=1/2/4 engines, with
+// and without injected faults, and emits a schema-versioned snapshot that
+// is checked in as BENCH_cluster.json. Every number comes from the
+// deterministic cycle model (same seed, same placement, same fault draws),
+// so the gate can compare goodput, tail latency, and SLA attainment
+// exactly — any drift is a real behavioural change in the dispatcher, the
+// migration protocol, or the IAU underneath it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"inca/internal/accel"
+	"inca/internal/cluster"
+	"inca/internal/iau"
+)
+
+// ClusterSchema is the snapshot format version. Bump it whenever the JSON
+// layout, the workload, or the fault operating point changes; the gate
+// refuses to compare across schema versions.
+const ClusterSchema = 1
+
+// Fixed operating point for the snapshot. The fault scenarios use the
+// ISSUE-spec serving chaos rates: 5% of attempts hang (watchdog kill), 5%
+// of preemption backups corrupt, 5% of instructions stall.
+const (
+	clusterBenchTasks = 48
+	clusterBenchSeed  = 42
+	clusterHangProb   = 0.05
+	clusterFaultRate  = 0.05
+)
+
+// ClusterScenario is one (engines, faults) cell of the serving sweep.
+type ClusterScenario struct {
+	Name    string `json:"name"`
+	Engines int    `json:"engines"`
+	Faults  bool   `json:"faults"`
+
+	// Task ledger. Offered == Completed + Shed on every drained run.
+	Offered   int `json:"offered"`
+	Completed int `json:"completed"`
+	Shed      int `json:"shed"`
+
+	// Robustness activity under the injected fault mix.
+	Migrations     int `json:"migrations"`
+	SalvageResumes int `json:"salvage_resumes"`
+	WatchdogKills  int `json:"watchdog_kills"`
+	Quarantines    int `json:"quarantines"`
+
+	// Service quality from the cycle model. The gate compares these.
+	GoodputPerSec  float64 `json:"goodput_per_sec"`
+	P50Cycles      uint64  `json:"p50_cycles"`
+	P99Cycles      uint64  `json:"p99_cycles"`
+	SLAPct         float64 `json:"sla_pct"`
+	MakespanCycles uint64  `json:"makespan_cycles"`
+}
+
+// ClusterSnapshot is the checked-in serving baseline.
+type ClusterSnapshot struct {
+	Schema    int               `json:"schema"`
+	GitRev    string            `json:"git_rev"`
+	Config    string            `json:"config"`
+	Tasks     int               `json:"tasks"`
+	Seed      uint64            `json:"seed"`
+	Scenarios []ClusterScenario `json:"scenarios"`
+}
+
+// clusterBenchConfig is the accelerator the sweep runs on: the big config
+// shrunk to the same 8x8x4 array the serving CLI and the cluster tests use,
+// so snapshot numbers line up with `inca-serve` output.
+func clusterBenchConfig() accel.Config {
+	cfg := accel.Big()
+	cfg.ParaIn, cfg.ParaOut, cfg.ParaHeight = 8, 8, 4
+	return cfg
+}
+
+// ClusterBench replays the fixed request stream at N=1/2/4 engines with
+// faults off and on, and returns the snapshot plus a rendered table.
+func ClusterBench() (*ClusterSnapshot, *Table, error) {
+	cfg := clusterBenchConfig()
+	snap := &ClusterSnapshot{
+		Schema: ClusterSchema, Config: cfg.Name,
+		Tasks: clusterBenchTasks, Seed: clusterBenchSeed,
+	}
+	t := &Table{
+		ID:    "CLUSTER",
+		Title: fmt.Sprintf("fault-tolerant serving (%s, %d requests, seed %d)", cfg.Name, clusterBenchTasks, clusterBenchSeed),
+		Columns: []string{"scenario", "completed", "shed", "migrations", "kills",
+			"goodput/s", "p50 cyc", "p99 cyc", "SLA %"},
+	}
+
+	w, err := cluster.NewWorkload(cfg, cluster.WorkloadConfig{
+		Tasks: clusterBenchTasks, Seed: clusterBenchSeed, DeadlineFactor: 16,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster workload: %v", err)
+	}
+	cps := float64(cfg.FreqMHz) * 1e6
+
+	for _, engines := range []int{1, 2, 4} {
+		for _, faults := range []bool{false, true} {
+			// Rebuild the task slice per run: cluster.Run records outcomes
+			// through it and timing-only tasks carry no arenas to reset.
+			tasks := make([]cluster.Task, len(w.Tasks))
+			copy(tasks, w.Tasks)
+
+			cc := cluster.Config{
+				Engines: engines, Accel: cfg, Policy: iau.PolicyVI,
+				Seed: clusterBenchSeed,
+			}
+			if faults {
+				cc.HangRate = cluster.HangRatePerAttempt(w.Progs, clusterHangProb)
+				cc.BackupRate = clusterFaultRate
+				cc.StallRate = clusterFaultRate
+			}
+			res, err := cluster.Run(cc, tasks)
+			if err != nil {
+				return nil, nil, fmt.Errorf("cluster n=%d faults=%v: %v", engines, faults, err)
+			}
+			st := &res.Stats
+			if st.Completed+st.Shed != st.Offered {
+				return nil, nil, fmt.Errorf("cluster n=%d faults=%v: ledger broken (offered=%d completed=%d shed=%d)",
+					engines, faults, st.Offered, st.Completed, st.Shed)
+			}
+
+			sc := ClusterScenario{
+				Engines: engines, Faults: faults,
+				Offered: st.Offered, Completed: st.Completed, Shed: st.Shed,
+				Migrations: st.Migrations, SalvageResumes: st.SalvageResumes,
+				WatchdogKills: st.WatchdogKills, Quarantines: st.Quarantines,
+				GoodputPerSec:  st.Goodput(cps),
+				P50Cycles:      st.Latency.Quantile(0.50),
+				P99Cycles:      st.Latency.Quantile(0.99),
+				SLAPct:         100 * st.SLAAttainment(),
+				MakespanCycles: st.MakespanCycles,
+			}
+			sc.Name = fmt.Sprintf("n%d", engines)
+			if faults {
+				sc.Name += "+faults"
+			}
+			snap.Scenarios = append(snap.Scenarios, sc)
+			t.AddRow(sc.Name,
+				fmt.Sprintf("%d/%d", sc.Completed, sc.Offered), fmt.Sprintf("%d", sc.Shed),
+				fmt.Sprintf("%d", sc.Migrations), fmt.Sprintf("%d", sc.WatchdogKills),
+				fmt.Sprintf("%.1f", sc.GoodputPerSec),
+				fmt.Sprintf("%d", sc.P50Cycles), fmt.Sprintf("%d", sc.P99Cycles),
+				fmt.Sprintf("%.1f", sc.SLAPct))
+		}
+	}
+	t.AddNote("+faults injects %.0f%% per-attempt hangs, %.0f%% backup corruption, %.0f%% stalls",
+		100*clusterHangProb, 100*clusterFaultRate, 100*clusterFaultRate)
+	t.AddNote("all columns come from the deterministic cycle model at %d MHz; the gate compares goodput, p99, and SLA", cfg.FreqMHz)
+	return snap, t, nil
+}
+
+// WriteCluster serialises a snapshot as indented JSON.
+func WriteCluster(w io.Writer, s *ClusterSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadCluster loads a snapshot from a baseline file.
+func ReadCluster(path string) (*ClusterSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s ClusterSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// GateCluster compares the current sweep against the baseline and returns
+// one error line per regression beyond tol percent: goodput or SLA dropped,
+// p99 latency rose, or a task that used to complete now sheds. Scenarios
+// present on only one side are reported too.
+func GateCluster(baseline, current *ClusterSnapshot, tolPct float64) []string {
+	var fails []string
+	if baseline.Schema != current.Schema {
+		return []string{fmt.Sprintf("schema mismatch: baseline v%d vs current v%d (regenerate BENCH_cluster.json)",
+			baseline.Schema, current.Schema)}
+	}
+	base := map[string]ClusterScenario{}
+	for _, s := range baseline.Scenarios {
+		base[s.Name] = s
+	}
+	seen := map[string]bool{}
+	drop := func(name, col string, was, now float64) {
+		if was <= 0 {
+			return
+		}
+		d := (was - now) / was * 100
+		if d > tolPct {
+			fails = append(fails, fmt.Sprintf("%s %s: %.1f -> %.1f (-%.1f%% > %.1f%% tolerance)",
+				name, col, was, now, d, tolPct))
+		}
+	}
+	for _, s := range current.Scenarios {
+		b, ok := base[s.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: not in baseline (regenerate BENCH_cluster.json)", s.Name))
+			continue
+		}
+		seen[s.Name] = true
+		drop(s.Name, "goodput", b.GoodputPerSec, s.GoodputPerSec)
+		drop(s.Name, "SLA", b.SLAPct, s.SLAPct)
+		// p99 gates in the rising direction: a slower tail is the regression.
+		if b.P99Cycles > 0 {
+			rise := (float64(s.P99Cycles) - float64(b.P99Cycles)) / float64(b.P99Cycles) * 100
+			if rise > tolPct {
+				fails = append(fails, fmt.Sprintf("%s p99: %d -> %d cycles (+%.1f%% > %.1f%% tolerance)",
+					s.Name, b.P99Cycles, s.P99Cycles, rise, tolPct))
+			}
+		}
+		if s.Completed < b.Completed {
+			fails = append(fails, fmt.Sprintf("%s: completed %d -> %d (tasks now shed that used to finish)",
+				s.Name, b.Completed, s.Completed))
+		}
+	}
+	for _, s := range baseline.Scenarios {
+		if !seen[s.Name] {
+			fails = append(fails, fmt.Sprintf("%s: in baseline but not measured", s.Name))
+		}
+	}
+	return fails
+}

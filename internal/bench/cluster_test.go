@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestClusterBenchDeterministicAndGateable runs the serving sweep twice and
+// pins the properties the checked-in BENCH_cluster.json relies on: the
+// snapshot is byte-identical across runs (pure cycle model), every scenario
+// drains its ledger, the fault scenarios actually exercise the robustness
+// machinery, and the self-gate passes while a doctored regression fails.
+func TestClusterBenchDeterministicAndGateable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep is seconds-long; skipped under -short")
+	}
+	a, _, err := ClusterBench()
+	if err != nil {
+		t.Fatalf("ClusterBench: %v", err)
+	}
+	b, tbl, err := ClusterBench()
+	if err != nil {
+		t.Fatalf("ClusterBench (second run): %v", err)
+	}
+	var ja, jb bytes.Buffer
+	if err := WriteCluster(&ja, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCluster(&jb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatalf("snapshot not byte-identical across same-seed runs:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+	if len(a.Scenarios) != 6 {
+		t.Fatalf("want 6 scenarios (n=1/2/4 x faults off/on), got %d", len(a.Scenarios))
+	}
+
+	kills, migrations := 0, 0
+	for _, s := range a.Scenarios {
+		if s.Completed+s.Shed != s.Offered {
+			t.Errorf("%s: ledger broken: %d+%d != %d", s.Name, s.Completed, s.Shed, s.Offered)
+		}
+		if !s.Faults && (s.WatchdogKills != 0 || s.Quarantines != 0) {
+			t.Errorf("%s: fault-free scenario recorded %d kills, %d quarantines",
+				s.Name, s.WatchdogKills, s.Quarantines)
+		}
+		if s.Faults {
+			kills += s.WatchdogKills
+			migrations += s.Migrations
+		}
+	}
+	if kills == 0 || migrations == 0 {
+		t.Errorf("fault scenarios exercised nothing: %d kills, %d migrations", kills, migrations)
+	}
+	if tbl == nil || len(tbl.Rows) != len(a.Scenarios) {
+		t.Fatalf("table rows (%d) do not match scenarios (%d)", len(tbl.Rows), len(a.Scenarios))
+	}
+
+	// Self-comparison gates clean.
+	if fails := GateCluster(a, b, GateTolerancePct()); len(fails) > 0 {
+		t.Fatalf("self-gate failed: %v", fails)
+	}
+	// A doctored goodput drop, tail-latency rise, and lost scenario all trip.
+	bad := *b
+	bad.Scenarios = append([]ClusterScenario{}, b.Scenarios...)
+	bad.Scenarios[0].GoodputPerSec *= 0.5
+	bad.Scenarios[1].P99Cycles *= 3
+	bad.Scenarios = bad.Scenarios[:len(bad.Scenarios)-1]
+	fails := GateCluster(a, &bad, 10)
+	if len(fails) < 3 {
+		t.Fatalf("doctored snapshot should trip goodput, p99, and missing-scenario checks, got %v", fails)
+	}
+	// Schema mismatch refuses outright.
+	bad.Schema = ClusterSchema + 1
+	fails = GateCluster(a, &bad, 10)
+	if len(fails) != 1 || !strings.Contains(fails[0], "schema mismatch") {
+		t.Fatalf("schema mismatch should be the sole failure, got %v", fails)
+	}
+}

@@ -1,0 +1,471 @@
+package cluster
+
+import (
+	"sort"
+
+	"inca/internal/iau"
+	"inca/internal/isa"
+	"inca/internal/trace"
+)
+
+// installCallbacks wires one engine's IAU into the dispatcher. Completion
+// and preemption are handled inline (the IAU callback contract allows
+// submitting to and running OTHER engines from a callback, mirroring
+// sched.RunMultiMigrate); watchdog failures are only recorded here and
+// processed at top level by processFails, because the salvage-migration
+// path may need to advance the destination engine's clock.
+func (c *cluster) installCallbacks(e *engine) {
+	e.u.OnComplete = func(comp iau.Completion) {
+		ts := c.taskOf[comp.Req]
+		if ts == nil {
+			return
+		}
+		delete(c.taskOf, comp.Req)
+		e.outstanding--
+		e.slotLoad[comp.Slot]--
+		e.consecFails = 0
+		e.stats.Completed++
+		o := ts.outcome
+		o.Completed = true
+		o.Engine = e.id
+		o.DoneCycle = comp.Req.DoneCycle
+		o.Latency = comp.Req.DoneCycle - ts.task.Arrival
+		if ts.task.Deadline > 0 {
+			o.DeadlineMet = o.Latency <= ts.task.Deadline
+		}
+		if comp.Req == e.canary {
+			e.canary = nil
+		}
+		if e.health != Healthy {
+			// Any completion is proof of life: readmit. The backoff level is
+			// kept, so a flapping engine waits longer each time it relapses.
+			e.health = Healthy
+			e.stats.Readmits++
+			c.stats.Readmits++
+			c.cfg.Tracer.Mark(trace.KindReadmit, e.id, comp.Req.DoneCycle, uint64(e.backoffLevel), ts.task.Name)
+		}
+	}
+
+	e.u.OnPreempt = func(p *iau.Preemption) {
+		// Work-shifting migration: a parked victim whose priority slot is
+		// free on another healthy engine moves there instead of waiting out
+		// its preemptor. Its backup lives in shared DDR, so the CRC-checked
+		// token resumes bit-exactly — mid-batch parks included.
+		req := e.u.PeekPreempted(p.Victim)
+		if req == nil {
+			return
+		}
+		ts := c.taskOf[req]
+		if ts == nil {
+			return
+		}
+		target := -1
+		for _, o := range c.engines {
+			if o.id != e.id && o.health == Healthy && o.u.SlotFree(p.Victim) &&
+				o.slotLoad[p.Victim] == 0 {
+				target = o.id
+				break
+			}
+		}
+		if target == -1 {
+			return
+		}
+		tok, err := e.u.StealPreempted(p.Victim)
+		if err != nil {
+			return
+		}
+		dst := c.engines[target]
+		// Bring the idle target up to the backup-completion instant so the
+		// migrated task cannot time-travel on the destination clock.
+		if err := dst.u.Run(p.BackupDoneCycle); err != nil {
+			c.migErr = err
+			return
+		}
+		if err := dst.u.InjectPreempted(p.Victim, tok); err != nil {
+			// Target turned out busy after its clock advanced: roll back.
+			if err2 := e.u.InjectPreempted(p.Victim, tok); err2 != nil {
+				c.migErr = err2
+			}
+			return
+		}
+		c.moveTask(ts, e, dst, p.Victim)
+		ts.outcome.Migrations++
+		c.stats.Migrations++
+		e.stats.MigratedOut++
+		c.cfg.Tracer.Mark(trace.KindMigrate, e.id, p.BackupDoneCycle, uint64(target), ts.task.Name)
+	}
+
+	e.u.OnFail = func(comp iau.Completion, _ error) {
+		e.stats.Kills++
+		c.stats.WatchdogKills++
+		c.pendingFails = append(c.pendingFails, failRec{
+			engine: e.id, comp: comp, cycle: e.u.Now,
+			wasCanary: comp.Req == e.canary,
+		})
+	}
+}
+
+// moveTask updates placement bookkeeping when a task changes engines.
+func (c *cluster) moveTask(ts *taskState, from, to *engine, slot int) {
+	from.outstanding--
+	from.slotLoad[slot]--
+	to.outstanding++
+	to.slotLoad[slot]++
+	ts.engine = to.id
+}
+
+// processFails handles watchdog kills recorded during engine Runs: engine
+// health escalation, then cross-engine migration of the dead task (salvage
+// resume when the checkpoint survived, re-execution otherwise), bounded by
+// MaxMigrations before the task is shed.
+func (c *cluster) processFails() error {
+	for len(c.pendingFails) > 0 {
+		f := c.pendingFails[0]
+		c.pendingFails = c.pendingFails[1:]
+		e := c.engines[f.engine]
+		ts := c.taskOf[f.comp.Req]
+		if ts == nil {
+			continue
+		}
+		delete(c.taskOf, f.comp.Req)
+		e.outstanding--
+		e.slotLoad[f.comp.Slot]--
+		if f.wasCanary {
+			e.canary = nil
+		}
+
+		// Health escalation: K consecutive kills — or any canary kill while
+		// probing — quarantines the engine with doubled probe backoff.
+		e.consecFails++
+		if e.health == Probing && f.wasCanary {
+			c.quarantine(e, f.cycle)
+		} else if e.health == Healthy && e.consecFails >= c.cfg.QuarantineAfter {
+			c.quarantine(e, f.cycle)
+		}
+
+		// Migration: re-place the dead task on the best healthy engine.
+		if ts.outcome.Attempts >= c.cfg.MaxMigrations {
+			c.shed(ts, ShedRetries, f.cycle, f.engine)
+			continue
+		}
+		target := c.pickEngine(ts.task.Priority, f.engine)
+		if target == nil {
+			// Nowhere to go right now: back to the dispatcher backlog; a
+			// later completion, readmission, or probe will re-place it.
+			// The request stays Failed until then.
+			c.enqueue(ts)
+			continue
+		}
+		if err := c.replace(ts, target, f, f.cycle); err != nil {
+			return err
+		}
+	}
+	if c.migErr != nil {
+		err := c.migErr
+		c.migErr = nil
+		return err
+	}
+	return nil
+}
+
+// replace places a failed task on the target engine: salvage-resume from
+// the killed request's last checkpoint when it is intact and the slot is
+// free, full resubmission otherwise.
+func (c *cluster) replace(ts *taskState, target *engine, f failRec, cycle uint64) error {
+	slot := ts.task.Priority
+	// The target may lag the kill instant; advance it so the resumed task
+	// cannot time-travel. Safe at top level (no engine is mid-Run here).
+	if err := target.u.Run(cycle); err != nil {
+		return err
+	}
+	if err := c.processFails(); err != nil { // the advance itself may kill
+		return err
+	}
+	if c.taskOf[f.comp.Req] != nil || ts.outcome.Completed || ts.outcome.Shed != "" {
+		return nil // resolved while the target advanced
+	}
+	salvaged := false
+	if f.comp.Salvage != nil && target.u.SlotFree(slot) && target.slotLoad[slot] == 0 {
+		if err := target.u.ResumeSalvaged(slot, f.comp.Salvage); err == nil {
+			salvaged = true
+			ts.outcome.Salvaged++
+			c.stats.SalvageResumes++
+		}
+	}
+	if !salvaged {
+		at := cycle
+		if at < target.u.Now {
+			at = target.u.Now
+		}
+		if err := target.u.Resubmit(slot, f.comp.Req, at); err != nil {
+			// Slot can still take a queued resubmission in almost every
+			// state; a failure here means the request is in a shape we
+			// cannot re-run — shed rather than lose it silently.
+			c.shed(ts, ShedRetries, cycle, target.id)
+			return nil
+		}
+	}
+	c.taskOf[f.comp.Req] = ts
+	target.outstanding++
+	target.slotLoad[slot]++
+	ts.engine = target.id
+	ts.outcome.Attempts++
+	ts.outcome.Migrations++
+	c.stats.Migrations++
+	c.engines[f.engine].stats.MigratedOut++
+	c.cfg.Tracer.Mark(trace.KindMigrate, f.engine, cycle, uint64(target.id), ts.task.Name)
+	return nil
+}
+
+// quarantine takes an engine out of the placement pool and schedules its
+// exponential-backoff readmission probe.
+func (c *cluster) quarantine(e *engine, cycle uint64) {
+	e.health = Quarantined
+	e.canary = nil
+	e.consecFails = 0
+	e.backoffLevel++
+	e.stats.Quarantines++
+	c.stats.Quarantines++
+	shift := e.backoffLevel - 1
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	delay := c.cfg.ProbeBackoff << uint(shift)
+	c.cfg.Tracer.Mark(trace.KindQuarantine, e.id, cycle, uint64(e.backoffLevel), "")
+	c.push(event{cycle: cycle + delay, engine: e.id})
+
+	// Evacuate parked work: preempted tasks stranded on a quarantined
+	// engine move to healthy engines with a free matching slot.
+	for slot := 0; slot < iau.NumSlots; slot++ {
+		req := e.u.PeekPreempted(slot)
+		if req == nil {
+			continue
+		}
+		ts := c.taskOf[req]
+		if ts == nil {
+			continue
+		}
+		target := c.pickFreeSlot(slot, e.id)
+		if target == nil {
+			continue
+		}
+		tok, err := e.u.StealPreempted(slot)
+		if err != nil {
+			continue
+		}
+		if err := target.u.Run(cycle); err != nil {
+			c.migErr = err
+			return
+		}
+		if err := target.u.InjectPreempted(slot, tok); err != nil {
+			if err2 := e.u.InjectPreempted(slot, tok); err2 != nil {
+				c.migErr = err2
+			}
+			continue
+		}
+		c.moveTask(ts, e, target, slot)
+		ts.outcome.Migrations++
+		c.stats.Migrations++
+		e.stats.MigratedOut++
+		c.cfg.Tracer.Mark(trace.KindMigrate, e.id, cycle, uint64(target.id), ts.task.Name)
+	}
+}
+
+// probe transitions a quarantined engine to Probing: it may take exactly
+// one task (the canary); completing it readmits the engine, dying on it
+// re-quarantines with doubled backoff.
+func (c *cluster) probe(id int, _ uint64) {
+	e := c.engines[id]
+	if e.health != Quarantined {
+		return
+	}
+	e.health = Probing
+}
+
+// pickEngine returns the least-loaded engine that can accept a task of the
+// given priority, preferring engines other than `avoid`. Nil when none can.
+func (c *cluster) pickEngine(slot, avoid int) *engine {
+	var best *engine
+	pass := func(skipAvoid bool) {
+		for _, e := range c.engines {
+			if skipAvoid && e.id == avoid {
+				continue
+			}
+			if !c.placeable(e, slot) {
+				continue
+			}
+			if best == nil || e.outstanding < best.outstanding {
+				best = e
+			}
+		}
+	}
+	pass(true)
+	if best == nil {
+		// The failing engine itself is a last resort (single-engine
+		// clusters must still retry locally).
+		pass(false)
+	}
+	return best
+}
+
+// pickFreeSlot returns a healthy engine whose slot is entirely free (an
+// InjectPreempted target), or nil.
+func (c *cluster) pickFreeSlot(slot, avoid int) *engine {
+	for _, e := range c.engines {
+		if e.id != avoid && e.health == Healthy && e.u.SlotFree(slot) && e.slotLoad[slot] == 0 {
+			return e
+		}
+	}
+	return nil
+}
+
+// placeable reports whether an engine can take one more task on a slot.
+func (c *cluster) placeable(e *engine, slot int) bool {
+	switch e.health {
+	case Healthy:
+		return e.slotLoad[slot] < slotDepth
+	case Probing:
+		return e.canary == nil && e.slotLoad[slot] < 1
+	default:
+		return false
+	}
+}
+
+// admit runs admission control on an arriving task: deadline feasibility
+// first, then backlog bounding (shedding the lowest-priority entry, which
+// may be the newcomer itself).
+func (c *cluster) admit(ts *taskState, cycle uint64) {
+	c.stats.Offered++
+	if c.cfg.DeadlineCheck && ts.task.Deadline > 0 {
+		if c.soloCycles(ts.task.Prog) > ts.task.Deadline {
+			c.reject(ts, ShedInfeasible, cycle)
+			return
+		}
+	}
+	c.enqueue(ts)
+	if len(c.backlog) > c.cfg.MaxQueue {
+		// Overload: evict the worst backlog entry — lowest priority,
+		// then latest arrival. The sort order puts it last.
+		victim := c.backlog[len(c.backlog)-1]
+		c.backlog = c.backlog[:len(c.backlog)-1]
+		c.reject(victim, ShedOverload, cycle)
+	}
+}
+
+// enqueue inserts a task into the backlog, keeping the total order
+// (priority, arrival, id).
+func (c *cluster) enqueue(ts *taskState) {
+	c.backlog = append(c.backlog, ts)
+	sort.SliceStable(c.backlog, func(i, j int) bool {
+		a, b := c.backlog[i].task, c.backlog[j].task
+		if a.Priority != b.Priority {
+			return a.Priority < b.Priority
+		}
+		if a.Arrival != b.Arrival {
+			return a.Arrival < b.Arrival
+		}
+		return a.ID < b.ID
+	})
+}
+
+// reject sheds a task at admission with an admit_reject mark.
+func (c *cluster) reject(ts *taskState, reason ShedReason, cycle uint64) {
+	slot := 0
+	if e := c.pickEngine(ts.task.Priority, -1); e != nil {
+		slot = e.id
+	}
+	c.stats.AdmitRejects++
+	c.cfg.Tracer.Mark(trace.KindAdmitReject, slot, cycle, uint64(ts.task.Priority), ts.task.Name)
+	c.shed(ts, reason, cycle, slot)
+}
+
+// shed records a task's deliberate abandonment.
+func (c *cluster) shed(ts *taskState, reason ShedReason, cycle uint64, engine int) {
+	o := ts.outcome
+	if o.Completed || o.Shed != "" {
+		return
+	}
+	o.Shed = reason
+	o.Engine = engine
+	o.DoneCycle = cycle
+	c.stats.Shed++
+	switch reason {
+	case ShedOverload:
+		c.stats.ShedOverload++
+	case ShedInfeasible:
+		c.stats.ShedInfeasible++
+	case ShedRetries:
+		c.stats.ShedRetries++
+	case ShedStarved:
+		c.stats.ShedStarved++
+	}
+	c.cfg.Tracer.Mark(trace.KindShed, engine, cycle, uint64(ts.task.Priority), ts.task.Name)
+}
+
+// tryPlace drains the backlog onto placeable engines in priority order.
+// Failed tasks re-entering from the backlog resubmit their existing
+// request; fresh tasks get one.
+func (c *cluster) tryPlace(cycle uint64) error {
+	for i := 0; i < len(c.backlog); {
+		ts := c.backlog[i]
+		e := c.pickEngine(ts.task.Priority, -1)
+		if e == nil {
+			i++
+			continue
+		}
+		c.backlog = append(c.backlog[:i], c.backlog[i+1:]...)
+		if err := c.place(ts, e, cycle); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// place submits a task to an engine at the given decision cycle.
+func (c *cluster) place(ts *taskState, e *engine, cycle uint64) error {
+	slot := ts.task.Priority
+	at := cycle
+	if at < ts.task.Arrival {
+		at = ts.task.Arrival
+	}
+	if at < e.u.Now {
+		at = e.u.Now
+	}
+	if ts.req == nil {
+		ts.req = &iau.Request{Label: ts.task.Name, Prog: ts.task.Prog, Arena: ts.task.Arena}
+		if err := e.u.SubmitAt(slot, ts.req, at); err != nil {
+			return err
+		}
+		// Latency spans from dispatcher arrival, not engine submission.
+		ts.req.SubmitCycle = ts.task.Arrival
+	} else {
+		// A previously failed task coming back from the backlog.
+		if err := e.u.Resubmit(slot, ts.req, at); err != nil {
+			c.shed(ts, ShedRetries, cycle, e.id)
+			return nil
+		}
+		ts.outcome.Migrations++
+		c.stats.Migrations++
+		c.cfg.Tracer.Mark(trace.KindMigrate, ts.engine, cycle, uint64(e.id), ts.task.Name)
+	}
+	c.taskOf[ts.req] = ts
+	ts.engine = e.id
+	ts.outcome.Attempts++
+	e.outstanding++
+	e.slotLoad[slot]++
+	if e.health == Probing {
+		e.canary = ts.req
+		e.stats.Probes++
+	}
+	return nil
+}
+
+// soloCycles memoises SoloCycles per program.
+func (c *cluster) soloCycles(p *isa.Program) uint64 {
+	if v, ok := c.solo[p]; ok {
+		return v
+	}
+	v := SoloCycles(c.cfg.Accel, p)
+	c.solo[p] = v
+	return v
+}

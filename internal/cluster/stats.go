@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"inca/internal/trace"
+)
+
+// EngineStats is one engine's ledger for a run.
+type EngineStats struct {
+	ID          int    `json:"id"`
+	Completed   int    `json:"completed"`
+	Kills       int    `json:"kills"`
+	Quarantines int    `json:"quarantines"`
+	Readmits    int    `json:"readmits"`
+	MigratedOut int    `json:"migrated_out"`
+	Probes      int    `json:"probes"`
+	BusyCycles  uint64 `json:"busy_cycles"`
+	IdleCycles  uint64 `json:"idle_cycles"`
+	NowCycles   uint64 `json:"now_cycles"`
+	Health      string `json:"health"` // final state
+}
+
+// Stats aggregates a cluster run. Fields are plain values in declaration
+// order (no maps), so the JSON serialisation is byte-identical across
+// runs with the same seed — the property the chaos determinism test pins.
+type Stats struct {
+	Engines int `json:"engines"`
+
+	// Task accounting: Offered == Completed + Shed when the run drains.
+	Offered   int `json:"offered"`
+	Completed int `json:"completed"`
+	Shed      int `json:"shed"`
+
+	// Shed breakdown by recorded reason.
+	ShedOverload   int `json:"shed_overload"`
+	ShedInfeasible int `json:"shed_deadline_infeasible"`
+	ShedRetries    int `json:"shed_retries_exhausted"`
+	ShedStarved    int `json:"shed_starved"`
+
+	// Robustness activity.
+	Migrations     int `json:"migrations"`
+	SalvageResumes int `json:"salvage_resumes"`
+	WatchdogKills  int `json:"watchdog_kills"`
+	Quarantines    int `json:"quarantines"`
+	Readmits       int `json:"readmits"`
+	AdmitRejects   int `json:"admit_rejects"`
+
+	// Service quality.
+	DeadlineTasks  int             `json:"deadline_tasks"`
+	DeadlineMet    int             `json:"deadline_met"`
+	MakespanCycles uint64          `json:"makespan_cycles"`
+	Latency        trace.Histogram `json:"latency"`
+
+	PerEngine []EngineStats `json:"per_engine"`
+}
+
+// SLAAttainment is the fraction of deadline-bearing tasks that met their
+// deadline (1 when the workload had none). Shed deadline tasks count as
+// missed.
+func (s *Stats) SLAAttainment() float64 {
+	if s.DeadlineTasks == 0 {
+		return 1
+	}
+	return float64(s.DeadlineMet) / float64(s.DeadlineTasks)
+}
+
+// Goodput returns completed tasks per simulated second given the cycle
+// rate the run's accelerator config defines.
+func (s *Stats) Goodput(cyclesPerSecond float64) float64 {
+	if s.MakespanCycles == 0 || cyclesPerSecond <= 0 {
+		return 0
+	}
+	return float64(s.Completed) / (float64(s.MakespanCycles) / cyclesPerSecond)
+}
+
+// WriteJSON serialises the stats deterministically (fixed field order,
+// indented) — the machine-readable cluster report inca-serve emits.
+func (s *Stats) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// String renders a compact terminal summary.
+func (s *Stats) String() string {
+	out := fmt.Sprintf(
+		"cluster: %d engines, %d offered -> %d completed, %d shed (overload %d, infeasible %d, retries %d, starved %d)\n",
+		s.Engines, s.Offered, s.Completed, s.Shed,
+		s.ShedOverload, s.ShedInfeasible, s.ShedRetries, s.ShedStarved)
+	out += fmt.Sprintf(
+		"robustness: %d kills, %d migrations (%d salvage resumes), %d quarantines, %d readmits, %d admit rejects\n",
+		s.WatchdogKills, s.Migrations, s.SalvageResumes, s.Quarantines, s.Readmits, s.AdmitRejects)
+	out += fmt.Sprintf("latency: p50 %d p95 %d p99 %d cycles; SLA %d/%d (%.1f%%); makespan %d cycles\n",
+		s.Latency.Quantile(0.50), s.Latency.Quantile(0.95), s.Latency.Quantile(0.99),
+		s.DeadlineMet, s.DeadlineTasks, 100*s.SLAAttainment(), s.MakespanCycles)
+	for i := range s.PerEngine {
+		e := &s.PerEngine[i]
+		out += fmt.Sprintf("  engine%d: %-11s done %-4d kills %-3d quarantines %-2d migrated-out %-3d busy %d\n",
+			e.ID, e.Health, e.Completed, e.Kills, e.Quarantines, e.MigratedOut, e.BusyCycles)
+	}
+	return out
+}
+
+// finishStats folds per-engine and per-outcome terminal state into Stats.
+func (c *cluster) finishStats() {
+	c.stats.Engines = c.cfg.Engines
+	for i := range c.outcomes {
+		o := &c.outcomes[i]
+		if o.Completed {
+			c.stats.Completed++
+			c.stats.Latency.Observe(o.Latency)
+			if o.DoneCycle > c.stats.MakespanCycles {
+				c.stats.MakespanCycles = o.DoneCycle
+			}
+		}
+	}
+	// Deadline accounting over every offered task: a shed deadline task is
+	// a missed deadline, not a statistical disappearance.
+	for i := range c.outcomes {
+		o := &c.outcomes[i]
+		if dl := c.deadlineOf(o.TaskID); dl > 0 {
+			c.stats.DeadlineTasks++
+			if o.Completed && o.DeadlineMet {
+				c.stats.DeadlineMet++
+			}
+		}
+	}
+	for _, e := range c.engines {
+		e.stats.BusyCycles = e.u.BusyCycles
+		e.stats.IdleCycles = e.u.IdleCycles
+		e.stats.NowCycles = e.u.Now
+		e.stats.Health = e.health.String()
+		c.stats.PerEngine = append(c.stats.PerEngine, e.stats)
+	}
+}
+
+// deadlineOf returns the deadline of the task with the given id (the
+// outcomes slice is id-indexed, and tasksByID mirrors it).
+func (c *cluster) deadlineOf(id int) uint64 {
+	if id < 0 || id >= len(c.deadlines) {
+		return 0
+	}
+	return c.deadlines[id]
+}

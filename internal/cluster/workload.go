@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/golden"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+	"inca/internal/tensor"
+)
+
+// WorkloadConfig parameterises the seeded open-loop serving workload.
+type WorkloadConfig struct {
+	Tasks int
+	Seed  uint64
+	// MeanGapCycles is the mean of the exponential inter-arrival process
+	// (0 = a default derived from the model mix: moderate overload).
+	MeanGapCycles uint64
+	// Functional builds a private arena per task and a golden reference
+	// image, so a cluster run's outputs can be checked bit-exactly.
+	Functional bool
+	// DeadlineFactor assigns priority-0/1 tasks a deadline of factor x
+	// their solo runtime (0 = no deadlines).
+	DeadlineFactor float64
+}
+
+// Workload is a generated task stream plus everything needed to verify it.
+type Workload struct {
+	Tasks  []Task
+	Progs  []*isa.Program // the distinct compiled programs tasks draw from
+	Golden [][]byte       // per-task golden arenas (Functional only), by ID
+	nets   []*model.Network
+}
+
+// wrng is a local splitmix64 stream: the workload must not touch the
+// global math/rand state (the determinism lint patrols this package).
+type wrng struct{ s uint64 }
+
+func (r *wrng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *wrng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// exp draws an exponential inter-arrival gap with the given mean.
+func (r *wrng) exp(mean float64) uint64 {
+	u := r.float()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return uint64(-mean * math.Log(1-u))
+}
+
+// workloadModels builds the serving model mix: three small networks (one
+// compiled as a batch-4 plan, so mid-batch preemption and migration are
+// routinely exercised).
+func workloadModels(cfg accel.Config, seed uint64) ([]*isa.Program, []*model.Network, error) {
+	type spec struct {
+		net   *model.Network
+		batch int
+	}
+	specs := []spec{
+		{net: model.NewTinyCNN(2, 12, 12), batch: 1},
+		{net: model.NewTinyCNN(3, 10, 14), batch: 1},
+		{net: model.NewTinyCNN(2, 8, 10), batch: 4},
+	}
+	var progs []*isa.Program
+	var nets []*model.Network
+	for i, s := range specs {
+		if err := s.net.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("cluster: workload model %d: %v", i, err)
+		}
+		q, err := quant.Synthesize(s.net, seed^uint64(i+1)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, nil, err
+		}
+		opt := cfg.CompilerOptions()
+		opt.InsertVirtual = true
+		opt.EmitWeights = true
+		opt.Batch = s.batch
+		p, err := compiler.Compile(q, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		progs = append(progs, p)
+		nets = append(nets, s.net)
+	}
+	return progs, nets, nil
+}
+
+// NewWorkload generates a deterministic open-loop arrival stream with
+// heavy-tailed priorities: a trickle of critical (priority-0) requests on
+// top of a bulk of best-effort ones, the distribution a serving
+// consolidator actually faces.
+func NewWorkload(cfg accel.Config, wcfg WorkloadConfig) (*Workload, error) {
+	if wcfg.Tasks <= 0 {
+		return nil, fmt.Errorf("cluster: workload needs at least one task, got %d", wcfg.Tasks)
+	}
+	progs, nets, err := workloadModels(cfg, wcfg.Seed|1)
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{Progs: progs, nets: nets}
+
+	solo := make([]uint64, len(progs))
+	for i, p := range progs {
+		solo[i] = SoloCycles(cfg, p)
+	}
+	mean := float64(wcfg.MeanGapCycles)
+	if mean == 0 {
+		// Default: arrivals at ~2x one engine's service rate of the mean
+		// model — enough pressure to queue, preempt, and shed.
+		var avg float64
+		for _, s := range solo {
+			avg += float64(s)
+		}
+		avg /= float64(len(solo))
+		mean = avg / 2
+	}
+
+	rng := &wrng{s: wcfg.Seed ^ 0xc1a5c1a5c1a5c1a5}
+	var at uint64
+	for i := 0; i < wcfg.Tasks; i++ {
+		at += rng.exp(mean)
+		mi := int(rng.next() % uint64(len(progs)))
+		// Heavy-tailed priorities: 5% critical, 15% high, 30% medium,
+		// 50% best-effort.
+		var prio int
+		switch u := rng.float(); {
+		case u < 0.05:
+			prio = 0
+		case u < 0.20:
+			prio = 1
+		case u < 0.50:
+			prio = 2
+		default:
+			prio = 3
+		}
+		t := Task{
+			ID:       i,
+			Name:     fmt.Sprintf("req%d.m%d.p%d", i, mi, prio),
+			Priority: prio,
+			Prog:     progs[mi],
+			Arrival:  at,
+		}
+		if wcfg.DeadlineFactor > 0 && prio <= 1 {
+			t.Deadline = uint64(wcfg.DeadlineFactor * float64(solo[mi]))
+		}
+		w.Tasks = append(w.Tasks, t)
+	}
+
+	if wcfg.Functional {
+		w.Golden = make([][]byte, len(w.Tasks))
+		for i := range w.Tasks {
+			t := &w.Tasks[i]
+			mi := indexOfProg(progs, t.Prog)
+			arena, gold, err := buildArenas(t.Prog, nets[mi], wcfg.Seed^uint64(t.ID)*0xB5EED)
+			if err != nil {
+				return nil, err
+			}
+			t.Arena = arena
+			w.Golden[t.ID] = gold
+		}
+	}
+	return w, nil
+}
+
+func indexOfProg(progs []*isa.Program, p *isa.Program) int {
+	for i := range progs {
+		if progs[i] == p {
+			return i
+		}
+	}
+	return 0
+}
+
+// buildArenas creates a task's private DDR arena (inputs written for every
+// batch element) and the golden-interpreter reference image it must equal
+// after the cluster run, regardless of preemptions, migrations, kills, and
+// salvaged resumes along the way.
+func buildArenas(p *isa.Program, net *model.Network, inputSeed uint64) (arena, gold []byte, err error) {
+	arena, err = accel.NewArena(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	for b := 0; b < p.BatchN(); b++ {
+		in := tensor.NewInt8(net.InC, net.InH, net.InW)
+		tensor.FillPattern(in, inputSeed^(uint64(b)*0x51F15EED))
+		if err := accel.WriteInputAt(arena, p, in, b); err != nil {
+			return nil, nil, err
+		}
+	}
+	gold = make([]byte, len(arena))
+	copy(gold, arena)
+	if err := golden.Run(p, gold); err != nil {
+		return nil, nil, err
+	}
+	return arena, gold, nil
+}

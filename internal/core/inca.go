@@ -125,6 +125,9 @@ func (rt *Runtime) onFail(c iau.Completion, failErr error) {
 	if c.Req.Retries < rt.MaxRetries {
 		at := rt.U.Now + uint64(c.Req.Retries+1)*backoff
 		if err := rt.U.Resubmit(c.Slot, c.Req, at); err == nil {
+			// Arg carries the attempt index about to run, mirroring sched's
+			// retry marks so per-slot retry ledgers read uniformly.
+			rt.U.Tracer.Mark(trace.KindRetry, c.Slot, rt.U.Now, uint64(c.Req.Retries+1), c.Req.Label)
 			return // completion callback stays registered for the retry
 		}
 	}

@@ -186,6 +186,14 @@ func (j *Injector) Report() Report {
 	return r
 }
 
+// ChildSeed derives a per-component seed from a parent seed and a
+// component id (splitmix64 over the pair). A cluster dispatcher gives
+// each engine's injector ChildSeed(seed, engineID) so the engines draw
+// independent, reproducible fault streams from one top-level seed.
+func ChildSeed(seed, id uint64) uint64 {
+	return mix(seed^0xd6e8feb86659fd93, id)
+}
+
 // siteKey hashes a site name (FNV-1a).
 func siteKey(site Site) uint64 {
 	h := uint64(14695981039346656037)

@@ -105,6 +105,17 @@ type Request struct {
 type Completion struct {
 	Slot int
 	Req  *Request
+
+	// Salvage is set only on OnFail deliveries, and only when
+	// SalvageCheckpoints is armed and the killed request had a committed
+	// checkpoint (its last materialised Vir_SAVE, or its last layer
+	// boundary under layer-by-layer). It is a restorable token: a
+	// dispatcher may ResumeSalvaged it on a healthy IAU and the request
+	// resumes from the checkpoint instead of re-executing from scratch.
+	// The destination re-verifies the backup CRC at dispatch, so a
+	// checkpoint whose arena span was dirtied after it was taken degrades
+	// to the normal detected-restart path.
+	Salvage *ResumeToken
 }
 
 // Preemption records one task switch forced by a higher-priority request.
@@ -202,6 +213,19 @@ type task struct {
 	backupCRC     uint32 // checksum of the parked backup blob
 	bkLo, bkHi    int    // arena span the VI backup covers (CRC window)
 	backupCorrupt bool   // metadata corruption for timing-only backups
+
+	// Salvage checkpoint (armed only when IAU.SalvageCheckpoints is set):
+	// the last committed resume point — the restore-group leader PC plus
+	// the SAVE-rewrite and integrity registers as of that boundary. A
+	// later watchdog kill republishes it as Completion.Salvage.
+	ckptValid      bool
+	ckptPC         int
+	ckptSaveValid  bool
+	ckptSaveID     uint32
+	ckptSaveBytes  uint32
+	ckptCRCValid   bool
+	ckptCRC        uint32
+	ckptLo, ckptHi int
 }
 
 type arrival struct {
@@ -263,6 +287,13 @@ type IAU struct {
 	// sites (backup bit-flips, instruction stalls/hangs, lost IRQs). Nil —
 	// the default — keeps every hot path a single pointer comparison.
 	Faults *fault.Injector
+	// SalvageCheckpoints, when set, records each slot's last committed
+	// preemption boundary (VI: the Vir_SAVE just materialised; LBL: the
+	// layer boundary) so a watchdog kill can salvage the victim's progress
+	// as a restorable Completion.Salvage token instead of forcing
+	// re-execution from scratch. CPU-like backups are released at resume,
+	// so that policy never salvages. Off by default (zero cost).
+	SalvageCheckpoints bool
 	// WatchdogCycles bounds the cycles any single instruction may take.
 	// When an instruction exceeds it (an injected hang, or a genuinely
 	// runaway transfer) the IAU charges the bound, kills the slot's request,
@@ -508,6 +539,7 @@ func (u *IAU) dispatch(slot int) error {
 		t.pc = 0
 		t.cur.StartCycle = u.Now
 		t.saveValid = false
+		t.ckptValid = false
 		u.Eng.Invalidate()
 		u.trace(TraceStart, slot, t.cur.Label, 0)
 		u.Tracer.Mark(trace.KindStart, slot, u.Now, 0, t.cur.Label)
@@ -571,6 +603,7 @@ func (u *IAU) restartVictim(t *task) {
 	}
 	t.pc = 0
 	t.saveValid = false
+	t.ckptValid = false
 	t.lastPre = nil
 	u.Eng.Invalidate()
 }
@@ -685,7 +718,7 @@ func (u *IAU) preempt(victim, preemptor int) error {
 			vt.saveValid = true
 			vt.saveID = in.SaveID
 			vt.saveBytes = in.Len
-			if u.Faults != nil {
+			if u.Faults != nil || u.SalvageCheckpoints {
 				u.armBackupCheck(vt, in)
 			}
 			vt.pc++ // resume at the following Vir_LOAD_D restores
@@ -694,6 +727,17 @@ func (u *IAU) preempt(victim, preemptor int) error {
 		// No backup at a layer boundary.
 	default:
 		return fmt.Errorf("iau: policy %v cannot preempt", u.Policy)
+	}
+	if u.SalvageCheckpoints && (u.Policy == PolicyVI || u.Policy == PolicyLayerByLayer) {
+		// Commit the boundary just reached as the slot's salvage
+		// checkpoint. The CRC registers were (re)armed pre-fault-draw, so a
+		// backup bit-flip injected after the checksum is still detected if
+		// this checkpoint is ever salvaged.
+		vt.ckptValid = true
+		vt.ckptPC = vt.pc
+		vt.ckptSaveValid, vt.ckptSaveID, vt.ckptSaveBytes = vt.saveValid, vt.saveID, vt.saveBytes
+		vt.ckptCRCValid, vt.ckptCRC = vt.crcValid, vt.backupCRC
+		vt.ckptLo, vt.ckptHi = vt.bkLo, vt.bkHi
 	}
 	rec.BackupDoneCycle = u.Now
 	vt.state = Preempted
@@ -855,6 +899,7 @@ func (u *IAU) StealPreempted(slot int) (*ResumeToken, error) {
 	t.saveValid = false
 	t.crcValid = false
 	t.backupCorrupt = false
+	t.ckptValid = false
 	if len(t.queue) > 0 {
 		t.state = Ready
 		t.readySince = u.Now
@@ -894,6 +939,15 @@ func (u *IAU) InjectPreempted(slot int, tok *ResumeToken) error {
 	t.backupCRC = tok.backupCRC
 	t.bkLo, t.bkHi = tok.bkLo, tok.bkHi
 	t.backupCorrupt = tok.backupCorrupt
+	if u.SalvageCheckpoints && (tok.Policy == PolicyVI || tok.Policy == PolicyLayerByLayer) {
+		// The token is itself a committed checkpoint: re-arm it locally so
+		// a post-migration watchdog kill can still salvage the request.
+		t.ckptValid = true
+		t.ckptPC = tok.pc
+		t.ckptSaveValid, t.ckptSaveID, t.ckptSaveBytes = tok.saveValid, tok.saveID, tok.saveBytes
+		t.ckptCRCValid, t.ckptCRC = tok.crcValid, tok.backupCRC
+		t.ckptLo, t.ckptHi = tok.bkLo, tok.bkHi
+	}
 	t.state = Preempted
 	t.readySince = u.Now
 	tok.consumed = true
@@ -1031,6 +1085,15 @@ func (u *IAU) watchdogKill(t *task) error {
 	u.Resets = append(u.Resets, SlotReset{Cycle: u.Now, Slot: t.slot, Label: req.Label, PC: t.pc})
 	u.trace(TraceKill, t.slot, req.Label, t.pc)
 	u.Tracer.Mark(trace.KindKill, t.slot, u.Now, uint64(t.pc), req.Label)
+	var salvage *ResumeToken
+	if u.SalvageCheckpoints && t.ckptValid {
+		salvage = &ResumeToken{
+			Req: req, Policy: u.Policy,
+			pc: t.ckptPC, saveValid: t.ckptSaveValid, saveID: t.ckptSaveID, saveBytes: t.ckptSaveBytes,
+			crcValid: t.ckptCRCValid, backupCRC: t.ckptCRC,
+			bkLo: t.ckptLo, bkHi: t.ckptHi,
+		}
+	}
 	if t.snapshot != nil {
 		u.Eng.ReleaseSnapshot(t.snapshot)
 		t.snapshot = nil
@@ -1040,6 +1103,7 @@ func (u *IAU) watchdogKill(t *task) error {
 	t.lastPre = nil
 	t.crcValid = false
 	t.backupCorrupt = false
+	t.ckptValid = false
 	if len(t.queue) > 0 {
 		t.state = Ready
 		t.readySince = u.Now
@@ -1049,9 +1113,30 @@ func (u *IAU) watchdogKill(t *task) error {
 	u.running = -1
 	u.Eng.Invalidate()
 	if u.OnFail != nil {
-		u.OnFail(Completion{Slot: t.slot, Req: req},
+		u.OnFail(Completion{Slot: t.slot, Req: req, Salvage: salvage},
 			fmt.Errorf("iau: slot %d watchdog: %q exceeded %d cycles at pc %d", t.slot, req.Label, u.WatchdogCycles, t.pc))
 	}
+	return nil
+}
+
+// ResumeSalvaged installs a watchdog-salvage token (Completion.Salvage)
+// on a free slot of this IAU: the failed flag is cleared, the retry is
+// counted, and the request resumes from its salvaged checkpoint through
+// the normal Preempted dispatch path. The checkpoint CRC is re-verified
+// there, so a stale or corrupted checkpoint degrades to the detected
+// restart-from-scratch path — never to silent corruption.
+func (u *IAU) ResumeSalvaged(slot int, tok *ResumeToken) error {
+	if tok == nil || tok.Req == nil {
+		return fmt.Errorf("iau: nil salvage token")
+	}
+	if !tok.Req.Failed {
+		return fmt.Errorf("iau: salvage resume of a request that has not failed")
+	}
+	if err := u.InjectPreempted(slot, tok); err != nil {
+		return err
+	}
+	tok.Req.Failed = false
+	tok.Req.Retries++
 	return nil
 }
 
@@ -1130,6 +1215,7 @@ func (u *IAU) complete(t *task) {
 	t.lastPre = nil
 	t.crcValid = false
 	t.backupCorrupt = false
+	t.ckptValid = false
 	if len(t.queue) > 0 {
 		t.state = Ready
 		t.readySince = u.Now

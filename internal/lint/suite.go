@@ -34,6 +34,9 @@ var Suite = []ScopedAnalyzer{
 		// bit-exactly, so they patrol with the sim core.
 		"inca/internal/compiler",
 		"inca/internal/core",
+		// The EngineCluster dispatcher places, migrates, and sheds tasks;
+		// its same-seed reports must be byte-identical, so it patrols too.
+		"inca/internal/cluster",
 	}},
 	{TraceGuard, nil},
 	{ClockOwner, nil},

@@ -135,6 +135,7 @@ func RunMultiMigrate(cfg accel.Config, policy iau.Policy, specs []TaskSpec, hori
 		rt.nextSeq++
 		rt.inFlight++
 		rt.stats.Submitted++
+		rt.stats.Attempts++
 		outstanding[best]++
 		reqOwner[req] = owner{task: rt, core: best}
 		at := cycle

@@ -153,6 +153,13 @@ type TaskStats struct {
 	Recovered int // re-executions that then ran to completion
 	Shed      int // iterations abandoned after retries were exhausted
 
+	// Attempts counts execution attempts admitted to this IAU: one per
+	// submitted request plus one per slot-level retry (Retried). A
+	// cluster-level migration retry re-places the request on a different
+	// engine and is counted by cluster.Outcome.Attempts instead, keeping
+	// the two retry ledgers distinguishable.
+	Attempts int
+
 	gaps []uint64 // cycles between consecutive completions
 }
 
@@ -386,12 +393,14 @@ func run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Dur
 		rt.nextSeq++
 		rt.inFlight++
 		rt.stats.Submitted++
+		rt.stats.Attempts++
 		return u.SubmitAt(rt.spec.Slot, req, cycle)
 	}
 	u.OnDrop = func(slot int, _ *iau.Request) {
 		if rt := bySlot[slot]; rt != nil {
 			rt.inFlight--
 			rt.stats.Submitted--
+			rt.stats.Attempts--
 			rt.stats.Dropped++
 		}
 	}
@@ -409,7 +418,12 @@ func run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Dur
 			at := u.Now + uint64(c.Req.Retries+1)*backoff
 			if err := u.Resubmit(c.Slot, c.Req, at); err == nil {
 				st.Retried++
-				opt.Tracer.Mark(trace.KindRetry, c.Slot, u.Now, uint64(c.Req.Retries), c.Req.Label)
+				st.Attempts++
+				// Arg carries the attempt index about to run (1 = first
+				// execution), so slot-level retries read differently from
+				// cluster-level migration retries (KindMigrate marks, whose
+				// arg is the destination engine).
+				opt.Tracer.Mark(trace.KindRetry, c.Slot, u.Now, uint64(c.Req.Retries+1), c.Req.Label)
 				return
 			}
 		}

@@ -144,6 +144,15 @@ type TaskMetrics struct {
 	InferFails     uint64 `json:"infer_fails"`
 	Polls          uint64 `json:"polls"`
 
+	// Cluster dispatcher activity. On a cluster tracer the "slot" is an
+	// engine id, so these count per-engine: tasks migrated away from the
+	// engine, times the engine was quarantined/readmitted, and admissions
+	// the dispatcher rejected when this engine was the least-loaded choice.
+	Migrations   uint64 `json:"migrations,omitempty"`
+	Quarantines  uint64 `json:"quarantines,omitempty"`
+	Readmits     uint64 `json:"readmits,omitempty"`
+	AdmitRejects uint64 `json:"admit_rejects,omitempty"`
+
 	// Latency is the response-time distribution (submit → done, cycles).
 	Latency Histogram `json:"latency"`
 }

@@ -85,6 +85,25 @@ const (
 	// KindPoll marks one driver poll tick (runtime ↔ middleware boundary).
 	KindPoll
 
+	// Cluster-level kinds: the EngineCluster dispatcher emits these with the
+	// ENGINE id as the slot (each engine is one track of the cluster tracer),
+	// not an IAU priority slot.
+
+	// KindMigrate marks a task moved across engines: a preempted task stolen
+	// and resumed elsewhere, or a failed task re-placed on a healthy engine.
+	// Arg carries the destination engine id.
+	KindMigrate
+	// KindQuarantine marks an engine quarantined after consecutive faults.
+	// Arg carries the backoff level.
+	KindQuarantine
+	// KindReadmit marks a quarantined engine readmitted after a successful
+	// probe (or any completion proving it healthy).
+	KindReadmit
+	// KindAdmitReject marks a request refused (or evicted) by admission
+	// control under overload or deadline infeasibility. Arg carries the
+	// task priority.
+	KindAdmitReject
+
 	numKinds
 )
 
@@ -113,6 +132,10 @@ var kindNames = [numKinds]string{
 	KindInferDone:    "infer-done",
 	KindInferFail:    "infer-fail",
 	KindPoll:         "poll",
+	KindMigrate:      "migrate",
+	KindQuarantine:   "quarantine",
+	KindReadmit:      "readmit",
+	KindAdmitReject:  "admit_reject",
 }
 
 func (k Kind) String() string {
@@ -318,6 +341,14 @@ func (t *Tracer) aggregate(kind Kind, slot int, cycle, dur, arg uint64) {
 		m.InferFails++
 	case KindPoll:
 		m.Polls++
+	case KindMigrate:
+		m.Migrations++
+	case KindQuarantine:
+		m.Quarantines++
+	case KindReadmit:
+		m.Readmits++
+	case KindAdmitReject:
+		m.AdmitRejects++
 	}
 }
 

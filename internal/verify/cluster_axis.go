@@ -1,0 +1,113 @@
+package verify
+
+// The cluster schedule axis runs the generated victim as a task on a real
+// EngineCluster (internal/cluster) instead of a single IAU: probe waves
+// force preemptions on whichever engine holds the victim, injected hangs
+// force watchdog kills and cross-engine migrations (salvage resumes and
+// full resubmissions), and corrupted backups must be caught by the CRC
+// wherever the task lands. The verdict is unchanged — the victim's arena
+// must be bit-identical to the golden interpreter's, no matter how many
+// engines touched it on the way.
+
+import (
+	"bytes"
+	"fmt"
+
+	"inca/internal/accel"
+	"inca/internal/cluster"
+	"inca/internal/iau"
+	"inca/internal/isa"
+	"inca/internal/tensor"
+)
+
+// clusterMaxMigrations bounds per-task placements in the axis. With the
+// generator's 25% per-attempt hang probability, ten attempts make a
+// legitimate retries-exhausted shed of the victim astronomically unlikely
+// (~1e-6), so the harness treats any shed as a failure.
+const clusterMaxMigrations = 10
+
+// runClusterOnce executes a KindCluster case and checks the cluster-level
+// invariants. The returned count is the number of cross-engine migrations
+// the run performed (the axis' analogue of a preemption count).
+func runClusterOnce(c Case, cfg accel.Config, victim, probe *isa.Program,
+	inputs []*tensor.Int8, want []byte, soloTotal uint64) (int, error) {
+
+	arena, err := accel.NewArena(victim)
+	if err != nil {
+		return 0, err
+	}
+	for b, in := range inputs {
+		if err := accel.WriteInputAt(arena, victim, in, b); err != nil {
+			return 0, err
+		}
+	}
+
+	tasks := []cluster.Task{{
+		ID: 0, Name: "victim", Priority: c.Sched.VictimSlot,
+		Prog: victim, Arena: arena,
+	}}
+	for i, pr := range c.Sched.Probes {
+		tasks = append(tasks, cluster.Task{
+			ID: i + 1, Name: fmt.Sprintf("probe%d", i), Priority: pr.Slot,
+			Prog: probe, Arrival: uint64(pr.Frac * float64(soloTotal)),
+		})
+	}
+
+	engines := c.Sched.Engines
+	if engines < 1 {
+		engines = 1
+	}
+	res, err := cluster.Run(cluster.Config{
+		Engines: engines, Accel: cfg, Policy: iau.PolicyVI,
+		Seed:          c.Sched.FaultSeed,
+		HangRate:      cluster.HangRatePerAttempt([]*isa.Program{victim, probe}, c.Sched.HangAttempt),
+		StallRate:     c.Sched.StallRate,
+		BackupRate:    c.Sched.BackupRate,
+		MaxMigrations: clusterMaxMigrations,
+	}, tasks)
+	if err != nil {
+		return 0, fmt.Errorf("cluster run failed: %v", err)
+	}
+	migrations := res.Stats.Migrations
+
+	// 1. Zero tasks lost: every task completed or was shed with a reason,
+	// and the stats ledger balances.
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if !o.Completed && o.Shed == "" {
+			return migrations, fmt.Errorf("task %d (%s) lost: neither completed nor shed", o.TaskID, o.Name)
+		}
+	}
+	if res.Stats.Completed+res.Stats.Shed != res.Stats.Offered || res.Stats.Offered != len(tasks) {
+		return migrations, fmt.Errorf("cluster ledger broken: offered=%d completed=%d shed=%d (tasks=%d)",
+			res.Stats.Offered, res.Stats.Completed, res.Stats.Shed, len(tasks))
+	}
+
+	// 2. With MaxMigrations this high, nothing should actually shed.
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if !o.Completed {
+			return migrations, fmt.Errorf("task %d (%s) shed (%s) after %d attempts, %d migrations",
+				o.TaskID, o.Name, o.Shed, o.Attempts, o.Migrations)
+		}
+	}
+
+	// 3. Bit-exact equivalence: the victim's arena must match the golden
+	// interpreter byte for byte, regardless of which engines ran it.
+	if !bytes.Equal(want, arena) {
+		n, first := 0, -1
+		for i := range want {
+			if want[i] != arena[i] {
+				n++
+				if first < 0 {
+					first = i
+				}
+			}
+		}
+		vo := &res.Outcomes[0]
+		return migrations, fmt.Errorf(
+			"victim arena differs from golden at %d bytes (first at %d) after %d migrations, %d salvage resumes, %d kills",
+			n, first, vo.Migrations, vo.Salvaged, res.Stats.WatchdogKills)
+	}
+	return migrations, nil
+}

@@ -1,0 +1,34 @@
+package verify
+
+import "testing"
+
+// TestClusterAxisCases pins the cluster schedule axis: a handful of
+// generated KindCluster cases must run the victim through a multi-engine
+// cluster — with probe-wave preemptions, injected hangs, and corrupted
+// backups — and still come back bit-exact against the golden interpreter.
+// At least one case must perform an actual cross-engine migration, or the
+// axis is not exercising what it claims to.
+func TestClusterAxisCases(t *testing.T) {
+	ran, migrations := 0, 0
+	for i := 0; i < 200 && ran < 6; i++ {
+		c := NewCase(99, i)
+		if c.Sched.Kind != KindCluster {
+			continue
+		}
+		st, err := RunCase(c)
+		if IsSkip(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s\n%v\nrepro: %s", c, err, c.Repro())
+		}
+		ran++
+		migrations += st.Preemptions
+	}
+	if ran == 0 {
+		t.Fatal("no runnable cluster cases in 200 draws")
+	}
+	if migrations == 0 {
+		t.Errorf("%d cluster cases ran but none migrated a task across engines", ran)
+	}
+}

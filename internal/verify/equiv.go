@@ -131,6 +131,13 @@ func RunCase(c Case) (RunStats, error) {
 
 	starts, soloTotal := soloStarts(cfg, victim)
 
+	if c.Sched.Kind == KindCluster {
+		n, err := runClusterOnce(c, cfg, victim, probe, inputs, want, soloTotal)
+		stats.Runs++
+		stats.Preemptions += n
+		return stats, err
+	}
+
 	// One (probes, faults) plan per IAU run.
 	type plan struct {
 		label  string

@@ -107,11 +107,12 @@ const (
 	KindBackToBack = "backtoback" // immediate re-preemption after each resume
 	KindSweep      = "sweep"      // one run per VI interrupt point, probe timed exactly there
 	KindFaults     = "faults"     // random probes with backup/stall/IRQ faults armed
+	KindCluster    = "cluster"    // multi-engine run: probe waves force preemption, hangs force migration
 )
 
 // Kinds lists every schedule kind the generator draws from.
 func Kinds() []string {
-	return []string{KindSolo, KindRandom, KindNested, KindBackToBack, KindSweep, KindFaults}
+	return []string{KindSolo, KindRandom, KindNested, KindBackToBack, KindSweep, KindFaults, KindCluster}
 }
 
 // Schedule is an adversarial preemption plan against one victim.
@@ -125,6 +126,13 @@ type Schedule struct {
 	BackupRate float64
 	StallRate  float64
 	IRQRate    float64
+
+	// Cluster axis (Kind == KindCluster): the victim and probes run as a
+	// task stream on an EngineCluster of this many engines, with hangs at
+	// the given per-attempt probability forcing watchdog kills and
+	// cross-engine migrations. Zero for single-engine kinds.
+	Engines     int
+	HangAttempt float64
 }
 
 func (s Schedule) String() string {
@@ -135,6 +143,9 @@ func (s Schedule) String() string {
 	}
 	if s.FaultSeed != 0 {
 		fmt.Fprintf(&b, " faults(seed=%d backup=%g stall=%g irq=%g)", s.FaultSeed, s.BackupRate, s.StallRate, s.IRQRate)
+	}
+	if s.Engines > 0 {
+		fmt.Fprintf(&b, " cluster(engines=%d hang=%g)", s.Engines, s.HangAttempt)
 	}
 	return b.String()
 }
@@ -216,6 +227,12 @@ func NewCase(seed uint64, index int) Case {
 	c.Policy = policies[rng.Intn(len(policies))]
 	if kind == KindSweep {
 		// The sweep enumerates Vir_SAVE interrupt points — a VI-method notion.
+		c.Policy = iau.PolicyVI
+	}
+	if kind == KindCluster {
+		// Cross-engine migration releases snapshots on a different engine
+		// than allocated them, which the per-engine CPU-like free-list
+		// balance invariant forbids; the cluster serves with the VI method.
 		c.Policy = iau.PolicyVI
 	}
 	c.Sched = randomSchedule(rng, kind)
@@ -309,6 +326,25 @@ func randomSchedule(rng entropy, kind string) Schedule {
 		s.BackupRate = 1.0 // corrupt every backup: detection must be certain
 		s.StallRate = 0.05
 		s.IRQRate = 0.1
+	case KindCluster:
+		// Probe waves sized to the engine count: every engine gets an
+		// interferer, so the victim is preempted wherever it is placed and
+		// preempt-steal migration has both a reason and a destination.
+		s.Engines = 2 + rng.Intn(3)
+		waves := 1 + rng.Intn(2)
+		f := frac() * 0.5
+		for w := 0; w < waves; w++ {
+			slot := rng.Intn(s.VictimSlot)
+			for e := 0; e < s.Engines; e++ {
+				s.Probes = append(s.Probes, Probe{Slot: slot, Frac: f})
+				f += 0.01 * rng.Float64()
+			}
+			f += 0.15 + 0.2*rng.Float64()
+		}
+		s.FaultSeed = rng.Uint64() | 1
+		s.BackupRate = 0.3 // corrupt backups: CRC detection must hold across engines
+		s.StallRate = 0.05
+		s.HangAttempt = 0.25 // kills force salvage/resubmit migration
 	}
 	return s
 }

@@ -27,6 +27,10 @@ func size(c Case) int {
 	if c.Sched.FaultSeed != 0 {
 		s += 50
 	}
+	s += c.Sched.Engines * 30
+	if c.Sched.HangAttempt > 0 {
+		s += 40
+	}
 	if c.BatchN() > 1 {
 		s += c.BatchN() * 20
 	}
@@ -95,6 +99,23 @@ func Minimize(c Case, budget int) Case {
 		if best.BatchN() > 1 {
 			cand := best
 			cand.Batch = best.BatchN() / 2
+			if attempt(cand) {
+				improved = true
+			}
+		}
+
+		// Shrink the cluster axis: drop the hangs (no more kills or forced
+		// migrations), then peel engines off one at a time.
+		if best.Sched.HangAttempt > 0 {
+			cand := best
+			cand.Sched.HangAttempt = 0
+			if attempt(cand) {
+				improved = true
+			}
+		}
+		if best.Sched.Engines > 1 {
+			cand := best
+			cand.Sched.Engines--
 			if attempt(cand) {
 				improved = true
 			}
