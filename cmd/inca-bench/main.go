@@ -40,6 +40,8 @@ func main() {
 		reps       = flag.Int("reps", 3, "wall-clock best-of repetitions for -datapath/-gate")
 		clusterOut = flag.String("cluster", "", "run the fault-tolerant serving sweep and write the snapshot here (e.g. BENCH_cluster.json)")
 		clusterGt  = flag.String("cluster-gate", "", "run the serving sweep and fail if goodput/p99/SLA regressed vs this baseline snapshot")
+		schedOut   = flag.String("sched", "", "run the scheduling-policy sweep and write the snapshot here (e.g. BENCH_sched.json)")
+		schedGt    = flag.String("sched-gate", "", "run the scheduling sweep and fail if SLA/fairness regressed vs this baseline snapshot")
 	)
 	flag.Parse()
 
@@ -49,6 +51,10 @@ func main() {
 	}
 	if *clusterOut != "" || *clusterGt != "" {
 		runClusterBench(*clusterOut, *clusterGt, *formatMD)
+		return
+	}
+	if *schedOut != "" || *schedGt != "" {
+		runSchedBench(*schedOut, *schedGt, *formatMD)
 		return
 	}
 
@@ -237,7 +243,11 @@ func runDatapath(outPath, gatePath string, reps int, md bool) {
 			fatalf("gate baseline: %v", err)
 		}
 		tol := bench.GateTolerancePct()
-		if fails := bench.Gate(baseline, snap, tol); len(fails) > 0 {
+		fails, notes := bench.Gate(baseline, snap, tol)
+		for _, n := range notes {
+			fmt.Printf("bench-gate: note: %s\n", n)
+		}
+		if len(fails) > 0 {
 			for _, f := range fails {
 				fmt.Fprintf(os.Stderr, "bench-gate: %s\n", f)
 			}
@@ -281,7 +291,11 @@ func runClusterBench(outPath, gatePath string, md bool) {
 			fatalf("cluster-gate baseline: %v", err)
 		}
 		tol := bench.GateTolerancePct()
-		if fails := bench.GateCluster(baseline, snap, tol); len(fails) > 0 {
+		fails, notes := bench.GateCluster(baseline, snap, tol)
+		for _, n := range notes {
+			fmt.Printf("cluster-gate: note: %s\n", n)
+		}
+		if len(fails) > 0 {
 			for _, f := range fails {
 				fmt.Fprintf(os.Stderr, "cluster-gate: %s\n", f)
 			}
@@ -289,6 +303,54 @@ func runClusterBench(outPath, gatePath string, md bool) {
 				gatePath, baseline.GitRev, tol)
 		}
 		fmt.Printf("cluster-gate: ok vs %s (baseline rev %s, tolerance %.1f%%)\n",
+			gatePath, baseline.GitRev, tol)
+	}
+}
+
+// runSchedBench handles -sched (write a fresh scheduling snapshot) and
+// -sched-gate (compare against the checked-in baseline). On top of the
+// regression checks, the gate enforces that the predictive scenario never
+// attains less SLA than the static-priority baseline it falls back to.
+func runSchedBench(outPath, gatePath string, md bool) {
+	if gatePath != "" && os.Getenv("INCA_BENCH_GATE") == "off" {
+		fmt.Println("sched-gate: skipped (INCA_BENCH_GATE=off)")
+		return
+	}
+	snap, t, err := bench.SchedBench()
+	if err != nil {
+		fatalf("sched: %v", err)
+	}
+	snap.GitRev = gitRev()
+	printTable(os.Stdout, t, md)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatalf("create %s: %v", outPath, err)
+		}
+		if err := bench.WriteSched(f, snap); err != nil {
+			fatalf("write %s: %v", outPath, err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (schema v%d, rev %s)\n", outPath, snap.Schema, snap.GitRev)
+	}
+	if gatePath != "" {
+		baseline, err := bench.ReadSched(gatePath)
+		if err != nil {
+			fatalf("sched-gate baseline: %v", err)
+		}
+		tol := bench.GateTolerancePct()
+		fails, notes := bench.GateSched(baseline, snap, tol)
+		for _, n := range notes {
+			fmt.Printf("sched-gate: note: %s\n", n)
+		}
+		if len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "sched-gate: %s\n", f)
+			}
+			fatalf("scheduling quality regressed vs %s (baseline rev %s, tolerance %.1f%%)",
+				gatePath, baseline.GitRev, tol)
+		}
+		fmt.Printf("sched-gate: ok vs %s (baseline rev %s, tolerance %.1f%%)\n",
 			gatePath, baseline.GitRev, tol)
 	}
 }

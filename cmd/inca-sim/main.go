@@ -48,6 +48,9 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Perfetto (Chrome trace_event) JSON trace to this file")
 		traceCap = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default)")
 
+		predictive = flag.Bool("predictive", false, "use the PREMA-style predictive scheduler (DESIGN.md §15) on top of the interrupt mechanism")
+		predCold   = flag.Bool("predictive-cold", false, "start the predictive estimator cold (static fallback until the first completions train it)")
+
 		faults      = flag.Bool("faults", false, "arm the deterministic fault injector")
 		faultSeed   = flag.Uint64("fault-seed", 7, "fault injector seed")
 		corruptRate = flag.Float64("corrupt-rate", 0.02, "snapshot/backup bit-flip rate (with -faults)")
@@ -81,7 +84,7 @@ func main() {
 
 	var specs []sched.TaskSpec
 	for _, ts := range tasks {
-		spec, err := parseTask(ts, cfg, pol)
+		spec, err := parseTask(ts, cfg, pol, *predictive)
 		if err != nil {
 			fatalf("parsing -task %q: %v", ts, err)
 		}
@@ -96,6 +99,20 @@ func main() {
 	if *traceOut != "" {
 		tracer = trace.New(*traceCap)
 		opts = append(opts, sched.WithTracer(tracer))
+	}
+	var pred *sched.PolicyPredictive
+	if *predictive {
+		var po []sched.PredictOption
+		if tracer != nil {
+			po = append(po, sched.WithDecisionTrace(tracer))
+		}
+		pred = sched.NewPredictive(cfg, po...)
+		opts = append(opts, sched.WithPredictive(pred))
+		if *predCold {
+			opts = append(opts, sched.WithPredictiveCold())
+		}
+	} else if *predCold {
+		fatalf("-predictive-cold requires -predictive")
 	}
 	if *faults {
 		inj := fault.New(*faultSeed)
@@ -119,6 +136,11 @@ func main() {
 
 	fmt.Printf("policy=%v accel=%s horizon=%v utilization=%.1f%% degradation=%.3f%%\n",
 		pol, cfg.Name, *duration, 100*res.Utilization(), 100*res.Degradation())
+	if pred != nil {
+		decisions, estimates := pred.Counters()
+		fmt.Printf("predictive: %d cost-model decisions, %d estimator updates, mean SLA %.1f%%, Jain fairness %.3f\n",
+			decisions, estimates, 100*res.MeanSLAAttainment(), res.JainFairness())
+	}
 	calc, xfer, hidden := res.CycleStats()
 	if tot := calc + xfer; tot > 0 {
 		fmt.Printf("accelerator time: %.0f%% compute, %.0f%% exposed transfers (%.1f ms of DMA hidden under compute)\n\n",
@@ -192,7 +214,7 @@ func parsePolicy(s string) (iau.Policy, error) {
 	}
 }
 
-func parseTask(s string, cfg accel.Config, pol iau.Policy) (sched.TaskSpec, error) {
+func parseTask(s string, cfg accel.Config, pol iau.Policy, predictive bool) (sched.TaskSpec, error) {
 	spec := sched.TaskSpec{}
 	netName, progPath := "", ""
 	c, h, w := 3, 120, 160
@@ -270,7 +292,10 @@ func parseTask(s string, cfg accel.Config, pol iau.Policy) (sched.TaskSpec, erro
 			return spec, err
 		}
 		opt := cfg.CompilerOptions()
-		opt.InsertVirtual = pol == iau.PolicyVI && spec.Slot > 0
+		// Under the static rule only lower-priority slots are ever
+		// preempted; the predictive scheduler can pick any victim, so
+		// every task gets virtual interrupt points.
+		opt.InsertVirtual = pol == iau.PolicyVI && (spec.Slot > 0 || predictive)
 		spec.Prog, err = compiler.Compile(q, opt)
 		if err != nil {
 			return spec, err

@@ -27,7 +27,7 @@ func TestParsePolicy(t *testing.T) {
 
 func TestParseTask(t *testing.T) {
 	cfg := accel.Big()
-	spec, err := parseTask("name=FE,slot=0,net=tinycnn,c=3,h=24,w=32,period=50ms,deadline=40ms,drop=true", cfg, iau.PolicyVI)
+	spec, err := parseTask("name=FE,slot=0,net=tinycnn,c=3,h=24,w=32,period=50ms,deadline=40ms,drop=true", cfg, iau.PolicyVI, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,12 +42,21 @@ func TestParseTask(t *testing.T) {
 	if n := len(spec.Prog.InterruptPoints()); n != 0 {
 		t.Errorf("slot-0 program has %d interrupt points", n)
 	}
-	spec2, err := parseTask("name=PR,slot=1,net=tinycnn,c=3,h=24,w=32,continuous=true", cfg, iau.PolicyVI)
+	spec2, err := parseTask("name=PR,slot=1,net=tinycnn,c=3,h=24,w=32,continuous=true", cfg, iau.PolicyVI, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !spec2.Continuous || len(spec2.Prog.InterruptPoints()) == 0 {
 		t.Fatalf("continuous interruptible task parsed wrong: %+v", spec2)
+	}
+	// With -predictive any slot can be a victim, so slot 0 gets virtual
+	// interrupt points too.
+	spec3, err := parseTask("name=FE,slot=0,net=tinycnn,c=3,h=24,w=32,period=50ms", cfg, iau.PolicyVI, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec3.Prog.InterruptPoints()) == 0 {
+		t.Error("predictive slot-0 program has no interrupt points")
 	}
 }
 
@@ -63,11 +72,11 @@ func TestParseTaskErrors(t *testing.T) {
 		"justgarbage",
 	}
 	for _, c := range cases {
-		if _, err := parseTask(c, cfg, iau.PolicyVI); err == nil {
+		if _, err := parseTask(c, cfg, iau.PolicyVI, false); err == nil {
 			t.Errorf("%q accepted", c)
 		}
 	}
-	if _, err := parseTask("name=x,slot=1,prog=/nonexistent.bin", cfg, iau.PolicyVI); err == nil ||
+	if _, err := parseTask("name=x,slot=1,prog=/nonexistent.bin", cfg, iau.PolicyVI, false); err == nil ||
 		!strings.Contains(err.Error(), "no such file") {
 		t.Errorf("missing prog file: %v", err)
 	}

@@ -180,14 +180,24 @@ func ReadCluster(path string) (*ClusterSnapshot, error) {
 }
 
 // GateCluster compares the current sweep against the baseline and returns
-// one error line per regression beyond tol percent: goodput or SLA dropped,
-// p99 latency rose, or a task that used to complete now sheds. Scenarios
-// present on only one side are reported too.
-func GateCluster(baseline, current *ClusterSnapshot, tolPct float64) []string {
-	var fails []string
-	if baseline.Schema != current.Schema {
-		return []string{fmt.Sprintf("schema mismatch: baseline v%d vs current v%d (regenerate BENCH_cluster.json)",
-			baseline.Schema, current.Schema)}
+// one fail line per regression beyond tol percent — goodput or SLA dropped,
+// p99 latency rose, or a task that used to complete now sheds — plus
+// informational notes. Like Gate, it compares only metrics present in both
+// snapshots: a schema bump or a metric missing on one side (zero after
+// unmarshalling) becomes a note, not a failure. Under matching schemas,
+// scenarios present on only one side still fail.
+func GateCluster(baseline, current *ClusterSnapshot, tolPct float64) (fails, notes []string) {
+	crossSchema := baseline.Schema != current.Schema
+	if crossSchema {
+		notes = append(notes, fmt.Sprintf("schema mismatch: baseline v%d vs current v%d — comparing only metrics present in both (regenerate BENCH_cluster.json to re-arm full gating)",
+			baseline.Schema, current.Schema))
+	}
+	presence := func(f string, a ...interface{}) {
+		if crossSchema {
+			notes = append(notes, fmt.Sprintf(f, a...))
+		} else {
+			fails = append(fails, fmt.Sprintf(f, a...))
+		}
 	}
 	base := map[string]ClusterScenario{}
 	for _, s := range baseline.Scenarios {
@@ -207,7 +217,7 @@ func GateCluster(baseline, current *ClusterSnapshot, tolPct float64) []string {
 	for _, s := range current.Scenarios {
 		b, ok := base[s.Name]
 		if !ok {
-			fails = append(fails, fmt.Sprintf("%s: not in baseline (regenerate BENCH_cluster.json)", s.Name))
+			presence("%s: not in baseline (regenerate BENCH_cluster.json)", s.Name)
 			continue
 		}
 		seen[s.Name] = true
@@ -228,8 +238,8 @@ func GateCluster(baseline, current *ClusterSnapshot, tolPct float64) []string {
 	}
 	for _, s := range baseline.Scenarios {
 		if !seen[s.Name] {
-			fails = append(fails, fmt.Sprintf("%s: in baseline but not measured", s.Name))
+			presence("%s: in baseline but not measured", s.Name)
 		}
 	}
-	return fails
+	return fails, notes
 }

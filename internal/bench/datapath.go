@@ -290,14 +290,25 @@ func GateTolerancePct() float64 {
 }
 
 // Gate compares current modeled throughput against the baseline and returns
-// one error line per regression beyond tol percent. Kernels present only on
-// one side are reported too: a silently vanished kernel would otherwise make
-// the gate vacuous.
-func Gate(baseline, current *DatapathSnapshot, tolPct float64) []string {
-	var fails []string
-	if baseline.Schema != current.Schema {
-		return []string{fmt.Sprintf("schema mismatch: baseline v%d vs current v%d (regenerate BENCH_datapath.json)",
-			baseline.Schema, current.Schema)}
+// one fail line per regression beyond tol percent, plus informational notes.
+// The gate compares only metrics present in both snapshots: a schema-version
+// bump or a metric key one side lacks (zero after unmarshalling) is reported
+// as a note, never a failure — adding instrumentation must not spuriously
+// trip CI, while a genuine MACs/s drop on a shared metric still does. Under
+// matching schemas, kernels present on only one side DO fail: a silently
+// vanished kernel would otherwise make the gate vacuous.
+func Gate(baseline, current *DatapathSnapshot, tolPct float64) (fails, notes []string) {
+	crossSchema := baseline.Schema != current.Schema
+	if crossSchema {
+		notes = append(notes, fmt.Sprintf("schema mismatch: baseline v%d vs current v%d — comparing only metrics present in both (regenerate BENCH_datapath.json to re-arm full gating)",
+			baseline.Schema, current.Schema))
+	}
+	presence := func(f string, a ...interface{}) {
+		if crossSchema {
+			notes = append(notes, fmt.Sprintf(f, a...))
+		} else {
+			fails = append(fails, fmt.Sprintf(f, a...))
+		}
 	}
 	base := map[string]DatapathKernel{}
 	for _, k := range baseline.Kernels {
@@ -305,6 +316,8 @@ func Gate(baseline, current *DatapathSnapshot, tolPct float64) []string {
 	}
 	seen := map[string]bool{}
 	check := func(kernel, col string, was, now float64) {
+		// A zero baseline value means the metric did not exist when the
+		// baseline was written (new JSON key) — nothing to compare.
 		if was <= 0 {
 			return
 		}
@@ -317,7 +330,7 @@ func Gate(baseline, current *DatapathSnapshot, tolPct float64) []string {
 	for _, k := range current.Kernels {
 		b, ok := base[k.Kernel]
 		if !ok {
-			fails = append(fails, fmt.Sprintf("%s: not in baseline (regenerate BENCH_datapath.json)", k.Kernel))
+			presence("%s: not in baseline (regenerate BENCH_datapath.json)", k.Kernel)
 			continue
 		}
 		seen[k.Kernel] = true
@@ -326,8 +339,8 @@ func Gate(baseline, current *DatapathSnapshot, tolPct float64) []string {
 	}
 	for _, k := range baseline.Kernels {
 		if !seen[k.Kernel] {
-			fails = append(fails, fmt.Sprintf("%s: in baseline but not measured", k.Kernel))
+			presence("%s: in baseline but not measured", k.Kernel)
 		}
 	}
-	return fails
+	return fails, notes
 }

@@ -113,21 +113,21 @@ func TestGateDecisions(t *testing.T) {
 	base := snapFixture()
 
 	t.Run("identical passes", func(t *testing.T) {
-		if fails := Gate(base, snapFixture(), 10); len(fails) != 0 {
+		if fails, _ := Gate(base, snapFixture(), 10); len(fails) != 0 {
 			t.Fatalf("identical snapshots failed gate: %v", fails)
 		}
 	})
 	t.Run("drop within tolerance passes", func(t *testing.T) {
 		cur := snapFixture()
 		cur.Kernels[0].ModelGMACsB1 *= 0.95
-		if fails := Gate(base, cur, 10); len(fails) != 0 {
+		if fails, _ := Gate(base, cur, 10); len(fails) != 0 {
 			t.Fatalf("5%% drop failed a 10%% gate: %v", fails)
 		}
 	})
 	t.Run("regression fails", func(t *testing.T) {
 		cur := snapFixture()
 		cur.Kernels[1].ModelGMACsB8 *= 0.8
-		fails := Gate(base, cur, 10)
+		fails, _ := Gate(base, cur, 10)
 		if len(fails) != 1 || !strings.Contains(fails[0], "resfused model B=8") {
 			t.Fatalf("20%% drop produced %v", fails)
 		}
@@ -135,31 +135,66 @@ func TestGateDecisions(t *testing.T) {
 	t.Run("improvement passes", func(t *testing.T) {
 		cur := snapFixture()
 		cur.Kernels[0].ModelGMACsB8 *= 1.5
-		if fails := Gate(base, cur, 10); len(fails) != 0 {
+		if fails, _ := Gate(base, cur, 10); len(fails) != 0 {
 			t.Fatalf("improvement failed gate: %v", fails)
 		}
 	})
-	t.Run("schema mismatch fails", func(t *testing.T) {
+	t.Run("schema bump alone does not fail", func(t *testing.T) {
 		cur := snapFixture()
 		cur.Schema++
-		fails := Gate(base, cur, 10)
-		if len(fails) != 1 || !strings.Contains(fails[0], "schema mismatch") {
-			t.Fatalf("schema mismatch produced %v", fails)
+		fails, notes := Gate(base, cur, 10)
+		if len(fails) != 0 {
+			t.Fatalf("schema bump with identical metrics failed the gate: %v", fails)
+		}
+		if len(notes) == 0 || !strings.Contains(notes[0], "schema mismatch") {
+			t.Fatalf("schema bump not surfaced as a note: %v", notes)
+		}
+	})
+	t.Run("regression still fails across schema bump", func(t *testing.T) {
+		cur := snapFixture()
+		cur.Schema++
+		cur.Kernels[1].ModelGMACsB8 *= 0.8
+		fails, _ := Gate(base, cur, 10)
+		if len(fails) != 1 || !strings.Contains(fails[0], "resfused model B=8") {
+			t.Fatalf("20%% drop under a schema bump produced %v", fails)
+		}
+	})
+	t.Run("new metric key does not fail", func(t *testing.T) {
+		// The baseline predates a metric (its value unmarshals to zero);
+		// the gate must not treat "0 -> measured" as a comparison.
+		b := snapFixture()
+		b.Kernels[0].ModelGMACsB8 = 0
+		cur := snapFixture()
+		fails, _ := Gate(b, cur, 10)
+		if len(fails) != 0 {
+			t.Fatalf("metric missing from baseline failed the gate: %v", fails)
 		}
 	})
 	t.Run("missing kernel fails both directions", func(t *testing.T) {
 		cur := snapFixture()
 		cur.Kernels = cur.Kernels[:1]
 		cur.Kernels = append(cur.Kernels, DatapathKernel{Kernel: "brandnew", ModelGMACsB1: 1, ModelGMACsB8: 2})
-		fails := Gate(base, cur, 10)
+		fails, _ := Gate(base, cur, 10)
 		if len(fails) != 2 {
 			t.Fatalf("want vanished + unknown kernel findings, got %v", fails)
+		}
+	})
+	t.Run("kernel churn across schema bump is a note", func(t *testing.T) {
+		cur := snapFixture()
+		cur.Schema++
+		cur.Kernels = append(cur.Kernels[:1], DatapathKernel{Kernel: "brandnew", ModelGMACsB1: 1})
+		fails, notes := Gate(base, cur, 10)
+		if len(fails) != 0 {
+			t.Fatalf("kernel churn under a schema bump failed the gate: %v", fails)
+		}
+		if len(notes) != 3 { // mismatch header + unknown kernel + vanished kernel
+			t.Fatalf("want 3 notes, got %v", notes)
 		}
 	})
 	t.Run("wider tolerance forgives", func(t *testing.T) {
 		cur := snapFixture()
 		cur.Kernels[1].ModelGMACsB8 *= 0.8
-		if fails := Gate(base, cur, 25); len(fails) != 0 {
+		if fails, _ := Gate(base, cur, 25); len(fails) != 0 {
 			t.Fatalf("20%% drop failed a 25%% gate: %v", fails)
 		}
 	})
@@ -198,7 +233,7 @@ func TestGateAgainstCheckedInBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fails := Gate(baseline, cur, GateTolerancePct()); len(fails) != 0 {
+	if fails, _ := Gate(baseline, cur, GateTolerancePct()); len(fails) != 0 {
 		t.Fatalf("checked-in baseline would fail the gate:\n%s", strings.Join(fails, "\n"))
 	}
 }

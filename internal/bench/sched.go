@@ -1,0 +1,346 @@
+package bench
+
+// The scheduling-policy benchmark behind `inca-bench -sched` and the sched
+// third of `make bench-gate`: it replays a fixed DSLAM-style task set under
+// three scheduling configurations — the paper's static slot priorities in
+// declaration order, a rate-monotonic slot assignment, and the PREMA-style
+// predictive policy on top of the declared (suboptimal) slots — and emits a
+// schema-versioned snapshot checked in as BENCH_sched.json. Every number
+// comes from the deterministic cycle model, so the gate compares SLA
+// attainment, deadline misses, and Jain fairness exactly; it additionally
+// enforces the headline claim that the predictive policy never attains less
+// SLA than the static baseline it falls back to.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/iau"
+	"inca/internal/model"
+	"inca/internal/quant"
+	"inca/internal/sched"
+)
+
+// SchedSchema is the snapshot format version. Bump it whenever the JSON
+// layout, the task set, or the horizon changes; the gate then compares only
+// metrics present in both snapshots until the baseline is regenerated.
+const SchedSchema = 1
+
+// schedBenchHorizon is the simulated time each scenario runs for.
+const schedBenchHorizon = 400 * time.Millisecond
+
+// SchedScenario is one scheduling configuration's outcome on the fixed
+// DSLAM task set.
+type SchedScenario struct {
+	Name       string `json:"name"`
+	Assignment string `json:"assignment"` // slot order, FE/MAP/LOOP -> slots
+	Predictive bool   `json:"predictive"`
+
+	// Task ledger summed over the set.
+	Submitted      int `json:"submitted"`
+	Completed      int `json:"completed"`
+	Dropped        int `json:"dropped"`
+	DeadlineMisses int `json:"deadline_misses"`
+	Preemptions    int `json:"preemptions"`
+
+	// Decisions is the predictive policy's fired-decision counter (zero for
+	// the static scenarios).
+	Decisions uint64 `json:"decisions"`
+
+	// Service quality from the cycle model. The gate compares these.
+	MeanSLAPct float64 `json:"mean_sla_pct"`
+	JainPct    float64 `json:"jain_pct"`
+
+	// Response-time analysis of the scenario's slot assignment under the
+	// base VI mechanism: how many of the deadline tasks RTA proves feasible
+	// a priori. The predictive scenario reports the bound of its static
+	// fallback assignment — the analysis does not model the cost-driven
+	// override, which is exactly why the measured SLA can exceed it.
+	RTAFeasible int `json:"rta_feasible"`
+	RTATasks    int `json:"rta_tasks"`
+}
+
+// SchedSnapshot is the checked-in scheduling baseline.
+type SchedSnapshot struct {
+	Schema    int             `json:"schema"`
+	GitRev    string          `json:"git_rev"`
+	Config    string          `json:"config"`
+	HorizonMS int             `json:"horizon_ms"`
+	Scenarios []SchedScenario `json:"scenarios"`
+}
+
+// schedTask is one member of the fixed DSLAM-style task set, before a
+// scenario assigns it a slot.
+type schedTask struct {
+	name     string
+	net      *model.Network
+	period   time.Duration
+	deadline time.Duration // 0 = best-effort
+	dropBusy bool
+}
+
+// schedBenchTasks is the task set, in declaration (pipeline) order: the
+// camera frontend first, then map maintenance, then loop closure. The
+// declaration order is deliberately NOT rate-monotonic — MAP's long period
+// outranks LOOP's deadline — which is the integration mistake the static
+// baseline pays for and the predictive policy absorbs.
+func schedBenchTasks() []schedTask {
+	return []schedTask{
+		{name: "FE", net: model.NewSuperPoint(60, 80),
+			period: 15 * time.Millisecond, deadline: 15 * time.Millisecond, dropBusy: true},
+		{name: "MAP", net: model.NewSuperPoint(90, 120),
+			period: 50 * time.Millisecond, dropBusy: true},
+		{name: "LOOP", net: mustNet(model.NewResNet(18, 3, 60, 80)),
+			period: 40 * time.Millisecond, deadline: 25 * time.Millisecond},
+	}
+}
+
+func mustNet(g *model.Network, err error) *model.Network {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// SchedBench runs the three scheduling scenarios and returns the snapshot
+// plus a rendered table.
+func SchedBench() (*SchedSnapshot, *Table, error) {
+	cfg := accel.Small()
+	tasks := schedBenchTasks()
+
+	progs := make([]*compiledNet, len(tasks))
+	for i, tk := range tasks {
+		q, err := quant.Synthesize(tk.net, 21)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sched bench %s: %v", tk.name, err)
+		}
+		opt := cfg.CompilerOptions()
+		opt.InsertVirtual = true
+		p, err := compiler.Compile(q, opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sched bench %s: %v", tk.name, err)
+		}
+		progs[i] = &compiledNet{g: tk.net, p: p}
+	}
+
+	snap := &SchedSnapshot{
+		Schema: SchedSchema, Config: cfg.Name,
+		HorizonMS: int(schedBenchHorizon / time.Millisecond),
+	}
+	t := &Table{
+		ID: "SCHED",
+		Title: fmt.Sprintf("scheduling policies on the DSLAM task set (%s, %d ms horizon)",
+			cfg.Name, snap.HorizonMS),
+		Columns: []string{"scenario", "slots FE/MAP/LOOP", "completed", "misses",
+			"preempts", "SLA %", "Jain %", "RTA feasible"},
+	}
+
+	type scenario struct {
+		name       string
+		slots      []int // slot per task, declaration order
+		predictive bool
+	}
+	scenarios := []scenario{
+		// Declared pipeline order: MAP's housekeeping outranks LOOP's deadline.
+		{name: "static", slots: []int{0, 1, 2}},
+		// Rate-monotonic: shortest period highest; LOOP moves above MAP.
+		{name: "rm", slots: []int{0, 2, 1}},
+		// Predictive keeps the bad declared slots and schedules around them.
+		{name: "predictive", slots: []int{0, 1, 2}, predictive: true},
+	}
+
+	for _, sc := range scenarios {
+		specs := make([]sched.TaskSpec, len(tasks))
+		for i, tk := range tasks {
+			specs[i] = sched.TaskSpec{
+				Name: tk.name, Slot: sc.slots[i], Prog: progs[i].p,
+				Period: tk.period, Deadline: tk.deadline, DropIfBusy: tk.dropBusy,
+			}
+		}
+		var opts []sched.Option
+		var pol *sched.PolicyPredictive
+		if sc.predictive {
+			pol = sched.NewPredictive(cfg)
+			opts = append(opts, sched.WithPredictive(pol))
+		}
+		res, err := sched.Run(cfg, iau.PolicyVI, specs, schedBenchHorizon, opts...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sched bench %s: %v", sc.name, err)
+		}
+
+		row := SchedScenario{
+			Name:       sc.name,
+			Assignment: fmt.Sprintf("%d/%d/%d", sc.slots[0], sc.slots[1], sc.slots[2]),
+			Predictive: sc.predictive,
+		}
+		for _, name := range res.TaskNames {
+			st := res.Tasks[name]
+			row.Submitted += st.Submitted
+			row.Completed += st.Completed
+			row.Dropped += st.Dropped
+			row.DeadlineMisses += st.DeadlineMisses
+			row.Preemptions += st.Preempted
+		}
+		if pol != nil {
+			row.Decisions, _ = pol.Counters()
+		}
+		row.MeanSLAPct = 100 * res.MeanSLAAttainment()
+		row.JainPct = 100 * res.JainFairness()
+
+		feasible, total, err := schedRTA(cfg, tasks, progs, sc.slots)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sched bench %s rta: %v", sc.name, err)
+		}
+		row.RTAFeasible, row.RTATasks = feasible, total
+
+		snap.Scenarios = append(snap.Scenarios, row)
+		t.AddRow(row.Name, row.Assignment,
+			fmt.Sprintf("%d/%d", row.Completed, row.Submitted),
+			fmt.Sprintf("%d", row.DeadlineMisses),
+			fmt.Sprintf("%d", row.Preemptions),
+			fmt.Sprintf("%.1f", row.MeanSLAPct),
+			fmt.Sprintf("%.1f", row.JainPct),
+			fmt.Sprintf("%d/%d", row.RTAFeasible, row.RTATasks))
+	}
+
+	t.AddNote("FE %dms camera deadline, MAP best-effort housekeeping, LOOP %dms closure deadline; declared slots are not rate-monotonic",
+		int(tasks[0].deadline/time.Millisecond), int(tasks[2].deadline/time.Millisecond))
+	t.AddNote("the gate enforces predictive SLA >= static SLA on top of the per-metric regression checks")
+	return snap, t, nil
+}
+
+// schedRTA runs response-time analysis for the deadline tasks of one slot
+// assignment and returns (feasible, analyzed).
+func schedRTA(cfg accel.Config, tasks []schedTask, progs []*compiledNet, slots []int) (int, int, error) {
+	models := make([]sched.TaskModel, len(tasks))
+	for i, tk := range tasks {
+		m, err := sched.NewTaskModel(cfg, tk.name, slots[i], progs[i].p, iau.PolicyVI, tk.period, tk.deadline)
+		if err != nil {
+			return 0, 0, err
+		}
+		models[i] = m
+	}
+	res, err := sched.Analyze(models)
+	if err != nil {
+		return 0, 0, err
+	}
+	feasible, total := 0, 0
+	for _, r := range res {
+		if r.Deadline == 0 {
+			continue
+		}
+		total++
+		if r.Feasible {
+			feasible++
+		}
+	}
+	return feasible, total, nil
+}
+
+// WriteSched serialises a snapshot as indented JSON.
+func WriteSched(w io.Writer, s *SchedSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSched loads a snapshot from a baseline file.
+func ReadSched(path string) (*SchedSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s SchedSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// GateSched compares the current sweep against the baseline and returns one
+// fail line per regression beyond tol percent — SLA or fairness dropped,
+// completions lost, or deadline misses appearing where the baseline had
+// none — plus informational notes. Like Gate, it compares only metrics
+// present in both snapshots: a schema bump or a metric missing on one side
+// becomes a note, not a failure; under matching schemas, scenario churn
+// still fails. Independent of any baseline, it fails when the current
+// snapshot's predictive scenario attains less SLA than its static one —
+// the invariant the policy's static fallback is supposed to guarantee.
+func GateSched(baseline, current *SchedSnapshot, tolPct float64) (fails, notes []string) {
+	crossSchema := baseline.Schema != current.Schema
+	if crossSchema {
+		notes = append(notes, fmt.Sprintf("schema mismatch: baseline v%d vs current v%d — comparing only metrics present in both (regenerate BENCH_sched.json to re-arm full gating)",
+			baseline.Schema, current.Schema))
+	}
+	presence := func(f string, a ...interface{}) {
+		if crossSchema {
+			notes = append(notes, fmt.Sprintf(f, a...))
+		} else {
+			fails = append(fails, fmt.Sprintf(f, a...))
+		}
+	}
+	base := map[string]SchedScenario{}
+	for _, s := range baseline.Scenarios {
+		base[s.Name] = s
+	}
+	seen := map[string]bool{}
+	drop := func(name, col string, was, now float64) {
+		if was <= 0 {
+			return
+		}
+		d := (was - now) / was * 100
+		if d > tolPct {
+			fails = append(fails, fmt.Sprintf("%s %s: %.1f -> %.1f (-%.1f%% > %.1f%% tolerance)",
+				name, col, was, now, d, tolPct))
+		}
+	}
+	var staticSLA, predictiveSLA float64
+	haveStatic, havePredictive := false, false
+	for _, s := range current.Scenarios {
+		if s.Name == "static" {
+			staticSLA, haveStatic = s.MeanSLAPct, true
+		}
+		if s.Predictive {
+			predictiveSLA, havePredictive = s.MeanSLAPct, true
+		}
+		b, ok := base[s.Name]
+		if !ok {
+			presence("%s: not in baseline (regenerate BENCH_sched.json)", s.Name)
+			continue
+		}
+		seen[s.Name] = true
+		drop(s.Name, "SLA", b.MeanSLAPct, s.MeanSLAPct)
+		drop(s.Name, "Jain", b.JainPct, s.JainPct)
+		if s.Completed < b.Completed {
+			fails = append(fails, fmt.Sprintf("%s: completed %d -> %d (requests now lost that used to finish)",
+				s.Name, b.Completed, s.Completed))
+		}
+		// Misses gate in the rising direction; a scenario that was
+		// miss-free must stay miss-free.
+		if b.DeadlineMisses == 0 && s.DeadlineMisses > 0 {
+			fails = append(fails, fmt.Sprintf("%s: %d deadline misses where the baseline had none",
+				s.Name, s.DeadlineMisses))
+		} else if b.DeadlineMisses > 0 {
+			rise := float64(s.DeadlineMisses-b.DeadlineMisses) / float64(b.DeadlineMisses) * 100
+			if rise > tolPct {
+				fails = append(fails, fmt.Sprintf("%s: deadline misses %d -> %d (+%.1f%% > %.1f%% tolerance)",
+					s.Name, b.DeadlineMisses, s.DeadlineMisses, rise, tolPct))
+			}
+		}
+	}
+	for _, s := range baseline.Scenarios {
+		if !seen[s.Name] {
+			presence("%s: in baseline but not measured", s.Name)
+		}
+	}
+	if haveStatic && havePredictive && predictiveSLA < staticSLA {
+		fails = append(fails, fmt.Sprintf("predictive SLA %.1f%% below static %.1f%% — the cost model made scheduling worse than its own fallback",
+			predictiveSLA, staticSLA))
+	}
+	return fails, notes
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSchedBenchDeterministicAndGateable runs the scheduling sweep twice and
+// pins the properties the checked-in BENCH_sched.json relies on: the snapshot
+// is byte-identical across runs (pure cycle model), the three scenarios tell
+// the intended story (static priority misses the misassigned deadline,
+// rate-monotonic and predictive do not), and the self-gate passes while
+// doctored regressions fail.
+func TestSchedBenchDeterministicAndGateable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheduling sweep compiles three networks; skipped under -short")
+	}
+	a, _, err := SchedBench()
+	if err != nil {
+		t.Fatalf("SchedBench: %v", err)
+	}
+	b, tbl, err := SchedBench()
+	if err != nil {
+		t.Fatalf("SchedBench (second run): %v", err)
+	}
+	var ja, jb bytes.Buffer
+	if err := WriteSched(&ja, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSched(&jb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatalf("snapshot not byte-identical across same-seed runs:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+	if len(a.Scenarios) != 3 {
+		t.Fatalf("want 3 scenarios (static/rm/predictive), got %d", len(a.Scenarios))
+	}
+	if tbl == nil || len(tbl.Rows) != len(a.Scenarios) {
+		t.Fatalf("table rows (%d) do not match scenarios (%d)", len(tbl.Rows), len(a.Scenarios))
+	}
+
+	byName := map[string]SchedScenario{}
+	for _, s := range a.Scenarios {
+		byName[s.Name] = s
+		if s.Completed == 0 || s.Submitted == 0 {
+			t.Errorf("%s: nothing ran (%+v)", s.Name, s)
+		}
+		if s.MeanSLAPct <= 0 || s.MeanSLAPct > 100 {
+			t.Errorf("%s: SLA %.1f%% out of range", s.Name, s.MeanSLAPct)
+		}
+		if s.RTATasks != 2 {
+			t.Errorf("%s: RTA analyzed %d deadline tasks, want 2", s.Name, s.RTATasks)
+		}
+	}
+	st, rm, pr := byName["static"], byName["rm"], byName["predictive"]
+	// The misassigned static slots must actually hurt: RTA proves LOOP
+	// infeasible and the run records the misses.
+	if st.RTAFeasible != 1 || st.DeadlineMisses == 0 {
+		t.Errorf("static scenario lost its priority inversion: RTA %d/%d feasible, %d misses",
+			st.RTAFeasible, st.RTATasks, st.DeadlineMisses)
+	}
+	if rm.RTAFeasible != 2 || rm.DeadlineMisses != 0 {
+		t.Errorf("rate-monotonic should fix the inversion: RTA %d/%d, %d misses",
+			rm.RTAFeasible, rm.RTATasks, rm.DeadlineMisses)
+	}
+	// The headline claim: predictive recovers the SLA on the same slot
+	// assignment RTA calls infeasible, without the re-slotting RM needs.
+	if !pr.Predictive || pr.Decisions == 0 {
+		t.Errorf("predictive scenario did not exercise the cost model: %+v", pr)
+	}
+	if pr.MeanSLAPct < st.MeanSLAPct {
+		t.Errorf("predictive SLA %.1f%% below static %.1f%%", pr.MeanSLAPct, st.MeanSLAPct)
+	}
+	if pr.DeadlineMisses > st.DeadlineMisses {
+		t.Errorf("predictive missed more deadlines than static (%d > %d)",
+			pr.DeadlineMisses, st.DeadlineMisses)
+	}
+
+	// Self-comparison gates clean.
+	if fails, _ := GateSched(a, b, GateTolerancePct()); len(fails) > 0 {
+		t.Fatalf("self-gate failed: %v", fails)
+	}
+	// A doctored SLA drop, new deadline misses, and a lost scenario all trip.
+	bad := *b
+	bad.Scenarios = append([]SchedScenario{}, b.Scenarios...)
+	bad.Scenarios[0].MeanSLAPct *= 0.5
+	bad.Scenarios[1].DeadlineMisses += 3                 // rm was miss-free
+	bad.Scenarios = bad.Scenarios[:len(bad.Scenarios)-1] // drops predictive
+	fails, _ := GateSched(a, &bad, 10)
+	if len(fails) < 3 {
+		t.Fatalf("doctored snapshot should trip SLA, misses, and missing-scenario checks, got %v", fails)
+	}
+	// A schema bump downgrades presence churn to notes, but the shared SLA
+	// metric still gates.
+	bad.Schema = SchedSchema + 1
+	fails, notes := GateSched(a, &bad, 10)
+	if len(notes) == 0 || !strings.Contains(notes[0], "schema mismatch") {
+		t.Fatalf("schema mismatch not noted: %v", notes)
+	}
+	if len(fails) < 1 {
+		t.Fatalf("SLA regression should survive a schema bump, got %v", fails)
+	}
+	for _, f := range fails {
+		if strings.Contains(f, "not measured") || strings.Contains(f, "not in baseline") {
+			t.Fatalf("presence churn failed the gate across a schema bump: %v", fails)
+		}
+	}
+	// The predictive >= static invariant is enforced on the current snapshot
+	// even when it self-compares clean against the baseline.
+	inv := *b
+	inv.Scenarios = append([]SchedScenario{}, b.Scenarios...)
+	inv.Scenarios[2].MeanSLAPct = inv.Scenarios[0].MeanSLAPct - 5
+	fails, _ = GateSched(&inv, &inv, 10)
+	found := false
+	for _, f := range fails {
+		if strings.Contains(f, "below static") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("predictive-below-static invariant not enforced: %v", fails)
+	}
+}
+
+// TestGateSchedAgainstCheckedInBaseline replays exactly what `make
+// sched-gate` does in tier1, so a stale BENCH_sched.json is caught by `go
+// test` too.
+func TestGateSchedAgainstCheckedInBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	baseline, err := ReadSched("../../BENCH_sched.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _, err := SchedBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails, _ := GateSched(baseline, cur, GateTolerancePct()); len(fails) != 0 {
+		t.Fatalf("checked-in baseline would fail the gate:\n%s", strings.Join(fails, "\n"))
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"inca/internal/fault"
 	"inca/internal/iau"
 	"inca/internal/isa"
+	"inca/internal/sched"
 	"inca/internal/trace"
 )
 
@@ -96,6 +97,13 @@ type Config struct {
 	// DeadlineCheck rejects tasks at admission whose deadline is shorter
 	// than their uninterrupted solo runtime.
 	DeadlineCheck bool
+
+	// Predictive installs a per-engine sched.PolicyPredictive (restricted
+	// to the VI method — cross-engine migration relies on DDR-resident VI
+	// backups), and switches dispatcher placement from outstanding-count to
+	// modeled-remaining-cycles: the same cost estimates that drive each
+	// engine's preemption decisions also rank engines for new work.
+	Predictive bool
 
 	// Tracer, when non-nil, receives cluster-level marks — migrate,
 	// quarantine, readmit, admit_reject — with the ENGINE id as the slot.
@@ -177,6 +185,9 @@ type engine struct {
 	id  int
 	u   *iau.IAU
 	inj *fault.Injector
+	// pred is the engine's predictive scheduler (Config.Predictive only);
+	// the dispatcher re-binds slots as tasks land on the engine.
+	pred *sched.PolicyPredictive
 
 	health       Health
 	consecFails  int
@@ -221,9 +232,9 @@ func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 // at top level (outside any IAU callback) so migrations never re-enter a
 // running engine.
 type failRec struct {
-	engine  int
-	comp    iau.Completion
-	cycle   uint64
+	engine    int
+	comp      iau.Completion
+	cycle     uint64
 	wasCanary bool
 }
 
@@ -355,6 +366,10 @@ func Run(cfg Config, tasks []Task) (*Result, error) {
 		e.stats.ID = i
 		e.u.WatchdogCycles = watchdog
 		e.u.SalvageCheckpoints = true
+		if cfg.Predictive {
+			e.pred = sched.NewPredictive(cfg.Accel, sched.WithMethods(iau.PolicyVI))
+			e.u.Sched = e.pred
+		}
 		if faulty {
 			inj := fault.New(fault.ChildSeed(cfg.Seed, uint64(i)))
 			inj.SetRate(fault.SiteHang, cfg.HangRate)

@@ -89,6 +89,7 @@ func (c *cluster) installCallbacks(e *engine) {
 			return
 		}
 		c.moveTask(ts, e, dst, p.Victim)
+		dst.bindPred(p.Victim, ts.task)
 		ts.outcome.Migrations++
 		c.stats.Migrations++
 		e.stats.MigratedOut++
@@ -103,6 +104,17 @@ func (c *cluster) installCallbacks(e *engine) {
 			wasCanary: comp.Req == e.canary,
 		})
 	}
+}
+
+// bindPred (re)binds a slot on the engine's predictive scheduler when one
+// is installed, warm-seeding the estimate from the task's compiled stream
+// so the cost model is live from the first decision after a placement or
+// migration.
+func (e *engine) bindPred(slot int, t *Task) {
+	if e.pred == nil {
+		return
+	}
+	e.pred.Bind(slot, t.Prog, t.Deadline, false)
 }
 
 // moveTask updates placement bookkeeping when a task changes engines.
@@ -208,6 +220,7 @@ func (c *cluster) replace(ts *taskState, target *engine, f failRec, cycle uint64
 	c.taskOf[f.comp.Req] = ts
 	target.outstanding++
 	target.slotLoad[slot]++
+	target.bindPred(slot, ts.task)
 	ts.engine = target.id
 	ts.outcome.Attempts++
 	ts.outcome.Migrations++
@@ -264,6 +277,7 @@ func (c *cluster) quarantine(e *engine, cycle uint64) {
 			continue
 		}
 		c.moveTask(ts, e, target, slot)
+		target.bindPred(slot, ts.task)
 		ts.outcome.Migrations++
 		c.stats.Migrations++
 		e.stats.MigratedOut++
@@ -282,10 +296,28 @@ func (c *cluster) probe(id int, _ uint64) {
 	e.health = Probing
 }
 
+// estLoad is an engine's modeled remaining in-flight work: the sum of
+// every slot's remaining cycles through the IAU's instruction cycle model.
+// Under Config.Predictive this replaces the outstanding-task count as the
+// placement metric — a near-finished ResNet weighs less than a
+// freshly-started TinyCNN, whatever the task counts say.
+func (c *cluster) estLoad(e *engine) uint64 {
+	var total uint64
+	for slot := 0; slot < iau.NumSlots; slot++ {
+		if rem, ok := e.u.RemainingModelCycles(slot); ok {
+			total += rem
+		}
+	}
+	return total
+}
+
 // pickEngine returns the least-loaded engine that can accept a task of the
-// given priority, preferring engines other than `avoid`. Nil when none can.
+// given priority, preferring engines other than `avoid`. Load is the
+// outstanding-task count, or modeled remaining cycles (outstanding count
+// as tie-break) when the predictive dispatcher is on. Nil when none can.
 func (c *cluster) pickEngine(slot, avoid int) *engine {
 	var best *engine
+	var bestLoad uint64
 	pass := func(skipAvoid bool) {
 		for _, e := range c.engines {
 			if skipAvoid && e.id == avoid {
@@ -294,7 +326,12 @@ func (c *cluster) pickEngine(slot, avoid int) *engine {
 			if !c.placeable(e, slot) {
 				continue
 			}
-			if best == nil || e.outstanding < best.outstanding {
+			if c.cfg.Predictive {
+				l := c.estLoad(e)
+				if best == nil || l < bestLoad || (l == bestLoad && e.outstanding < best.outstanding) {
+					best, bestLoad = e, l
+				}
+			} else if best == nil || e.outstanding < best.outstanding {
 				best = e
 			}
 		}
@@ -453,6 +490,7 @@ func (c *cluster) place(ts *taskState, e *engine, cycle uint64) error {
 	ts.outcome.Attempts++
 	e.outstanding++
 	e.slotLoad[slot]++
+	e.bindPred(slot, ts.task)
 	if e.health == Probing {
 		e.canary = ts.req
 		e.stats.Probes++

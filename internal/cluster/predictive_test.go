@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"inca/internal/iau"
+	"inca/internal/trace"
+)
+
+// TestClusterPredictiveChaos is the predictive-dispatcher acceptance run:
+// every engine schedules with sched.PolicyPredictive (VI method) and the
+// dispatcher places by modeled remaining cycles, while the fault injectors
+// force watchdog kills, quarantines, and cross-engine migrations. The
+// ledger must balance (Offered == Completed + Shed), every completed arena
+// must equal its golden image, and the whole run must reproduce
+// byte-identically from the same seed.
+func TestClusterPredictiveChaos(t *testing.T) {
+	cfg := testAccel()
+	run := func() (*Workload, *Result, []byte) {
+		w, err := NewWorkload(cfg, WorkloadConfig{Tasks: 40, Seed: 7, Functional: true, DeadlineFactor: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.New(4096)
+		ccfg := chaosConfig(cfg, w.Progs, tr)
+		ccfg.Predictive = true
+		res, err := Run(ccfg, w.Tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Stats.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return w, res, buf.Bytes()
+	}
+
+	w, res, report := run()
+	t.Logf("\n%s", res.Stats.String())
+	resolved(t, res)
+	bitExact(t, w, res)
+
+	st := &res.Stats
+	if st.WatchdogKills == 0 {
+		t.Error("predictive chaos run injected no watchdog kills")
+	}
+	if st.Migrations == 0 {
+		t.Error("predictive chaos run performed no migrations")
+	}
+	if st.Completed == 0 {
+		t.Fatal("predictive chaos run completed nothing")
+	}
+
+	// Byte-identical reproduction with the same seed: the cost model adds
+	// no hidden nondeterminism to the dispatcher.
+	_, res2, report2 := run()
+	if !bytes.Equal(report, report2) {
+		t.Errorf("stats reports differ across identical predictive runs:\n%s\nvs\n%s", report, report2)
+	}
+	for i := range res.Outcomes {
+		if res.Outcomes[i] != res2.Outcomes[i] {
+			t.Errorf("outcome %d differs across identical predictive runs: %+v vs %+v",
+				i, res.Outcomes[i], res2.Outcomes[i])
+		}
+	}
+}
+
+// TestClusterPredictivePlacementByLoad pins the estimate-aware dispatcher:
+// with one engine busy on a long request and another idle, a new arrival
+// must land on the idle engine even when raw task counts tie, because the
+// modeled remaining cycles differ.
+func TestClusterPredictivePlacementByLoad(t *testing.T) {
+	cfg := testAccel()
+	w, err := NewWorkload(cfg, WorkloadConfig{Tasks: 16, Seed: 13, Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Engines: 2, Accel: cfg, Policy: iau.PolicyVI, Predictive: true}, w.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved(t, res)
+	if res.Stats.Completed != len(w.Tasks) {
+		t.Errorf("fault-free predictive run completed %d of %d (shed %d)",
+			res.Stats.Completed, len(w.Tasks), res.Stats.Shed)
+	}
+	if n := bitExact(t, w, res); n != len(w.Tasks) {
+		t.Errorf("checked %d arenas, want %d", n, len(w.Tasks))
+	}
+	// Both engines must have done work: estimate-ranked placement still
+	// spreads an open-loop stream.
+	engines := map[int]bool{}
+	for i := range res.Outcomes {
+		if res.Outcomes[i].Completed {
+			engines[res.Outcomes[i].Engine] = true
+		}
+	}
+	if len(engines) < 2 {
+		t.Errorf("predictive placement used %d engines, want 2", len(engines))
+	}
+}

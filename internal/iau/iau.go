@@ -121,15 +121,20 @@ type Completion struct {
 // Preemption records one task switch forced by a higher-priority request.
 type Preemption struct {
 	Victim, Preemptor int
-	RequestCycle      uint64 // preemptor became ready
-	BoundaryCycle     uint64 // victim reached a legal switch point (t1 end)
-	BackupDoneCycle   uint64 // backup finished (t2 end) — latency = this - request
-	BackupBytes       uint64
-	ResumeCycles      uint64 // t4: restore cost paid when the victim resumed
-	ResumeBytes       uint64
-	Resumed           bool
-	VictimPC          int    // victim stream position at the switch
-	VictimLayer       string // victim layer executing when the request landed
+	// Method is the interrupt mechanism this particular switch used. Under
+	// the static scheduler it always equals IAU.Policy; a Scheduler may pick
+	// a different method per decision (PREMA-style), and the victim resumes
+	// through the method it was parked with.
+	Method          Policy
+	RequestCycle    uint64 // preemptor became ready
+	BoundaryCycle   uint64 // victim reached a legal switch point (t1 end)
+	BackupDoneCycle uint64 // backup finished (t2 end) — latency = this - request
+	BackupBytes     uint64
+	ResumeCycles    uint64 // t4: restore cost paid when the victim resumed
+	ResumeBytes     uint64
+	Resumed         bool
+	VictimPC        int    // victim stream position at the switch
+	VictimLayer     string // victim layer executing when the request landed
 }
 
 // TraceKind classifies a timeline event.
@@ -208,6 +213,18 @@ type task struct {
 	snapshot *accel.Snapshot // CPU-like backup
 	lastPre  *Preemption     // record to charge resume cost to
 
+	// parked is the interrupt method the slot's current backup was taken
+	// with; resume replays that method's restore path even if a Scheduler
+	// has since picked different methods for other switches.
+	parked Policy
+	// ckptPolicy is the method the salvage checkpoint was committed under.
+	ckptPolicy Policy
+	// fresh marks a slot dispatched by a Scheduler that has not yet executed
+	// an instruction. The contention point skips fresh slots so every
+	// scheduler decision is separated by at least one instruction of
+	// progress — the termination guarantee under arbitrary policies.
+	fresh bool
+
 	// Backup integrity registers (armed only when IAU.Faults != nil).
 	crcValid      bool
 	backupCRC     uint32 // checksum of the parked backup blob
@@ -275,6 +292,36 @@ type FaultStats struct {
 	StallCycles       uint64 // total cycles those stalls cost
 }
 
+// Scheduler lets an external policy drive the IAU's task-switch decisions
+// instead of the paper's static slot-priority rule. The IAU stays the
+// mechanism owner: it still enforces boundary legality (canSwitch) for
+// whatever method the scheduler picks, so a scheduler can change *when*
+// and *how* switches happen but never make an illegal one. Any invalid
+// answer (slot out of range, method the boundary does not allow) simply
+// means "no switch here" — the IAU keeps executing the current task.
+//
+// Because every task owns its arena and every method's backup/restore
+// pair is functionally lossless, scheduler decisions can affect timing
+// only, never results; the verify fuzzer's PolicyPredictive axis proves
+// this bit-exactly against the golden interpreter.
+type Scheduler interface {
+	// PickReady chooses which ready slot to dispatch when the accelerator
+	// is free. ready is sorted ascending (static priority order); returning
+	// a slot not in ready falls back to ready[0].
+	PickReady(u *IAU, ready []int) int
+	// Contend is consulted at every instruction boundary while a task runs
+	// and other slots have runnable work. Returning preempt=false keeps the
+	// current task running; otherwise cand is the slot to switch to and
+	// method the interrupt mechanism to park the victim with. The switch
+	// only fires if the victim's next instruction is a legal boundary for
+	// that method.
+	Contend(u *IAU, running int, ready []int) (cand int, preempt bool, method Policy)
+	// TaskDone is invoked on every completion (before OnComplete) so the
+	// scheduler can refine its cost model from the request's measured
+	// cycle counters.
+	TaskDone(u *IAU, slot int, req *Request)
+}
+
 // IAU is the simulated instruction arrangement unit plus its accelerator.
 type IAU struct {
 	Cfg    accel.Config
@@ -294,6 +341,10 @@ type IAU struct {
 	// re-execution from scratch. CPU-like backups are released at resume,
 	// so that policy never salvages. Off by default (zero cost).
 	SalvageCheckpoints bool
+	// Sched, when non-nil, replaces the static slot-priority rule with an
+	// external policy for dispatch and preemption decisions (see Scheduler).
+	// Nil — the default — preserves the paper's static behavior exactly.
+	Sched Scheduler
 	// WatchdogCycles bounds the cycles any single instruction may take.
 	// When an instruction exceeds it (an injected hang, or a genuinely
 	// runaway transfer) the IAU charges the bound, kills the slot's request,
@@ -456,12 +507,20 @@ func (u *IAU) Run(horizon uint64) error {
 			continue
 		}
 		if u.running == -1 {
-			if err := u.dispatch(best); err != nil {
+			pick := best
+			if u.Sched != nil {
+				if ready := u.readySlots(-1); len(ready) > 1 {
+					if s := u.Sched.PickReady(u, ready); slotIn(s, ready) {
+						pick = s
+					}
+				}
+			}
+			if err := u.dispatch(pick); err != nil {
 				return err
 			}
 			continue
 		}
-		if best < u.running && u.canSwitch(u.slots[u.running]) {
+		if cand, pre, method := u.contend(best); pre {
 			if u.Faults != nil && u.Faults.Hit(fault.SiteIRQLost) {
 				// The preemption IRQ was lost at this boundary: the victim
 				// runs one more instruction and the IAU retries at the next
@@ -472,7 +531,7 @@ func (u *IAU) Run(horizon uint64) error {
 				}
 				continue
 			}
-			if err := u.preempt(u.running, best); err != nil {
+			if err := u.preempt(u.running, cand, method); err != nil {
 				return err
 			}
 			continue
@@ -481,6 +540,70 @@ func (u *IAU) Run(horizon uint64) error {
 			return err
 		}
 	}
+}
+
+// readySlots returns the runnable slots (Ready or Preempted) in static
+// priority order, excluding the given slot (-1 excludes none).
+func (u *IAU) readySlots(exclude int) []int {
+	var out []int
+	for i, t := range u.slots {
+		if i == exclude {
+			continue
+		}
+		if t.state == Ready || t.state == Preempted {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func slotIn(s int, set []int) bool {
+	for _, v := range set {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// contend decides whether the running task should be preempted, by whom,
+// and with which interrupt method. With no Scheduler attached it applies
+// the paper's static rule: a strictly higher-priority slot preempts at the
+// next boundary legal under the IAU's base policy. With a Scheduler, the
+// policy proposes (victim is always the running slot, but it chooses the
+// preemptor and the method) and the IAU disposes: illegal boundaries and
+// invalid answers mean no switch.
+func (u *IAU) contend(best int) (cand int, preempt bool, method Policy) {
+	rt := u.slots[u.running]
+	if u.Sched == nil {
+		if best < u.running && u.canSwitch(rt, u.Policy) {
+			return best, true, u.Policy
+		}
+		return 0, false, PolicyNone
+	}
+	if rt.fresh {
+		// A scheduler-dispatched slot runs at least one instruction before
+		// the next decision; otherwise a pathological policy could ping-pong
+		// two slots forever without progress.
+		return 0, false, PolicyNone
+	}
+	ready := u.readySlots(u.running)
+	if len(ready) == 0 {
+		return 0, false, PolicyNone
+	}
+	c, pre, m := u.Sched.Contend(u, u.running, ready)
+	if !pre || !slotIn(c, ready) {
+		return 0, false, PolicyNone
+	}
+	switch m {
+	case PolicyVI, PolicyLayerByLayer, PolicyCPULike:
+	default:
+		return 0, false, PolicyNone
+	}
+	if !u.canSwitch(rt, m) {
+		return 0, false, PolicyNone
+	}
+	return c, true, m
 }
 
 // RunAll drives the simulation to completion of all submitted work.
@@ -497,9 +620,9 @@ func (u *IAU) RunAll() error {
 }
 
 // canSwitch reports whether the running task's next instruction is a legal
-// switch boundary under the active policy.
-func (u *IAU) canSwitch(t *task) bool {
-	switch u.Policy {
+// switch boundary under the given interrupt method.
+func (u *IAU) canSwitch(t *task, m Policy) bool {
+	switch m {
 	case PolicyCPULike:
 		return true
 	case PolicyVI:
@@ -571,6 +694,7 @@ func (u *IAU) dispatch(slot int) error {
 		return fmt.Errorf("iau: dispatch of slot %d in state %d", slot, t.state)
 	}
 	t.state = Running
+	t.fresh = true
 	u.running = slot
 	return nil
 }
@@ -608,9 +732,10 @@ func (u *IAU) restartVictim(t *task) {
 	u.Eng.Invalidate()
 }
 
-// resume pays the policy's restore cost and re-establishes on-chip state.
+// resume pays the restore cost of the method the task was parked with and
+// re-establishes on-chip state.
 func (u *IAU) resume(t *task) error {
-	switch u.Policy {
+	switch t.parked {
 	case PolicyCPULike:
 		u.Eng.Restore(t.snapshot)
 		// The snapshot's buffers go back to the engine's free list so the
@@ -661,12 +786,13 @@ func (u *IAU) resume(t *task) error {
 	return nil
 }
 
-// preempt switches from the running victim to a higher-priority slot,
-// performing the policy's backup at the already-reached boundary.
-func (u *IAU) preempt(victim, preemptor int) error {
+// preempt switches from the running victim to the chosen preemptor,
+// performing the given method's backup at the already-reached boundary.
+func (u *IAU) preempt(victim, preemptor int, method Policy) error {
 	vt := u.slots[victim]
 	rec := &Preemption{
 		Victim: victim, Preemptor: preemptor,
+		Method:        method,
 		RequestCycle:  u.slots[preemptor].readySince,
 		BoundaryCycle: u.Now,
 		VictimPC:      vt.pc,
@@ -674,7 +800,7 @@ func (u *IAU) preempt(victim, preemptor int) error {
 	if in := vt.cur.Prog.Instrs[vt.pc]; in.Op != isa.OpEnd {
 		rec.VictimLayer = vt.cur.Prog.Layers[in.Layer].Name
 	}
-	switch u.Policy {
+	switch method {
 	case PolicyCPULike:
 		vt.snapshot = u.Eng.Snapshot()
 		c := u.Cfg.XferCycles(uint32(u.Cfg.TotalBufferBytes()))
@@ -726,15 +852,17 @@ func (u *IAU) preempt(victim, preemptor int) error {
 	case PolicyLayerByLayer:
 		// No backup at a layer boundary.
 	default:
-		return fmt.Errorf("iau: policy %v cannot preempt", u.Policy)
+		return fmt.Errorf("iau: policy %v cannot preempt", method)
 	}
-	if u.SalvageCheckpoints && (u.Policy == PolicyVI || u.Policy == PolicyLayerByLayer) {
+	vt.parked = method
+	if u.SalvageCheckpoints && (method == PolicyVI || method == PolicyLayerByLayer) {
 		// Commit the boundary just reached as the slot's salvage
 		// checkpoint. The CRC registers were (re)armed pre-fault-draw, so a
 		// backup bit-flip injected after the checksum is still detected if
 		// this checkpoint is ever salvaged.
 		vt.ckptValid = true
 		vt.ckptPC = vt.pc
+		vt.ckptPolicy = method
 		vt.ckptSaveValid, vt.ckptSaveID, vt.ckptSaveBytes = vt.saveValid, vt.saveID, vt.saveBytes
 		vt.ckptCRCValid, vt.ckptCRC = vt.crcValid, vt.backupCRC
 		vt.ckptLo, vt.ckptHi = vt.bkLo, vt.bkHi
@@ -842,6 +970,46 @@ func (u *IAU) Registers(slot int) Registers {
 	return r
 }
 
+// ReadySince returns the cycle at which the slot last became runnable
+// (Ready or Preempted); zero for idle slots. Schedulers use it as the
+// waiting-time origin for token accrual.
+func (u *IAU) ReadySince(slot int) uint64 {
+	if slot < 0 || slot >= NumSlots {
+		return 0
+	}
+	return u.slots[slot].readySince
+}
+
+// SlotRequest returns the request a slot would run next: its in-flight
+// request if one exists, else the head of its queue, else nil.
+func (u *IAU) SlotRequest(slot int) *Request {
+	if slot < 0 || slot >= NumSlots {
+		return nil
+	}
+	t := u.slots[slot]
+	if t.cur != nil {
+		return t.cur
+	}
+	if len(t.queue) > 0 {
+		return t.queue[0]
+	}
+	return nil
+}
+
+// SlotPC returns the slot's stream position (the next instruction index),
+// or -1 when the slot has no in-flight request. A scheduler's remaining-
+// work estimate starts from here.
+func (u *IAU) SlotPC(slot int) int {
+	if slot < 0 || slot >= NumSlots {
+		return -1
+	}
+	t := u.slots[slot]
+	if t.cur == nil {
+		return -1
+	}
+	return t.pc
+}
+
 // SlotFree reports whether a slot has no current request, an empty queue,
 // and no submission waiting in the arrival heap (an InjectPreempted target).
 func (u *IAU) SlotFree(slot int) bool {
@@ -887,7 +1055,7 @@ func (u *IAU) StealPreempted(slot int) (*ResumeToken, error) {
 		return nil, fmt.Errorf("iau: slot %d has no preempted request to steal", slot)
 	}
 	tok := &ResumeToken{
-		Req: t.cur, Policy: u.Policy,
+		Req: t.cur, Policy: t.parked,
 		pc: t.pc, saveValid: t.saveValid, saveID: t.saveID, saveBytes: t.saveBytes,
 		snapshot: t.snapshot,
 		crcValid: t.crcValid, backupCRC: t.backupCRC,
@@ -922,7 +1090,10 @@ func (u *IAU) InjectPreempted(slot int, tok *ResumeToken) error {
 	if tok.consumed {
 		return fmt.Errorf("iau: resume token for %q already consumed (double resume would fork the request)", tok.Req.Label)
 	}
-	if tok.Policy != u.Policy {
+	if tok.Policy != u.Policy && u.Sched == nil {
+		// A Scheduler-driven IAU handles any parked method (resume follows
+		// the token's method, not the base policy); a static IAU only
+		// understands its own.
 		return fmt.Errorf("iau: token from policy %v cannot resume under %v", tok.Policy, u.Policy)
 	}
 	t := u.slots[slot]
@@ -931,6 +1102,7 @@ func (u *IAU) InjectPreempted(slot int, tok *ResumeToken) error {
 	}
 	t.cur = tok.Req
 	t.pc = tok.pc
+	t.parked = tok.Policy
 	t.saveValid = tok.saveValid
 	t.saveID = tok.saveID
 	t.saveBytes = tok.saveBytes
@@ -944,6 +1116,7 @@ func (u *IAU) InjectPreempted(slot int, tok *ResumeToken) error {
 		// a post-migration watchdog kill can still salvage the request.
 		t.ckptValid = true
 		t.ckptPC = tok.pc
+		t.ckptPolicy = tok.Policy
 		t.ckptSaveValid, t.ckptSaveID, t.ckptSaveBytes = tok.saveValid, tok.saveID, tok.saveBytes
 		t.ckptCRCValid, t.ckptCRC = tok.crcValid, tok.backupCRC
 		t.ckptLo, t.ckptHi = tok.bkLo, tok.bkHi
@@ -1008,6 +1181,7 @@ func (u *IAU) backupSpan(p *isa.Program, in isa.Instruction) (lo, hi int) {
 
 // execOne runs the next instruction of the running task.
 func (u *IAU) execOne(t *task) error {
+	t.fresh = false
 	ins := t.cur.Prog.Instrs
 	in := ins[t.pc]
 	if in.Op == isa.OpEnd {
@@ -1088,7 +1262,7 @@ func (u *IAU) watchdogKill(t *task) error {
 	var salvage *ResumeToken
 	if u.SalvageCheckpoints && t.ckptValid {
 		salvage = &ResumeToken{
-			Req: req, Policy: u.Policy,
+			Req: req, Policy: t.ckptPolicy,
 			pc: t.ckptPC, saveValid: t.ckptSaveValid, saveID: t.ckptSaveID, saveBytes: t.ckptSaveBytes,
 			crcValid: t.ckptCRCValid, backupCRC: t.ckptCRC,
 			bkLo: t.ckptLo, bkHi: t.ckptHi,
@@ -1210,6 +1384,9 @@ func (u *IAU) complete(t *task) {
 	u.Tracer.Mark(trace.KindComplete, t.slot, u.Now, u.Now-t.cur.SubmitCycle, t.cur.Label)
 	comp := Completion{Slot: t.slot, Req: t.cur}
 	u.Completions = append(u.Completions, comp)
+	if u.Sched != nil {
+		u.Sched.TaskDone(u, t.slot, t.cur)
+	}
 	t.cur = nil
 	t.saveValid = false
 	t.lastPre = nil

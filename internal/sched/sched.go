@@ -186,13 +186,35 @@ func (s *TaskStats) MaxLatency() uint64 {
 	return m
 }
 
+// SLAAttainment is the fraction of the task's finished iterations that met
+// their service-level objective: completions within the deadline over
+// completions plus shed iterations (a shed iteration is a missed SLA by
+// definition). A task that never finished anything reports 1 — there is
+// no evidence of violation, and dividing by zero would poison aggregate
+// means.
+func (s *TaskStats) SLAAttainment() float64 {
+	denom := s.Completed + s.Shed
+	if denom == 0 {
+		return 1
+	}
+	met := s.Completed - s.DeadlineMisses
+	if met < 0 {
+		met = 0
+	}
+	return float64(met) / float64(denom)
+}
+
 // Result is the outcome of one scheduling run.
 type Result struct {
 	Config  accel.Config
 	Policy  iau.Policy
 	Horizon uint64 // cycles simulated
 
-	Tasks       map[string]*TaskStats
+	Tasks map[string]*TaskStats
+	// TaskNames lists the task names in spec-submission order — the ordered
+	// companion slice to the Tasks map, so aggregate metrics never walk the
+	// map (the determinism lint forbids any map range in this package).
+	TaskNames   []string
 	Preemptions []*iau.Preemption
 	Timeline    []iau.TraceEvent // populated by WithTimeline
 	BusyCycles  uint64
@@ -250,6 +272,14 @@ type Options struct {
 	// WatchdogCycles bounds per-instruction cycles (0 with Faults set:
 	// derived automatically from the task programs via iau.WatchdogBound).
 	WatchdogCycles uint64
+	// Predictive, when non-nil, installs the PREMA-style predictive
+	// scheduler as the IAU's decision policy. run() binds each spec's
+	// program and deadline into it; the base policy argument then only
+	// selects the static-fallback interrupt method.
+	Predictive *PolicyPredictive
+	// PredictiveCold suppresses the compiler-stats estimate seeding, so
+	// the policy starts on the static fallback and trains online.
+	PredictiveCold bool
 }
 
 // Option configures one aspect of a scheduling run.
@@ -270,6 +300,17 @@ func WithFaults(inj *fault.Injector) Option { return func(o *Options) { o.Faults
 // WithWatchdog bounds the cycles any single instruction may take before the
 // IAU kills and resets the slot.
 func WithWatchdog(cycles uint64) Option { return func(o *Options) { o.WatchdogCycles = cycles } }
+
+// WithPredictive drives the run with the PREMA-style predictive scheduler
+// instead of the static slot-priority rule. Pass a fresh NewPredictive
+// (run binds the specs' programs and deadlines into it) or a pre-trained
+// one to carry estimates across runs.
+func WithPredictive(p *PolicyPredictive) Option { return func(o *Options) { o.Predictive = p } }
+
+// WithPredictiveCold starts the predictive scheduler with cold estimates
+// (no compiler-stats seeding): it behaves statically until completions
+// train it. Only meaningful together with WithPredictive.
+func WithPredictiveCold() Option { return func(o *Options) { o.PredictiveCold = true } }
 
 // Utilization is the fraction of simulated time the accelerator was busy.
 func (r *Result) Utilization() float64 {
@@ -292,6 +333,38 @@ func (r *Result) Degradation() float64 {
 // hidden-transfer cycle split.
 func (r *Result) CycleStats() (calc, xfer, hidden uint64) {
 	return r.CalcCycles, r.XferCycles, r.HiddenCycles
+}
+
+// JainFairness returns the Jain fairness index over the tasks' useful
+// accelerator cycles: (Σx)²/(n·Σx²), 1 when every task received equal
+// service, 1/n when one task got everything. Iteration follows the
+// ordered TaskNames slice so the result is deterministic.
+func (r *Result) JainFairness() float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, name := range r.TaskNames {
+		x := float64(r.Tasks[name].ExecCycles)
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// MeanSLAAttainment averages SLAAttainment over all tasks (spec order),
+// the headline number the SCHED bench gates on.
+func (r *Result) MeanSLAAttainment() float64 {
+	if len(r.TaskNames) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, name := range r.TaskNames {
+		sum += r.Tasks[name].SLAAttainment()
+	}
+	return sum / float64(len(r.TaskNames))
 }
 
 // CompletionGaps returns the cycles between consecutive completions of the
@@ -371,6 +444,7 @@ func run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Dur
 		tasks[sp.Name] = rt
 		bySlot[sp.Slot] = rt
 		res.Tasks[sp.Name] = rt.stats
+		res.TaskNames = append(res.TaskNames, sp.Name)
 		opt.Tracer.SetTaskLabel(sp.Slot, sp.Name)
 	}
 	if opt.Faults != nil && u.WatchdogCycles == 0 {
@@ -381,6 +455,16 @@ func run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Dur
 			progs = append(progs, sp.Prog)
 		}
 		u.WatchdogCycles = iau.WatchdogBound(cfg, progs...)
+	}
+	if opt.Predictive != nil {
+		if opt.Tracer != nil && opt.Predictive.tracer == nil {
+			opt.Predictive.tracer = opt.Tracer
+		}
+		for _, sp := range specs {
+			opt.Predictive.Bind(sp.Slot, sp.Prog,
+				cfg.SecondsToCycles(sp.Deadline.Seconds()), opt.PredictiveCold)
+		}
+		u.Sched = opt.Predictive
 	}
 
 	submit := func(rt *runnerTask, cycle uint64) error {

@@ -153,8 +153,17 @@ type TaskMetrics struct {
 	Readmits     uint64 `json:"readmits,omitempty"`
 	AdmitRejects uint64 `json:"admit_rejects,omitempty"`
 
+	// Predictive-scheduler activity: estimator updates and scheduling
+	// decisions attributed to the slot.
+	Estimates uint64 `json:"estimates,omitempty"`
+	Decisions uint64 `json:"decisions,omitempty"`
+
 	// Latency is the response-time distribution (submit → done, cycles).
 	Latency Histogram `json:"latency"`
+
+	// EstimateErr is the distribution of absolute remaining-cycle estimate
+	// errors observed at task completions (KindEstimate arg).
+	EstimateErr Histogram `json:"estimate_err,omitempty"`
 }
 
 // BusyCycles returns the accelerator-busy cycles the slot consumed.

@@ -104,6 +104,19 @@ const (
 	// task priority.
 	KindAdmitReject
 
+	// Predictive-scheduler kinds (sched.PolicyPredictive).
+
+	// KindEstimate marks a remaining-cycle estimator update at completion.
+	// Arg carries the absolute estimate error in cycles, which feeds the
+	// per-slot estimate-error histogram.
+	KindEstimate
+	// KindDecision marks a predictive scheduling decision that departed
+	// from (or re-derived) the static rule: a preemption fired with a
+	// chosen victim and method, or a non-static dispatch pick. Arg carries
+	// the chosen interrupt method (iau.Policy value) for preemptions and
+	// the picked slot for dispatches.
+	KindDecision
+
 	numKinds
 )
 
@@ -136,6 +149,8 @@ var kindNames = [numKinds]string{
 	KindQuarantine:   "quarantine",
 	KindReadmit:      "readmit",
 	KindAdmitReject:  "admit_reject",
+	KindEstimate:     "estimate",
+	KindDecision:     "decision",
 }
 
 func (k Kind) String() string {
@@ -349,6 +364,11 @@ func (t *Tracer) aggregate(kind Kind, slot int, cycle, dur, arg uint64) {
 		m.Readmits++
 	case KindAdmitReject:
 		m.AdmitRejects++
+	case KindEstimate:
+		m.Estimates++
+		m.EstimateErr.Observe(arg)
+	case KindDecision:
+		m.Decisions++
 	}
 }
 

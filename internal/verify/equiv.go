@@ -13,6 +13,7 @@ import (
 	"inca/internal/isa"
 	"inca/internal/model"
 	"inca/internal/quant"
+	"inca/internal/sched"
 	"inca/internal/tensor"
 	"inca/internal/trace"
 )
@@ -168,7 +169,7 @@ func RunCase(c Case) (RunStats, error) {
 	}
 
 	for _, pl := range plans {
-		n, err := runOnce(c, cfg, victim, probe, inputs, want, pl.slots, pl.cycles)
+		n, err := runOnce(c, cfg, victim, probe, inputs, want, pl.slots, pl.cycles, soloTotal)
 		stats.Runs++
 		stats.Preemptions += n
 		if err != nil {
@@ -197,9 +198,10 @@ func goldenArena(p *isa.Program, inputs []*tensor.Int8) ([]byte, error) {
 }
 
 // runOnce performs a single IAU run of the victim under one probe plan and
-// checks equivalence and invariants.
+// checks equivalence and invariants. soloTotal (the victim's uninterrupted
+// runtime) scales the predictive axis's deadline.
 func runOnce(c Case, cfg accel.Config, victim, probe *isa.Program, inputs []*tensor.Int8,
-	want []byte, slots []int, cycles []uint64) (preempts int, err error) {
+	want []byte, slots []int, cycles []uint64, soloTotal uint64) (preempts int, err error) {
 
 	arena, err := accel.NewArena(victim)
 	if err != nil {
@@ -227,6 +229,19 @@ func runOnce(c Case, cfg accel.Config, victim, probe *isa.Program, inputs []*ten
 		u.WatchdogCycles = iau.WatchdogBound(cfg, victim, probe)
 	}
 
+	// Predictive axis: hand scheduling decisions to the cost model. The IAU
+	// stays the mechanism owner (boundary legality is still enforced), so
+	// whatever victims and methods the policy picks, bytes must not change.
+	if c.Predictive {
+		pol := sched.NewPredictive(cfg)
+		pol.Bind(c.Sched.VictimSlot, victim,
+			uint64(c.DeadlineFrac()*float64(soloTotal)), c.PredCold)
+		for _, slot := range slots {
+			pol.Bind(slot, probe, 0, c.PredCold)
+		}
+		u.Sched = pol
+	}
+
 	progOn := func(slot int) *isa.Program {
 		if slot == c.Sched.VictimSlot {
 			return victim
@@ -251,7 +266,10 @@ func runOnce(c Case, cfg accel.Config, victim, probe *isa.Program, inputs []*ten
 			bad("pc out of stream [0,%d)", len(ins))
 			return
 		}
-		switch c.Policy {
+		// Legality is judged against the method this preemption actually
+		// used: under the static scheduler that is always c.Policy, under
+		// the predictive axis it is whatever the cost model chose.
+		switch pr.Method {
 		case iau.PolicyVI:
 			// Legal parks: first Vir_LOAD_D of a post-Vir_SAVE group, or the
 			// leader of a lone restore group. Mid-group Vir_LOAD_D (second

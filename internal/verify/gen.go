@@ -162,6 +162,26 @@ type Case struct {
 	// Batched victims put every interrupt point between per-element SAVEs, so
 	// adversarial schedules routinely park tasks mid-batch.
 	Batch int
+
+	// Predictive axis: the run installs sched.PolicyPredictive on the IAU, so
+	// preemption victims and interrupt methods come from the cost model
+	// instead of the static slot rule. Timing changes; bytes must not.
+	Predictive bool
+	// PredCold starts the estimator untrained (no compiler-stats seed), so
+	// early decisions exercise the static-fallback path before completions
+	// warm it up mid-run.
+	PredCold bool
+	// DeadlineCode selects the victim's relative deadline as a fraction of
+	// its uninterrupted runtime: 0 none (best-effort), 1 generous (4×),
+	// 2 tight (1.25×), 3 infeasible (0.5× — misses are guaranteed, and the
+	// deadline-driven branch of the decision table fires constantly).
+	DeadlineCode int
+}
+
+// DeadlineFrac maps the case's DeadlineCode to the victim-deadline fraction
+// of the solo runtime (0 means no deadline).
+func (c Case) DeadlineFrac() float64 {
+	return [...]float64{0, 4.0, 1.25, 0.5}[c.DeadlineCode&3]
 }
 
 // BatchN returns the case's batch size, never less than 1.
@@ -173,8 +193,12 @@ func (c Case) BatchN() int {
 }
 
 func (c Case) String() string {
-	return fmt.Sprintf("case %d:%d policy=%v cfg=%d batch=%d net[%s] sched[%s]",
-		c.Seed, c.Index, c.Policy, c.CfgIdx, c.BatchN(), c.Recipe, c.Sched)
+	pred := ""
+	if c.Predictive {
+		pred = fmt.Sprintf(" predictive(cold=%v dl=%d)", c.PredCold, c.DeadlineCode)
+	}
+	return fmt.Sprintf("case %d:%d policy=%v cfg=%d batch=%d net[%s] sched[%s]%s",
+		c.Seed, c.Index, c.Policy, c.CfgIdx, c.BatchN(), c.Recipe, c.Sched, pred)
 }
 
 // Repro returns the one-line environment repro for the case.
@@ -236,7 +260,31 @@ func NewCase(seed uint64, index int) Case {
 		c.Policy = iau.PolicyVI
 	}
 	c.Sched = randomSchedule(rng, kind)
+	// Predictive draws come LAST so every earlier field of the (seed, index)
+	// → case mapping is prefix-stable: historical repro seeds and corpus
+	// entries keep describing the same network and schedule.
+	drawPredictive(rng, &c)
 	return c
+}
+
+// drawPredictive appends the predictive-scheduler axis to a case: roughly
+// two thirds of eligible cases install the cost-model scheduler, half of
+// those cold-started, with the victim deadline drawn across none / generous
+// / tight / infeasible. The sweep kind is excluded (its probes are timed to
+// land on exact static interrupt points, which a cost-model scheduler may
+// legitimately decline) and the cluster kind runs its own dispatcher.
+// A zero-entropy draw leaves the axis off, so exhausted fuzz DNA and the
+// historical corpus map to the pre-axis cases unchanged.
+func drawPredictive(rng entropy, c *Case) {
+	if c.Sched.Kind == KindSweep || c.Sched.Kind == KindCluster {
+		return
+	}
+	if rng.Intn(3) == 0 {
+		return
+	}
+	c.Predictive = true
+	c.PredCold = rng.Intn(2) == 1
+	c.DeadlineCode = rng.Intn(4)
 }
 
 // randomRecipe draws a small network with odd shapes: non-multiple channel

@@ -34,6 +34,19 @@ func size(c Case) int {
 	if c.BatchN() > 1 {
 		s += c.BatchN() * 20
 	}
+	// The predictive axis is ordered so shrinking simplifies the repro:
+	// static (off) < predictive-cold < predictive-warm, and a live deadline
+	// costs extra — so the minimizer first tries the static scheduler, then
+	// drops the deadline, then freezes the estimator cold.
+	if c.Predictive {
+		s += 25
+		if !c.PredCold {
+			s += 5
+		}
+		if c.DeadlineCode != 0 {
+			s += 10
+		}
+	}
 	return s
 }
 
@@ -116,6 +129,32 @@ func Minimize(c Case, budget int) Case {
 		if best.Sched.Engines > 1 {
 			cand := best
 			cand.Sched.Engines--
+			if attempt(cand) {
+				improved = true
+			}
+		}
+
+		// Shrink the predictive axis: first fall all the way back to the
+		// static scheduler, then zero the deadline (disabling the
+		// deadline-driven branch), then force the estimator cold (static
+		// fallback until trained).
+		if best.Predictive {
+			cand := best
+			cand.Predictive, cand.PredCold, cand.DeadlineCode = false, false, 0
+			if attempt(cand) {
+				improved = true
+			}
+		}
+		if best.Predictive && best.DeadlineCode != 0 {
+			cand := best
+			cand.DeadlineCode = 0
+			if attempt(cand) {
+				improved = true
+			}
+		}
+		if best.Predictive && !best.PredCold {
+			cand := best
+			cand.PredCold = true
 			if attempt(cand) {
 				improved = true
 			}

@@ -57,6 +57,7 @@ func TestEquivalence(t *testing.T) {
 	}
 
 	cases, preempts, runs := 0, 0, 0
+	predictive, predCold, predInfeasible := 0, 0, 0
 	kindsSeen := map[string]int{}
 	policiesSeen := map[iau.Policy]int{}
 	for index := 0; cases < wantCases; index++ {
@@ -76,6 +77,15 @@ func TestEquivalence(t *testing.T) {
 		preempts += stats.Preemptions
 		kindsSeen[c.Sched.Kind]++
 		policiesSeen[c.Policy]++
+		if c.Predictive {
+			predictive++
+			if c.PredCold {
+				predCold++
+			}
+			if c.DeadlineCode == 3 {
+				predInfeasible++
+			}
+		}
 	}
 	for _, k := range Kinds() {
 		if kindsSeen[k] == 0 {
@@ -90,8 +100,20 @@ func TestEquivalence(t *testing.T) {
 	if preempts == 0 {
 		t.Error("no preemptions across the whole sweep — schedules never interfered")
 	}
-	t.Logf("%d cases (%d IAU runs, %d preemptions): %v kinds, %v policies",
-		cases, runs, preempts, kindsSeen, policiesSeen)
+	// The predictive axis must genuinely run, including its hard corners:
+	// cold estimators (static fallback until trained mid-run) and
+	// infeasible deadlines (the deadline branch fires on every decision).
+	if predictive == 0 {
+		t.Error("no case ran under PolicyPredictive")
+	}
+	if predCold == 0 {
+		t.Error("no predictive case started with a cold estimator")
+	}
+	if predInfeasible == 0 {
+		t.Error("no predictive case carried an infeasible deadline")
+	}
+	t.Logf("%d cases (%d IAU runs, %d preemptions, %d predictive [%d cold, %d infeasible]): %v kinds, %v policies",
+		cases, runs, preempts, predictive, predCold, predInfeasible, kindsSeen, policiesSeen)
 }
 
 // TestGenerationDeterminism: the case stream is a pure function of
