@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test bench bench-gate bench-baseline sched-gate race refconv vet lint lint-report chaos chaos-cluster fuzz-smoke cover trace
+.PHONY: tier1 build test bench bench-gate bench-baseline sched-gate vi-gate race refconv vet lint lint-report chaos chaos-cluster fuzz-smoke cover trace
 
 # tier1 is the gate every change must keep green.
 tier1: build vet lint test race fuzz-smoke cover trace bench-gate chaos-cluster
@@ -22,22 +22,30 @@ bench:
 # baseline, failing on a >10% drop. INCA_BENCH_GATE=off skips the gate,
 # INCA_BENCH_GATE_TOL=<pct> widens the tolerance on noisy boxes.
 bench-gate:
-	$(GO) run ./cmd/inca-bench -gate BENCH_datapath.json
-	$(GO) run ./cmd/inca-bench -cluster-gate BENCH_cluster.json
-	$(GO) run ./cmd/inca-bench -sched-gate BENCH_sched.json
+	$(GO) run ./cmd/inca-bench -suite=datapath -gate BENCH_datapath.json
+	$(GO) run ./cmd/inca-bench -suite=cluster -gate BENCH_cluster.json
+	$(GO) run ./cmd/inca-bench -suite=sched -gate BENCH_sched.json
+	$(GO) run ./cmd/inca-bench -suite=vi -gate BENCH_vi.json
 
 # Scheduling-policy gate alone: predictive vs static-priority vs
 # rate-monotonic on the DSLAM task set, including the predictive-SLA >=
 # static-SLA invariant.
 sched-gate:
-	$(GO) run ./cmd/inca-bench -sched-gate BENCH_sched.json
+	$(GO) run ./cmd/inca-bench -suite=sched -gate BENCH_sched.json
+
+# Interrupt-point placement gate alone: VIEvery vs VIBudget footprint on the
+# DSLAM model set, with every measured preemption response checked against
+# the compiler-proven bound.
+vi-gate:
+	$(GO) run ./cmd/inca-bench -suite=vi -gate BENCH_vi.json
 
 # Refresh the checked-in baselines (run after intentional perf, cycle-model,
 # or scheduler changes, and commit the result).
 bench-baseline:
-	$(GO) run ./cmd/inca-bench -datapath BENCH_datapath.json
-	$(GO) run ./cmd/inca-bench -cluster BENCH_cluster.json
-	$(GO) run ./cmd/inca-bench -sched BENCH_sched.json
+	$(GO) run ./cmd/inca-bench -suite=datapath -snapshot BENCH_datapath.json
+	$(GO) run ./cmd/inca-bench -suite=cluster -snapshot BENCH_cluster.json
+	$(GO) run ./cmd/inca-bench -suite=sched -snapshot BENCH_sched.json
+	$(GO) run ./cmd/inca-bench -suite=vi -snapshot BENCH_vi.json
 
 # Race-detector pass: the accel differential tests plus bounded slices of
 # the sched, slam, and trace suites (-run filters keep tier1 time sane; the

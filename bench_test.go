@@ -169,7 +169,7 @@ func BenchmarkCompileResNet101(b *testing.B) {
 	}
 	cfg := accel.Big()
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := compiler.Compile(q, opt); err != nil {
@@ -191,7 +191,7 @@ func BenchmarkTimingSimulation(b *testing.B) {
 		b.Fatal(err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	p, err := compiler.Compile(q, opt)
 	if err != nil {
 		b.Fatal(err)
@@ -217,7 +217,7 @@ func BenchmarkFunctionalInference(b *testing.B) {
 		b.Fatal(err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	opt.EmitWeights = true
 	p, err := compiler.Compile(q, opt)
 	if err != nil {
@@ -276,7 +276,7 @@ func BenchmarkPreemptionRoundTrip(b *testing.B) {
 		b.Fatal(err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	victim, err := compiler.Compile(q, opt)
 	if err != nil {
 		b.Fatal(err)
@@ -322,7 +322,7 @@ func BenchmarkScheduler(b *testing.B) {
 		b.Fatal(err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	pr, err := compiler.Compile(qg, opt)
 	if err != nil {
 		b.Fatal(err)

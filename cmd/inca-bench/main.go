@@ -6,8 +6,13 @@
 //	inca-bench -e all -scale full
 //	inca-bench -e E1,E3 -scale quick
 //	inca-bench -e E2 -cpuprofile cpu.pprof -benchjson results.json
-//	inca-bench -datapath BENCH_datapath.json   (refresh the serving baseline)
-//	inca-bench -gate BENCH_datapath.json       (fail on modeled MACs/s regression)
+//	inca-bench -suite=datapath -snapshot BENCH_datapath.json  (refresh a baseline)
+//	inca-bench -suite=datapath -gate BENCH_datapath.json      (fail on regression)
+//	inca-bench -suite=cluster|sched|vi -gate BENCH_<suite>.json
+//
+// A bare -gate PATH without -suite keeps its historical meaning: the
+// datapath suite. The pre-suite spellings (-datapath, -cluster,
+// -cluster-gate, -sched, -sched-gate) remain as deprecated aliases.
 package main
 
 import (
@@ -35,27 +40,64 @@ func main() {
 		benchJSON  = flag.String("benchjson", "", "write all result tables as a JSON array to this file")
 		traceOut   = flag.String("trace", "", "run the two-task preemption workload with tracing and write Perfetto JSON here (metrics beside it)")
 		traceCap   = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default)")
-		datapath   = flag.String("datapath", "", "measure the batched serving datapath and write the schema-versioned snapshot here (e.g. BENCH_datapath.json)")
-		gate       = flag.String("gate", "", "measure the datapath and fail if modeled MACs/s regressed vs this baseline snapshot")
-		reps       = flag.Int("reps", 3, "wall-clock best-of repetitions for -datapath/-gate")
-		clusterOut = flag.String("cluster", "", "run the fault-tolerant serving sweep and write the snapshot here (e.g. BENCH_cluster.json)")
-		clusterGt  = flag.String("cluster-gate", "", "run the serving sweep and fail if goodput/p99/SLA regressed vs this baseline snapshot")
-		schedOut   = flag.String("sched", "", "run the scheduling-policy sweep and write the snapshot here (e.g. BENCH_sched.json)")
-		schedGt    = flag.String("sched-gate", "", "run the scheduling sweep and fail if SLA/fairness regressed vs this baseline snapshot")
+		suite      = flag.String("suite", "", "benchmark suite: datapath, cluster, sched, or vi (use with -snapshot and/or -gate)")
+		snapshot   = flag.String("snapshot", "", "run the selected -suite and write its schema-versioned snapshot here (e.g. BENCH_datapath.json)")
+		gate       = flag.String("gate", "", "run the selected -suite (datapath when -suite is absent) and fail on regression vs this baseline snapshot")
+		reps       = flag.Int("reps", 3, "wall-clock best-of repetitions for the datapath suite")
+		datapath   = flag.String("datapath", "", "deprecated alias for -suite=datapath -snapshot PATH")
+		clusterOut = flag.String("cluster", "", "deprecated alias for -suite=cluster -snapshot PATH")
+		clusterGt  = flag.String("cluster-gate", "", "deprecated alias for -suite=cluster -gate PATH")
+		schedOut   = flag.String("sched", "", "deprecated alias for -suite=sched -snapshot PATH")
+		schedGt    = flag.String("sched-gate", "", "deprecated alias for -suite=sched -gate PATH")
 	)
 	flag.Parse()
 
-	if *datapath != "" || *gate != "" {
-		runDatapath(*datapath, *gate, *reps, *formatMD)
+	// Fold the pre-suite flag pairs into the (suite, snapshot, gate) triple.
+	suiteName, snapPath, gatePath := *suite, *snapshot, *gate
+	for _, alias := range []struct {
+		val, suite string
+		gate       bool
+	}{
+		{*datapath, "datapath", false},
+		{*clusterOut, "cluster", false},
+		{*clusterGt, "cluster", true},
+		{*schedOut, "sched", false},
+		{*schedGt, "sched", true},
+	} {
+		if alias.val == "" {
+			continue
+		}
+		if suiteName != "" && suiteName != alias.suite {
+			fatalf("conflicting suites: -suite=%s vs a -%s-style flag", suiteName, alias.suite)
+		}
+		suiteName = alias.suite
+		if alias.gate {
+			gatePath = alias.val
+		} else {
+			snapPath = alias.val
+		}
+	}
+	if suiteName == "" && gatePath != "" {
+		// Historical spelling: a bare -gate PATH means the datapath suite.
+		suiteName = "datapath"
+	}
+	if suiteName != "" {
+		switch suiteName {
+		case "datapath":
+			runDatapath(snapPath, gatePath, *reps, *formatMD)
+		case "cluster":
+			runClusterBench(snapPath, gatePath, *formatMD)
+		case "sched":
+			runSchedBench(snapPath, gatePath, *formatMD)
+		case "vi":
+			runVIBench(snapPath, gatePath, *formatMD)
+		default:
+			fatalf("unknown -suite %q (datapath|cluster|sched|vi)", suiteName)
+		}
 		return
 	}
-	if *clusterOut != "" || *clusterGt != "" {
-		runClusterBench(*clusterOut, *clusterGt, *formatMD)
-		return
-	}
-	if *schedOut != "" || *schedGt != "" {
-		runSchedBench(*schedOut, *schedGt, *formatMD)
-		return
+	if snapPath != "" {
+		fatalf("-snapshot needs -suite (datapath|cluster|sched|vi)")
 	}
 
 	scale := bench.Quick
@@ -351,6 +393,55 @@ func runSchedBench(outPath, gatePath string, md bool) {
 				gatePath, baseline.GitRev, tol)
 		}
 		fmt.Printf("sched-gate: ok vs %s (baseline rev %s, tolerance %.1f%%)\n",
+			gatePath, baseline.GitRev, tol)
+	}
+}
+
+// runVIBench handles -suite=vi: snapshot (and/or gate) the interrupt-point
+// placement sweep — footprint and proven-vs-measured response of the VIEvery
+// and VIBudget streams on the DSLAM model set. On top of the regression
+// checks the gate enforces, baseline-free, that no measured response exceeds
+// its proven bound and that the optimizer genuinely pruned.
+func runVIBench(outPath, gatePath string, md bool) {
+	if gatePath != "" && os.Getenv("INCA_BENCH_GATE") == "off" {
+		fmt.Println("vi-gate: skipped (INCA_BENCH_GATE=off)")
+		return
+	}
+	snap, t, err := bench.VIBench()
+	if err != nil {
+		fatalf("vi: %v", err)
+	}
+	snap.GitRev = gitRev()
+	printTable(os.Stdout, t, md)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatalf("create %s: %v", outPath, err)
+		}
+		if err := bench.WriteVI(f, snap); err != nil {
+			fatalf("write %s: %v", outPath, err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (schema v%d, rev %s)\n", outPath, snap.Schema, snap.GitRev)
+	}
+	if gatePath != "" {
+		baseline, err := bench.ReadVI(gatePath)
+		if err != nil {
+			fatalf("vi-gate baseline: %v", err)
+		}
+		tol := bench.GateTolerancePct()
+		fails, notes := bench.GateVI(baseline, snap, tol)
+		for _, n := range notes {
+			fmt.Printf("vi-gate: note: %s\n", n)
+		}
+		if len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "vi-gate: %s\n", f)
+			}
+			fatalf("interrupt-point placement regressed vs %s (baseline rev %s, tolerance %.1f%%)",
+				gatePath, baseline.GitRev, tol)
+		}
+		fmt.Printf("vi-gate: ok vs %s (baseline rev %s, tolerance %.1f%%)\n",
 			gatePath, baseline.GitRev, tol)
 	}
 }

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	inca-compile -net resnet101 -c 3 -h 480 -w 640 -accel big -vi -o instruction.bin
+//	inca-compile -net superpoint -vi-budget 60000 -o instruction.bin
+//
+// -vi inserts a backup group at every legal site (the paper's rule);
+// -vi-budget N instead keeps the minimal site set whose proven worst-case
+// preemption response stays under N cycles. Either way the proven bound is
+// embedded in the stream image and printed in the summary.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 		inW      = flag.Int("w", 160, "input width")
 		accelStr = flag.String("accel", "big", "accelerator config: big (16,16,8) or small (8,8,4)")
 		vi       = flag.Bool("vi", true, "run the virtual-instruction pass (interruptible stream)")
+		viBudget = flag.Uint64("vi-budget", 0, "worst-case preemption-response budget in cycles: keep only the minimal Vir_SAVE site set proving it (0 = a group at every site; overrides -vi)")
 		bps      = flag.Int("blobs-per-save", 2, "CalcBlobs per SAVE window (0 = one SAVE per tile)")
 		weights  = flag.Bool("weights", false, "embed the synthetic weight image (functional execution)")
 		seed     = flag.Uint64("seed", 1, "synthetic parameter seed")
@@ -65,7 +72,10 @@ func main() {
 		fatalf("quantize: %v", err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = *vi
+	opt.VI = compiler.VIIf(*vi)
+	if *viBudget > 0 {
+		opt.VI = compiler.VIBudget{MaxResponseCycles: *viBudget}
+	}
 	opt.BlobsPerSave = *bps
 	opt.EmitWeights = *weights
 	p, err := compiler.Compile(q, opt)
@@ -97,6 +107,10 @@ func main() {
 		}
 		fmt.Printf("  fault tolerance: %d snapshot (Vir_SAVE) sites, watchdog bound %d cycles (%.1f us/instr)\n",
 			backups, iau.WatchdogBound(cfg, p), cfg.CyclesToMicros(iau.WatchdogBound(cfg, p)))
+		if p.ResponseBound > 0 {
+			fmt.Printf("  preemption: proven worst-case response %d cycles (%.1f us) under %s placement\n",
+				p.ResponseBound, cfg.CyclesToMicros(p.ResponseBound), opt.VI)
+		}
 	}
 	if *profile {
 		prof, err := g.Profile()

@@ -23,6 +23,7 @@ import (
 
 	"inca/internal/accel"
 	"inca/internal/cluster"
+	"inca/internal/compiler"
 	"inca/internal/iau"
 	"inca/internal/trace"
 )
@@ -41,6 +42,8 @@ func main() {
 		maxMig     = flag.Int("max-migrations", cluster.DefaultMaxMigrations, "placements per task before it is shed")
 		maxQueue   = flag.Int("max-queue", cluster.DefaultMaxQueue, "dispatch backlog bound (admission control)")
 		functional = flag.Bool("functional", false, "run with real arenas and verify completions against the golden interpreter")
+		viBudgetUs = flag.Float64("vi-budget-us", 0, "compile served models with the minimal interrupt-point set proving this worst-case preemption response in microseconds (0 = a backup group at every site)")
+		dlCheck    = flag.Bool("deadline-check", false, "reject tasks at admission whose deadline cannot survive solo runtime plus the worst proven response bound in the mix")
 		jsonOut    = flag.String("json", "", "write the deterministic stats report to this file")
 		traceOut   = flag.String("trace", "", "write the cluster-level Perfetto trace (migrate/quarantine/readmit marks) here")
 		outcomes   = flag.Bool("outcomes", false, "print one line per task outcome")
@@ -50,9 +53,13 @@ func main() {
 	cfg := accel.Big()
 	cfg.ParaIn, cfg.ParaOut, cfg.ParaHeight = 8, 8, 4
 
+	var vi compiler.VIPolicy
+	if *viBudgetUs > 0 {
+		vi = compiler.VIBudget{MaxResponseCycles: cfg.SecondsToCycles(*viBudgetUs * 1e-6)}
+	}
 	w, err := cluster.NewWorkload(cfg, cluster.WorkloadConfig{
 		Tasks: *tasks, Seed: *seed, MeanGapCycles: *meanGap,
-		Functional: *functional, DeadlineFactor: *dlFactor,
+		Functional: *functional, DeadlineFactor: *dlFactor, VI: vi,
 	})
 	if err != nil {
 		fatalf("workload: %v", err)
@@ -71,6 +78,7 @@ func main() {
 		QuarantineAfter: *quarantine,
 		MaxMigrations:   *maxMig,
 		MaxQueue:        *maxQueue,
+		DeadlineCheck:   *dlCheck,
 		Tracer:          tr,
 	}, w.Tasks)
 	if err != nil {

@@ -10,6 +10,13 @@
 // A compiled instruction.bin can be supplied instead of a network:
 //
 //	-task name=PR,slot=1,prog=pr.bin,continuous=true
+//
+// Two keys expose the compiler's interrupt-point placement optimizer:
+// vibudget=<duration> compiles the task's own stream with the minimal
+// Vir_SAVE site set proving that worst-case preemption response (instead of
+// a group at every site), and maxresponse=<duration> declares how long this
+// task tolerates waiting on lower-priority work — sched.Run rejects the set
+// up front if any co-scheduled program's proven bound exceeds it.
 package main
 
 import (
@@ -217,6 +224,7 @@ func parsePolicy(s string) (iau.Policy, error) {
 func parseTask(s string, cfg accel.Config, pol iau.Policy, predictive bool) (sched.TaskSpec, error) {
 	spec := sched.TaskSpec{}
 	netName, progPath := "", ""
+	var viBudget time.Duration
 	c, h, w := 3, 120, 160
 	for _, kv := range strings.Split(s, ",") {
 		parts := strings.SplitN(kv, "=", 2)
@@ -256,6 +264,10 @@ func parseTask(s string, cfg accel.Config, pol iau.Policy, predictive bool) (sch
 			spec.MaxRetries, err = strconv.Atoi(v)
 		case "backoff":
 			spec.RetryBackoff, err = time.ParseDuration(v)
+		case "maxresponse":
+			spec.MaxResponse, err = time.ParseDuration(v)
+		case "vibudget":
+			viBudget, err = time.ParseDuration(v)
 		default:
 			return spec, fmt.Errorf("unknown key %q", k)
 		}
@@ -268,6 +280,9 @@ func parseTask(s string, cfg accel.Config, pol iau.Policy, predictive bool) (sch
 	}
 	switch {
 	case progPath != "":
+		if viBudget > 0 {
+			return spec, fmt.Errorf("vibudget= needs net= (a pre-compiled prog= already fixed its placement)")
+		}
 		f, err := os.Open(progPath)
 		if err != nil {
 			return spec, err
@@ -294,8 +309,15 @@ func parseTask(s string, cfg accel.Config, pol iau.Policy, predictive bool) (sch
 		opt := cfg.CompilerOptions()
 		// Under the static rule only lower-priority slots are ever
 		// preempted; the predictive scheduler can pick any victim, so
-		// every task gets virtual interrupt points.
-		opt.InsertVirtual = pol == iau.PolicyVI && (spec.Slot > 0 || predictive)
+		// every task gets virtual interrupt points. A vibudget= key hands
+		// placement to the optimizer instead of the every-site rule.
+		opt.VI = compiler.VIIf(pol == iau.PolicyVI && (spec.Slot > 0 || predictive))
+		if viBudget > 0 {
+			if pol != iau.PolicyVI {
+				return spec, fmt.Errorf("vibudget= needs -policy vi")
+			}
+			opt.VI = compiler.VIBudget{MaxResponseCycles: cfg.SecondsToCycles(viBudget.Seconds())}
+		}
 		spec.Prog, err = compiler.Compile(q, opt)
 		if err != nil {
 			return spec, err

@@ -72,7 +72,7 @@ func main() {
 	cfg := accel.Big()
 	cfg.ParaIn, cfg.ParaOut, cfg.ParaHeight = 8, 8, 4
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	opt.EmitWeights = true
 	prog, err := compiler.Compile(q, opt)
 	check(err)

@@ -49,7 +49,7 @@ func main() {
 	q, err := quant.Synthesize(resnet, 1)
 	check(err)
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	victim, err := compiler.Compile(q, opt)
 	check(err)
 	probe, err := interrupt.TinyPreemptor(cfg)

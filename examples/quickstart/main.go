@@ -33,7 +33,7 @@ func main() {
 	bgQ, err := quant.Synthesize(background, 1)
 	check(err)
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	opt.EmitWeights = true
 	bgProg, err := compiler.Compile(bgQ, opt)
 	check(err)
@@ -41,7 +41,7 @@ func main() {
 
 	urgQ, err := quant.Synthesize(urgent, 2)
 	check(err)
-	opt.InsertVirtual = false // slot 0 is never preempted
+	opt.VI = compiler.VINone{} // slot 0 is never preempted
 	urgProg, err := compiler.Compile(urgQ, opt)
 	check(err)
 

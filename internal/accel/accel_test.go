@@ -19,7 +19,7 @@ func buildProgram(t *testing.T, g *model.Network, cfg accel.Config) *isa.Program
 		t.Fatal(err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	opt.EmitWeights = true
 	p, err := compiler.Compile(q, opt)
 	if err != nil {

@@ -74,7 +74,7 @@ func benchSetup(b *testing.B, g *model.Network, cfg accel.Config) (*isa.Program,
 		b.Fatal(err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	opt.EmitWeights = true
 	p, err := compiler.Compile(q, opt)
 	if err != nil {

@@ -124,7 +124,9 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// CompilerOptions returns compilation options matching this accelerator.
+// CompilerOptions returns compilation options matching this accelerator,
+// with the config itself as the placement cost model so compiled programs
+// carry a ResponseBound.
 func (c Config) CompilerOptions() compiler.Options {
 	return compiler.Options{
 		ParaIn: c.ParaIn, ParaOut: c.ParaOut, ParaHeight: c.ParaHeight,
@@ -132,8 +134,13 @@ func (c Config) CompilerOptions() compiler.Options {
 		InputBufBytes:  c.InputBufBytes,
 		OutputBufBytes: c.OutputBufBytes,
 		WeightBufBytes: c.WeightBufBytes,
+		Cost:           c,
 	}
 }
+
+// VirtualFetchCycles is the IAU overhead of skipping one virtual instruction
+// on the uninterrupted path (compiler.CostModel).
+func (c Config) VirtualFetchCycles() uint64 { return uint64(c.FetchCycles) }
 
 // BytesPerCycle is the DDR transfer rate in bytes per accelerator cycle.
 func (c Config) BytesPerCycle() float64 {

@@ -32,7 +32,7 @@ func diffCompile(g *model.Network, cfg accel.Config, seed uint64) *isa.Program {
 		return nil
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	opt.EmitWeights = true
 	p, err := compiler.Compile(q, opt)
 	if err != nil {

@@ -34,7 +34,7 @@ func TestEmptyWindowTileSurvivesRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	opt.EmitWeights = true
 	p, err := compiler.Compile(q, opt)
 	if err != nil {

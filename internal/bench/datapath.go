@@ -128,7 +128,7 @@ func compileDatapath(g *model.Network, cfg accel.Config, batch int) (*isa.Progra
 		return nil, err
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	opt.EmitWeights = true
 	opt.Batch = batch
 	return compiler.Compile(q, opt)

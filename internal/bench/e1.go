@@ -25,7 +25,7 @@ func compileVictim(cfg accel.Config, scale Scale) (*isa.Program, error) {
 		return nil, err
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	return compiler.Compile(q, opt)
 }
 

@@ -39,7 +39,7 @@ func E10Sensitivity(scale Scale) (*Table, error) {
 			cfg.DDRBandwidthGBps = bw
 			cfg.PrefetchBytes = pf
 			opt := cfg.CompilerOptions()
-			opt.InsertVirtual = true
+			opt.VI = compiler.VIEvery{}
 			p, err := compiler.Compile(q, opt)
 			if err != nil {
 				return nil, err

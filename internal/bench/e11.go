@@ -32,7 +32,7 @@ func E11Schedulability(scale Scale) (*Table, error) {
 			return nil, err
 		}
 		opt := cfg.CompilerOptions()
-		opt.InsertVirtual = vi
+		opt.VI = compiler.VIIf(vi)
 		p, err := compiler.Compile(q, opt)
 		if err != nil {
 			return nil, err

@@ -29,7 +29,7 @@ func E14FaultRecovery(scale Scale) (*Table, error) {
 			return nil, err
 		}
 		opt := cfg.CompilerOptions()
-		opt.InsertVirtual = vi
+		opt.VI = compiler.VIIf(vi)
 		return compiler.Compile(q, opt)
 	}
 	fe, err := mk(model.NewSuperPoint(h*3/4, w*3/4), false, 1)

@@ -80,7 +80,7 @@ func e2Measure(cfg accel.Config, g *model.Network) (layerUs, viUs float64, err e
 		return 0, 0, err
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	p, err := compiler.Compile(q, opt)
 	if err != nil {
 		return 0, 0, err

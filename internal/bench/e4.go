@@ -42,7 +42,7 @@ func E4TheoryCheck(scale Scale) (*Table, error) {
 		return nil, err
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	victim, err := compiler.Compile(q, opt)
 	if err != nil {
 		return nil, err

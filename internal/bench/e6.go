@@ -41,7 +41,7 @@ func E6DSLAMScheduling(scale Scale) (*E6Result, error) {
 			return nil, err
 		}
 		opt := cfg.CompilerOptions()
-		opt.InsertVirtual = vi
+		opt.VI = compiler.VIIf(vi)
 		return compiler.Compile(q, opt)
 	}
 	gem, err := model.NewGeM(3, h, w)

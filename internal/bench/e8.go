@@ -40,7 +40,7 @@ func E8SaveGranularity(scale Scale) (*Table, error) {
 	}
 	for _, bps := range []int{1, 2, 4, 0} {
 		opt := cfg.CompilerOptions()
-		opt.InsertVirtual = true
+		opt.VI = compiler.VIEvery{}
 		opt.BlobsPerSave = bps
 		p, err := compiler.Compile(q, opt)
 		if err != nil {

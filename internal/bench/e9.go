@@ -31,7 +31,7 @@ func E9MultiCore(scale Scale) (*Table, error) {
 			return nil, err
 		}
 		opt := cfg.CompilerOptions()
-		opt.InsertVirtual = vi
+		opt.VI = compiler.VIIf(vi)
 		return compiler.Compile(q, opt)
 	}
 	fe, err := mk(model.NewSuperPoint(h*3/4, w*3/4), false, 1)

@@ -120,7 +120,7 @@ func SchedBench() (*SchedSnapshot, *Table, error) {
 			return nil, nil, fmt.Errorf("sched bench %s: %v", tk.name, err)
 		}
 		opt := cfg.CompilerOptions()
-		opt.InsertVirtual = true
+		opt.VI = compiler.VIEvery{}
 		p, err := compiler.Compile(q, opt)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sched bench %s: %v", tk.name, err)

@@ -35,7 +35,7 @@ func TraceRun(scale Scale, capacity int) (*trace.Tracer, *Table, error) {
 			return nil, err
 		}
 		opt := cfg.CompilerOptions()
-		opt.InsertVirtual = vi
+		opt.VI = compiler.VIIf(vi)
 		return compiler.Compile(q, opt)
 	}
 	fe, err := compileFor(model.NewSuperPoint(h*3/4, w*3/4), false)

@@ -1,0 +1,352 @@
+package bench
+
+// The interrupt-point-placement benchmark behind `inca-bench -suite=vi` and
+// the vi quarter of `make bench-gate`: it compiles the DSLAM model set under
+// both placement policies — VIEvery (a backup group at every legal site, the
+// paper's rule) and VIBudget (the cost-model optimizer keeping the minimal
+// site set that still proves a response bound) — and snapshots interrupt-point
+// counts, stream and Vir_SAVE bytes, the modeled worst-case response, and the
+// worst response actually measured under an adversarial preemption sweep.
+// Everything comes from the deterministic cycle model, so the gate compares
+// exactly; independent of any baseline it enforces the optimizer's contract:
+// the budget stream carries fewer sites and fewer bytes than the every-site
+// stream, and no measured response ever exceeds the proven bound.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/iau"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+)
+
+// VISchema is the snapshot format version. Bump it whenever the JSON layout,
+// the model set, or the budget scale changes; the gate then compares only
+// metrics present in both snapshots until the baseline is regenerated.
+const VISchema = 1
+
+// viBudgetScale is the VIBudget given to the optimizer, as a multiple of the
+// stream's minimal achievable (VIEvery) bound: loose enough that every DSLAM
+// model is feasible, tight enough that the optimizer genuinely prunes.
+const viBudgetScale = 4
+
+// VIPlacement is one placement policy's footprint and response behaviour on
+// one model.
+type VIPlacement struct {
+	Policy string `json:"policy"` // "every" or "budget"
+
+	// Stream footprint.
+	Points       int    `json:"interrupt_points"`
+	StreamBytes  uint64 `json:"stream_bytes"`  // encoded .icb size
+	VirSaveBytes uint64 `json:"virsave_bytes"` // worst-case backup traffic
+	Instrs       int    `json:"instrs"`
+
+	// Bound is the compiler-proven worst-case preemption response;
+	// MeasuredWorst is the worst response the adversarial sweep actually
+	// observed. The gate enforces MeasuredWorst <= Bound.
+	Bound         uint64 `json:"bound_cycles"`
+	MeasuredWorst uint64 `json:"measured_worst_cycles"`
+	Preemptions   int    `json:"preemptions"` // sweep preemptions measured
+}
+
+// VIModel is one DSLAM model's before/after pair.
+type VIModel struct {
+	Name     string      `json:"name"`
+	Budget   uint64      `json:"budget_cycles"` // VIBudget handed to the optimizer
+	Every    VIPlacement `json:"every"`
+	Budgeted VIPlacement `json:"budgeted"`
+}
+
+// VISnapshot is the checked-in placement baseline.
+type VISnapshot struct {
+	Schema      int       `json:"schema"`
+	GitRev      string    `json:"git_rev"`
+	Config      string    `json:"config"`
+	BudgetScale float64   `json:"budget_scale"`
+	Models      []VIModel `json:"models"`
+}
+
+// VIBench compiles the DSLAM set under both placement policies, measures the
+// adversarial worst response of each stream, and returns the snapshot plus a
+// rendered table.
+func VIBench() (*VISnapshot, *Table, error) {
+	cfg := accel.Small()
+	tasks := schedBenchTasks()
+
+	// The interferer: a stream just long enough to force a park-and-resume.
+	probe, err := viCompile(cfg, "probe", tasks[0].net, compiler.VIEvery{})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	snap := &VISnapshot{Schema: VISchema, Config: cfg.Name, BudgetScale: viBudgetScale}
+	t := &Table{
+		ID: "VI",
+		Title: fmt.Sprintf("interrupt-point placement on the DSLAM model set (%s, budget %dx the minimal bound)",
+			cfg.Name, viBudgetScale),
+		Columns: []string{"model", "policy", "points", "stream B", "Vir_SAVE B",
+			"bound cyc", "measured cyc"},
+	}
+
+	for _, tk := range tasks {
+		every, err := viCompile(cfg, tk.name, tk.net, compiler.VIEvery{})
+		if err != nil {
+			return nil, nil, err
+		}
+		budget := viBudgetScale * every.ResponseBound
+		budgeted, err := viCompile(cfg, tk.name, tk.net, compiler.VIBudget{MaxResponseCycles: budget})
+		if err != nil {
+			return nil, nil, err
+		}
+
+		row := VIModel{Name: tk.name, Budget: budget}
+		if row.Every, err = viMeasure(cfg, every, probe, "every"); err != nil {
+			return nil, nil, fmt.Errorf("vi bench %s/every: %v", tk.name, err)
+		}
+		if row.Budgeted, err = viMeasure(cfg, budgeted, probe, "budget"); err != nil {
+			return nil, nil, fmt.Errorf("vi bench %s/budget: %v", tk.name, err)
+		}
+		snap.Models = append(snap.Models, row)
+		for _, pl := range []VIPlacement{row.Every, row.Budgeted} {
+			t.AddRow(tk.name, pl.Policy,
+				fmt.Sprintf("%d", pl.Points),
+				fmt.Sprintf("%d", pl.StreamBytes),
+				fmt.Sprintf("%d", pl.VirSaveBytes),
+				fmt.Sprintf("%d", pl.Bound),
+				fmt.Sprintf("%d", pl.MeasuredWorst))
+		}
+	}
+
+	t.AddNote("measured = worst preemption response over a sweep probing just past every (strided) interrupt point")
+	t.AddNote("the gate enforces measured <= bound and budget points/bytes < every points/bytes, independent of the baseline")
+	return snap, t, nil
+}
+
+// viCompile lowers one DSLAM net under the given placement policy.
+func viCompile(cfg accel.Config, name string, net *model.Network, vi compiler.VIPolicy) (*isa.Program, error) {
+	q, err := quant.Synthesize(net, 21)
+	if err != nil {
+		return nil, fmt.Errorf("vi bench %s: %v", name, err)
+	}
+	opt := cfg.CompilerOptions()
+	opt.VI = vi
+	p, err := compiler.Compile(q, opt)
+	if err != nil {
+		return nil, fmt.Errorf("vi bench %s (%s): %v", name, vi, err)
+	}
+	return p, nil
+}
+
+// viMeasure fills one placement row: static stream metrics plus the measured
+// adversarial worst response.
+func viMeasure(cfg accel.Config, p, probe *isa.Program, policy string) (VIPlacement, error) {
+	pl := VIPlacement{
+		Policy:       policy,
+		Points:       len(p.InterruptPoints()),
+		VirSaveBytes: compiler.Analyze(p).VirSaveBytes,
+		Bound:        p.ResponseBound,
+		Instrs:       len(p.Instrs),
+	}
+	var buf bytes.Buffer
+	if err := isa.Encode(&buf, p); err != nil {
+		return pl, err
+	}
+	pl.StreamBytes = uint64(buf.Len())
+	worst, n, err := viWorstResponse(cfg, p, probe)
+	if err != nil {
+		return pl, err
+	}
+	pl.MeasuredWorst, pl.Preemptions = worst, n
+	return pl, nil
+}
+
+// viSoloStarts replays the stream's uninterrupted IAU timing and returns each
+// instruction's start cycle plus the completion cycle.
+func viSoloStarts(cfg accel.Config, p *isa.Program) ([]uint64, uint64) {
+	eng := accel.NewEngine(cfg)
+	defer eng.Close()
+	starts := make([]uint64, len(p.Instrs))
+	var now uint64
+	for i, in := range p.Instrs {
+		starts[i] = now
+		if in.Op == isa.OpEnd {
+			break
+		}
+		if in.Op.Virtual() {
+			now += uint64(cfg.FetchCycles)
+			continue
+		}
+		c, _ := eng.Exec(nil, p, in, 0)
+		now += c
+	}
+	return starts, now
+}
+
+// viWorstResponse sweeps adversarial probe submissions over the victim
+// stream — one just past every (strided) interrupt point, the worst moment
+// for that segment, plus evenly spaced fill-ins — and returns the worst
+// preemption response observed and the number of preemptions measured.
+func viWorstResponse(cfg accel.Config, victim, probe *isa.Program) (uint64, int, error) {
+	starts, soloTotal := viSoloStarts(cfg, victim)
+	pts := victim.InterruptPoints()
+	var submits []uint64
+	if len(pts) > 0 {
+		stride := (len(pts) + 23) / 24
+		for i := 0; i < len(pts); i += stride {
+			submits = append(submits, starts[pts[i]]+1)
+		}
+	}
+	for i := uint64(1); i <= 8; i++ {
+		submits = append(submits, soloTotal*i/9)
+	}
+
+	var worst uint64
+	preempts := 0
+	for _, at := range submits {
+		if at == 0 || at >= soloTotal {
+			continue
+		}
+		u := iau.New(cfg, iau.PolicyVI)
+		if err := u.Submit(3, &iau.Request{Label: "victim", Prog: victim}); err != nil {
+			u.Eng.Close()
+			return 0, 0, err
+		}
+		if err := u.SubmitAt(0, &iau.Request{Label: "probe", Prog: probe}, at); err != nil {
+			u.Eng.Close()
+			return 0, 0, err
+		}
+		err := u.RunAll()
+		if err != nil {
+			u.Eng.Close()
+			return 0, 0, err
+		}
+		for _, rec := range u.Preemptions {
+			if rec.Victim != 3 {
+				continue
+			}
+			preempts++
+			if d := rec.BackupDoneCycle - rec.RequestCycle; d > worst {
+				worst = d
+			}
+		}
+		u.Eng.Close()
+	}
+	return worst, preempts, nil
+}
+
+// WriteVI serialises a snapshot as indented JSON.
+func WriteVI(w io.Writer, s *VISnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadVI loads a snapshot from a baseline file.
+func ReadVI(path string) (*VISnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s VISnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// GateVI compares the current sweep against the baseline and returns one fail
+// line per regression beyond tol percent, plus informational notes. Like the
+// other gates it compares only metrics present in both snapshots: a schema
+// mismatch turns presence churn into notes, not failures. Independent of any
+// baseline, it enforces the placement optimizer's contract on the current
+// snapshot alone: every measured response within its proven bound, the proven
+// budget bound within the budget it was given, and the budget stream strictly
+// smaller — fewer interrupt points, fewer stream bytes, fewer Vir_SAVE
+// bytes — than the every-site stream.
+func GateVI(baseline, current *VISnapshot, tolPct float64) (fails, notes []string) {
+	crossSchema := baseline.Schema != current.Schema
+	if crossSchema {
+		notes = append(notes, fmt.Sprintf("schema mismatch: baseline v%d vs current v%d — comparing only metrics present in both (regenerate BENCH_vi.json to re-arm full gating)",
+			baseline.Schema, current.Schema))
+	}
+	presence := func(f string, a ...interface{}) {
+		if crossSchema {
+			notes = append(notes, fmt.Sprintf(f, a...))
+		} else {
+			fails = append(fails, fmt.Sprintf(f, a...))
+		}
+	}
+
+	// Baseline-independent contract.
+	for _, m := range current.Models {
+		for _, pl := range []VIPlacement{m.Every, m.Budgeted} {
+			if pl.MeasuredWorst > pl.Bound {
+				fails = append(fails, fmt.Sprintf("%s/%s: measured worst response %d cycles exceeds the proven bound %d",
+					m.Name, pl.Policy, pl.MeasuredWorst, pl.Bound))
+			}
+			if pl.Preemptions == 0 {
+				fails = append(fails, fmt.Sprintf("%s/%s: adversarial sweep produced no preemptions — the measurement is vacuous",
+					m.Name, pl.Policy))
+			}
+		}
+		if m.Budgeted.Bound > m.Budget {
+			fails = append(fails, fmt.Sprintf("%s: emitted bound %d exceeds the optimizer's budget %d",
+				m.Name, m.Budgeted.Bound, m.Budget))
+		}
+		if m.Budgeted.Points >= m.Every.Points {
+			fails = append(fails, fmt.Sprintf("%s: budget placement kept %d interrupt points, every-site has %d — the optimizer pruned nothing",
+				m.Name, m.Budgeted.Points, m.Every.Points))
+		}
+		if m.Budgeted.StreamBytes >= m.Every.StreamBytes {
+			fails = append(fails, fmt.Sprintf("%s: budget stream %d B not smaller than every-site %d B",
+				m.Name, m.Budgeted.StreamBytes, m.Every.StreamBytes))
+		}
+		if m.Budgeted.VirSaveBytes >= m.Every.VirSaveBytes {
+			fails = append(fails, fmt.Sprintf("%s: budget Vir_SAVE traffic %d B not smaller than every-site %d B",
+				m.Name, m.Budgeted.VirSaveBytes, m.Every.VirSaveBytes))
+		}
+	}
+
+	// Regression vs the baseline: pruning quality (points kept) and the
+	// proven bound must not creep up beyond tolerance.
+	base := map[string]VIModel{}
+	for _, m := range baseline.Models {
+		base[m.Name] = m
+	}
+	seen := map[string]bool{}
+	rise := func(name, col string, was, now uint64) {
+		if was == 0 {
+			return
+		}
+		d := (float64(now) - float64(was)) / float64(was) * 100
+		if d > tolPct {
+			fails = append(fails, fmt.Sprintf("%s %s: %d -> %d (+%.1f%% > %.1f%% tolerance)",
+				name, col, was, now, d, tolPct))
+		}
+	}
+	for _, m := range current.Models {
+		b, ok := base[m.Name]
+		if !ok {
+			presence("%s: not in baseline (regenerate BENCH_vi.json)", m.Name)
+			continue
+		}
+		seen[m.Name] = true
+		rise(m.Name, "budget points", uint64(b.Budgeted.Points), uint64(m.Budgeted.Points))
+		rise(m.Name, "budget bound", b.Budgeted.Bound, m.Budgeted.Bound)
+		rise(m.Name, "budget stream bytes", b.Budgeted.StreamBytes, m.Budgeted.StreamBytes)
+		rise(m.Name, "every bound", b.Every.Bound, m.Every.Bound)
+	}
+	for _, m := range baseline.Models {
+		if !seen[m.Name] {
+			presence("%s: in baseline but not measured", m.Name)
+		}
+	}
+	return fails, notes
+}

@@ -95,7 +95,10 @@ type Config struct {
 	// MaxQueue bounds the dispatch backlog (0 = DefaultMaxQueue).
 	MaxQueue int
 	// DeadlineCheck rejects tasks at admission whose deadline is shorter
-	// than their uninterrupted solo runtime.
+	// than their uninterrupted solo runtime plus the worst preemption-
+	// response bound (Program.ResponseBound) of any program in the run —
+	// the task could land behind that victim and must wait for it to
+	// reach an interrupt point and back up before running at all.
 	DeadlineCheck bool
 
 	// Predictive installs a per-engine sched.PolicyPredictive (restricted
@@ -256,6 +259,14 @@ type cluster struct {
 	stats        Stats
 
 	solo map[*isa.Program]uint64 // cached solo runtimes for feasibility
+
+	// worstYield is the largest compiler-proven ResponseBound across the
+	// run's programs: the longest any admitted task can wait for a running
+	// lower-priority inference to reach an interrupt point and back up.
+	// Admission adds it to the solo estimate so a deadline is only accepted
+	// when it survives the worst preemption-response delay the mix can
+	// inflict. Zero when no program carries a modeled bound.
+	worstYield uint64
 }
 
 // Result is a finished cluster run.
@@ -346,6 +357,9 @@ func Run(cfg Config, tasks []Task) (*Result, error) {
 	c.deadlines = make([]uint64, len(tasks))
 	for i := range tasks {
 		c.deadlines[tasks[i].ID] = tasks[i].Deadline
+		if b := tasks[i].Prog.ResponseBound; b > c.worstYield {
+			c.worstYield = b
+		}
 	}
 
 	watchdog := cfg.WatchdogCycles

@@ -374,7 +374,10 @@ func (c *cluster) placeable(e *engine, slot int) bool {
 func (c *cluster) admit(ts *taskState, cycle uint64) {
 	c.stats.Offered++
 	if c.cfg.DeadlineCheck && ts.task.Deadline > 0 {
-		if c.soloCycles(ts.task.Prog) > ts.task.Deadline {
+		// Solo runtime plus the worst proven preemption-response bound in
+		// the mix: even a top-priority arrival can wait that long for the
+		// running victim to reach an interrupt point and back up.
+		if c.soloCycles(ts.task.Prog)+c.worstYield > ts.task.Deadline {
 			c.reject(ts, ShedInfeasible, cycle)
 			return
 		}

@@ -26,6 +26,11 @@ type WorkloadConfig struct {
 	// DeadlineFactor assigns priority-0/1 tasks a deadline of factor x
 	// their solo runtime (0 = no deadlines).
 	DeadlineFactor float64
+	// VI is the interrupt-point placement policy the workload's programs
+	// are compiled with (nil = compiler.VIEvery, a backup group at every
+	// legal site). A compiler.VIBudget here serves pruned streams whose
+	// proven response bound feeds cluster admission's feasibility check.
+	VI compiler.VIPolicy
 }
 
 // Workload is a generated task stream plus everything needed to verify it.
@@ -62,7 +67,7 @@ func (r *wrng) exp(mean float64) uint64 {
 // workloadModels builds the serving model mix: three small networks (one
 // compiled as a batch-4 plan, so mid-batch preemption and migration are
 // routinely exercised).
-func workloadModels(cfg accel.Config, seed uint64) ([]*isa.Program, []*model.Network, error) {
+func workloadModels(cfg accel.Config, seed uint64, vi compiler.VIPolicy) ([]*isa.Program, []*model.Network, error) {
 	type spec struct {
 		net   *model.Network
 		batch int
@@ -83,7 +88,10 @@ func workloadModels(cfg accel.Config, seed uint64) ([]*isa.Program, []*model.Net
 			return nil, nil, err
 		}
 		opt := cfg.CompilerOptions()
-		opt.InsertVirtual = true
+		opt.VI = vi
+		if opt.VI == nil {
+			opt.VI = compiler.VIEvery{}
+		}
 		opt.EmitWeights = true
 		opt.Batch = s.batch
 		p, err := compiler.Compile(q, opt)
@@ -104,7 +112,7 @@ func NewWorkload(cfg accel.Config, wcfg WorkloadConfig) (*Workload, error) {
 	if wcfg.Tasks <= 0 {
 		return nil, fmt.Errorf("cluster: workload needs at least one task, got %d", wcfg.Tasks)
 	}
-	progs, nets, err := workloadModels(cfg, wcfg.Seed|1)
+	progs, nets, err := workloadModels(cfg, wcfg.Seed|1, wcfg.VI)
 	if err != nil {
 		return nil, err
 	}

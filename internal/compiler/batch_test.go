@@ -18,7 +18,7 @@ func compileBatch(t *testing.T, g *model.Network, batch int, disableFusion bool)
 	opt := compiler.Options{
 		ParaIn: 4, ParaOut: 4, ParaHeight: 3, BlobsPerSave: 2,
 		InputBufBytes: 512 << 10, OutputBufBytes: 512 << 10, WeightBufBytes: 96 << 10,
-		InsertVirtual: true, EmitWeights: true,
+		VI: compiler.VIEvery{}, EmitWeights: true,
 		Batch: batch, DisableFusion: disableFusion,
 	}
 	p, err := compiler.Compile(q, opt)
@@ -81,7 +81,7 @@ func TestBatchOneStreamUnchanged(t *testing.T) {
 	opt := compiler.Options{
 		ParaIn: 4, ParaOut: 4, ParaHeight: 3, BlobsPerSave: 2,
 		InputBufBytes: 512 << 10, OutputBufBytes: 512 << 10, WeightBufBytes: 96 << 10,
-		InsertVirtual: true, EmitWeights: true,
+		VI: compiler.VIEvery{}, EmitWeights: true,
 	}
 	p0, err := compiler.Compile(q, opt)
 	if err != nil {

@@ -1,10 +1,12 @@
 // Package compiler lowers a quantized CNN to the accelerator's instruction
 // set: it tiles every layer into CalcBlobs according to the hardware
 // parallelism (Para_in, Para_out, Para_height), lays out featuremaps and
-// weights in the task's DDR arena, emits the original ISA stream, and — when
-// requested — runs the INCA virtual-instruction pass that inserts Vir_SAVE /
-// Vir_LOAD_D at the selected interrupt positions (after CALC_F and after
-// SAVE, §4.3 of the paper).
+// weights in the task's DDR arena, emits the original ISA stream, and — per
+// Options.VI — runs the INCA virtual-instruction pass that inserts Vir_SAVE /
+// Vir_LOAD_D at interrupt positions: after every CALC_F and SAVE (§4.3 of
+// the paper, VIEvery) or the minimal cost-model-selected subset that keeps
+// the proven worst-case preemption response under a budget (VIBudget,
+// emitted as Program.ResponseBound).
 package compiler
 
 import (
@@ -20,8 +22,17 @@ type Options struct {
 	// Hardware parallelism the stream is scheduled for.
 	ParaIn, ParaOut, ParaHeight int
 
-	// InsertVirtual enables the VI pass, producing an interruptible stream.
-	InsertVirtual bool
+	// VI selects the virtual-instruction placement policy: VIEvery for the
+	// paper's dense rule, VIBudget for cost-model-driven minimal placement
+	// under a response budget, VINone (or nil) for an uninterruptible
+	// stream.
+	VI VIPolicy
+
+	// Cost is the accelerator cycle model used to compute
+	// Program.ResponseBound and to drive VIBudget placement. Optional for
+	// VIEvery/VINone (the bound is left 0 without it), required by
+	// VIBudget. accel.Config.CompilerOptions populates it.
+	Cost CostModel
 
 	// Batch compiles a multi-image plan: every featuremap region holds Batch
 	// consecutive planes, each LOAD_W is issued once per tile and its weights
@@ -103,8 +114,8 @@ func Compile(q *quant.Network, opt Options) (*isa.Program, error) {
 		em.emitLayer(li)
 	}
 	em.add(isa.Instruction{Op: isa.OpEnd})
-	if opt.InsertVirtual {
-		prog.Instrs = insertVirtual(prog)
+	if err := applyVI(prog, opt); err != nil {
+		return nil, err
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("compiler: emitted invalid program: %w", err)

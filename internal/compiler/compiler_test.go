@@ -36,7 +36,7 @@ func TestStripVirtualEqualsPlainCompile(t *testing.T) {
 		opt := compiler.BigAccel()
 		opt.BlobsPerSave = 2
 		plain := compile(t, g, opt)
-		opt.InsertVirtual = true
+		opt.VI = compiler.VIEvery{}
 		vi := compile(t, g, opt)
 		stripped := vi.StripVirtual()
 		if len(stripped) != len(plain.Instrs) {
@@ -56,7 +56,7 @@ func TestStripVirtualEqualsPlainCompile(t *testing.T) {
 // appear nowhere else.
 func TestVIPassPositions(t *testing.T) {
 	opt := compiler.BigAccel()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	opt.BlobsPerSave = 2
 	p := compile(t, model.NewResNetTiny(), opt)
 	ins := p.Instrs
@@ -256,7 +256,7 @@ func TestRandomNetworksCompile(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		opt := compiler.Options{ParaIn: 1 + r.Intn(8), ParaOut: 1 + r.Intn(8), ParaHeight: 1 + r.Intn(6), InsertVirtual: true, BlobsPerSave: r.Intn(4)}
+		opt := compiler.Options{ParaIn: 1 + r.Intn(8), ParaOut: 1 + r.Intn(8), ParaHeight: 1 + r.Intn(6), VI: compiler.VIEvery{}, BlobsPerSave: r.Intn(4)}
 		p, err := compiler.Compile(q, opt)
 		if err != nil {
 			return false

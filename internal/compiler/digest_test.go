@@ -1,0 +1,95 @@
+package compiler_test
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+)
+
+// streamDigest hashes every field of every instruction, so any change to the
+// emitted stream — content or order — changes the digest.
+func streamDigest(p *isa.Program) string {
+	h := sha256.New()
+	for _, in := range p.Instrs {
+		fmt.Fprintf(h, "%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
+			in.Op, in.Which, in.Layer, in.InG, in.OutG, in.Row0, in.Rows,
+			in.Tile, in.Bat, in.SaveID, in.Addr, in.Len)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// TestVIPolicyStreamCompat pins the VIEvery and VINone streams of the DSLAM
+// model set (and TinyCNN, incl. a batched plan) to digests captured from the
+// pre-VIPolicy compiler (Options.InsertVirtual true/false): the API redesign
+// must be byte-identical for the policies that existed before it.
+func TestVIPolicyStreamCompat(t *testing.T) {
+	cases := []struct {
+		name   string
+		vi     bool
+		batch  int
+		digest string
+		instrs int
+	}{
+		{"superpoint-fe", true, 1, "bb7b5043827f2c24", 10123},
+		{"superpoint-fe", false, 1, "d36380fa78e06d76", 9150},
+		{"superpoint-map", true, 1, "a71ad0e57fd6faaa", 15200},
+		{"superpoint-map", false, 1, "04ac34dd38b60dbd", 13734},
+		{"resnet18-loop", true, 1, "c1e5aae33bc98304", 26964},
+		{"resnet18-loop", false, 1, "93570f5a3b9491bb", 25173},
+		{"tinycnn", true, 1, "7ea17562ae4e9d21", 204},
+		{"tinycnn", false, 1, "c07efb6a833e2ffc", 151},
+		{"tinycnn", true, 4, "2511f562991174f0", 1239},
+		{"tinycnn", false, 4, "8fad3980b280dfe6", 565},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("%s/vi=%v/b=%d", tc.name, tc.vi, tc.batch)
+		t.Run(name, func(t *testing.T) {
+			q, err := quant.Synthesize(digestModel(t, tc.name), 21)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := accel.Small().CompilerOptions()
+			opt.VI = compiler.VIIf(tc.vi)
+			opt.Batch = tc.batch
+			p, err := compiler.Compile(q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.Instrs) != tc.instrs {
+				t.Errorf("instruction count = %d, want %d", len(p.Instrs), tc.instrs)
+			}
+			if d := streamDigest(p); d != tc.digest {
+				t.Errorf("stream digest = %s, want %s", d, tc.digest)
+			}
+			if tc.vi && p.ResponseBound == 0 {
+				t.Error("VIEvery with a cost model should emit a nonzero ResponseBound")
+			}
+		})
+	}
+}
+
+func digestModel(t *testing.T, name string) *model.Network {
+	t.Helper()
+	switch name {
+	case "superpoint-fe":
+		return model.NewSuperPoint(60, 80)
+	case "superpoint-map":
+		return model.NewSuperPoint(90, 120)
+	case "resnet18-loop":
+		net, err := model.NewResNet(18, 3, 60, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	case "tinycnn":
+		return model.NewTinyCNN(3, 24, 32)
+	}
+	t.Fatalf("unknown model %s", name)
+	return nil
+}

@@ -101,7 +101,7 @@ func TestCompileErrors(t *testing.T) {
 // TestStatsString renders without panicking and carries the op counts.
 func TestStatsString(t *testing.T) {
 	opt := compiler.BigAccel()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	g := model.NewTinyCNN(3, 24, 32)
 	q, err := quant.Synthesize(g, 1)
 	if err != nil {

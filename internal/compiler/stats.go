@@ -18,10 +18,17 @@ type Stats struct {
 	// VirtualBytes is the worst-case traffic the virtual instructions would
 	// add if every one of them fired (they do not; they are skipped unless
 	// an interrupt lands on them).
-	VirtualBytes    uint64
+	VirtualBytes uint64
+	// VirSaveBytes is the Vir_SAVE subset of VirtualBytes: the worst-case
+	// backup traffic of parking at each interrupt point once. Placement
+	// pruning (VIBudget) shrinks it along with the stream.
+	VirSaveBytes    uint64
 	InterruptPoints int
 	Layers          int
 	Tiles           int
+	// ResponseBound is the compiler-proven worst-case preemption-response
+	// latency in cycles (Program.ResponseBound; 0 = not modeled).
+	ResponseBound uint64
 	// Batch is the plan's batch size; WeightBytes is the LOAD_W subset of
 	// LoadBytes, the traffic a batched plan amortizes across elements.
 	Batch       int
@@ -59,9 +66,13 @@ func Analyze(p *isa.Program) Stats {
 		case isa.OpVirSave, isa.OpVirLoadD:
 			s.VirtualInstrs++
 			s.VirtualBytes += uint64(in.Len)
+			if in.Op == isa.OpVirSave {
+				s.VirSaveBytes += uint64(in.Len)
+			}
 		}
 	}
 	s.InterruptPoints = len(p.InterruptPoints())
+	s.ResponseBound = p.ResponseBound
 	return s
 }
 
@@ -80,5 +91,8 @@ func (s Stats) String() string {
 	}
 	fmt.Fprintf(&b, "  load %.2f MB, save %.2f MB, virtual worst-case %.2f MB\n",
 		float64(s.LoadBytes)/1e6, float64(s.SaveBytes)/1e6, float64(s.VirtualBytes)/1e6)
+	if s.ResponseBound > 0 {
+		fmt.Fprintf(&b, "  worst-case response %d cycles\n", s.ResponseBound)
+	}
 	return b.String()
 }

@@ -36,7 +36,7 @@ func TestVIGroupsWellFormed(t *testing.T) {
 		// Narrow parallelism so layers split into multiple tiles and the VI
 		// pass has to emit mid-tile backup/restore groups.
 		opt := compiler.Options{ParaIn: 4, ParaOut: 4, ParaHeight: 3}
-		opt.InsertVirtual = true
+		opt.VI = compiler.VIEvery{}
 		opt.BlobsPerSave = 2
 		p := compile(t, g, opt)
 		ins := p.Instrs

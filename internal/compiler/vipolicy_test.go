@@ -1,0 +1,174 @@
+package compiler_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/quant"
+)
+
+func compileVI(t *testing.T, name string, pol compiler.VIPolicy) *isa.Program {
+	t.Helper()
+	q, err := quant.Synthesize(digestModel(t, name), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := accel.Small().CompilerOptions()
+	opt.VI = pol
+	p, err := compiler.Compile(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestVIBudgetPrunes verifies the acceptance criterion on the DSLAM model
+// set: VIBudget placement keeps fewer interrupt points and less Vir_SAVE
+// stream traffic than VIEvery, while its emitted bound respects the budget.
+func TestVIBudgetPrunes(t *testing.T) {
+	for _, name := range []string{"superpoint-fe", "superpoint-map", "resnet18-loop"} {
+		t.Run(name, func(t *testing.T) {
+			every := compileVI(t, name, compiler.VIEvery{})
+			if every.ResponseBound == 0 {
+				t.Fatal("VIEvery emitted no ResponseBound")
+			}
+			budget := 4 * every.ResponseBound
+			pruned := compileVI(t, name, compiler.VIBudget{MaxResponseCycles: budget})
+			if pruned.ResponseBound == 0 || pruned.ResponseBound > budget {
+				t.Errorf("pruned ResponseBound %d outside (0,%d]", pruned.ResponseBound, budget)
+			}
+			se, sp := compiler.Analyze(every), compiler.Analyze(pruned)
+			if sp.InterruptPoints >= se.InterruptPoints {
+				t.Errorf("interrupt points not reduced: budget %d vs every %d", sp.InterruptPoints, se.InterruptPoints)
+			}
+			if sp.VirSaveBytes >= se.VirSaveBytes {
+				t.Errorf("Vir_SAVE bytes not reduced: budget %d vs every %d", sp.VirSaveBytes, se.VirSaveBytes)
+			}
+			if sp.Instrs >= se.Instrs {
+				t.Errorf("stream not shortened: budget %d vs every %d instrs", sp.Instrs, se.Instrs)
+			}
+			if err := pruned.Validate(); err != nil {
+				t.Errorf("pruned program invalid: %v", err)
+			}
+			// Pruning only ever removes whole virtual groups: the real stream
+			// is untouched.
+			if streamDigest(stripped(pruned)) != streamDigest(stripped(every)) {
+				t.Error("pruning changed the underlying real instruction stream")
+			}
+		})
+	}
+}
+
+func stripped(p *isa.Program) *isa.Program {
+	q := *p
+	q.Instrs = p.StripVirtual()
+	return &q
+}
+
+// TestVIBudgetTightens verifies that shrinking the budget keeps more sites
+// and that the emitted bound of a looser budget is never below a tighter
+// one's. A budget at VIEvery's own bound must keep placement feasible and
+// bound-compliant (VIEvery is the densest legal placement).
+func TestVIBudgetTightens(t *testing.T) {
+	every := compileVI(t, "superpoint-fe", compiler.VIEvery{})
+	prev := -1
+	for _, scale := range []uint64{1, 2, 4, 16} {
+		budget := scale * every.ResponseBound
+		p := compileVI(t, "superpoint-fe", compiler.VIBudget{MaxResponseCycles: budget})
+		if p.ResponseBound > budget {
+			t.Errorf("scale %d: bound %d exceeds budget %d", scale, p.ResponseBound, budget)
+		}
+		pts := len(p.InterruptPoints())
+		if prev >= 0 && pts > prev {
+			t.Errorf("scale %d: looser budget kept more points (%d > %d)", scale, pts, prev)
+		}
+		prev = pts
+	}
+}
+
+// TestVIBudgetInfeasible: a budget below the minimal achievable bound must
+// fail with an error naming that bound, not emit a stream that lies.
+func TestVIBudgetInfeasible(t *testing.T) {
+	q, err := quant.Synthesize(model.NewTinyCNN(3, 24, 32), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := accel.Small().CompilerOptions()
+	opt.VI = compiler.VIBudget{MaxResponseCycles: 1}
+	if _, err := compiler.Compile(q, opt); err == nil {
+		t.Fatal("budget of 1 cycle should be infeasible")
+	} else if !strings.Contains(err.Error(), "minimal achievable bound") {
+		t.Errorf("infeasible error should cite the minimal achievable bound, got: %v", err)
+	}
+
+	opt.VI = compiler.VIBudget{MaxResponseCycles: 1000}
+	opt.Cost = nil
+	if _, err := compiler.Compile(q, opt); err == nil {
+		t.Fatal("VIBudget without Options.Cost should fail")
+	}
+}
+
+// TestVINoneBound: an uninterruptible stream's bound is its modeled
+// completion time, and a huge budget legitimately selects zero sites.
+func TestVINoneBound(t *testing.T) {
+	none := compileVI(t, "tinycnn", compiler.VINone{})
+	if none.ResponseBound == 0 {
+		t.Fatal("VINone with a cost model should emit the solo completion bound")
+	}
+	if n := len(none.InterruptPoints()); n != 0 {
+		t.Fatalf("VINone kept %d interrupt points", n)
+	}
+	huge := compileVI(t, "tinycnn", compiler.VIBudget{MaxResponseCycles: none.ResponseBound})
+	if n := len(huge.InterruptPoints()); n != 0 {
+		t.Errorf("budget >= solo runtime should need 0 sites, kept %d", n)
+	}
+	if huge.ResponseBound > none.ResponseBound {
+		t.Errorf("zero-site bound %d exceeds solo bound %d", huge.ResponseBound, none.ResponseBound)
+	}
+}
+
+// TestStatsStringResponseBound is the golden-output test for the Stats
+// report including the new bound line.
+func TestStatsStringResponseBound(t *testing.T) {
+	p := compileVI(t, "tinycnn", compiler.VIEvery{})
+	s := compiler.Analyze(p)
+	want := fmt.Sprintf(`204 instrs (3 layers, 12 tiles, 35 interrupt points)
+  LOAD_W           36
+  LOAD_D           12
+  CALC_I           48
+  CALC_F           36
+  SAVE             18
+  Vir_SAVE         18
+  Vir_LOAD_D       35
+  END               1
+  load 0.07 MB, save 0.02 MB, virtual worst-case 0.08 MB
+  worst-case response %d cycles
+`, p.ResponseBound)
+	if got := s.String(); got != want {
+		t.Errorf("Stats.String() =\n%s\nwant\n%s", got, want)
+	}
+	if s.ResponseBound != p.ResponseBound || s.ResponseBound == 0 {
+		t.Errorf("Stats.ResponseBound = %d, program %d", s.ResponseBound, p.ResponseBound)
+	}
+}
+
+// TestEncodeResponseBound: the v3 codec round-trips the bound.
+func TestEncodeResponseBound(t *testing.T) {
+	p := compileVI(t, "tinycnn", compiler.VIEvery{})
+	var buf strings.Builder
+	if err := isa.Encode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := isa.Decode(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ResponseBound != p.ResponseBound {
+		t.Errorf("decoded ResponseBound = %d, want %d", back.ResponseBound, p.ResponseBound)
+	}
+}

@@ -28,7 +28,7 @@ func compile(t *testing.T, g *model.Network, cfg accel.Config, seed uint64, vi b
 		t.Fatalf("%s: synthesize: %v", g.Name, err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = vi
+	opt.VI = compiler.VIIf(vi)
 	opt.EmitWeights = true
 	p, err := compiler.Compile(q, opt)
 	if err != nil {
@@ -104,7 +104,7 @@ func TestGoldenMatchesEngineArena(t *testing.T) {
 			continue
 		}
 		opt := cfg.CompilerOptions()
-		opt.InsertVirtual = attempt%2 == 0
+		opt.VI = compiler.VIIf(attempt%2 == 0)
 		opt.EmitWeights = true
 		p, err := compiler.Compile(q, opt)
 		if err != nil {

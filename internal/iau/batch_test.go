@@ -21,7 +21,7 @@ func buildBatched(t *testing.T, g *model.Network, cfg accel.Config, batch int, s
 		t.Fatalf("synthesize %s: %v", g.Name, err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	opt.EmitWeights = true
 	opt.Batch = batch
 	p, err := compiler.Compile(q, opt)

@@ -18,7 +18,7 @@ func timingProg(t *testing.T, g *model.Network, cfg accel.Config, vi bool) *isa.
 		t.Fatal(err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = vi
+	opt.VI = compiler.VIIf(vi)
 	p, err := compiler.Compile(q, opt)
 	if err != nil {
 		t.Fatal(err)

@@ -20,7 +20,7 @@ func buildFunctional(t *testing.T, g *model.Network, cfg accel.Config, vi bool, 
 		t.Fatalf("synthesize %s: %v", g.Name, err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = vi
+	opt.VI = compiler.VIIf(vi)
 	opt.EmitWeights = true
 	p, err := compiler.Compile(q, opt)
 	if err != nil {

@@ -28,7 +28,7 @@ func TestLinkedMultiTenantArena(t *testing.T) {
 			t.Fatal(err)
 		}
 		opt := cfg.CompilerOptions()
-		opt.InsertVirtual = true
+		opt.VI = compiler.VIEvery{}
 		opt.EmitWeights = true
 		p, err := compiler.Compile(q, opt)
 		if err != nil {

@@ -74,7 +74,7 @@ func TestPropertyPreemptionBitExact(t *testing.T) {
 		cfg.ParaHeight = 1 + r.Intn(4)
 		opt := cfg.CompilerOptions()
 		opt.BlobsPerSave = r.Intn(4)
-		opt.InsertVirtual = true
+		opt.VI = compiler.VIEvery{}
 		opt.EmitWeights = true
 
 		q, err := quant.Synthesize(g, uint64(seed))

@@ -37,7 +37,7 @@ func stageKill(t *testing.T) (*Request, []byte, *tensor.Int8, *ResumeToken, acce
 		t.Fatal(err)
 	}
 	vopt := cfg.CompilerOptions()
-	vopt.InsertVirtual = true
+	vopt.VI = compiler.VIEvery{}
 	vopt.EmitWeights = true
 	vp, err := compiler.Compile(vq, vopt)
 	if err != nil {
@@ -205,7 +205,7 @@ func TestWatchdogKillWithoutCheckpointHasNoSalvage(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	p, err := compiler.Compile(q, opt)
 	if err != nil {
 		t.Fatal(err)

@@ -43,7 +43,7 @@ func compileFor(t *testing.T, cfg accel.Config, g *model.Network, vi bool) *isa.
 		t.Fatal(err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = vi
+	opt.VI = compiler.VIIf(vi)
 	p, err := compiler.Compile(q, opt)
 	if err != nil {
 		t.Fatal(err)

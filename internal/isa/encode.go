@@ -15,17 +15,21 @@ import (
 //	         u32 nLayers | u32 nInstrs | u32 ddrBytes
 //	         u32 inputAddr | u32 inputBytes | u32 outputAddr | u32 outputBytes
 //	         u32 weightsAddr | u32 weightsLen
+//	         u64 responseBound (v3+)
 //	layers:  fixed 72-byte records + u16-prefixed name
 //	instrs:  fixed 24-byte records
 //	weights: raw int8 image (weightsLen bytes)
 //
 // Version history: v1 had no batch field, no fused-residual layer fields and
-// a 68-byte layer record. v2 (current) adds the batch dimension and the
-// FusedAdd/AddShift/AddReLU epilogue fields; v1 streams are rejected.
+// a 68-byte layer record. v2 added the batch dimension and the
+// FusedAdd/AddShift/AddReLU epilogue fields. v3 (current) appends a u64
+// responseBound after the counts block (the compiler-proven worst-case
+// preemption-response latency in cycles, 0 = unmodeled). v2 streams still
+// decode (responseBound = 0); v1 streams are rejected.
 
 const (
 	magic   = "INCA"
-	version = 2
+	version = 3
 )
 
 type fixedHeader struct {
@@ -128,6 +132,9 @@ func Encode(w io.Writer, p *Program) error {
 	if err := binary.Write(bw, binary.LittleEndian, counts); err != nil {
 		return err
 	}
+	if err := binary.Write(bw, binary.LittleEndian, p.ResponseBound); err != nil {
+		return err
+	}
 	for i := range p.Layers {
 		l := &p.Layers[i]
 		fl := fixedLayer{
@@ -186,7 +193,7 @@ func Decode(r io.Reader) (*Program, error) {
 	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
 		return nil, fmt.Errorf("isa: reading header: %w", err)
 	}
-	if hdr.Version != version {
+	if hdr.Version != version && hdr.Version != 2 {
 		return nil, fmt.Errorf("isa: unsupported version %d", hdr.Version)
 	}
 	name := make([]byte, hdr.NameLen)
@@ -197,21 +204,28 @@ func Decode(r io.Reader) (*Program, error) {
 	if err := binary.Read(br, binary.LittleEndian, &counts); err != nil {
 		return nil, fmt.Errorf("isa: reading counts: %w", err)
 	}
+	var respBound uint64
+	if hdr.Version >= 3 {
+		if err := binary.Read(br, binary.LittleEndian, &respBound); err != nil {
+			return nil, fmt.Errorf("isa: reading response bound: %w", err)
+		}
+	}
 	// The count fields are untrusted input: allocate incrementally while
 	// records keep arriving rather than trusting them for one up-front
 	// make(), so a corrupted header can only cost memory proportional to the
 	// bytes actually supplied.
 	const prealloc = 1 << 12
 	p := &Program{
-		Name:       string(name),
-		ParaIn:     int(hdr.ParaIn),
-		ParaOut:    int(hdr.ParaOut),
-		ParaHeight: int(hdr.ParaHeight),
-		Batch:      int(hdr.Batch),
-		Layers:     make([]LayerInfo, 0, min(int(counts.NLayers), prealloc)),
-		Instrs:     make([]Instruction, 0, min(int(counts.NInstrs), prealloc)),
-		DDRBytes:   counts.DDRBytes,
-		InputAddr:  counts.InputAddr, InputBytes: counts.InputBytes,
+		Name:          string(name),
+		ResponseBound: respBound,
+		ParaIn:        int(hdr.ParaIn),
+		ParaOut:       int(hdr.ParaOut),
+		ParaHeight:    int(hdr.ParaHeight),
+		Batch:         int(hdr.Batch),
+		Layers:        make([]LayerInfo, 0, min(int(counts.NLayers), prealloc)),
+		Instrs:        make([]Instruction, 0, min(int(counts.NInstrs), prealloc)),
+		DDRBytes:      counts.DDRBytes,
+		InputAddr:     counts.InputAddr, InputBytes: counts.InputBytes,
 		OutputAddr: counts.OutputAddr, OutputBytes: counts.OutputBytes,
 		WeightsAddr: counts.WeightsAddr,
 	}

@@ -219,6 +219,15 @@ type Program struct {
 	// DDRBytes is the size of the task's DDR arena (featuremaps + weights).
 	DDRBytes uint32
 
+	// ResponseBound is the compiler-proven worst-case preemption-response
+	// latency of the stream in accelerator cycles: from any stream position,
+	// the modeled cycles until the task reaches its next interrupt point and
+	// finishes the backup there (or runs to END and yields), assuming
+	// fault-free execution under the VI method. 0 means the bound was not
+	// modeled (no cost model at compile time). For uninterruptible streams
+	// (no virtual instructions) it is the modeled solo completion time.
+	ResponseBound uint64
+
 	// Weights is the weight image to place at its layers' WAddr regions when
 	// running functionally. Empty for timing-only programs.
 	Weights []int8

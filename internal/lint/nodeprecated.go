@@ -7,11 +7,12 @@ import (
 )
 
 // NoDeprecated forbids in-repo callers of anything whose doc comment carries
-// a "Deprecated:" marker — concretely the RunTraced / RunOpt /
-// InferAsyncFail compatibility shims, but the check is generic so future
-// deprecations are enforced the day the marker lands. Uses in the file that
-// declares the deprecated symbol are exempt (the shim's own body and its
-// siblings may reference it).
+// a "Deprecated:" marker. It originally fenced off the PR-4 RunTraced /
+// RunOpt / InferAsyncFail compatibility shims (since deleted outright); the
+// check is generic, so future deprecations are enforced the day the marker
+// lands — and kept caller-free until the shim itself can go. Uses in the
+// file that declares the deprecated symbol are exempt (the shim's own body
+// and its siblings may reference it).
 var NoDeprecated = &Analyzer{
 	Name: "nodeprecated",
 	Doc:  "no in-repo callers of symbols marked Deprecated:",

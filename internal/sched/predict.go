@@ -74,15 +74,20 @@ type progCost struct {
 	viBackup  []uint64
 	viRestore []uint64
 	viBytes   []uint64
+	// respBound is the program's compiler-proven worst-case preemption
+	// response (Program.ResponseBound, 0 = unmodeled): an O(1) cap on any
+	// VI wait+backup the tables would otherwise derive per position.
+	respBound uint64
 }
 
 func buildProgCost(cfg accel.Config, p *isa.Program) *progCost {
 	n := len(p.Instrs)
 	t := &progCost{
-		prog: p,
-		cum:  make([]uint64, n+1),
-		viB:  make([]int32, n+1),
-		lblB: make([]int32, n+1),
+		prog:      p,
+		cum:       make([]uint64, n+1),
+		viB:       make([]int32, n+1),
+		lblB:      make([]int32, n+1),
+		respBound: p.ResponseBound,
 	}
 	for i, in := range p.Instrs {
 		t.cum[i+1] = t.cum[i] + modelInstr(cfg, p, in)
@@ -163,6 +168,13 @@ func (p *PolicyPredictive) methodCost(u *iau.IAU, victim int, m iau.Policy) iau.
 	req := u.SlotRequest(victim)
 	pc := u.SlotPC(victim)
 	if s.costs == nil || req == nil || req.Prog != s.costs.prog || pc < 0 {
+		if m == iau.PolicyVI && req != nil && pc >= 0 && pc < len(req.Prog.Instrs) &&
+			req.Prog.Instrs[pc].Op != isa.OpEnd && req.Prog.ResponseBound > 0 {
+			// Foreign program (e.g. a migrated-in request): its
+			// compiler-proven bound caps wait+backup from any position, so an
+			// O(1) conservative answer replaces the O(n) stream walk.
+			return iau.MethodCost{Method: m, WaitCycles: req.Prog.ResponseBound, Feasible: true}
+		}
 		return u.PreemptCostEstimate(victim, m)
 	}
 	t := s.costs

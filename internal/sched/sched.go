@@ -62,6 +62,9 @@ func validateSpec(sp *TaskSpec) error {
 	if sp.RetryBackoff < 0 {
 		return &SpecError{Task: sp.Name, Field: "RetryBackoff", Reason: fmt.Sprintf("%v is negative", sp.RetryBackoff)}
 	}
+	if sp.MaxResponse < 0 {
+		return &SpecError{Task: sp.Name, Field: "MaxResponse", Reason: fmt.Sprintf("%v is negative", sp.MaxResponse)}
+	}
 	if sp.Batch < 0 {
 		return &SpecError{Task: sp.Name, Field: "Batch", Reason: fmt.Sprintf("%d is negative", sp.Batch)}
 	}
@@ -109,6 +112,13 @@ type TaskSpec struct {
 	// task is still queued or running (a camera pipeline drops frames
 	// rather than queueing them indefinitely).
 	DropIfBusy bool
+
+	// MaxResponse, when non-zero, declares the worst-case preemption
+	// response this task tolerates from whatever is running below it when it
+	// arrives. Run rejects the spec if any co-scheduled program's
+	// compiler-proven ResponseBound exceeds it — the admission-time use of
+	// the bound VIBudget placement emits.
+	MaxResponse time.Duration
 
 	// PinCore restricts the task to one accelerator in multi-core runs
 	// (nil = the dispatcher picks the least-loaded core per request).
@@ -399,20 +409,6 @@ func Run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Dur
 	return run(cfg, policy, specs, horizon, opt)
 }
 
-// RunTraced is Run with the IAU timeline recorded into Result.Timeline.
-//
-// Deprecated: use Run with WithTimeline.
-func RunTraced(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, enable bool) (*Result, error) {
-	return run(cfg, policy, specs, horizon, Options{Trace: enable})
-}
-
-// RunOpt is Run with an explicit Options struct.
-//
-// Deprecated: use Run with functional options.
-func RunOpt(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, opt Options) (*Result, error) {
-	return run(cfg, policy, specs, horizon, opt)
-}
-
 func run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Duration, opt Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -446,6 +442,26 @@ func run(cfg accel.Config, policy iau.Policy, specs []TaskSpec, horizon time.Dur
 		res.Tasks[sp.Name] = rt.stats
 		res.TaskNames = append(res.TaskNames, sp.Name)
 		opt.Tracer.SetTaskLabel(sp.Slot, sp.Name)
+	}
+	// Response-budget feasibility: a task's preemption response is bounded
+	// by the proven ResponseBound of whatever lower-priority (higher-slot)
+	// program it may preempt. Reject task sets whose modeled bounds already
+	// break a declared budget — the run could only confirm the failure.
+	for _, sp := range specs {
+		if sp.MaxResponse <= 0 {
+			continue
+		}
+		budget := cfg.SecondsToCycles(sp.MaxResponse.Seconds())
+		for _, lo := range specs {
+			if lo.Slot <= sp.Slot || lo.Prog.ResponseBound == 0 {
+				continue
+			}
+			if lo.Prog.ResponseBound > budget {
+				return nil, &SpecError{Task: sp.Name, Field: "MaxResponse",
+					Reason: fmt.Sprintf("%v (%d cycles) is below task %q's proven response bound of %d cycles (recompile it with a tighter placement: compiler.VIBudget{MaxResponseCycles: %d} or compiler.VIEvery)",
+						sp.MaxResponse, budget, lo.Name, lo.Prog.ResponseBound, budget)}
+			}
+		}
 	}
 	if opt.Faults != nil && u.WatchdogCycles == 0 {
 		// A hang with no watchdog is fatal; derive a safe bound so injected

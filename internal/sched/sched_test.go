@@ -1,6 +1,7 @@
 package sched_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -22,7 +23,7 @@ func compileNet(t *testing.T, cfg accel.Config, g *model.Network, vi bool) *isa.
 		t.Fatal(err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = vi
+	opt.VI = compiler.VIIf(vi)
 	p, err := compiler.Compile(q, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +56,7 @@ func buildFunctionalSched(t *testing.T, g *model.Network, cfg accel.Config) (*is
 		t.Fatal(err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	opt.EmitWeights = true
 	p, err := compiler.Compile(q, opt)
 	if err != nil {
@@ -172,5 +173,65 @@ func TestDropIfBusy(t *testing.T) {
 	}
 	if st.Completed == 0 {
 		t.Error("no frames completed at all")
+	}
+}
+
+// TestMaxResponseFeasibility: Run rejects a task set up front when a task's
+// declared preemption-response tolerance is below the proven response bound
+// of some lower-priority program — here a loosely-budgeted (aggressively
+// pruned) stream — and accepts it once that stream is recompiled under a
+// budget no larger than the tolerance.
+func TestMaxResponseFeasibility(t *testing.T) {
+	cfg := accel.Small()
+	fe := compileNet(t, cfg, model.NewTinyCNN(2, 12, 12), false)
+	every := compileNet(t, cfg, model.NewSuperPoint(60, 80), true)
+	if every.ResponseBound == 0 {
+		t.Fatal("VIEvery stream carries no response bound")
+	}
+
+	compileBudget := func(budget uint64) *isa.Program {
+		t.Helper()
+		q, err := quant.Synthesize(model.NewSuperPoint(60, 80), 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := cfg.CompilerOptions()
+		opt.VI = compiler.VIBudget{MaxResponseCycles: budget}
+		p, err := compiler.Compile(q, opt)
+		if err != nil {
+			t.Fatalf("VIBudget{%d}: %v", budget, err)
+		}
+		return p
+	}
+
+	// PR pruned against a loose 4x budget: its proven bound exceeds FE's
+	// 2x tolerance, so the set is rejected before anything runs.
+	tol := 2 * every.ResponseBound
+	loose := compileBudget(4 * every.ResponseBound)
+	if loose.ResponseBound <= tol {
+		t.Fatalf("loose stream's bound %d not above the %d-cycle tolerance — test premise broken", loose.ResponseBound, tol)
+	}
+	maxResp := time.Duration(cfg.CyclesToMicros(tol) * float64(time.Microsecond))
+	specs := []sched.TaskSpec{
+		{Name: "FE", Slot: 0, Prog: fe, Period: 2 * time.Millisecond, MaxResponse: maxResp},
+		{Name: "PR", Slot: 1, Prog: loose, Continuous: true},
+	}
+	_, err := sched.Run(cfg, iau.PolicyVI, specs, 10*time.Millisecond)
+	if err == nil {
+		t.Fatalf("Run accepted MaxResponse %v below PR's proven bound of %d cycles", maxResp, loose.ResponseBound)
+	}
+	var se *sched.SpecError
+	if !errors.As(err, &se) || se.Field != "MaxResponse" {
+		t.Fatalf("want a MaxResponse SpecError, got %v", err)
+	}
+
+	// Same tolerance, PR recompiled against it: accepted and runs.
+	specs[1].Prog = compileBudget(cfg.SecondsToCycles(maxResp.Seconds()))
+	res, err := sched.Run(cfg, iau.PolicyVI, specs, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run rejected a feasible set: %v", err)
+	}
+	if res.Tasks["FE"].Completed == 0 {
+		t.Fatal("FE never completed")
 	}
 }

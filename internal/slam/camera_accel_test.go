@@ -34,7 +34,7 @@ func TestCameraFrameThroughAccelerator(t *testing.T) {
 	cfg := accel.Big()
 	cfg.ParaIn, cfg.ParaOut, cfg.ParaHeight = 4, 4, 3
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = compiler.VIEvery{}
 	opt.EmitWeights = true
 	p, err := compiler.Compile(q, opt)
 	if err != nil {

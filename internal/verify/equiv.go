@@ -49,6 +49,12 @@ func compileRecipe(r Recipe, cfg accel.Config, paramSeed uint64) (*isa.Program, 
 
 // compileRecipeBatch is compileRecipe with a batch dimension on the plan.
 func compileRecipeBatch(r Recipe, cfg accel.Config, paramSeed uint64, batch int) (*isa.Program, *model.Network, error) {
+	return compileRecipeVI(r, cfg, paramSeed, batch, compiler.VIEvery{})
+}
+
+// compileRecipeVI is the underlying lowering with an explicit interrupt-point
+// placement policy.
+func compileRecipeVI(r Recipe, cfg accel.Config, paramSeed uint64, batch int, vi compiler.VIPolicy) (*isa.Program, *model.Network, error) {
 	g := r.Build()
 	if err := g.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", errSkip, err)
@@ -58,7 +64,7 @@ func compileRecipeBatch(r Recipe, cfg accel.Config, paramSeed uint64, batch int)
 		return nil, nil, fmt.Errorf("%w: %v", errSkip, err)
 	}
 	opt := cfg.CompilerOptions()
-	opt.InsertVirtual = true
+	opt.VI = vi
 	opt.EmitWeights = true
 	opt.Batch = batch
 	p, err := compiler.Compile(q, opt)
@@ -71,6 +77,32 @@ func compileRecipeBatch(r Recipe, cfg accel.Config, paramSeed uint64, batch int)
 		return nil, nil, fmt.Errorf("%w: weight-free network", errSkip)
 	}
 	return p, g, nil
+}
+
+// compileVictim lowers the case's victim under its placement policy. Budget
+// codes compile twice: VIEvery first for the stream's minimal achievable
+// bound, then VIBudget at the case's multiple of it — always feasible, and
+// on the tight multiple the optimizer genuinely drops backup groups. The
+// budget compile must never fail: a failure here is an optimizer bug, not a
+// skip.
+func compileVictim(c Case, cfg accel.Config, paramSeed uint64) (*isa.Program, *model.Network, error) {
+	p, g, err := compileRecipeBatch(c.Recipe, cfg, paramSeed, c.BatchN())
+	if err != nil || c.PlacementCode == 0 {
+		return p, g, err
+	}
+	budget := uint64(c.PlacementScale() * float64(p.ResponseBound))
+	if budget < p.ResponseBound {
+		budget = p.ResponseBound
+	}
+	bp, _, err := compileRecipeVI(c.Recipe, cfg, paramSeed, c.BatchN(), compiler.VIBudget{MaxResponseCycles: budget})
+	if err != nil {
+		return nil, nil, fmt.Errorf("placement axis: VIBudget{%d} (%gx the VIEvery bound %d) failed: %v",
+			budget, c.PlacementScale(), p.ResponseBound, err)
+	}
+	if bp.ResponseBound > budget {
+		return nil, nil, fmt.Errorf("placement axis: emitted bound %d exceeds its own budget %d", bp.ResponseBound, budget)
+	}
+	return bp, g, nil
 }
 
 // soloStarts replays the stream's exact IAU timing for an uninterrupted run
@@ -107,7 +139,7 @@ func RunCase(c Case) (RunStats, error) {
 	cfg := Configs()[c.CfgIdx]
 	paramSeed := mix(c.Seed, c.Index) ^ 0xDDC0FFEE
 
-	victim, vg, err := compileRecipeBatch(c.Recipe, cfg, paramSeed, c.BatchN())
+	victim, vg, err := compileVictim(c, cfg, paramSeed)
 	if err != nil {
 		return stats, err
 	}
@@ -215,10 +247,12 @@ func runOnce(c Case, cfg accel.Config, victim, probe *isa.Program, inputs []*ten
 
 	u := iau.New(cfg, c.Policy)
 	defer u.Eng.Close()
-	// A small tracer rides along on every run: its aggregates are exact even
+	// A tracer rides along on every run: its aggregates are exact even
 	// after the timeline ring wraps, so invariant 7 can cross-check the
-	// IAU's own cycle counters against the independently-emitted trace.
-	tr := trace.New(1024)
+	// IAU's own cycle counters against the independently-emitted trace, and
+	// invariant 8 anchors response-bound measurements on the victim's
+	// start/resume marks (sized so small-case timelines rarely wrap).
+	tr := trace.New(1 << 13)
 	u.AttachTracer(tr)
 	if c.Sched.FaultSeed != 0 {
 		inj := fault.New(c.Sched.FaultSeed)
@@ -403,6 +437,53 @@ func runOnce(c Case, cfg accel.Config, victim, probe *isa.Program, inputs []*ten
 	if traceFetch != fetch || traceStall != stall {
 		return preempts, fmt.Errorf("trace conservation broken: trace fetch=%d stall=%d, requests fetch=%d stall=%d",
 			traceFetch, traceStall, fetch, stall)
+	}
+
+	// 8. Response-bound adherence: under the static VI scheduler with no
+	// faults, every preemption of a program carrying a compiler-proven
+	// ResponseBound must finish its backup within that bound, measured from
+	// the moment the request could first be charged against the running
+	// victim — the later of the preemptor becoming ready and the victim's
+	// own last start/resume (a request that arrived while the victim was
+	// itself parked cannot start the clock before the victim runs again).
+	// The predictive axis is exempt: its cost model may legitimately defer
+	// a switch past the next interrupt point.
+	if !c.Predictive && c.Sched.FaultSeed == 0 {
+		events := tr.Events()
+		for _, pr := range u.Preemptions {
+			if pr.Method != iau.PolicyVI {
+				continue
+			}
+			bound := progOn(pr.Victim).ResponseBound
+			if bound == 0 {
+				continue
+			}
+			// The victim's last Start/Resume at or before the boundary. If
+			// the ring wrapped past it the clock cannot be established —
+			// skip that record rather than misjudge it.
+			var anchor uint64
+			found := false
+			for _, ev := range events {
+				if ev.Slot != int32(pr.Victim) || ev.Cycle > pr.BoundaryCycle {
+					continue
+				}
+				if ev.Kind == trace.KindStart || ev.Kind == trace.KindResume {
+					anchor, found = ev.Cycle, true
+				}
+			}
+			if !found {
+				continue
+			}
+			req := pr.RequestCycle
+			if anchor > req {
+				req = anchor
+			}
+			if got := pr.BackupDoneCycle - req; got > bound {
+				return preempts, fmt.Errorf(
+					"response bound exceeded: victim slot%d pc%d backed up in %d cycles, proven bound %d (request=%d anchor=%d boundary=%d backupDone=%d)",
+					pr.Victim, pr.VictimPC, got, bound, pr.RequestCycle, anchor, pr.BoundaryCycle, pr.BackupDoneCycle)
+			}
+		}
 	}
 	return preempts, nil
 }

@@ -129,10 +129,12 @@ func FuzzPreemptResume(f *testing.F) {
 			c.Policy = iau.PolicyVI
 		}
 		c.Sched = randomSchedule(d, kind)
-		// Trailing DNA bytes select the predictive-scheduler axis; exhausted
-		// DNA draws zeros, which leaves it off — the pre-axis corpus keeps
-		// describing exactly the cases it always did.
+		// Trailing DNA bytes select the predictive-scheduler and
+		// interrupt-point-placement axes; exhausted DNA draws zeros, which
+		// leaves both off — the pre-axis corpus keeps describing exactly the
+		// cases it always did.
 		drawPredictive(d, &c)
+		drawPlacement(d, &c)
 		if _, err := RunCase(c); err != nil && !IsSkip(err) {
 			t.Fatalf("%v\n%s", err, c)
 		}

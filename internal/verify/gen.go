@@ -176,6 +176,21 @@ type Case struct {
 	// 2 tight (1.25×), 3 infeasible (0.5× — misses are guaranteed, and the
 	// deadline-driven branch of the decision table fires constantly).
 	DeadlineCode int
+
+	// PlacementCode selects the victim's interrupt-point placement policy:
+	// 0 compiles with compiler.VIEvery (the historical corpus), 1 with a
+	// tight compiler.VIBudget (1.5× the stream's VIEvery response bound —
+	// the optimizer prunes aggressively), 2 with a loose one (4×). Drawn
+	// only for VI-policy cases, so every site set the placement optimizer
+	// can emit is proven bit-exact under adversarial preemption and its
+	// ResponseBound is checked against the measured response.
+	PlacementCode int
+}
+
+// PlacementScale maps the case's PlacementCode to the VIBudget multiple of
+// the victim's minimal (VIEvery) response bound; 0 means compile VIEvery.
+func (c Case) PlacementScale() float64 {
+	return [...]float64{0, 1.5, 4.0}[c.PlacementCode%3]
 }
 
 // DeadlineFrac maps the case's DeadlineCode to the victim-deadline fraction
@@ -197,8 +212,12 @@ func (c Case) String() string {
 	if c.Predictive {
 		pred = fmt.Sprintf(" predictive(cold=%v dl=%d)", c.PredCold, c.DeadlineCode)
 	}
-	return fmt.Sprintf("case %d:%d policy=%v cfg=%d batch=%d net[%s] sched[%s]%s",
-		c.Seed, c.Index, c.Policy, c.CfgIdx, c.BatchN(), c.Recipe, c.Sched, pred)
+	place := ""
+	if c.PlacementCode != 0 {
+		place = fmt.Sprintf(" placement(budget=%gx)", c.PlacementScale())
+	}
+	return fmt.Sprintf("case %d:%d policy=%v cfg=%d batch=%d net[%s] sched[%s]%s%s",
+		c.Seed, c.Index, c.Policy, c.CfgIdx, c.BatchN(), c.Recipe, c.Sched, pred, place)
 }
 
 // Repro returns the one-line environment repro for the case.
@@ -260,10 +279,12 @@ func NewCase(seed uint64, index int) Case {
 		c.Policy = iau.PolicyVI
 	}
 	c.Sched = randomSchedule(rng, kind)
-	// Predictive draws come LAST so every earlier field of the (seed, index)
-	// → case mapping is prefix-stable: historical repro seeds and corpus
-	// entries keep describing the same network and schedule.
+	// Predictive and placement draws come LAST (in that order) so every
+	// earlier field of the (seed, index) → case mapping is prefix-stable:
+	// historical repro seeds and corpus entries keep describing the same
+	// network and schedule.
 	drawPredictive(rng, &c)
+	drawPlacement(rng, &c)
 	return c
 }
 
@@ -285,6 +306,23 @@ func drawPredictive(rng entropy, c *Case) {
 	c.Predictive = true
 	c.PredCold = rng.Intn(2) == 1
 	c.DeadlineCode = rng.Intn(4)
+}
+
+// drawPlacement appends the interrupt-point-placement axis: half the
+// VI-policy cases recompile the victim under a VIBudget — tight (1.5× the
+// minimal VIEvery bound, so the optimizer genuinely prunes groups) or loose
+// (4×) — instead of the every-site rule. A budget is always a feasible
+// multiple of the stream's own minimal bound, so compilation never fails.
+// A zero-entropy draw leaves the axis off (VIEvery), so exhausted fuzz DNA
+// and the historical corpus map to the pre-axis cases unchanged.
+func drawPlacement(rng entropy, c *Case) {
+	if c.Policy != iau.PolicyVI {
+		return
+	}
+	if rng.Intn(2) == 0 {
+		return
+	}
+	c.PlacementCode = 1 + rng.Intn(2)
 }
 
 // randomRecipe draws a small network with odd shapes: non-multiple channel

@@ -47,6 +47,15 @@ func size(c Case) int {
 			s += 10
 		}
 	}
+	// A budget-pruned placement is costlier than the every-site rule, and a
+	// tight budget costlier than a loose one: the minimizer first tries the
+	// historical VIEvery stream, then loosens the budget.
+	if c.PlacementCode != 0 {
+		s += 15
+		if c.PlacementCode == 1 {
+			s += 5
+		}
+	}
 	return s
 }
 
@@ -155,6 +164,24 @@ func Minimize(c Case, budget int) Case {
 		if best.Predictive && !best.PredCold {
 			cand := best
 			cand.PredCold = true
+			if attempt(cand) {
+				improved = true
+			}
+		}
+
+		// Shrink the placement axis: first back to the every-site rule (does
+		// the failure need a pruned stream at all?), then loosen a tight
+		// budget (does it need aggressive pruning?).
+		if best.PlacementCode != 0 {
+			cand := best
+			cand.PlacementCode = 0
+			if attempt(cand) {
+				improved = true
+			}
+		}
+		if best.PlacementCode == 1 {
+			cand := best
+			cand.PlacementCode = 2
 			if attempt(cand) {
 				improved = true
 			}

@@ -58,6 +58,7 @@ func TestEquivalence(t *testing.T) {
 
 	cases, preempts, runs := 0, 0, 0
 	predictive, predCold, predInfeasible := 0, 0, 0
+	placeTight, placeLoose := 0, 0
 	kindsSeen := map[string]int{}
 	policiesSeen := map[iau.Policy]int{}
 	for index := 0; cases < wantCases; index++ {
@@ -86,6 +87,12 @@ func TestEquivalence(t *testing.T) {
 				predInfeasible++
 			}
 		}
+		switch c.PlacementCode {
+		case 1:
+			placeTight++
+		case 2:
+			placeLoose++
+		}
 	}
 	for _, k := range Kinds() {
 		if kindsSeen[k] == 0 {
@@ -112,8 +119,17 @@ func TestEquivalence(t *testing.T) {
 	if predInfeasible == 0 {
 		t.Error("no predictive case carried an infeasible deadline")
 	}
-	t.Logf("%d cases (%d IAU runs, %d preemptions, %d predictive [%d cold, %d infeasible]): %v kinds, %v policies",
-		cases, runs, preempts, predictive, predCold, predInfeasible, kindsSeen, policiesSeen)
+	// The placement axis must genuinely run at both budgets: tight budgets
+	// prune aggressively, loose ones lightly, and both site sets must stay
+	// bit-exact with their measured response inside the proven bound.
+	if placeTight == 0 {
+		t.Error("no case ran a tight-budget (1.5x) interrupt-point placement")
+	}
+	if placeLoose == 0 {
+		t.Error("no case ran a loose-budget (4x) interrupt-point placement")
+	}
+	t.Logf("%d cases (%d IAU runs, %d preemptions, %d predictive [%d cold, %d infeasible], placement %d tight / %d loose): %v kinds, %v policies",
+		cases, runs, preempts, predictive, predCold, predInfeasible, placeTight, placeLoose, kindsSeen, policiesSeen)
 }
 
 // TestGenerationDeterminism: the case stream is a pure function of
