@@ -10,12 +10,15 @@
 // -vi inserts a backup group at every legal site (the paper's rule);
 // -vi-budget N instead keeps the minimal site set whose proven worst-case
 // preemption response stays under N cycles. Either way the proven bound is
-// embedded in the stream image and printed in the summary.
+// embedded in the stream image and printed in the summary. -check decodes
+// the written image back and runs the internal/progcheck static verifier
+// over it, so what ships is what was proven.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"inca/internal/accel"
@@ -23,34 +26,49 @@ import (
 	"inca/internal/iau"
 	"inca/internal/isa"
 	"inca/internal/model"
+	"inca/internal/progcheck"
 	"inca/internal/quant"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("inca-compile", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		netName  = flag.String("net", "tinycnn", "network: tinycnn|vgg16|resnet18|resnet34|resnet50|resnet101|mobilenetv1|superpoint|gem|medium")
-		proto    = flag.String("proto", "", "compile a Caffe-style .prototxt file instead of -net")
-		dump     = flag.Bool("dump", false, "print the disassembled instruction stream")
-		profile  = flag.Bool("profile", false, "print per-layer MACs/params/arithmetic-intensity")
-		inC      = flag.Int("c", 3, "input channels")
-		inH      = flag.Int("h", 120, "input height")
-		inW      = flag.Int("w", 160, "input width")
-		accelStr = flag.String("accel", "big", "accelerator config: big (16,16,8) or small (8,8,4)")
-		vi       = flag.Bool("vi", true, "run the virtual-instruction pass (interruptible stream)")
-		viBudget = flag.Uint64("vi-budget", 0, "worst-case preemption-response budget in cycles: keep only the minimal Vir_SAVE site set proving it (0 = a group at every site; overrides -vi)")
-		bps      = flag.Int("blobs-per-save", 2, "CalcBlobs per SAVE window (0 = one SAVE per tile)")
-		weights  = flag.Bool("weights", false, "embed the synthetic weight image (functional execution)")
-		seed     = flag.Uint64("seed", 1, "synthetic parameter seed")
-		out      = flag.String("o", "instruction.bin", "output file")
-		summary  = flag.Bool("summary", true, "print network and stream summaries")
+		netName  = fs.String("net", "tinycnn", "network: tinycnn|vgg16|resnet18|resnet34|resnet50|resnet101|mobilenetv1|superpoint|gem|medium")
+		proto    = fs.String("proto", "", "compile a Caffe-style .prototxt file instead of -net")
+		dump     = fs.Bool("dump", false, "print the disassembled instruction stream")
+		profile  = fs.Bool("profile", false, "print per-layer MACs/params/arithmetic-intensity")
+		inC      = fs.Int("c", 3, "input channels")
+		inH      = fs.Int("h", 120, "input height")
+		inW      = fs.Int("w", 160, "input width")
+		accelStr = fs.String("accel", "big", "accelerator config: big (16,16,8) or small (8,8,4)")
+		vi       = fs.Bool("vi", true, "run the virtual-instruction pass (interruptible stream)")
+		viBudget = fs.Uint64("vi-budget", 0, "worst-case preemption-response budget in cycles: keep only the minimal Vir_SAVE site set proving it (0 = a group at every site; overrides -vi)")
+		bps      = fs.Int("blobs-per-save", 2, "CalcBlobs per SAVE window (0 = one SAVE per tile)")
+		weights  = fs.Bool("weights", false, "embed the synthetic weight image (functional execution)")
+		seed     = fs.Uint64("seed", 1, "synthetic parameter seed")
+		outPath  = fs.String("o", "instruction.bin", "output file")
+		summary  = fs.Bool("summary", true, "print network and stream summaries")
+		check    = fs.Bool("check", false, "decode the written image back and re-run the static verifier on it (round-trip trust check)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	fail := func(format string, a ...interface{}) int {
+		fmt.Fprintf(errw, "inca-compile: "+format+"\n", a...)
+		return 1
+	}
 
 	cfg := accel.Big()
 	if *accelStr == "small" {
 		cfg = accel.Small()
 	} else if *accelStr != "big" {
-		fatalf("unknown -accel %q (want big or small)", *accelStr)
+		return fail("unknown -accel %q (want big or small)", *accelStr)
 	}
 
 	var g *model.Network
@@ -58,18 +76,18 @@ func main() {
 	if *proto != "" {
 		src, rerr := os.ReadFile(*proto)
 		if rerr != nil {
-			fatalf("reading %s: %v", *proto, rerr)
+			return fail("reading %s: %v", *proto, rerr)
 		}
 		g, err = model.ParsePrototxt(string(src))
 	} else {
 		g, err = model.ByName(*netName, *inC, *inH, *inW)
 	}
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 	q, err := quant.Synthesize(g, *seed)
 	if err != nil {
-		fatalf("quantize: %v", err)
+		return fail("quantize: %v", err)
 	}
 	opt := cfg.CompilerOptions()
 	opt.VI = compiler.VIIf(*vi)
@@ -80,55 +98,71 @@ func main() {
 	opt.EmitWeights = *weights
 	p, err := compiler.Compile(q, opt)
 	if err != nil {
-		fatalf("compile: %v", err)
+		return fail("compile: %v", err)
 	}
 
-	f, err := os.Create(*out)
+	f, err := os.Create(*outPath)
 	if err != nil {
-		fatalf("create %s: %v", *out, err)
+		return fail("create %s: %v", *outPath, err)
 	}
 	if err := isa.Encode(f, p); err != nil {
-		fatalf("encode: %v", err)
+		return fail("encode: %v", err)
 	}
 	if err := f.Close(); err != nil {
-		fatalf("close: %v", err)
+		return fail("close: %v", err)
+	}
+
+	if *check {
+		// Verify what actually landed on disk, not the in-memory program:
+		// the round trip covers the codec as well as the stream.
+		rf, err := os.Open(*outPath)
+		if err != nil {
+			return fail("reopen %s: %v", *outPath, err)
+		}
+		back, err := isa.Decode(rf)
+		rf.Close()
+		if err != nil {
+			return fail("decode-back %s: %v", *outPath, err)
+		}
+		rep := progcheck.Verify(back, progcheck.Options{Cost: cfg})
+		if !rep.OK() {
+			return fail("static verification of %s failed:\n%v", *outPath, rep.Err())
+		}
+		fmt.Fprintf(out, "check: %d instructions verified, %d interrupt points replayed, bound re-derived %d cycles\n",
+			rep.Instrs, rep.CheckedResumes, rep.RederivedBound)
 	}
 
 	if *summary {
-		fmt.Print(g.Summary())
-		fmt.Print(compiler.Analyze(p))
+		fmt.Fprint(out, g.Summary())
+		fmt.Fprint(out, compiler.Analyze(p))
 		macs, _ := g.TotalMACs()
-		fmt.Printf("  %.2f GMAC per inference\n", float64(macs)/1e9)
+		fmt.Fprintf(out, "  %.2f GMAC per inference\n", float64(macs)/1e9)
 		backups := 0
 		for _, in := range p.Instrs {
 			if in.Op == isa.OpVirSave {
 				backups++
 			}
 		}
-		fmt.Printf("  fault tolerance: %d snapshot (Vir_SAVE) sites, watchdog bound %d cycles (%.1f us/instr)\n",
+		fmt.Fprintf(out, "  fault tolerance: %d snapshot (Vir_SAVE) sites, watchdog bound %d cycles (%.1f us/instr)\n",
 			backups, iau.WatchdogBound(cfg, p), cfg.CyclesToMicros(iau.WatchdogBound(cfg, p)))
 		if p.ResponseBound > 0 {
-			fmt.Printf("  preemption: proven worst-case response %d cycles (%.1f us) under %s placement\n",
+			fmt.Fprintf(out, "  preemption: proven worst-case response %d cycles (%.1f us) under %s placement\n",
 				p.ResponseBound, cfg.CyclesToMicros(p.ResponseBound), opt.VI)
 		}
 	}
 	if *profile {
 		prof, err := g.Profile()
 		if err != nil {
-			fatalf("profile: %v", err)
+			return fail("profile: %v", err)
 		}
-		fmt.Print(prof)
+		fmt.Fprint(out, prof)
 	}
 	if *dump {
-		if err := p.Disassemble(os.Stdout); err != nil {
-			fatalf("disassemble: %v", err)
+		if err := p.Disassemble(out); err != nil {
+			return fail("disassemble: %v", err)
 		}
 	}
-	st, _ := os.Stat(*out)
-	fmt.Printf("wrote %s (%d bytes, %d instructions, %s)\n", *out, st.Size(), len(p.Instrs), cfg.Name)
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "inca-compile: "+format+"\n", args...)
-	os.Exit(1)
+	st, _ := os.Stat(*outPath)
+	fmt.Fprintf(out, "wrote %s (%d bytes, %d instructions, %s)\n", *outPath, st.Size(), len(p.Instrs), cfg.Name)
+	return 0
 }

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inca/internal/isa"
+)
+
+func runCompile(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestCompileCheckRoundTrip: the default path plus -check must write an
+// image, decode it back, and verify it statically — the summary reports
+// the proven bound and the check line reports the re-derivation.
+func TestCompileCheckRoundTrip(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "stream.bin")
+	code, out, errw := runCompile(t, "-net", "tinycnn", "-h", "24", "-w", "32", "-accel", "small", "-check", "-o", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errw)
+	}
+	for _, want := range []string{
+		"check: ", "interrupt points replayed", "bound re-derived",
+		"proven worst-case response", "wrote " + outPath,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := isa.Decode(f)
+	if err != nil {
+		t.Fatalf("written image does not decode: %v", err)
+	}
+	if p.ResponseBound == 0 {
+		t.Error("written image carries no response bound")
+	}
+}
+
+// TestCompileBudgetedDump: -vi-budget prunes interrupt points and -dump
+// emits the disassembly with starred park points.
+func TestCompileBudgetedDump(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "stream.bin")
+	code, every, errw := runCompile(t, "-net", "tinycnn", "-h", "24", "-w", "32", "-accel", "small", "-summary=false", "-dump", "-o", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	if !strings.Contains(every, "instruction stream (* marks an interrupt point):") {
+		t.Fatalf("-dump produced no disassembly:\n%.400s", every)
+	}
+	decode := func() *isa.Program {
+		f, err := os.Open(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		p, err := isa.Decode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	everyPoints := len(decode().InterruptPoints())
+	if everyPoints == 0 {
+		t.Fatal("every-site stream kept no interrupt points")
+	}
+
+	code, _, errw = runCompile(t, "-net", "tinycnn", "-h", "24", "-w", "32", "-accel", "small", "-summary=false", "-vi-budget", "1000000", "-check", "-o", outPath)
+	if code != 0 {
+		t.Fatalf("budgeted exit %d: %s", code, errw)
+	}
+	if got := len(decode().InterruptPoints()); got >= everyPoints {
+		t.Errorf("budgeted stream kept %d points, every-site %d: no pruning", got, everyPoints)
+	}
+}
+
+// TestCompileProfileAndWeights: -profile prints the per-layer table and
+// -weights embeds a functional image.
+func TestCompileProfileAndWeights(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "stream.bin")
+	code, out, errw := runCompile(t, "-net", "tinycnn", "-h", "24", "-w", "32", "-accel", "small", "-summary=false", "-profile", "-weights", "-o", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, "MAC") {
+		t.Errorf("-profile output missing the MAC column:\n%.400s", out)
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := isa.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Weights) == 0 {
+		t.Error("-weights image has no weight payload")
+	}
+}
+
+// TestCompileProto: a Caffe-style prototxt compiles end to end.
+func TestCompileProto(t *testing.T) {
+	dir := t.TempDir()
+	proto := filepath.Join(dir, "net.prototxt")
+	src := `name: "mini"
+input_shape { dim: 1 dim: 3 dim: 24 dim: 32 }
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  convolution_param { num_output: 8 kernel_size: 3 stride: 1 pad: 1 }
+}
+`
+	if err := os.WriteFile(proto, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "stream.bin")
+	code, out, errw := runCompile(t, "-proto", proto, "-accel", "small", "-o", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errw)
+	}
+	if !strings.Contains(out, "wrote "+outPath) {
+		t.Errorf("no wrote line:\n%s", out)
+	}
+}
+
+func TestCompileUsageErrors(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "stream.bin")
+	if code, _, errw := runCompile(t, "-accel", "bogus", "-o", outPath); code != 1 || !strings.Contains(errw, "unknown -accel") {
+		t.Errorf("bad accel: exit %d, stderr %q", code, errw)
+	}
+	if code, _, errw := runCompile(t, "-net", "bogus", "-o", outPath); code != 1 || errw == "" {
+		t.Errorf("bad net: exit %d, stderr %q", code, errw)
+	}
+	if code, _, _ := runCompile(t, "-proto", filepath.Join(t.TempDir(), "missing.prototxt"), "-o", outPath); code != 1 {
+		t.Errorf("missing proto: exit %d", code)
+	}
+	if code, _, _ := runCompile(t, "-bogus-flag"); code != 1 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}

@@ -135,6 +135,10 @@ func (c Config) CompilerOptions() compiler.Options {
 		OutputBufBytes: c.OutputBufBytes,
 		WeightBufBytes: c.WeightBufBytes,
 		Cost:           c,
+		// Every config-driven compile self-verifies through the
+		// internal/progcheck static checker (layout, restore groups,
+		// reservations, resume replays, bound re-derivation).
+		Check: true,
 	}
 }
 

@@ -58,10 +58,11 @@ type ShedReason string
 // Shed reasons. Every task the cluster does not complete carries exactly
 // one of these — nothing is lost silently.
 const (
-	ShedOverload   ShedReason = "overload"            // backlog full, lowest priority evicted
-	ShedInfeasible ShedReason = "deadline-infeasible" // could not finish by its deadline even alone
-	ShedRetries    ShedReason = "retries-exhausted"   // migration attempts exceeded MaxMigrations
-	ShedStarved    ShedReason = "starved"             // no engine ever became placeable again
+	ShedOverload     ShedReason = "overload"            // backlog full, lowest priority evicted
+	ShedInfeasible   ShedReason = "deadline-infeasible" // could not finish by its deadline even alone
+	ShedRetries      ShedReason = "retries-exhausted"   // migration attempts exceeded MaxMigrations
+	ShedStarved      ShedReason = "starved"             // no engine ever became placeable again
+	ShedUnverifiable ShedReason = "unverifiable"        // stream failed static verification at admission
 )
 
 // Config parameterises a cluster run.
@@ -258,7 +259,8 @@ type cluster struct {
 	deadlines    []uint64 // task deadlines by id, for final SLA accounting
 	stats        Stats
 
-	solo map[*isa.Program]uint64 // cached solo runtimes for feasibility
+	solo    map[*isa.Program]uint64 // cached solo runtimes for feasibility
+	checked map[*isa.Program]error  // cached static-verification verdicts
 
 	// worstYield is the largest compiler-proven ResponseBound across the
 	// run's programs: the longest any admitted task can wait for a running
@@ -349,14 +351,21 @@ func Run(cfg Config, tasks []Task) (*Result, error) {
 	}
 
 	c := &cluster{
-		cfg:    cfg,
-		taskOf: make(map[*iau.Request]*taskState),
-		solo:   make(map[*isa.Program]uint64),
+		cfg:     cfg,
+		taskOf:  make(map[*iau.Request]*taskState),
+		solo:    make(map[*isa.Program]uint64),
+		checked: make(map[*isa.Program]error),
 	}
 	c.outcomes = make([]Outcome, len(tasks))
 	c.deadlines = make([]uint64, len(tasks))
 	for i := range tasks {
 		c.deadlines[tasks[i].ID] = tasks[i].Deadline
+		// Only verified streams contribute to worstYield: an unverifiable
+		// program (admission will shed it) must not poison the admission
+		// arithmetic of everyone else with a forged ResponseBound.
+		if c.verifyProg(tasks[i].Prog) != nil {
+			continue
+		}
 		if b := tasks[i].Prog.ResponseBound; b > c.worstYield {
 			c.worstYield = b
 		}

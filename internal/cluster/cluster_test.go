@@ -239,6 +239,42 @@ func TestClusterDeadlineInfeasibleRejected(t *testing.T) {
 	}
 }
 
+// TestClusterUnverifiableRejected: admission statically verifies every
+// stream; a task whose program fails progcheck — here a forged
+// ResponseBound and a truncated stream — is shed as unverifiable and its
+// bound never enters the worst-yield admission arithmetic.
+func TestClusterUnverifiableRejected(t *testing.T) {
+	cfg := testAccel()
+	w, err := NewWorkload(cfg, WorkloadConfig{Tasks: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := *w.Tasks[1].Prog
+	forged.ResponseBound += 1 << 40 // would dominate worstYield if believed
+	w.Tasks[1].Prog = &forged
+	truncated := *w.Tasks[2].Prog
+	truncated.Instrs = truncated.Instrs[:len(truncated.Instrs)-1]
+	w.Tasks[2].Prog = &truncated
+	res, err := Run(Config{Engines: 2, Accel: cfg, Policy: iau.PolicyVI}, w.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved(t, res)
+	for _, id := range []int{1, 2} {
+		if got := res.Outcomes[id].Shed; got != ShedUnverifiable {
+			t.Errorf("task %d outcome %q, want %q", id, got, ShedUnverifiable)
+		}
+	}
+	if res.Stats.ShedUnverifiable != 2 {
+		t.Errorf("ShedUnverifiable = %d, want 2", res.Stats.ShedUnverifiable)
+	}
+	for _, id := range []int{0, 3} {
+		if !res.Outcomes[id].Completed {
+			t.Errorf("clean task %d not completed (shed=%q)", id, res.Outcomes[id].Shed)
+		}
+	}
+}
+
 func TestClusterScalesWithEngines(t *testing.T) {
 	cfg := testAccel()
 	mk := func() []Task {

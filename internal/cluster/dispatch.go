@@ -5,6 +5,7 @@ import (
 
 	"inca/internal/iau"
 	"inca/internal/isa"
+	"inca/internal/progcheck"
 	"inca/internal/trace"
 )
 
@@ -373,6 +374,14 @@ func (c *cluster) placeable(e *engine, slot int) bool {
 // may be the newcomer itself).
 func (c *cluster) admit(ts *taskState, cycle uint64) {
 	c.stats.Offered++
+	// Static verification is the cluster's trust boundary: a stream that
+	// fails progcheck (out-of-bounds transfers, malformed restore groups, a
+	// ResponseBound the re-derivation refutes) is shed before it can touch
+	// an engine or have its bound believed by the deadline math.
+	if err := c.verifyProg(ts.task.Prog); err != nil {
+		c.reject(ts, ShedUnverifiable, cycle)
+		return
+	}
 	if c.cfg.DeadlineCheck && ts.task.Deadline > 0 {
 		// Solo runtime plus the worst proven preemption-response bound in
 		// the mix: even a top-priority arrival can wait that long for the
@@ -438,6 +447,8 @@ func (c *cluster) shed(ts *taskState, reason ShedReason, cycle uint64, engine in
 		c.stats.ShedRetries++
 	case ShedStarved:
 		c.stats.ShedStarved++
+	case ShedUnverifiable:
+		c.stats.ShedUnverifiable++
 	}
 	c.cfg.Tracer.Mark(trace.KindShed, engine, cycle, uint64(ts.task.Priority), ts.task.Name)
 }
@@ -502,6 +513,19 @@ func (c *cluster) place(ts *taskState, e *engine, cycle uint64) error {
 }
 
 // soloCycles memoises SoloCycles per program.
+// verifyProg statically verifies a program against the cluster's
+// accelerator config (layout, restore groups, interrupt points, and the
+// ResponseBound re-derivation), caching the verdict per program pointer —
+// serving workloads reuse one program across many tasks.
+func (c *cluster) verifyProg(p *isa.Program) error {
+	if err, ok := c.checked[p]; ok {
+		return err
+	}
+	err := progcheck.Check(p, c.cfg.Accel)
+	c.checked[p] = err
+	return err
+}
+
 func (c *cluster) soloCycles(p *isa.Program) uint64 {
 	if v, ok := c.solo[p]; ok {
 		return v

@@ -35,10 +35,11 @@ type Stats struct {
 	Shed      int `json:"shed"`
 
 	// Shed breakdown by recorded reason.
-	ShedOverload   int `json:"shed_overload"`
-	ShedInfeasible int `json:"shed_deadline_infeasible"`
-	ShedRetries    int `json:"shed_retries_exhausted"`
-	ShedStarved    int `json:"shed_starved"`
+	ShedOverload     int `json:"shed_overload"`
+	ShedInfeasible   int `json:"shed_deadline_infeasible"`
+	ShedRetries      int `json:"shed_retries_exhausted"`
+	ShedStarved      int `json:"shed_starved"`
+	ShedUnverifiable int `json:"shed_unverifiable"`
 
 	// Robustness activity.
 	Migrations     int `json:"migrations"`
@@ -87,9 +88,9 @@ func (s *Stats) WriteJSON(w io.Writer) error {
 // String renders a compact terminal summary.
 func (s *Stats) String() string {
 	out := fmt.Sprintf(
-		"cluster: %d engines, %d offered -> %d completed, %d shed (overload %d, infeasible %d, retries %d, starved %d)\n",
+		"cluster: %d engines, %d offered -> %d completed, %d shed (overload %d, infeasible %d, retries %d, starved %d, unverifiable %d)\n",
 		s.Engines, s.Offered, s.Completed, s.Shed,
-		s.ShedOverload, s.ShedInfeasible, s.ShedRetries, s.ShedStarved)
+		s.ShedOverload, s.ShedInfeasible, s.ShedRetries, s.ShedStarved, s.ShedUnverifiable)
 	out += fmt.Sprintf(
 		"robustness: %d kills, %d migrations (%d salvage resumes), %d quarantines, %d readmits, %d admit rejects\n",
 		s.WatchdogKills, s.Migrations, s.SalvageResumes, s.Quarantines, s.Readmits, s.AdmitRejects)

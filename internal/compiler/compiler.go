@@ -14,6 +14,7 @@ import (
 
 	"inca/internal/isa"
 	"inca/internal/model"
+	"inca/internal/progcheck"
 	"inca/internal/quant"
 )
 
@@ -56,6 +57,16 @@ type Options struct {
 	// functionally. Timing-only programs omit it to keep large networks
 	// cheap to compile.
 	EmitWeights bool
+
+	// Check runs the internal/progcheck static verifier over the emitted
+	// stream before returning it: layout/bounds of every transfer, restore
+	// group well-formedness, interrupt-point legality, Vir_SAVE
+	// reservations, per-point resume replays, and (when Cost is set) an
+	// independent re-derivation of Program.ResponseBound.
+	// accel.Config.CompilerOptions turns it on, so every config-driven
+	// compile — core.Deploy*, the cluster workloads, the CLIs, the test
+	// suites — self-checks by default; raw Options{} leaves it off.
+	Check bool
 
 	// Buffer capacities validated against per-layer requirements. Zero
 	// means "don't check".
@@ -119,6 +130,11 @@ func Compile(q *quant.Network, opt Options) (*isa.Program, error) {
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("compiler: emitted invalid program: %w", err)
+	}
+	if opt.Check {
+		if err := progcheck.Check(prog, opt.Cost); err != nil {
+			return nil, fmt.Errorf("compiler: emitted unverifiable program: %w", err)
+		}
 	}
 	return prog, nil
 }

@@ -159,6 +159,11 @@ func WithVIPolicy(p compiler.VIPolicy) DeployOption {
 // Deploy quantizes (synthetically) and compiles the network for the slot.
 // Slot 0 is the highest priority and never preempted; higher slot numbers
 // are interruptible and receive virtual instructions.
+//
+// Every Deploy* path compiles through rt.Cfg.CompilerOptions(), whose Check
+// flag runs the internal/progcheck static verifier over the emitted stream
+// (layout, restore groups, reservations, resume replays, response-bound
+// re-derivation) — an unverifiable program never binds to a slot.
 func (rt *Runtime) Deploy(slot int, g *model.Network, seed uint64, opts ...DeployOption) (*Deployment, error) {
 	return rt.DeployBatched(slot, g, seed, 1, opts...)
 }

@@ -30,6 +30,10 @@ func Relocate(p *Program, base uint32) (*Program, error) {
 		InputBytes:  p.InputBytes,
 		OutputAddr:  p.OutputAddr + base,
 		OutputBytes: p.OutputBytes,
+		// The proven response bound depends on transfer lengths and group
+		// shapes, never on addresses, so relocation preserves it verbatim
+		// (progcheck re-derives the same value at any slot base).
+		ResponseBound: p.ResponseBound,
 	}
 	copy(q.Layers, p.Layers)
 	for i := range q.Layers {

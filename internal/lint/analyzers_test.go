@@ -38,10 +38,19 @@ func TestNoDeprecated(t *testing.T) {
 	linttest.Run(t, testdataDir(t), lint.NoDeprecated, "nodeprecated")
 }
 
+func TestLockDiscipline(t *testing.T) {
+	linttest.Run(t, testdataDir(t), lint.LockDiscipline, "lockdiscipline")
+}
+
+func TestBoundTrust(t *testing.T) {
+	linttest.Run(t, testdataDir(t), lint.BoundTrust, "boundtrust")
+}
+
 // TestGuardedPackagesStayQuiet proves the analyzers do not fire on the fake
 // subsystem packages themselves (the declaring packages own their receiver
 // discipline).
 func TestGuardedPackagesStayQuiet(t *testing.T) {
 	linttest.Run(t, testdataDir(t), lint.TraceGuard, "trace", "fault")
 	linttest.Run(t, testdataDir(t), lint.ClockOwner, "iau")
+	linttest.Run(t, testdataDir(t), lint.BoundTrust, "isa")
 }

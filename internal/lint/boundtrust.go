@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BoundTrust polices the trust boundary around the stamped worst-case
+// response bound. isa.Program.ResponseBound is a claim carried inside the
+// stream image — forgeable by anything that can write bytes — and the only
+// thing that makes it true is the internal/progcheck re-derivation. Code
+// that reads the raw field therefore either sits upstream of the stamp
+// (the compiler derives it, the codec carries it), re-derives it
+// (progcheck), or consumes it behind a verification gate (cluster
+// admission, the scheduler's compile-time programs, the CLIs that verify
+// before printing). That audited set is enumerated below; a read anywhere
+// else fails lint, forcing new consumers to verify first and join the list
+// deliberately instead of trusting an unchecked number.
+var BoundTrust = &Analyzer{
+	Name: "boundtrust",
+	Doc:  "raw isa.Program.ResponseBound access is restricted to the audited reader packages",
+	Run:  runBoundTrust,
+}
+
+// boundReaders is the audited set: packages reviewed to derive, re-derive,
+// or verify the bound before depending on it. Additions must say which of
+// the three they are (DESIGN.md §17).
+var boundReaders = map[string]bool{
+	"inca/internal/isa":       true, // carries the stamp through the codec
+	"inca/internal/compiler":  true, // derives and stamps the bound
+	"inca/internal/progcheck": true, // independently re-derives it
+	"inca/internal/sched":     true, // consumes programs it compiled itself
+	"inca/internal/cluster":   true, // admission verifies before the bound enters worst-yield
+	"inca/internal/verify":    true, // fuzz harness cross-checks bound vs measured response
+	"inca/internal/bench":     true, // benchmarks its own compiles
+	"inca/cmd/inca-compile":   true, // prints the bound it just derived (and -check verifies the image)
+	"inca/cmd/inca-vet":       true, // exists to verify the bound
+}
+
+func runBoundTrust(pass *Pass) error {
+	// The declaring package owns its field outright; the audited readers
+	// are exempted by import path.
+	if pass.Pkg.Info == nil || pass.Pkg.Name == "isa" || boundReaders[pass.Pkg.Path] {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				checkBoundAccess(pass, sel)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBoundAccess reports sel when it denotes the stamped bound field,
+// resolved through the type checker so embedding, pointers, and same-named
+// fields on unrelated types are classified correctly.
+func checkBoundAccess(pass *Pass, sel *ast.SelectorExpr) {
+	v, ok := pass.ObjectOf(sel.Sel).(*types.Var)
+	if !ok || !v.IsField() || v.Name() != "ResponseBound" {
+		return
+	}
+	if v.Pkg() == nil || v.Pkg().Name() != "isa" {
+		return
+	}
+	pass.Reportf(sel.Pos(), "isa.Program.ResponseBound is a stamped claim, not a measurement; verify the stream with internal/progcheck first and add the package to the audited reader list (internal/lint/boundtrust.go)")
+}

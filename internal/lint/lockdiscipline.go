@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// LockDiscipline keeps the simulation core single-threaded by construction.
+// Bit-exact same-seed replay — the property the equivalence fuzzer, the
+// chaos-cluster test, and every golden comparison stand on — holds because
+// exactly one goroutine advances the event loop; a second goroutine, a
+// channel hand-off, or a lock would make event order depend on the Go
+// scheduler instead of the simulated clock. The one sanctioned exception is
+// internal/accel's shard worker pool, which parallelizes pure MAC compute
+// over disjoint output ranges and joins before any event is observed; it is
+// excluded from this analyzer's scope (suite.go) so the concurrency stays
+// behind that audited API.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no goroutines, channels, selects, or sync primitives in the simulation core",
+	Run:  runLockDiscipline,
+}
+
+// lockPackages are the import paths whose primitives amount to taking a
+// lock or crossing goroutines.
+var lockPackages = map[string]bool{
+	"sync":        true,
+	"sync/atomic": true,
+}
+
+func runLockDiscipline(pass *Pass) error {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if lockPackages[path] {
+				pass.Reportf(imp.Pos(), "import of %s in the simulation core: one goroutine owns the event loop, so there is nothing to lock; shared-compute parallelism belongs behind internal/accel's worker pool", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement spawns a second goroutine in the simulation core; event order would depend on the Go scheduler, not the simulated clock")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in the simulation core; arm choice is scheduler-dependent and breaks same-seed replay")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in the simulation core; queue events in an ordered slice drained by the event loop instead")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in the simulation core; queue events in an ordered slice drained by the event loop instead")
+				}
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type in the simulation core; hand-offs between goroutines have no deterministic order")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -37,11 +37,34 @@ var Suite = []ScopedAnalyzer{
 		// The EngineCluster dispatcher places, migrates, and sheds tasks;
 		// its same-seed reports must be byte-identical, so it patrols too.
 		"inca/internal/cluster",
+		// CLI front-ends replay the same deterministic runs the tests pin
+		// (inca-sim timelines, inca-serve stats, inca-vet verdicts), so
+		// they patrol too; only internal/bench may read the wall clock.
+		"inca/cmd",
 	}},
 	{TraceGuard, nil},
 	{ClockOwner, nil},
 	{Pairing, nil},
 	{NoDeprecated, nil},
+	// LockDiscipline patrols the packages where single-threadedness is the
+	// determinism mechanism itself: one goroutine owns the event loop.
+	// internal/accel is deliberately absent — its shard worker pool is the
+	// one audited concurrency site, and this scope keeps it that way.
+	{LockDiscipline, []string{
+		"inca/internal/golden",
+		"inca/internal/verify",
+		"inca/internal/trace",
+		"inca/internal/isa",
+		"inca/internal/iau",
+		"inca/internal/sched",
+		"inca/internal/compiler",
+		"inca/internal/core",
+		"inca/internal/cluster",
+		"inca/internal/progcheck",
+	}},
+	// BoundTrust runs everywhere: the audited-reader exemption lives in the
+	// analyzer itself so the diagnostic can name the list to join.
+	{BoundTrust, nil},
 }
 
 // inScope reports whether path falls under any of the prefixes.

@@ -1,0 +1,31 @@
+// Package boundtrust exercises the boundtrust analyzer from an unaudited
+// package: raw reads and writes of the stamped bound must fire; owner-API
+// calls and same-named fields on unrelated types must stay quiet.
+package boundtrust
+
+import "isa"
+
+func read(p *isa.Program) uint64 {
+	return p.ResponseBound // want `isa\.Program\.ResponseBound is a stamped claim`
+}
+
+func forge(p *isa.Program) {
+	p.ResponseBound += 1000 // want `verify the stream with internal/progcheck first`
+}
+
+func deref(p isa.Program) uint64 {
+	return (&p).ResponseBound // want `stamped claim, not a measurement`
+}
+
+// report is an unrelated type whose same-named field stays quiet.
+type report struct {
+	ResponseBound uint64
+}
+
+func ok(p *isa.Program, r *report) uint64 {
+	r.ResponseBound = 7 // local type's field: quiet
+	if p.Bounded() {    // owner API: quiet
+		return r.ResponseBound
+	}
+	return uint64(len(p.Name))
+}

@@ -1,0 +1,46 @@
+// Package lockdiscipline exercises the lockdiscipline analyzer: goroutine
+// spawns, channel traffic, selects, and sync imports must fire; homemade
+// lock-shaped types and ordered-slice event queues must stay quiet.
+package lockdiscipline
+
+import (
+	"sync"        // want `import of sync in the simulation core`
+	"sync/atomic" // want `import of sync/atomic in the simulation core`
+)
+
+var (
+	mu  sync.Mutex
+	ctr atomic.Int64
+)
+
+func spawn(done chan bool) { // want `channel type in the simulation core`
+	go func() {}() // want `go statement spawns a second goroutine`
+	done <- true   // want `channel send in the simulation core`
+	<-done         // want `channel receive in the simulation core`
+	select {       // want `select statement in the simulation core`
+	default:
+	}
+	mu.Lock()
+	ctr.Add(1)
+	mu.Unlock()
+}
+
+// fakeLock is a lock-shaped local type: methods named Lock do not fire,
+// only the real primitives do.
+type fakeLock struct{ held bool }
+
+func (l *fakeLock) Lock()   { l.held = true }
+func (l *fakeLock) Unlock() { l.held = false }
+
+// drain is the sanctioned idiom: events queue in an ordered slice and the
+// single event loop drains them in index order.
+func drain(events []int) int {
+	var l fakeLock
+	l.Lock()
+	sum := 0
+	for _, e := range events {
+		sum += e
+	}
+	l.Unlock()
+	return sum
+}

@@ -1,0 +1,68 @@
+package progcheck
+
+import "inca/internal/isa"
+
+// RederiveBound computes the worst-case preemption response of the stream
+// under the cost model, independently of the compiler's placement DP: a
+// single streaming scan instead of site decomposition + dynamic
+// programming over realCum prefixes. The pricing contract is the same —
+// real instructions cost InstrCycles (END is free, completion releases
+// the accelerator), a group's Vir_SAVE leader costs its backup transfer
+// at park time, its remaining members cost max(fetch, replay) on the
+// resume path, and the response at any position is the cycles to reach
+// the next interrupt point plus that point's backup, or program
+// completion if no point remains.
+//
+// For every stream the compiler emits — VINone, VIEvery, or a
+// VIBudget-pruned site subset — this must reproduce the stamped
+// Program.ResponseBound exactly; any disagreement means one of the two
+// implementations (or the stream itself) is wrong.
+func RederiveBound(p *isa.Program, cost CostModel) uint64 {
+	fetch := cost.VirtualFetchCycles()
+	var cum uint64 // modeled cycles of real instructions so far
+	var bound uint64
+	// pending is the cost already owed at the current segment's start: 0
+	// at program start, the previous group's member-replay tail otherwise
+	// (positions inside a group resume through its members). base is cum
+	// at the segment start.
+	var pending, base uint64
+	n := len(p.Instrs)
+	for i := 0; i < n; {
+		in := p.Instrs[i]
+		if !in.Op.Virtual() {
+			if in.Op != isa.OpEnd {
+				cum += cost.InstrCycles(p, in)
+			}
+			i++
+			continue
+		}
+		// A maximal virtual run is one park site.
+		var backup, tail uint64
+		if in.Op == isa.OpVirSave {
+			backup = cost.XferCycles(in.Len)
+		} else {
+			tail += maxU64(fetch, cost.InstrCycles(p, in))
+		}
+		j := i + 1
+		for j < n && p.Instrs[j].Op.Virtual() {
+			tail += maxU64(fetch, cost.InstrCycles(p, p.Instrs[j]))
+			j++
+		}
+		if w := pending + (cum - base) + backup; w > bound {
+			bound = w
+		}
+		pending, base = tail, cum
+		i = j
+	}
+	if w := pending + (cum - base); w > bound {
+		bound = w
+	}
+	return bound
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

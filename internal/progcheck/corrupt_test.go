@@ -1,0 +1,189 @@
+package progcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/isa"
+	"inca/internal/progcheck"
+)
+
+// cloneProg deep-copies the mutable slices so corruption tests never
+// share state through the compiled base.
+func cloneProg(p *isa.Program) *isa.Program {
+	q := *p
+	q.Layers = append([]isa.LayerInfo(nil), p.Layers...)
+	q.Instrs = append([]isa.Instruction(nil), p.Instrs...)
+	return &q
+}
+
+func firstIdx(p *isa.Program, match func(*isa.Instruction) bool) int {
+	for i := range p.Instrs {
+		if match(&p.Instrs[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestVerifyCatchesFieldCorruption drives the abstract machine's error
+// branches one field at a time: every single-field skew on a clean
+// compiled stream must produce at least one diagnostic, and every
+// diagnostic must render with its instruction anchor and excerpt.
+func TestVerifyCatchesFieldCorruption(t *testing.T) {
+	cfg := accel.Small()
+	// Batch 1 emits Vir_SAVE-led backup groups; batch 2 emits restore-only
+	// groups plus cross-element addressing — the two shapes between them
+	// reach every machine branch.
+	solo := compileNet(t, cfg, compiler.VIEvery{}, 1)
+	batched := compileNet(t, cfg, compiler.VIEvery{}, 2)
+	for _, base := range []*isa.Program{solo, batched} {
+		if rep := progcheck.Verify(base, progcheck.Options{Cost: cfg}); !rep.OK() {
+			t.Fatalf("base must be clean:\n%v", rep.Err())
+		}
+	}
+
+	cases := []struct {
+		name    string
+		batched bool // mutate the batch-2 base instead of the solo one
+		match   func(*isa.Instruction) bool
+		apply   func(*isa.Instruction)
+	}{
+		{"loadd-addr-oob", false, func(in *isa.Instruction) bool { return in.Op == isa.OpLoadD && in.Rows > 0 },
+			func(in *isa.Instruction) { in.Addr = 1 << 30 }},
+		{"loadd-addr-skew", false, func(in *isa.Instruction) bool { return in.Op == isa.OpLoadD && in.Rows > 0 },
+			func(in *isa.Instruction) { in.Addr++ }},
+		{"loadd-len-skew", false, func(in *isa.Instruction) bool { return in.Op == isa.OpLoadD && in.Rows > 0 },
+			func(in *isa.Instruction) { in.Len++ }},
+		{"loadd-rows-oob", false, func(in *isa.Instruction) bool { return in.Op == isa.OpLoadD && in.Rows > 0 },
+			func(in *isa.Instruction) { in.Rows = 4096 }},
+		{"loadw-addr-skew", false, func(in *isa.Instruction) bool { return in.Op == isa.OpLoadW },
+			func(in *isa.Instruction) { in.Addr++ }},
+		{"loadw-len-shrink", false, func(in *isa.Instruction) bool { return in.Op == isa.OpLoadW && in.Len > 1 },
+			func(in *isa.Instruction) { in.Len-- }},
+		{"loadw-group-skew", false, func(in *isa.Instruction) bool { return in.Op == isa.OpLoadW },
+			func(in *isa.Instruction) { in.OutG++ }},
+		{"calc-rows-skew", false, func(in *isa.Instruction) bool { return in.Op == isa.OpCalcI },
+			func(in *isa.Instruction) { in.Rows++ }},
+		{"calcf-saveid-skew", false, func(in *isa.Instruction) bool { return in.Op == isa.OpCalcF },
+			func(in *isa.Instruction) { in.SaveID += 7 }},
+		{"save-addr-skew", false, func(in *isa.Instruction) bool { return in.Op == isa.OpSave },
+			func(in *isa.Instruction) { in.Addr += 64 }},
+		{"save-len-grow", false, func(in *isa.Instruction) bool { return in.Op == isa.OpSave },
+			func(in *isa.Instruction) { in.Len += 1 << 30 }},
+		{"save-rows-skew", false, func(in *isa.Instruction) bool { return in.Op == isa.OpSave },
+			func(in *isa.Instruction) { in.Rows++ }},
+		{"virsave-addr-skew", false, func(in *isa.Instruction) bool { return in.Op == isa.OpVirSave },
+			func(in *isa.Instruction) { in.Addr += 64 }},
+		{"virsave-len-shrink", false, func(in *isa.Instruction) bool { return in.Op == isa.OpVirSave && in.Len > 1 },
+			func(in *isa.Instruction) { in.Len = 1 }},
+		{"virsave-rows-skew", false, func(in *isa.Instruction) bool { return in.Op == isa.OpVirSave },
+			func(in *isa.Instruction) { in.Rows++ }},
+		{"virsave-saveid-skew", false, func(in *isa.Instruction) bool { return in.Op == isa.OpVirSave },
+			func(in *isa.Instruction) { in.SaveID += 9 }},
+		{"virloadd-rows-zero", false, func(in *isa.Instruction) bool { return in.Op == isa.OpVirLoadD && in.Rows > 0 && in.Len > 0 },
+			func(in *isa.Instruction) { in.Rows = 0 }},
+		{"virloadd-which-bogus", false, func(in *isa.Instruction) bool { return in.Op == isa.OpVirLoadD },
+			func(in *isa.Instruction) { in.Which = 9 }},
+		{"batch-cross", true, func(in *isa.Instruction) bool {
+			return in.Op == isa.OpLoadD && in.Rows > 0 && in.Bat == 0
+		},
+			func(in *isa.Instruction) { in.Bat++ }},
+		{"batched-save-skew", true, func(in *isa.Instruction) bool { return in.Op == isa.OpSave && in.Bat == 1 },
+			func(in *isa.Instruction) { in.Addr += 64 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := solo
+			if tc.batched {
+				src = batched
+			}
+			mut := cloneProg(src)
+			i := firstIdx(mut, tc.match)
+			if i < 0 {
+				t.Fatalf("no instruction matches %s", tc.name)
+			}
+			tc.apply(&mut.Instrs[i])
+			rep := progcheck.Verify(mut, progcheck.Options{Cost: cfg})
+			if rep.OK() {
+				t.Fatalf("corruption %s at instr %d not caught", tc.name, i)
+			}
+			d := rep.Diags[0]
+			s := d.String()
+			if d.Index >= 0 && !strings.Contains(s, "->") {
+				t.Errorf("anchored diagnostic renders without an excerpt marker: %s", s)
+			}
+			if s == "" || !strings.Contains(s, string(d.Class)) {
+				t.Errorf("diagnostic string %q does not name its class %q", s, d.Class)
+			}
+		})
+	}
+}
+
+// TestVerifyCatchesGroupCorruption drives the group-structure branches:
+// parks inside groups, orphaned members, and layer-spanning groups.
+func TestVerifyCatchesGroupCorruption(t *testing.T) {
+	cfg := accel.Small()
+	base := compileNet(t, cfg, compiler.VIEvery{}, 1)
+
+	mutate := func(name string, f func(*isa.Program) bool) {
+		t.Run(name, func(t *testing.T) {
+			mut := cloneProg(base)
+			if !f(mut) {
+				t.Fatalf("%s not applicable", name)
+			}
+			rep := progcheck.Verify(mut, progcheck.Options{Cost: cfg})
+			if rep.OK() {
+				t.Fatalf("%s not caught", name)
+			}
+		})
+	}
+
+	mutate("virsave-layer-span", func(p *isa.Program) bool {
+		// Drag a VirSave to another layer: the group spans a boundary.
+		i := firstIdx(p, func(in *isa.Instruction) bool { return in.Op == isa.OpVirSave })
+		if i < 0 {
+			return false
+		}
+		p.Instrs[i].Layer++
+		return true
+	})
+	mutate("virsave-orphaned", func(p *isa.Program) bool {
+		// Detach the leader from its CalcF by flipping the tile.
+		i := firstIdx(p, func(in *isa.Instruction) bool { return in.Op == isa.OpVirSave })
+		if i < 0 {
+			return false
+		}
+		p.Instrs[i].Tile++
+		return true
+	})
+	mutate("calcf-removed", func(p *isa.Program) bool {
+		// The VirSave now trails a CalcI instead of the CalcF it snapshots.
+		i := firstIdx(p, func(in *isa.Instruction) bool { return in.Op == isa.OpCalcF })
+		if i < 0 || i+1 >= len(p.Instrs) || p.Instrs[i+1].Op != isa.OpVirSave {
+			return false
+		}
+		p.Instrs[i].Op = isa.OpCalcI
+		return true
+	})
+}
+
+// TestRederiveBoundNilSafe: RederiveBound on a stream with no virtual
+// instructions equals the stamped solo bound, and Verify without any
+// options still runs the structural passes.
+func TestRederiveBoundNilSafe(t *testing.T) {
+	cfg := accel.Small()
+	p := compileNet(t, cfg, compiler.VINone{}, 1)
+	if got := progcheck.RederiveBound(p, cfg); got != p.ResponseBound {
+		t.Fatalf("re-derived %d, stamped %d", got, p.ResponseBound)
+	}
+	rep := progcheck.Verify(p, progcheck.Options{})
+	if !rep.OK() {
+		t.Fatalf("structural-only verify failed:\n%v", rep.Err())
+	}
+	if rep.BoundChecked {
+		t.Fatal("bound checked without a cost model")
+	}
+}

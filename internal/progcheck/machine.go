@@ -1,0 +1,451 @@
+package progcheck
+
+import (
+	"fmt"
+
+	"inca/internal/isa"
+)
+
+// vErr is a classed check failure inside a machine pass.
+type vErr struct {
+	class Class
+	msg   string
+}
+
+func errf(c Class, format string, args ...any) *vErr {
+	return &vErr{class: c, msg: fmt.Sprintf(format, args...)}
+}
+
+// machine is the abstract architectural state of the accelerator: the same
+// registers the golden interpreter models (resident row windows per
+// selector and batch element, the loaded weight blob, the accumulator
+// tile, the finals tile), tracked symbolically — which rows, which groups,
+// which element — with no data.
+type machine struct {
+	p *isa.Program
+	// stateClass labels precondition failures: ClassState on the normal
+	// (uninterrupted) pass, ClassResume during a post-interrupt replay.
+	stateClass Class
+	// layout enables the transfer layout/bounds re-derivation; it is on
+	// for the normal pass and off during resume replays (the stream's
+	// layout was already checked once).
+	layout bool
+
+	layer int
+
+	winLo, winHi [2][]int
+	winOK        [2][]bool
+
+	wLayer, wOG int
+
+	accOK                            bool
+	accLayer, accTile, accOG, accBat int
+	accRow0, accRows                 int
+
+	finOK                     bool
+	finLayer, finTile, finBat int
+	finRow0, finRows          int
+	finDone                   []bool
+	savedTo                   int // highest SAVE-committed group of the finals tile
+	finNOut                   int
+
+	// Save-skip modeling for resume replays led by a Vir_SAVE: the
+	// matching SAVE may commit groups <= skipTo from the backup instead of
+	// the (lost) finals tile.
+	skipOn bool
+	skipID uint32
+	skipTo int
+
+	// Pending Vir_SAVE coverage on the normal pass: the next SAVE of the
+	// window must carry the same SaveID and cover at least the backup's
+	// group range, or the save-skip rewrite would commit the wrong bytes.
+	vsOn          bool
+	vsID          uint32
+	vsInG, vsOutG int
+}
+
+func newMachine(p *isa.Program, stateClass Class, layout bool) *machine {
+	m := &machine{p: p, stateClass: stateClass, layout: layout, layer: -1, wLayer: -1, wOG: -1, savedTo: -1, skipTo: -1}
+	n := p.BatchN()
+	for w := 0; w < 2; w++ {
+		m.winLo[w] = make([]int, n)
+		m.winHi[w] = make([]int, n)
+		m.winOK[w] = make([]bool, n)
+	}
+	return m
+}
+
+// exec abstract-executes one real (non-virtual) instruction.
+func (m *machine) exec(in isa.Instruction) *vErr {
+	if int(in.Layer) != m.layer {
+		// A new layer reuses every on-chip buffer.
+		if m.vsOn {
+			m.vsOn = false
+			return errf(ClassGroup, "Vir_SAVE save=%d never covered by a SAVE before the layer boundary", m.vsID)
+		}
+		for w := 0; w < 2; w++ {
+			for b := range m.winOK[w] {
+				m.winOK[w][b] = false
+			}
+		}
+		m.wLayer, m.wOG = -1, -1
+		m.accOK, m.finOK = false, false
+		m.savedTo = -1
+		m.layer = int(in.Layer)
+	}
+	l := &m.p.Layers[in.Layer]
+	switch in.Op {
+	case isa.OpLoadD:
+		return m.loadD(l, in)
+	case isa.OpLoadW:
+		return m.loadW(l, in)
+	case isa.OpCalcI, isa.OpCalcF:
+		return m.calc(l, in)
+	case isa.OpSave:
+		return m.save(l, in)
+	}
+	return errf(ClassStructure, "opcode %s is not executable", in.Op)
+}
+
+func (m *machine) loadD(l *isa.LayerInfo, in isa.Instruction) *vErr {
+	if in.Which > 1 {
+		return errf(m.stateClass, "LOAD_D selector %d out of range", in.Which)
+	}
+	if in.Rows == 0 {
+		if m.layout && (in.Len != 0 || in.Addr != 0) {
+			return errf(ClassLayout, "LOAD_D of zero rows carries addr=%d len=%d", in.Addr, in.Len)
+		}
+		return nil
+	}
+	if m.layout {
+		if ve := m.checkLoadLayout(l, in); ve != nil {
+			return ve
+		}
+	}
+	m.applyLoad(in)
+	return nil
+}
+
+// applyLoad updates the resident window registers with the golden
+// interpreter's semantics: an adjoining delta merges, a disjoint segment
+// replaces the window.
+func (m *machine) applyLoad(in isa.Instruction) {
+	w, b := int(in.Which), int(in.Bat)
+	m.growWin(w, b)
+	lo, hi := int(in.Row0), int(in.Row0)+int(in.Rows)
+	if !m.winOK[w][b] || lo > m.winHi[w][b] || hi < m.winLo[w][b] {
+		m.winLo[w][b], m.winHi[w][b], m.winOK[w][b] = lo, hi, true
+		return
+	}
+	if hi > m.winHi[w][b] {
+		m.winHi[w][b] = hi
+	}
+	if lo < m.winLo[w][b] {
+		m.winLo[w][b] = lo
+	}
+}
+
+func (m *machine) growWin(w, b int) {
+	for len(m.winOK[w]) <= b {
+		m.winLo[w] = append(m.winLo[w], 0)
+		m.winHi[w] = append(m.winHi[w], 0)
+		m.winOK[w] = append(m.winOK[w], false)
+	}
+}
+
+// checkLoadLayout re-derives where a data load must read from: the
+// instruction's batch element's plane in the layer's declared input
+// region (selector 0), residual region (selector 1, input geometry for
+// Add layers, output geometry for fused residuals), with a length
+// matching the row count — and the scattered read extent inside the
+// arena. The address equality is also the batch-isolation proof: element
+// b's loads resolve into b's plane and no other.
+func (m *machine) checkLoadLayout(l *isa.LayerInfo, in isa.Instruction) *vErr {
+	bat := int(in.Bat)
+	var base, wantLen uint32
+	var planeC, planeH, planeW int
+	switch {
+	case in.Which == 1 && l.FusedAdd:
+		// The fused residual streams in at output geometry.
+		base = l.In2Addr + uint32(bat*l.OutPlane())
+		planeC, planeH, planeW = l.OutC, l.OutH, l.OutW
+	case in.Which == 1:
+		if l.Op != isa.LayerAdd {
+			return errf(ClassLayout, "residual selector on a %s layer with no residual input", l.Op)
+		}
+		base = l.In2Addr + uint32(bat*l.InPlane())
+		planeC, planeH, planeW = l.InC, l.InH, l.InW
+	default:
+		base = l.InAddr + uint32(bat*l.InPlane())
+		planeC, planeH, planeW = l.InC, l.InH, l.InW
+	}
+	wantLen = uint32(planeC * int(in.Rows) * planeW)
+	last := uint64(in.Addr) + uint64(((planeC-1)*planeH+int(in.Row0)+int(in.Rows)-1)*planeW+planeW)
+	if last > uint64(m.p.DDRBytes) {
+		return errf(ClassBounds, "load reads through byte %d of a %d-byte arena", last, m.p.DDRBytes)
+	}
+	if in.Addr != base {
+		return errf(ClassLayout, "load addr %d breaks the declared layout: element %d's plane starts at %d", in.Addr, bat, base)
+	}
+	if in.Len != wantLen {
+		return errf(ClassLayout, "load length %d, layout derives %d (%d ch x %d rows x %d px)", in.Len, wantLen, planeC, in.Rows, planeW)
+	}
+	return nil
+}
+
+func (m *machine) loadW(l *isa.LayerInfo, in isa.Instruction) *vErr {
+	if l.Op != isa.LayerConv {
+		return errf(m.stateClass, "LOAD_W on a %s layer", l.Op)
+	}
+	if groupChannels(l.OutC, m.p.ParaOut, int(in.OutG)) <= 0 {
+		return errf(m.stateClass, "LOAD_W beyond output channels (og=%d outC=%d)", in.OutG, l.OutC)
+	}
+	if m.layout {
+		if ve := m.checkWeightLayout(l, in); ve != nil {
+			return ve
+		}
+	}
+	m.wLayer, m.wOG = int(in.Layer), int(in.OutG)
+	return nil
+}
+
+// checkWeightLayout verifies a weight transfer (LOAD_W or a Which=2
+// Vir_LOAD_D refetch) against the independently derived blob placement.
+func (m *machine) checkWeightLayout(l *isa.LayerInfo, in isa.Instruction) *vErr {
+	if uint64(in.Addr)+uint64(in.Len) > uint64(m.p.DDRBytes) {
+		return errf(ClassBounds, "weight transfer [%d,%d) exceeds the %d-byte arena", in.Addr, uint64(in.Addr)+uint64(in.Len), m.p.DDRBytes)
+	}
+	wantAddr, wantLen := weightBlob(l, m.p.ParaOut, int(in.OutG))
+	if in.Addr != wantAddr || in.Len != wantLen {
+		return errf(ClassLayout, "weight transfer [%d,+%d) but group %d's blob lives at [%d,+%d)", in.Addr, in.Len, in.OutG, wantAddr, wantLen)
+	}
+	return nil
+}
+
+// needRows checks that the input rows a CALC consumes are resident in
+// selector which's window for batch element bat (the golden interpreter's
+// residency rule, applied symbolically).
+func (m *machine) needRows(which, bat int, l *isa.LayerInfo, row0, rows int) *vErr {
+	c0, cn := l.ConvRows(row0, rows)
+	lo := c0*l.Stride - l.Pad
+	hi := (c0+cn-1)*l.Stride - l.Pad + l.KH
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > l.InH {
+		hi = l.InH
+	}
+	if hi <= lo {
+		return nil // the whole window falls in padding
+	}
+	return m.needSpan(which, bat, lo, hi)
+}
+
+func (m *machine) needSpan(which, bat, lo, hi int) *vErr {
+	m.growWin(which, bat)
+	if !m.winOK[which][bat] || lo < m.winLo[which][bat] || hi > m.winHi[which][bat] {
+		return errf(m.stateClass, "input rows [%d,%d) of element %d selector %d not resident (window valid=%v [%d,%d))",
+			lo, hi, bat, which, m.winOK[which][bat], m.winLo[which][bat], m.winHi[which][bat])
+	}
+	return nil
+}
+
+func (m *machine) calc(l *isa.LayerInfo, in isa.Instruction) *vErr {
+	row0, rows := int(in.Row0), int(in.Rows)
+	bat := int(in.Bat)
+	if ve := m.needRows(0, bat, l, row0, rows); ve != nil {
+		return ve
+	}
+	switch l.Op {
+	case isa.LayerConv:
+		if l.FusedAdd && in.Op == isa.OpCalcF {
+			// The fused residual streams in at output geometry.
+			if ve := m.needSpan(1, bat, row0, row0+rows); ve != nil {
+				return ve
+			}
+		}
+		if m.wLayer != int(in.Layer) || m.wOG != int(in.OutG) {
+			return errf(m.stateClass, "weights for layer %d group %d not loaded (have %d/%d)", in.Layer, in.OutG, m.wLayer, m.wOG)
+		}
+		if groupChannels(l.OutC, m.p.ParaOut, int(in.OutG)) <= 0 {
+			return errf(m.stateClass, "calc beyond output channels (og=%d outC=%d)", in.OutG, l.OutC)
+		}
+		depthwise := l.Groups == l.InC && l.Groups > 1
+		if !depthwise && int(in.InG)*m.p.ParaIn >= l.InC {
+			return errf(m.stateClass, "calc beyond input channels (ig=%d inC=%d)", in.InG, l.InC)
+		}
+		if in.InG == 0 {
+			m.accLayer, m.accTile, m.accOG, m.accBat = int(in.Layer), int(in.Tile), int(in.OutG), bat
+			m.accRow0, m.accRows = row0, rows
+			m.accOK = true
+		} else if !m.accOK || m.accLayer != int(in.Layer) || m.accTile != int(in.Tile) || m.accOG != int(in.OutG) || m.accBat != bat ||
+			m.accRow0 != row0 || m.accRows != rows {
+			return errf(m.stateClass, "accumulator tile mismatch: have l%d t%d og%d b%d rows[%d,%d) valid=%v, want l%d t%d og%d b%d rows[%d,%d)",
+				m.accLayer, m.accTile, m.accOG, m.accBat, m.accRow0, m.accRow0+m.accRows, m.accOK,
+				in.Layer, in.Tile, in.OutG, bat, row0, row0+rows)
+		}
+		if in.Op == isa.OpCalcF {
+			if ve := m.finish(l, in, row0, rows); ve != nil {
+				return ve
+			}
+			m.accOK = false
+		}
+		return nil
+	case isa.LayerPool:
+		if in.Op != isa.OpCalcF {
+			return errf(m.stateClass, "pool layers use a single CALC_F per blob")
+		}
+		return m.finish(l, in, row0, rows)
+	case isa.LayerAdd:
+		if in.Op != isa.OpCalcF {
+			return errf(m.stateClass, "add layers use a single CALC_F per blob")
+		}
+		if ve := m.needRows(1, bat, l, row0, rows); ve != nil {
+			return ve
+		}
+		return m.finish(l, in, row0, rows)
+	}
+	return errf(ClassStructure, "unknown layer op %v", l.Op)
+}
+
+// finish models CALC_F's epilogue: (re)establish the finals tile for the
+// instruction's (layer, tile, element) and mark its group done.
+func (m *machine) finish(l *isa.LayerInfo, in isa.Instruction, row0, rows int) *vErr {
+	if !(m.finOK && m.finLayer == int(in.Layer) && m.finTile == int(in.Tile) && m.finBat == int(in.Bat)) {
+		if m.vsOn {
+			m.vsOn = false
+			return errf(ClassGroup, "Vir_SAVE save=%d never covered by a SAVE of its window", m.vsID)
+		}
+		m.finLayer, m.finTile, m.finBat = int(in.Layer), int(in.Tile), int(in.Bat)
+		m.finRow0, m.finRows = row0, rows
+		m.finNOut = l.NOut
+		m.finDone = make([]bool, l.NOut)
+		m.finOK = true
+		m.savedTo = -1
+	}
+	if int(in.OutG) >= len(m.finDone) {
+		return errf(m.stateClass, "CALC_F group %d beyond the layer's %d groups", in.OutG, len(m.finDone))
+	}
+	m.finDone[in.OutG] = true
+	return nil
+}
+
+func (m *machine) save(l *isa.LayerInfo, in isa.Instruction) *vErr {
+	row0, rows := int(in.Row0), int(in.Rows)
+	if rows == 0 {
+		return nil
+	}
+	c0 := int(in.InG) * m.p.ParaOut
+	endC := (int(in.OutG) + 1) * m.p.ParaOut
+	if endC > l.OutC {
+		endC = l.OutC
+	}
+	if c0 >= endC {
+		return errf(m.stateClass, "SAVE covers no channels ([%d,%d) of %d)", c0, endC, l.OutC)
+	}
+	skipMatch := m.skipOn && in.SaveID == m.skipID
+	if !(skipMatch && int(in.OutG) <= m.skipTo) {
+		// At least one covered group comes from the finals tile.
+		if !m.finOK || m.finLayer != int(in.Layer) || m.finTile != int(in.Tile) || m.finBat != int(in.Bat) {
+			return errf(m.stateClass, "SAVE of tile l%d t%d b%d but finals hold l%d t%d b%d (valid=%v)",
+				in.Layer, in.Tile, in.Bat, m.finLayer, m.finTile, m.finBat, m.finOK)
+		}
+		if row0 != m.finRow0 || rows != m.finRows {
+			return errf(m.stateClass, "SAVE rows [%d,%d) but the finals tile holds [%d,%d)", row0, row0+rows, m.finRow0, m.finRow0+m.finRows)
+		}
+		for g := int(in.InG); g <= int(in.OutG); g++ {
+			if g < len(m.finDone) && m.finDone[g] {
+				continue
+			}
+			if skipMatch && g <= m.skipTo {
+				continue // committed from the Vir_SAVE backup instead
+			}
+			return errf(m.stateClass, "SAVE commits group %d before its CALC_F finished", g)
+		}
+	}
+	if m.layout {
+		last := uint64(in.Addr) + uint64(((endC-1)*l.OutH+row0+rows-1)*l.OutW+l.OutW)
+		if last > uint64(m.p.DDRBytes) {
+			return errf(ClassBounds, "save writes through byte %d of a %d-byte arena", last, m.p.DDRBytes)
+		}
+		wantAddr := l.OutAddr + uint32(int(in.Bat)*l.OutPlane())
+		if in.Addr != wantAddr {
+			return errf(ClassLayout, "save addr %d breaks the declared layout: element %d's output plane starts at %d", in.Addr, in.Bat, wantAddr)
+		}
+		if wantLen := uint32((endC - c0) * rows * l.OutW); in.Len != wantLen {
+			return errf(ClassLayout, "save window [%d,%d) is %d bytes, instruction says %d", c0, endC, wantLen, in.Len)
+		}
+	}
+	if m.finOK && m.finLayer == int(in.Layer) && m.finTile == int(in.Tile) && m.finBat == int(in.Bat) && int(in.OutG) > m.savedTo {
+		m.savedTo = int(in.OutG)
+	}
+	if skipMatch {
+		m.skipOn = false // the skip rewrite applies to one SAVE only
+	}
+	if m.vsOn {
+		defer func() { m.vsOn = false }()
+		if in.SaveID != m.vsID {
+			return errf(ClassGroup, "Vir_SAVE save=%d followed by SAVE save=%d: the backup covers a different window", m.vsID, in.SaveID)
+		}
+		if int(in.InG) > m.vsInG || int(in.OutG) < m.vsOutG {
+			return errf(ClassGroup, "SAVE window [%d,%d] does not cover its Vir_SAVE backup [%d,%d]", in.InG, in.OutG, m.vsInG, m.vsOutG)
+		}
+	}
+	return nil
+}
+
+// virSave checks a Vir_SAVE against the live machine state (normal pass
+// only): it must describe the finals tile it parks, cover exactly the
+// finished-but-unsaved group window, and reserve enough bytes for it.
+func (m *machine) virSave(l *isa.LayerInfo, in isa.Instruction) *vErr {
+	if !m.finOK || m.finLayer != int(in.Layer) || m.finTile != int(in.Tile) || m.finBat != int(in.Bat) {
+		return errf(m.stateClass, "Vir_SAVE for tile l%d t%d b%d but finals hold l%d t%d b%d (valid=%v)",
+			in.Layer, in.Tile, in.Bat, m.finLayer, m.finTile, m.finBat, m.finOK)
+	}
+	if int(in.Row0) != m.finRow0 || int(in.Rows) != m.finRows {
+		return errf(ClassLayout, "Vir_SAVE rows [%d,%d) but the finals tile holds [%d,%d)",
+			in.Row0, int(in.Row0)+int(in.Rows), m.finRow0, m.finRow0+m.finRows)
+	}
+	needInG := m.savedTo + 1
+	needOutG := -1
+	for g := len(m.finDone) - 1; g >= 0; g-- {
+		if m.finDone[g] {
+			needOutG = g
+			break
+		}
+	}
+	if needOutG < needInG {
+		return errf(m.stateClass, "Vir_SAVE with no finished unsaved groups (saved through %d, finished through %d)", m.savedTo, needOutG)
+	}
+	required := windowBytes(l, m.p.ParaOut, needInG, needOutG, m.finRows)
+	if in.Len < required {
+		return errf(ClassReservation, "Vir_SAVE reserves %d bytes but the worst live state here is %d (groups [%d,%d] x %d rows)",
+			in.Len, required, needInG, needOutG, m.finRows)
+	}
+	if int(in.InG) > needInG {
+		return errf(ClassReservation, "Vir_SAVE covers groups from %d but group %d is finished and unsaved", in.InG, needInG)
+	}
+	if int(in.OutG) < needOutG {
+		return errf(ClassReservation, "Vir_SAVE covers groups through %d but group %d is finished and unsaved", in.OutG, needOutG)
+	}
+	if int(in.InG) != needInG || int(in.OutG) != needOutG {
+		return errf(ClassLayout, "Vir_SAVE window [%d,%d] but the live window is [%d,%d]", in.InG, in.OutG, needInG, needOutG)
+	}
+	if in.Len != required {
+		return errf(ClassLayout, "Vir_SAVE reserves %d bytes, the window is %d", in.Len, required)
+	}
+	endC := (needOutG + 1) * m.p.ParaOut
+	if endC > l.OutC {
+		endC = l.OutC
+	}
+	last := uint64(in.Addr) + uint64(((endC-1)*l.OutH+m.finRow0+m.finRows-1)*l.OutW+l.OutW)
+	if last > uint64(m.p.DDRBytes) {
+		return errf(ClassBounds, "Vir_SAVE commit region reaches byte %d of a %d-byte arena", last, m.p.DDRBytes)
+	}
+	wantAddr := l.OutAddr + uint32(int(in.Bat)*l.OutPlane())
+	if in.Addr != wantAddr {
+		return errf(ClassLayout, "Vir_SAVE addr %d but element %d's output plane starts at %d", in.Addr, in.Bat, wantAddr)
+	}
+	m.vsOn, m.vsID, m.vsInG, m.vsOutG = true, in.SaveID, int(in.InG), int(in.OutG)
+	return nil
+}

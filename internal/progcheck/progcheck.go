@@ -1,0 +1,292 @@
+// Package progcheck statically verifies compiled isa.Programs: it
+// abstract-interprets the instruction stream — no engine, no golden run,
+// no arena — and proves the invariants the rest of the stack trusts:
+//
+//   - every DDR transfer lands inside the arena and inside the layer
+//     table's declared layout, with batch elements confined to their own
+//     planes (element isolation);
+//   - the architectural preconditions of each instruction hold on the
+//     uninterrupted path (weights loaded for the right group, input rows
+//     resident, CALC_F finished before SAVE) — the same rules the golden
+//     interpreter enforces dynamically, re-derived here without executing
+//     a single MAC;
+//   - restore groups are well-formed: a Vir_SAVE leads its group and
+//     describes the CALC_F it follows, restore-only groups follow a SAVE,
+//     no interrupt point hides inside a group, and the set of legal park
+//     points matches isa.InterruptPoints exactly;
+//   - each Vir_SAVE reserves enough bytes for the worst live state at its
+//     position (every finished-but-unsaved output-channel group);
+//   - resuming at every interrupt point replays the rest of the layer
+//     without consulting state the restore group did not rebuild (dropped
+//     Vir_LOAD_Ds, missing mid-batch weight refetches);
+//   - Program.ResponseBound equals an independent re-derivation of the
+//     worst-case preemption response from the stream and the cost model —
+//     a second implementation cross-checking the compiler's placement DP.
+//
+// Findings are typed diagnostics anchored to instruction indices with a
+// disassembly excerpt. The checker runs at every trust boundary: the
+// compiler self-checks behind Options.Check (on by default via
+// accel.Config.CompilerOptions, so core.Deploy* and every test compile
+// through it), cluster admission re-verifies before trusting a bound,
+// and cmd/inca-vet / inca-compile -check verify on-disk streams.
+package progcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"inca/internal/isa"
+)
+
+// CostModel prices instructions for the response-bound re-derivation. It
+// mirrors compiler.CostModel structurally, so accel.Config (and anything
+// satisfying the compiler's interface) satisfies it implicitly — without
+// progcheck importing the compiler it is checking.
+type CostModel interface {
+	XferCycles(n uint32) uint64
+	InstrCycles(p *isa.Program, in isa.Instruction) uint64
+	VirtualFetchCycles() uint64
+}
+
+// Class partitions findings by the invariant they break.
+type Class string
+
+const (
+	// ClassStructure: the program fails isa validation or uses an opcode
+	// where none may appear.
+	ClassStructure Class = "structure"
+	// ClassBounds: a transfer touches bytes outside the DDR arena.
+	ClassBounds Class = "ddr-bounds"
+	// ClassLayout: a transfer disagrees with the layer table's declared
+	// layout (wrong region, wrong length, or another element's plane).
+	ClassLayout Class = "layout"
+	// ClassState: an instruction's architectural precondition fails on the
+	// uninterrupted path (weights, window residency, accumulator, finals).
+	ClassState Class = "state"
+	// ClassGroup: a restore group is malformed (wrong leader context,
+	// spans layers, or a Vir_SAVE its SAVE never covers).
+	ClassGroup Class = "restore-group"
+	// ClassPoints: the legal park points disagree with
+	// isa.InterruptPoints, or an interrupt point sits inside a group.
+	ClassPoints Class = "interrupt-points"
+	// ClassReservation: a Vir_SAVE reserves less than the worst live state
+	// at its position.
+	ClassReservation Class = "reservation"
+	// ClassResume: replaying from an interrupt point consults state its
+	// restore group did not rebuild.
+	ClassResume Class = "resume"
+	// ClassBound: Program.ResponseBound does not equal the independent
+	// re-derivation from the stream and cost model.
+	ClassBound Class = "response-bound"
+)
+
+// Diagnostic is one finding, anchored to an instruction index.
+type Diagnostic struct {
+	Class   Class
+	Index   int // instruction index, -1 for program-level findings
+	Msg     string
+	Excerpt string // disassembly around Index ("" when Index < 0)
+}
+
+func (d Diagnostic) String() string {
+	if d.Index < 0 {
+		return fmt.Sprintf("[%s] %s", d.Class, d.Msg)
+	}
+	s := fmt.Sprintf("[%s] instr %d: %s", d.Class, d.Index, d.Msg)
+	if d.Excerpt != "" {
+		s += "\n" + d.Excerpt
+	}
+	return s
+}
+
+// Report is the result of one verification.
+type Report struct {
+	Name   string
+	Instrs int
+	Points int // interrupt points per isa.InterruptPoints
+	// CheckedResumes counts the interrupt points whose post-resume replay
+	// was abstractly executed; SampledResumes is set when the stream was
+	// large enough that only a deterministic stride of points was replayed.
+	CheckedResumes int
+	SampledResumes bool
+	// RederivedBound is the independent worst-case response re-derivation
+	// (0 when no cost model was supplied). BoundChecked is set when it was
+	// compared against a non-zero Program.ResponseBound.
+	RederivedBound uint64
+	BoundChecked   bool
+	Diags          []Diagnostic
+	Truncated      bool // more findings existed than Options.MaxDiags
+}
+
+// OK reports whether the program passed every check.
+func (r *Report) OK() bool { return len(r.Diags) == 0 }
+
+// Err returns nil when the report is clean, else an error carrying the
+// first diagnostic (with excerpt) and the count of further findings.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	more := ""
+	if n := len(r.Diags) - 1; n > 0 {
+		more = fmt.Sprintf(" (+%d more)", n)
+	}
+	return fmt.Errorf("progcheck: %s%s", r.Diags[0], more)
+}
+
+// Options tunes a verification.
+type Options struct {
+	// Cost enables the response-bound re-derivation. Without it the bound
+	// check is skipped (Report.BoundChecked stays false).
+	Cost CostModel
+	// MaxDiags caps collected findings (default 16).
+	MaxDiags int
+	// MaxResumeInstrs caps the replay length of one resume pass (default
+	// 4096; state resets at layer boundaries, so a replay never needs to
+	// cross one).
+	MaxResumeInstrs int
+	// MaxResumeWork caps total replay work across all interrupt points
+	// (default 1<<26 abstract steps); beyond it points are stride-sampled
+	// deterministically and Report.SampledResumes is set.
+	MaxResumeWork uint64
+}
+
+// Verify runs every static check over the program and returns the report.
+func Verify(p *isa.Program, opt Options) *Report {
+	if opt.MaxDiags <= 0 {
+		opt.MaxDiags = 16
+	}
+	if opt.MaxResumeInstrs <= 0 {
+		opt.MaxResumeInstrs = 4096
+	}
+	if opt.MaxResumeWork == 0 {
+		opt.MaxResumeWork = 1 << 26
+	}
+	rep := &Report{Name: p.Name, Instrs: len(p.Instrs)}
+	v := &verifier{p: p, rep: rep, opt: opt}
+	if err := p.Validate(); err != nil {
+		v.diag(ClassStructure, -1, "%v", err)
+		return rep
+	}
+	rep.Points = len(p.InterruptPoints())
+	legal := v.checkGroups()
+	v.normalPass()
+	v.resumePasses(legal)
+	v.checkBound(opt.Cost)
+	return rep
+}
+
+// Check verifies the program with default options and returns the report
+// error — the one-call trust-boundary form.
+func Check(p *isa.Program, cost CostModel) error {
+	return Verify(p, Options{Cost: cost}).Err()
+}
+
+// verifier carries one verification's shared state.
+type verifier struct {
+	p   *isa.Program
+	rep *Report
+	opt Options
+}
+
+func (v *verifier) full() bool { return len(v.rep.Diags) >= v.opt.MaxDiags }
+
+func (v *verifier) diag(c Class, idx int, format string, args ...any) {
+	if v.full() {
+		v.rep.Truncated = true
+		return
+	}
+	v.rep.Diags = append(v.rep.Diags, Diagnostic{
+		Class:   c,
+		Index:   idx,
+		Msg:     fmt.Sprintf(format, args...),
+		Excerpt: excerpt(v.p, idx),
+	})
+}
+
+// excerpt renders the disassembly around idx with the finding marked, the
+// same listing format Program.Disassemble uses.
+func excerpt(p *isa.Program, idx int) string {
+	if idx < 0 || idx >= len(p.Instrs) {
+		return ""
+	}
+	lo, hi := idx-2, idx+2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(p.Instrs)-1 {
+		hi = len(p.Instrs) - 1
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		mark := "  "
+		if i == idx {
+			mark = "->"
+		}
+		fmt.Fprintf(&b, "  %s %6d  %s\n", mark, i, p.Instrs[i])
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// checkBound re-derives the worst-case response bound and compares it to
+// the stamped value. A zero stamp means "unmodeled" (VINone without a cost
+// model, or a v2 codec stream) and is not a finding.
+func (v *verifier) checkBound(cost CostModel) {
+	if cost == nil {
+		return
+	}
+	b := RederiveBound(v.p, cost)
+	v.rep.RederivedBound = b
+	if v.p.ResponseBound == 0 {
+		return
+	}
+	v.rep.BoundChecked = true
+	if b != v.p.ResponseBound {
+		v.diag(ClassBound, -1,
+			"Program.ResponseBound claims %d cycles but an independent re-derivation from the stream and cost model gives %d",
+			v.p.ResponseBound, b)
+	}
+}
+
+// --- layout formulas, re-derived independently of the compiler ---
+//
+// These deliberately duplicate the emitter's arithmetic: the verifier is a
+// second implementation of the layout contract, so a compiler regression
+// shows up as a disagreement rather than being copied into the checker.
+
+// groupChannels is how many output channels group og covers (the last
+// group may be partial).
+func groupChannels(outC, paraOut, og int) int {
+	n := outC - og*paraOut
+	if n > paraOut {
+		n = paraOut
+	}
+	return n
+}
+
+// windowBytes is the byte size of a save window spanning out-channel
+// groups [g0, g1] over rows output rows.
+func windowBytes(l *isa.LayerInfo, paraOut, g0, g1, rows int) uint32 {
+	c0 := g0 * paraOut
+	c1 := (g1 + 1) * paraOut
+	if c1 > l.OutC {
+		c1 = l.OutC
+	}
+	return uint32((c1 - c0) * rows * l.OutW)
+}
+
+// weightBlob is the arena address and length of out-channel group og's
+// weight blob: [int32 bias x cnt][int8 weights].
+func weightBlob(l *isa.LayerInfo, paraOut, og int) (addr, length uint32) {
+	depthwise := l.Groups == l.InC && l.Groups > 1
+	icg := l.InC
+	if depthwise {
+		icg = 1
+	}
+	per := func(cnt int) uint32 { return uint32(cnt)*4 + uint32(cnt*icg*l.KH*l.KW) }
+	var off uint32
+	for i := 0; i < og; i++ {
+		off += per(groupChannels(l.OutC, paraOut, i))
+	}
+	return l.WAddr + off, per(groupChannels(l.OutC, paraOut, og))
+}

@@ -1,0 +1,193 @@
+package progcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/isa"
+	"inca/internal/model"
+	"inca/internal/progcheck"
+	"inca/internal/quant"
+)
+
+func compileNet(t testing.TB, cfg accel.Config, vi compiler.VIPolicy, batch int) *isa.Program {
+	t.Helper()
+	n := model.New("pcheck", 3, 8, 10)
+	c := n.Conv("c0", 0, 12, 3, 1, 1, true)
+	n.Conv("c1", c, 6, 1, 1, 0, false)
+	q, err := quant.Synthesize(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := cfg.CompilerOptions()
+	opt.VI = vi
+	opt.Batch = batch
+	opt.EmitWeights = true
+	p, err := compiler.Compile(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestVerifyAcrossPolicies: a compiled stream verifies clean under every
+// placement policy, and the re-derived bound equals the stamped one bit
+// for bit — including VINone, where the "bound" is the solo completion
+// time of an uninterruptible stream.
+func TestVerifyAcrossPolicies(t *testing.T) {
+	cfg := accel.Small()
+	every := compileNet(t, cfg, compiler.VIEvery{}, 1)
+	policies := []struct {
+		name string
+		vi   compiler.VIPolicy
+	}{
+		{"every", compiler.VIEvery{}},
+		{"none", compiler.VINone{}},
+		{"budget", compiler.VIBudget{MaxResponseCycles: every.ResponseBound * 3}},
+	}
+	for _, pc := range policies {
+		t.Run(pc.name, func(t *testing.T) {
+			p := compileNet(t, cfg, pc.vi, 1)
+			rep := progcheck.Verify(p, progcheck.Options{Cost: cfg})
+			if !rep.OK() {
+				t.Fatalf("clean compile rejected:\n%v", rep.Err())
+			}
+			if p.ResponseBound == 0 {
+				t.Fatal("config-driven compile did not stamp a bound")
+			}
+			if !rep.BoundChecked || rep.RederivedBound != p.ResponseBound {
+				t.Fatalf("re-derivation %d (checked=%v) vs stamped %d",
+					rep.RederivedBound, rep.BoundChecked, p.ResponseBound)
+			}
+			if rep.Points != len(p.InterruptPoints()) || rep.CheckedResumes != rep.Points {
+				t.Fatalf("points=%d checked=%d, stream has %d", rep.Points, rep.CheckedResumes, len(p.InterruptPoints()))
+			}
+			if _, ok := pc.vi.(compiler.VINone); ok && rep.Points != 0 {
+				t.Fatalf("VINone stream has %d interrupt points", rep.Points)
+			}
+		})
+	}
+}
+
+// TestVerifyBatched: batched plans carry per-element restores and
+// mid-batch weight refetches; all of it must verify, including the
+// element-isolation layout checks.
+func TestVerifyBatched(t *testing.T) {
+	cfg := accel.Small()
+	p := compileNet(t, cfg, compiler.VIEvery{}, 3)
+	rep := progcheck.Verify(p, progcheck.Options{Cost: cfg})
+	if !rep.OK() {
+		t.Fatalf("batched compile rejected:\n%v", rep.Err())
+	}
+	refetch := false
+	for _, in := range p.Instrs {
+		if in.Op == isa.OpVirLoadD && in.Which == 2 {
+			refetch = true
+		}
+	}
+	if !refetch {
+		t.Fatal("batched stream has no weight refetch — the test exercises nothing")
+	}
+}
+
+// TestVerifyNoCostModel: without a cost model the structural passes still
+// run but the bound is neither re-derived nor compared.
+func TestVerifyNoCostModel(t *testing.T) {
+	p := compileNet(t, accel.Small(), compiler.VIEvery{}, 1)
+	rep := progcheck.Verify(p, progcheck.Options{})
+	if !rep.OK() {
+		t.Fatalf("rejected without cost model:\n%v", rep.Err())
+	}
+	if rep.BoundChecked || rep.RederivedBound != 0 {
+		t.Fatalf("bound check ran without a cost model: %+v", rep)
+	}
+	// An unmodeled stream (bound 0) is not a finding even with a model.
+	p.ResponseBound = 0
+	rep = progcheck.Verify(p, progcheck.Options{Cost: accel.Small()})
+	if !rep.OK() || rep.BoundChecked {
+		t.Fatalf("zero stamped bound must be skipped, not compared: %+v", rep.Err())
+	}
+	if rep.RederivedBound == 0 {
+		t.Fatal("re-derivation should still be reported for an unmodeled stream")
+	}
+}
+
+// TestCheckClassifiesForgedBound: the one-call form surfaces the class tag
+// in its error, and RederiveBound is a pure function of stream + model.
+func TestCheckClassifiesForgedBound(t *testing.T) {
+	cfg := accel.Small()
+	p := compileNet(t, cfg, compiler.VIEvery{}, 1)
+	if err := progcheck.Check(p, cfg); err != nil {
+		t.Fatalf("clean stream: %v", err)
+	}
+	want := progcheck.RederiveBound(p, cfg)
+	if want != p.ResponseBound {
+		t.Fatalf("RederiveBound %d != stamped %d", want, p.ResponseBound)
+	}
+	p.ResponseBound++
+	err := progcheck.Check(p, cfg)
+	if err == nil || !strings.Contains(err.Error(), string(progcheck.ClassBound)) {
+		t.Fatalf("forged bound error missing class tag: %v", err)
+	}
+}
+
+// TestResumeSampling: when the point count times the replay cap exceeds
+// the work budget, replays are stride-sampled deterministically.
+func TestResumeSampling(t *testing.T) {
+	cfg := accel.Small()
+	p := compileNet(t, cfg, compiler.VIEvery{}, 1)
+	rep := progcheck.Verify(p, progcheck.Options{Cost: cfg, MaxResumeWork: 1, MaxResumeInstrs: 64})
+	if !rep.OK() {
+		t.Fatalf("sampled verify rejected:\n%v", rep.Err())
+	}
+	if !rep.SampledResumes {
+		t.Fatal("work budget of 1 step did not trigger sampling")
+	}
+	if rep.CheckedResumes == 0 || rep.CheckedResumes >= rep.Points {
+		t.Fatalf("sampling checked %d of %d points", rep.CheckedResumes, rep.Points)
+	}
+	again := progcheck.Verify(p, progcheck.Options{Cost: cfg, MaxResumeWork: 1, MaxResumeInstrs: 64})
+	if again.CheckedResumes != rep.CheckedResumes {
+		t.Fatalf("sampling not deterministic: %d vs %d", again.CheckedResumes, rep.CheckedResumes)
+	}
+}
+
+// TestMaxDiagsTruncation: a stream corrupted in many places reports at
+// most MaxDiags findings and flags the truncation.
+func TestMaxDiagsTruncation(t *testing.T) {
+	cfg := accel.Small()
+	p := compileNet(t, cfg, compiler.VIEvery{}, 1)
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == isa.OpVirSave {
+			p.Instrs[i].SaveID += 1000 // desync every backup from its SAVE
+		}
+	}
+	rep := progcheck.Verify(p, progcheck.Options{Cost: cfg, MaxDiags: 2})
+	if rep.OK() {
+		t.Fatal("mass corruption accepted")
+	}
+	if len(rep.Diags) > 2 || !rep.Truncated {
+		t.Fatalf("want <=2 diags and truncation, got %d (truncated=%v)", len(rep.Diags), rep.Truncated)
+	}
+}
+
+// TestCompilerSelfCheck: Options.Check (on via CompilerOptions) re-runs the
+// whole verification inside Compile — the first trust boundary.
+func TestCompilerSelfCheck(t *testing.T) {
+	n := model.New("selfcheck", 3, 8, 10)
+	n.Conv("c0", 0, 8, 3, 1, 1, true)
+	q, err := quant.Synthesize(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := accel.Small().CompilerOptions()
+	if !opt.Check {
+		t.Fatal("CompilerOptions does not enable the self-check")
+	}
+	opt.VI = compiler.VIEvery{}
+	if _, err := compiler.Compile(q, opt); err != nil {
+		t.Fatalf("self-checked compile: %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+package progcheck
+
+import "inca/internal/isa"
+
+// checkGroups validates restore-group structure and interrupt-point
+// legality, returning the leader indices of well-formed groups (the
+// points resumePasses will replay from).
+//
+// A group is a maximal run of virtual instructions. Its leader is the
+// interrupt point; legality mirrors the virtual-instruction pass's
+// placement rules: a Vir_SAVE parks the window of the CALC_F it
+// immediately follows, a restore-only group follows a SAVE, and no
+// further Vir_SAVE may hide inside a group (the IAU would treat it as a
+// park point whose restore sequence is truncated).
+func (v *verifier) checkGroups() []int {
+	p := v.p
+	n := len(p.Instrs)
+	var legal []int
+	for i := 0; i < n; {
+		if !p.Instrs[i].Op.Virtual() {
+			i++
+			continue
+		}
+		s, e := i, i
+		for e < n && p.Instrs[e].Op.Virtual() {
+			e++
+		}
+		lead := p.Instrs[s]
+		ok := true
+		if s == 0 {
+			v.diag(ClassGroup, s, "stream begins with a virtual instruction: no real instruction precedes the group")
+			ok = false
+		} else if lead.Op == isa.OpVirSave {
+			prev := p.Instrs[s-1]
+			if prev.Op != isa.OpCalcF {
+				v.diag(ClassGroup, s, "Vir_SAVE must follow the CALC_F whose window it backs up (follows %s)", prev.Op)
+				ok = false
+			} else if prev.SaveID != lead.SaveID || prev.Layer != lead.Layer || prev.Tile != lead.Tile ||
+				prev.Bat != lead.Bat || prev.OutG != lead.OutG {
+				v.diag(ClassGroup, s, "Vir_SAVE does not describe the CALC_F it follows (save=%d l%d t%d b%d og%d vs save=%d l%d t%d b%d og%d)",
+					lead.SaveID, lead.Layer, lead.Tile, lead.Bat, lead.OutG,
+					prev.SaveID, prev.Layer, prev.Tile, prev.Bat, prev.OutG)
+				ok = false
+			}
+		} else if p.Instrs[s-1].Op != isa.OpSave {
+			v.diag(ClassGroup, s, "restore-only group must follow a SAVE (follows %s)", p.Instrs[s-1].Op)
+			ok = false
+		}
+		for j := s + 1; j < e; j++ {
+			if p.Instrs[j].Op == isa.OpVirSave {
+				v.diag(ClassPoints, j, "Vir_SAVE inside a restore group: an interrupt point may only lead a group")
+				ok = false
+			}
+		}
+		for j := s; j < e; j++ {
+			if p.Instrs[j].Layer != lead.Layer {
+				v.diag(ClassGroup, j, "restore group spans layers %d and %d", lead.Layer, p.Instrs[j].Layer)
+				ok = false
+				break
+			}
+		}
+		if ok {
+			legal = append(legal, s)
+		}
+		i = e
+	}
+	// The advertised park points must be exactly the well-formed leaders.
+	legalSet := make(map[int]bool, len(legal))
+	for _, s := range legal {
+		legalSet[s] = true
+	}
+	for _, pt := range p.InterruptPoints() {
+		if !legalSet[pt] {
+			v.diag(ClassPoints, pt, "isa.InterruptPoints marks this index but it does not lead a well-formed restore group")
+		}
+	}
+	return legal
+}
+
+// normalPass abstract-executes the uninterrupted stream: real
+// instructions drive the machine exactly as the golden interpreter's
+// precondition checks would, virtual instructions are layout-checked in
+// place (Vir_SAVE additionally against the live finals state, since its
+// reservation must cover whatever is finished-but-unsaved right there).
+func (v *verifier) normalPass() {
+	p := v.p
+	m := newMachine(p, ClassState, true)
+	for i, in := range p.Instrs {
+		if in.Op == isa.OpEnd {
+			break
+		}
+		var ve *vErr
+		switch in.Op {
+		case isa.OpVirSave:
+			ve = m.virSave(&p.Layers[in.Layer], in)
+		case isa.OpVirLoadD:
+			ve = v.checkVirLoad(m, in)
+		default:
+			ve = m.exec(in)
+		}
+		if ve != nil {
+			v.diag(ve.class, i, "%s", ve.msg)
+			return
+		}
+	}
+	if m.vsOn {
+		v.diag(ClassGroup, len(p.Instrs)-1, "Vir_SAVE save=%d never covered by a SAVE", m.vsID)
+	}
+}
+
+// checkVirLoad layout-checks a Vir_LOAD_D on the normal pass without
+// touching machine state (the IAU discards virtuals in uninterrupted
+// flow); whether the restored rows suffice is the resume pass's job.
+func (v *verifier) checkVirLoad(m *machine, in isa.Instruction) *vErr {
+	l := &v.p.Layers[in.Layer]
+	switch {
+	case in.Which == 2:
+		// Mid-batch weight refetch.
+		if l.Op != isa.LayerConv {
+			return errf(ClassLayout, "weight refetch on a %s layer", l.Op)
+		}
+		return m.checkWeightLayout(l, in)
+	case in.Which > 1:
+		return errf(ClassStructure, "Vir_LOAD_D selector %d out of range", in.Which)
+	case in.Rows == 0 && in.Len == 0 && in.Addr == 0:
+		return nil // empty restore: a pure park point
+	case in.Rows == 0:
+		return errf(ClassLayout, "Vir_LOAD_D of zero rows carries addr=%d len=%d", in.Addr, in.Len)
+	}
+	return m.checkLoadLayout(l, in)
+}
+
+// resumePasses replays the stream from each legal interrupt point with a
+// machine holding only what the point's restore group rebuilds, proving
+// the group is complete: any instruction past the point that consults
+// state the group did not restore fails its precondition here. State
+// resets at layer boundaries, so each replay runs at most to the end of
+// the point's layer (capped by MaxResumeInstrs); on very large streams
+// the points are stride-sampled deterministically under MaxResumeWork.
+func (v *verifier) resumePasses(legal []int) {
+	if len(legal) == 0 {
+		return
+	}
+	stride := 1
+	if est := uint64(len(legal)) * uint64(v.opt.MaxResumeInstrs); est > v.opt.MaxResumeWork {
+		stride = int((est + v.opt.MaxResumeWork - 1) / v.opt.MaxResumeWork)
+		v.rep.SampledResumes = true
+	}
+	for k := 0; k < len(legal); k += stride {
+		if v.full() {
+			return
+		}
+		v.resumeAt(legal[k])
+	}
+}
+
+func (v *verifier) resumeAt(pc int) {
+	p := v.p
+	lead := p.Instrs[pc]
+	m := newMachine(p, ClassResume, false)
+	m.layer = int(lead.Layer)
+	end := pc
+	for end < len(p.Instrs) && p.Instrs[end].Op.Virtual() {
+		end++
+	}
+	// Materialize the restore group: windows from Which<=1 loads, weights
+	// from a Which=2 refetch, and the save-skip rewrite from a Vir_SAVE
+	// leader (its backed-up groups commit without a finals tile).
+	for i := pc; i < end; i++ {
+		in := p.Instrs[i]
+		switch in.Op {
+		case isa.OpVirSave:
+			m.skipOn, m.skipID, m.skipTo = true, in.SaveID, int(in.OutG)
+		case isa.OpVirLoadD:
+			switch {
+			case in.Which == 2:
+				m.wLayer, m.wOG = int(in.Layer), int(in.OutG)
+			case in.Which <= 1 && in.Rows > 0:
+				m.applyLoad(in)
+			}
+		}
+	}
+	steps := 0
+	for i := end; i < len(p.Instrs); i++ {
+		in := p.Instrs[i]
+		if in.Op == isa.OpEnd || int(in.Layer) != int(lead.Layer) {
+			break
+		}
+		if in.Op.Virtual() {
+			continue
+		}
+		if steps++; steps > v.opt.MaxResumeInstrs {
+			break
+		}
+		if ve := m.exec(in); ve != nil {
+			v.diag(ve.class, i, "replay from the interrupt point at instr %d fails: %s", pc, ve.msg)
+			return
+		}
+	}
+	v.rep.CheckedResumes++
+}

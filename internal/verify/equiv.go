@@ -12,6 +12,7 @@ import (
 	"inca/internal/iau"
 	"inca/internal/isa"
 	"inca/internal/model"
+	"inca/internal/progcheck"
 	"inca/internal/quant"
 	"inca/internal/sched"
 	"inca/internal/tensor"
@@ -142,6 +143,12 @@ func RunCase(c Case) (RunStats, error) {
 	victim, vg, err := compileVictim(c, cfg, paramSeed)
 	if err != nil {
 		return stats, err
+	}
+	// Static-verification gate: beyond the compiler's own self-check, the
+	// harness re-verifies the victim from scratch so a regression in either
+	// the emitter or the checker surfaces as a fuzz failure.
+	if rep := progcheck.Verify(victim, progcheck.Options{Cost: cfg}); !rep.OK() {
+		return stats, fmt.Errorf("progcheck rejects the compiled victim: %v", rep.Err())
 	}
 	probe, _, err := compileRecipe(probeRecipe(), cfg, 2)
 	if err != nil {

@@ -1,0 +1,164 @@
+package verify
+
+import (
+	"testing"
+
+	"inca/internal/accel"
+	"inca/internal/compiler"
+	"inca/internal/isa"
+	"inca/internal/progcheck"
+)
+
+// mutationBase is one known-good compiled stream the corruptions seed into.
+type mutationBase struct {
+	name string
+	cfg  accel.Config
+	prog *isa.Program
+}
+
+// mutationBases compiles a spread of stream shapes: multi-group dense conv
+// (mid-tile park points), standalone and fused residuals (selector-1
+// loads), depthwise/pointwise, a batched plan (weight refetches), and a
+// budget-thinned placement.
+func mutationBases(tb testing.TB) []mutationBase {
+	type spec struct {
+		name  string
+		r     Recipe
+		cfg   accel.Config
+		batch int
+		vi    compiler.VIPolicy
+	}
+	specs := []spec{
+		{"dense-pool", Recipe{C: 3, H: 8, W: 10, Ops: []OpSpec{
+			{Kind: 0, K: 3, Stride: 1, Pad: 1, OutC: 24, ReLU: true},
+			{Kind: 3, K: 2},
+		}}, Configs()[0], 1, compiler.VIEvery{}},
+		{"residual-swap", Recipe{C: 4, H: 8, W: 8, Ops: []OpSpec{
+			{Kind: 4, OutC: 12, Swap: true, ReLU: true},
+		}}, Configs()[1], 1, compiler.VIEvery{}},
+		{"residual-fused", Recipe{C: 4, H: 8, W: 8, Ops: []OpSpec{
+			{Kind: 4, OutC: 12, ReLU: true},
+		}}, Configs()[0], 1, compiler.VIEvery{}},
+		{"dw-chain", Recipe{C: 3, H: 10, W: 8, Ops: []OpSpec{
+			{Kind: 0, K: 3, Stride: 1, Pad: 1, OutC: 8, ReLU: true},
+			{Kind: 1, Stride: 1},
+			{Kind: 5, OutC: 16},
+		}}, Configs()[1], 1, compiler.VIEvery{}},
+		{"batched", Recipe{C: 3, H: 8, W: 8, Ops: []OpSpec{
+			{Kind: 0, K: 3, Stride: 1, Pad: 1, OutC: 16, ReLU: true},
+		}}, Configs()[0], 4, compiler.VIEvery{}},
+		{"fused-pool", Recipe{C: 3, H: 12, W: 10, Ops: []OpSpec{
+			{Kind: 2, OutC: 10, ReLU: true},
+		}}, Configs()[1], 1, compiler.VIEvery{}},
+	}
+	bases := make([]mutationBase, 0, len(specs)+1)
+	for _, s := range specs {
+		p, _, err := compileRecipeVI(s.r, s.cfg, 0xBEEF^uint64(len(s.name)), s.batch, s.vi)
+		if err != nil {
+			tb.Fatalf("base %s: %v", s.name, err)
+		}
+		bases = append(bases, mutationBase{s.name, s.cfg, p})
+	}
+	// Budget-thinned variant of the dense base: sparser park points, same
+	// invariants.
+	every := bases[0]
+	budget := every.prog.ResponseBound * 4
+	p, _, err := compileRecipeVI(specs[0].r, specs[0].cfg, 0xBEEF^uint64(len(specs[0].name)), 1,
+		compiler.VIBudget{MaxResponseCycles: budget})
+	if err != nil {
+		tb.Fatalf("base dense-budget: %v", err)
+	}
+	bases = append(bases, mutationBase{"dense-budget", specs[0].cfg, p})
+	return bases
+}
+
+func classSet(cs []progcheck.Class) map[progcheck.Class]bool {
+	m := make(map[progcheck.Class]bool, len(cs))
+	for _, c := range cs {
+		m[c] = true
+	}
+	return m
+}
+
+// TestProgcheckMutations seeds every corruption into every base stream it
+// applies to and requires the verifier to (a) catch it, (b) file it only
+// under the declared classes, and (c) — for the forged-bound corruptions —
+// catch it purely through the independent bound re-derivation. Across the
+// corpus every diagnostic class must fire at least three times, so no
+// invariant is vacuously "covered".
+func TestProgcheckMutations(t *testing.T) {
+	bases := mutationBases(t)
+	coverage := make(map[progcheck.Class]int)
+	for _, mut := range Mutations() {
+		applied := 0
+		expect := classSet(mut.Expect)
+		for _, b := range bases {
+			q := cloneProgram(b.prog)
+			if !mut.Apply(q) {
+				continue
+			}
+			applied++
+			rep := progcheck.Verify(q, progcheck.Options{Cost: b.cfg})
+			if rep.OK() {
+				t.Errorf("%s on %s: corruption not caught", mut.Name, b.name)
+				continue
+			}
+			for _, d := range rep.Diags {
+				coverage[d.Class]++
+				if !expect[d.Class] {
+					t.Errorf("%s on %s: diagnostic filed under %q, expected one of %v:\n%v",
+						mut.Name, b.name, d.Class, mut.Expect, d)
+				}
+				if mut.Exact && d.Class != progcheck.ClassBound {
+					t.Errorf("%s on %s: a forged bound must be caught only by the re-derivation, got:\n%v",
+						mut.Name, b.name, d)
+				}
+			}
+		}
+		if applied == 0 {
+			t.Errorf("%s: dead mutation — no base stream offers a site", mut.Name)
+		}
+	}
+	all := []progcheck.Class{
+		progcheck.ClassStructure, progcheck.ClassBounds, progcheck.ClassLayout,
+		progcheck.ClassState, progcheck.ClassGroup, progcheck.ClassPoints,
+		progcheck.ClassReservation, progcheck.ClassResume, progcheck.ClassBound,
+	}
+	for _, c := range all {
+		if coverage[c] < 3 {
+			t.Errorf("class %q fired %d times, want >= 3", c, coverage[c])
+		}
+	}
+	t.Logf("coverage: %v", coverage)
+}
+
+// FuzzProgcheckMutations drives the same contract from fuzzed (base,
+// mutation) picks, so new corpus entries keep the catch guarantee under
+// go test -fuzz as well.
+func FuzzProgcheckMutations(f *testing.F) {
+	bases := mutationBases(f)
+	muts := Mutations()
+	for b := range bases {
+		for m := range muts {
+			f.Add(uint8(b), uint8(m))
+		}
+	}
+	f.Fuzz(func(t *testing.T, bi, mi uint8) {
+		b := bases[int(bi)%len(bases)]
+		mut := muts[int(mi)%len(muts)]
+		q := cloneProgram(b.prog)
+		if !mut.Apply(q) {
+			return
+		}
+		rep := progcheck.Verify(q, progcheck.Options{Cost: b.cfg})
+		if rep.OK() {
+			t.Fatalf("%s on %s: corruption not caught", mut.Name, b.name)
+		}
+		expect := classSet(mut.Expect)
+		for _, d := range rep.Diags {
+			if !expect[d.Class] {
+				t.Fatalf("%s on %s: class %q outside %v:\n%v", mut.Name, b.name, d.Class, mut.Expect, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"inca/internal/isa"
+	"inca/internal/progcheck"
+)
+
+// TestProgcheckCorpus statically verifies every program the deterministic
+// fuzz population compiles — all recipes, configs, policies, batch and
+// placement axes — without running any of them. This is the cheap half of
+// the acceptance bar: the checker accepts everything the compiler emits.
+// (TestProgcheckMutations is the other half: it rejects every seeded
+// corruption.)
+func TestProgcheckCorpus(t *testing.T) {
+	cases := 0
+	points, resumes := 0, 0
+	boundChecked := 0
+	for index := 0; cases < wantCases; index++ {
+		if index >= 3*wantCases {
+			t.Fatalf("only %d/%d generated cases compiled after %d draws", cases, wantCases, index)
+		}
+		c := NewCase(masterSeed, index)
+		cfg := Configs()[c.CfgIdx]
+		paramSeed := mix(c.Seed, c.Index) ^ 0xDDC0FFEE
+		p, _, err := compileVictim(c, cfg, paramSeed)
+		if IsSkip(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("case %s: compile: %v", c, err)
+		}
+		rep := progcheck.Verify(p, progcheck.Options{Cost: cfg})
+		if !rep.OK() {
+			t.Fatalf("case %s (%s): progcheck rejects the compiled victim:\n%v", c, c.Repro(), rep.Err())
+		}
+		if rep.CheckedResumes != rep.Points {
+			t.Fatalf("case %s: %d interrupt points but only %d resume replays checked", c, rep.Points, rep.CheckedResumes)
+		}
+		if rep.BoundChecked {
+			boundChecked++
+		}
+		cases++
+		points += rep.Points
+		resumes += rep.CheckedResumes
+	}
+	if points == 0 {
+		t.Error("no interrupt points across the whole corpus — VI axes never fired")
+	}
+	if boundChecked == 0 {
+		t.Error("no program carried a ResponseBound — the re-derivation cross-check never ran")
+	}
+	t.Logf("verified %d programs: %d interrupt points, %d resume replays, %d bound cross-checks",
+		cases, points, resumes, boundChecked)
+}
+
+// TestProgcheckLinkedPrograms: relocation and linking shift every address
+// uniformly, so a verified program must stay verifiable at any slot base —
+// the cluster admits relocated streams.
+func TestProgcheckLinkedPrograms(t *testing.T) {
+	cfg := Configs()[0]
+	a, _, err := compileRecipe(probeRecipe(), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := compileRecipe(probeRecipe(), cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linked, total, err := isa.Link([]*isa.Program{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range linked {
+		rep := progcheck.Verify(p, progcheck.Options{Cost: cfg})
+		if !rep.OK() {
+			t.Fatalf("linked program %d (arena %d bytes) fails progcheck:\n%v", i, total, rep.Err())
+		}
+		if !rep.BoundChecked {
+			t.Fatalf("linked program %d: bound not cross-checked (relocation must preserve ResponseBound)", i)
+		}
+	}
+}
+
+// TestProgcheckReportShape exercises the report surface on one known
+// program: diagnostics carry anchors and excerpts, Err summarizes.
+func TestProgcheckReportShape(t *testing.T) {
+	cfg := Configs()[0]
+	p, _, err := compileRecipe(probeRecipe(), cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := cloneProgram(p)
+	mut.Instrs = mut.Instrs[:len(mut.Instrs)-1] // drop END
+	rep := progcheck.Verify(mut, progcheck.Options{Cost: cfg})
+	if rep.OK() {
+		t.Fatal("truncated program accepted")
+	}
+	if rep.Diags[0].Class != progcheck.ClassStructure {
+		t.Fatalf("dropped END classified %q, want %q", rep.Diags[0].Class, progcheck.ClassStructure)
+	}
+	if err := rep.Err(); err == nil || err.Error() == "" {
+		t.Fatal("Err() empty for a failing report")
+	}
+
+	// An anchored diagnostic must carry a disasm excerpt with the marker.
+	mut = cloneProgram(p)
+	for i := range mut.Instrs {
+		if mut.Instrs[i].Op == isa.OpLoadW {
+			mut.Instrs[i].Addr++
+			break
+		}
+	}
+	rep = progcheck.Verify(mut, progcheck.Options{Cost: cfg})
+	if rep.OK() {
+		t.Fatal("skewed LOAD_W accepted")
+	}
+	d := rep.Diags[0]
+	if d.Index < 0 || d.Excerpt == "" {
+		t.Fatalf("diagnostic missing anchor/excerpt: %+v", d)
+	}
+	if want := fmt.Sprintf("-> %6d", d.Index); !contains(d.Excerpt, want) {
+		t.Fatalf("excerpt does not mark instruction %d:\n%s", d.Index, d.Excerpt)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
